@@ -1,0 +1,110 @@
+// google-benchmark microbenchmarks for the solver substrate: the optimal
+// offline DP (both inner-minimum strategies), greedy, the Section-V index
+// build, correlation analysis and the full DP_Greedy pipeline.
+#include <benchmark/benchmark.h>
+
+#include "core/request_index.hpp"
+#include "solver/correlation.hpp"
+#include "solver/dp_greedy.hpp"
+#include "solver/greedy.hpp"
+#include "solver/optimal_offline.hpp"
+#include "trace/generators.hpp"
+
+namespace dpg {
+namespace {
+
+Flow make_flow(std::size_t n, std::size_t m, std::uint64_t seed) {
+  UniformTraceConfig config;
+  config.server_count = m;
+  config.item_count = 1;
+  config.request_count = n;
+  Rng rng(seed);
+  return make_item_flow(generate_uniform_trace(config, rng), 0);
+}
+
+void BM_OptimalOfflineWindowMin(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Flow flow = make_flow(n, 16, 1);
+  const CostModel model{1.0, 1.0, 0.8};
+  OptimalOfflineOptions options;
+  options.build_schedule = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        solve_optimal_offline(flow, model, 16, options).raw_cost);
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_OptimalOfflineWindowMin)->Range(256, 16384)->Complexity();
+
+void BM_OptimalOfflineNaiveScan(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Flow flow = make_flow(n, 16, 1);
+  const CostModel model{1.0, 1.0, 0.8};
+  OptimalOfflineOptions options;
+  options.build_schedule = false;
+  options.fast_range_min = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        solve_optimal_offline(flow, model, 16, options).raw_cost);
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_OptimalOfflineNaiveScan)->Range(256, 4096)->Complexity();
+
+void BM_GreedySolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Flow flow = make_flow(n, 16, 2);
+  const CostModel model{1.0, 1.0, 0.8};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_greedy(flow, model, 16).raw_cost);
+  }
+}
+BENCHMARK(BM_GreedySolve)->Range(256, 16384);
+
+void BM_RequestIndexBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto m = static_cast<std::size_t>(state.range(1));
+  const Flow flow = make_flow(n, m, 3);
+  for (auto _ : state) {
+    const RequestIndex index(flow, m);
+    benchmark::DoNotOptimize(index.node_count());
+  }
+}
+BENCHMARK(BM_RequestIndexBuild)
+    ->Args({1024, 8})
+    ->Args({1024, 64})
+    ->Args({8192, 8})
+    ->Args({8192, 64});
+
+void BM_CorrelationAnalysis(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ZipfTraceConfig config;
+  config.item_count = 10;
+  config.request_count = n;
+  Rng rng(4);
+  const RequestSequence seq = generate_zipf_trace(config, rng);
+  for (auto _ : state) {
+    const CorrelationAnalysis analysis(seq);
+    benchmark::DoNotOptimize(analysis.sorted_pairs().size());
+  }
+}
+BENCHMARK(BM_CorrelationAnalysis)->Range(1024, 16384);
+
+void BM_DpGreedyEndToEnd(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  PairedTraceConfig config;
+  config.server_count = 50;
+  config.requests_per_pair = n / 5;
+  Rng rng(5);
+  const RequestSequence seq = generate_paired_trace(config, rng);
+  const CostModel model{1.0, 2.0, 0.8};
+  DpGreedyOptions options;
+  options.theta = 0.3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_dp_greedy(seq, model, options).total_cost);
+  }
+}
+BENCHMARK(BM_DpGreedyEndToEnd)->Range(512, 8192);
+
+}  // namespace
+}  // namespace dpg

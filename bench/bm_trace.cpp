@@ -1,0 +1,77 @@
+// Microbenchmarks for the workload substrate: generators, trace I/O,
+// correlation windows and the replay engine.
+#include <benchmark/benchmark.h>
+
+#include "mobility/simulator.hpp"
+#include "sim/replay.hpp"
+#include "solver/optimal_offline.hpp"
+#include "solver/temporal_correlation.hpp"
+#include "trace/generators.hpp"
+#include "trace/io.hpp"
+
+namespace dpg {
+namespace {
+
+void BM_MobilitySimulation(benchmark::State& state) {
+  MobilityConfig config;
+  config.duration = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    Rng rng(7);
+    benchmark::DoNotOptimize(simulate_mobility(config, rng).size());
+  }
+}
+BENCHMARK(BM_MobilitySimulation)->Arg(50)->Arg(200)->Arg(800);
+
+void BM_PairedGenerator(benchmark::State& state) {
+  PairedTraceConfig config;
+  config.requests_per_pair = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Rng rng(3);
+    benchmark::DoNotOptimize(generate_paired_trace(config, rng).size());
+  }
+}
+BENCHMARK(BM_PairedGenerator)->Arg(200)->Arg(2000);
+
+void BM_TraceCsvRoundTrip(benchmark::State& state) {
+  ZipfTraceConfig config;
+  config.request_count = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  const RequestSequence trace = generate_zipf_trace(config, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace_from_csv(trace_to_csv(trace)).size());
+  }
+}
+BENCHMARK(BM_TraceCsvRoundTrip)->Arg(1000)->Arg(8000);
+
+void BM_WindowedJaccard(benchmark::State& state) {
+  ZipfTraceConfig config;
+  config.request_count = static_cast<std::size_t>(state.range(0));
+  config.co_access = 0.5;
+  Rng rng(9);
+  const RequestSequence trace = generate_zipf_trace(config, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        windowed_jaccard_series(trace, 0, 1, 100, 10).size());
+  }
+}
+BENCHMARK(BM_WindowedJaccard)->Arg(2000)->Arg(16000);
+
+void BM_ReplayPlans(benchmark::State& state) {
+  UniformTraceConfig config;
+  config.item_count = 1;
+  config.request_count = static_cast<std::size_t>(state.range(0));
+  config.server_count = 16;
+  Rng rng(11);
+  const RequestSequence trace = generate_uniform_trace(config, rng);
+  const Flow flow = make_item_flow(trace, 0);
+  const CostModel model{1.0, 1.0, 0.8};
+  const SolveResult solved = solve_optimal_offline(flow, model, 16);
+  const std::vector<FlowPlan> plans{FlowPlan{flow, solved.schedule, "bench"}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(replay_plans(plans, model, 16).total_cost);
+  }
+}
+BENCHMARK(BM_ReplayPlans)->Arg(500)->Arg(4000);
+
+}  // namespace
+}  // namespace dpg

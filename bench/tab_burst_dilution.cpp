@@ -1,0 +1,79 @@
+// Correlation dilution on bursty workloads (extension).
+//
+// Algorithm 1's packing decision uses whole-trace Jaccard similarities.
+// Commute-style bursts correlate item pairs intensely for minutes and not
+// at all across the day, so the global statistic can sit below θ while the
+// windowed one repeatedly exceeds it — leaving packing benefit on the
+// table.  This harness quantifies that and shows the online variant (whose
+// detector IS windowed) recovering it.
+#include <cstdio>
+
+#include "solver/dp_greedy.hpp"
+#include "solver/online_dp_greedy.hpp"
+#include "solver/temporal_correlation.hpp"
+#include "trace/generators.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace dpg;
+
+int main() {
+  std::printf("burst dilution: global vs windowed correlation\n\n");
+
+  BurstyTraceConfig config;
+  config.burst_count = 40;
+  config.requests_per_burst = 30;
+  config.item_count = 8;
+  config.server_count = 20;
+  Rng rng(17);
+  const RequestSequence trace = generate_bursty_trace(config, rng);
+
+  TextTable table({"pair", "global J", "peak windowed J", "mean windowed",
+                   "dilution"});
+  double max_dilution = 0.0;
+  for (ItemId a = 0; a < trace.item_count(); ++a) {
+    for (ItemId b = a + 1; b < trace.item_count(); ++b) {
+      if (trace.pair_frequency(a, b) == 0) continue;
+      const DilutionReport report = measure_dilution(trace, a, b, 30);
+      max_dilution = std::max(max_dilution, report.dilution());
+      table.add_row({"(d" + std::to_string(a) + ",d" + std::to_string(b) + ")",
+                     format_fixed(report.global_jaccard, 3),
+                     format_fixed(report.peak_windowed, 3),
+                     format_fixed(report.mean_windowed, 3),
+                     format_fixed(report.dilution(), 3)});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("max dilution %s — windows see correlation the whole-trace\n"
+              "Jaccard hides.\n\n",
+              format_fixed(max_dilution, 3).c_str());
+
+  CostModel model;
+  model.mu = 1.0;
+  model.lambda = 4.0;
+  model.alpha = 0.6;
+  DpGreedyOptions offline_options;
+  offline_options.theta = 0.3;
+  const DpGreedyResult offline = solve_dp_greedy(trace, model, offline_options);
+  OnlineDpGreedyOptions online_options;
+  online_options.theta = 0.3;
+  online_options.window = 60;
+  online_options.repack_interval = 20;
+  const OnlineDpGreedyResult online =
+      solve_online_dp_greedy(trace, model, online_options);
+  std::printf("offline DP_Greedy (global θ=0.3): total %s, %zu packages\n",
+              format_fixed(offline.total_cost, 1).c_str(),
+              offline.packages.size());
+  std::printf("online DP_Greedy (windowed θ=0.3): total %s, %zu packs / %zu "
+              "unpacks\n",
+              format_fixed(online.total_cost, 1).c_str(), online.pack_events,
+              online.unpack_events);
+  std::printf(
+      "the windowed detector packs per burst even when the global statistic\n"
+      "never clears θ (offline found %zu packages here).  Whether adaptive\n"
+      "packing nets out ahead depends on the α/λ regime — it wins when the\n"
+      "package discount outweighs the online policy's hindsight-free replica\n"
+      "management (see examples/edge_cdn for a winning configuration).\n",
+      offline.packages.size());
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Replica footprint (extension).  The paper's model treats cloud cache
+// capacity as unbounded; this harness replays each algorithm's plan and
+// reports the capacity a deployment would actually need: peak concurrent
+// replicas overall and on the busiest server, plus total cache-hours.
+#include <algorithm>
+#include <cstdio>
+
+#include "harness_common.hpp"
+#include "sim/replay.hpp"
+#include "solver/baselines.hpp"
+#include "solver/dp_greedy.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace dpg;
+
+namespace {
+
+ReplayMetrics replay_dpg(const RequestSequence& trace, const CostModel& model,
+                         double theta, Cost* unmaterialized_singleton_cost) {
+  DpGreedyOptions options;
+  options.theta = theta;
+  const DpGreedyResult result = solve_dp_greedy(trace, model, options);
+  std::vector<FlowPlan> plans;
+  *unmaterialized_singleton_cost = 0.0;
+  for (const PackageReport& r : result.packages) {
+    plans.push_back(FlowPlan{make_package_flow(trace, r.pair.a, r.pair.b),
+                             r.package_schedule, "package"});
+    // Phase 2's greedy singleton services are decision costs without a
+    // materialized schedule; report them alongside the replayed part.
+    *unmaterialized_singleton_cost += r.singleton_cost;
+  }
+  for (const SingleItemReport& r : result.singles) {
+    plans.push_back(FlowPlan{make_item_flow(trace, r.item), r.schedule, "item"});
+  }
+  return replay_plans(plans, model, trace.server_count());
+}
+
+ReplayMetrics replay_optimal(const RequestSequence& trace,
+                             const CostModel& model) {
+  const OptimalBaselineResult result = solve_optimal_baseline(trace, model);
+  std::vector<FlowPlan> plans;
+  for (const OptimalItemReport& r : result.items) {
+    plans.push_back(FlowPlan{make_item_flow(trace, r.item), r.schedule, "item"});
+  }
+  return replay_plans(plans, model, trace.server_count());
+}
+
+ReplayMetrics replay_package_served(const RequestSequence& trace,
+                                    const CostModel& model, double theta) {
+  const PackageServedResult result = solve_package_served(trace, model, theta);
+  std::vector<FlowPlan> plans;
+  for (const PackageServedPair& r : result.pairs) {
+    plans.push_back(FlowPlan{make_union_flow(trace, {r.pair.a, r.pair.b}),
+                             r.schedule, "package"});
+  }
+  for (const OptimalItemReport& r : result.singles) {
+    plans.push_back(FlowPlan{make_item_flow(trace, r.item), r.schedule, "item"});
+  }
+  return replay_plans(plans, model, trace.server_count());
+}
+
+void emit_row(TextTable& table, const char* name, const ReplayMetrics& m) {
+  std::size_t busiest = 0;
+  for (const std::size_t peak : m.per_server_peak_copies) {
+    busiest = std::max(busiest, peak);
+  }
+  table.add_row({name, format_fixed(m.total_cost, 1),
+                 std::to_string(m.transfer_count),
+                 format_fixed(m.total_cache_time, 1),
+                 std::to_string(m.peak_concurrent_copies),
+                 std::to_string(busiest),
+                 format_fixed(m.cache_hit_ratio(), 3)});
+}
+
+}  // namespace
+
+int main() {
+  harness::print_header(
+      "replica footprint of each algorithm (operational replay)",
+      "cost-optimal plans also need modest capacity (bounded peak replicas)");
+
+  const RequestSequence trace = harness::evaluation_trace();
+  CostModel model;
+  model.mu = 1.0;
+  model.lambda = 2.0;
+  model.alpha = 0.8;
+
+  TextTable table({"algorithm", "cost", "transfers", "cache-hours",
+                   "peak replicas", "busiest server", "hit ratio"});
+  emit_row(table, "Optimal", replay_optimal(trace, model));
+  emit_row(table, "Package_Served", replay_package_served(trace, model, 0.3));
+  Cost singleton_cost = 0.0;
+  emit_row(table, "DP_Greedy*", replay_dpg(trace, model, 0.3, &singleton_cost));
+  std::printf("%s\n", table.render().c_str());
+  std::printf("peak replicas counts copies across all items/packages at one\n"
+              "instant; 'busiest server' is the per-zone capacity that would\n"
+              "have to be provisioned.\n"
+              "* DP_Greedy's row replays its materialized schedules; the\n"
+              "  greedy singleton services add %s of decision cost on top\n"
+              "  (no physical plan is emitted for them by Algorithm 1).\n",
+              format_fixed(singleton_cost, 1).c_str());
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Heterogeneous-cost probe (extension; the paper restricts itself to the
+// homogeneous model and notes the general case is NP-hard).  We perturb
+// per-server cache rates around μ = 1 and measure how the greedy heuristic
+// under the true heterogeneous rates compares to (a) greedy that ignores
+// the heterogeneity and (b) the homogeneous optimum priced at the true
+// rates — a robustness statement about the homogeneous assumption.
+#include <algorithm>
+#include <cstdio>
+
+#include "harness_common.hpp"
+#include "solver/greedy.hpp"
+#include "solver/optimal_offline.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace dpg;
+
+namespace {
+
+/// Prices a schedule under heterogeneous rates.
+Cost price_hetero(const Schedule& schedule, const HeterogeneousCostModel& model) {
+  Cost cost = 0.0;
+  for (const CacheSegment& s : schedule.segments()) {
+    cost += model.mu(s.server) * (s.end - s.begin);
+  }
+  for (const TransferEdge& t : schedule.transfers()) {
+    cost += model.lambda(t.from, t.to);
+  }
+  return cost;
+}
+
+}  // namespace
+
+int main() {
+  harness::print_header(
+      "heterogeneous cache rates: robustness of the homogeneous assumption",
+      "moderate rate noise keeps homogeneous plans near heterogeneous greedy");
+
+  const RequestSequence trace = harness::evaluation_trace();
+  const std::size_t m = trace.server_count();
+  const CostModel homo{1.0, 2.0, 0.8};
+
+  TextTable table({"mu noise", "hetero greedy", "homo greedy re-priced",
+                   "homo optimal re-priced"});
+  for (const double noise : {0.0, 0.25, 0.5, 1.0}) {
+    Rng rng(99);
+    HeterogeneousCostModel hetero(m, 1.0, 2.0);
+    for (ServerId s = 0; s < m; ++s) {
+      hetero.set_mu(s, std::max(0.05, 1.0 + noise * (rng.next_double() * 2.0 - 1.0)));
+    }
+    Cost hetero_greedy = 0.0, homo_greedy = 0.0, homo_optimal = 0.0;
+    for (ItemId item = 0; item < trace.item_count(); ++item) {
+      const Flow flow = make_item_flow(trace, item);
+      if (flow.empty()) continue;
+      hetero_greedy += solve_greedy_heterogeneous(flow, hetero).raw_cost;
+      homo_greedy +=
+          price_hetero(solve_greedy(flow, homo, m).schedule, hetero);
+      homo_optimal +=
+          price_hetero(solve_optimal_offline(flow, homo, m).schedule, hetero);
+    }
+    table.add_row({format_fixed(noise, 2), format_fixed(hetero_greedy, 1),
+                   format_fixed(homo_greedy, 1),
+                   format_fixed(homo_optimal, 1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "reading: a homogeneous-optimal plan re-priced at the true rates stays\n"
+      "competitive with rate-aware greedy until the noise approaches the\n"
+      "base rate itself; beyond that, rate awareness starts to pay.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Online DP_Greedy (extension) vs the offline two-phase algorithm: how much
+// does dropping the known-trajectory assumption cost, and how well does the
+// sliding-window correlation detector track the true packing?
+#include <cstdio>
+
+#include "harness_common.hpp"
+#include "solver/dp_greedy.hpp"
+#include "solver/online_dp_greedy.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace dpg;
+
+int main() {
+  harness::print_header(
+      "online DP_Greedy vs offline DP_Greedy",
+      "windowed correlation detection recovers most of the packing benefit");
+
+  const RequestSequence trace = harness::evaluation_trace();
+  CostModel model;
+  model.mu = 1.0;
+  model.lambda = 2.0;
+  model.alpha = 0.8;
+
+  DpGreedyOptions offline_options;
+  offline_options.theta = 0.3;
+  const DpGreedyResult offline = solve_dp_greedy(trace, model, offline_options);
+  std::printf("offline DP_Greedy: total %s, ave %s, %zu packages\n\n",
+              format_fixed(offline.total_cost, 1).c_str(),
+              format_fixed(offline.ave_cost, 4).c_str(),
+              offline.packages.size());
+
+  TextTable table({"window", "repack", "total", "ratio vs offline", "packs",
+                   "unpacks", "fetches"});
+  for (const std::size_t window : {50u, 200u, 800u}) {
+    for (const std::size_t repack : {25u, 100u}) {
+      OnlineDpGreedyOptions options;
+      options.theta = 0.3;
+      options.window = window;
+      options.repack_interval = repack;
+      const OnlineDpGreedyResult online =
+          solve_online_dp_greedy(trace, model, options);
+      table.add_row({std::to_string(window), std::to_string(repack),
+                     format_fixed(online.total_cost, 1),
+                     format_fixed(online.total_cost / offline.total_cost, 3),
+                     std::to_string(online.pack_events),
+                     std::to_string(online.unpack_events),
+                     std::to_string(online.package_fetches)});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // The no-packing online floor for context.
+  OnlineDpGreedyOptions never;
+  never.theta = 1.0;
+  const OnlineDpGreedyResult unpacked = solve_online_dp_greedy(trace, model, never);
+  std::printf("online without packing (theta=1): total %s "
+              "(ratio %s vs offline DP_Greedy)\n",
+              format_fixed(unpacked.total_cost, 1).c_str(),
+              format_fixed(unpacked.total_cost / offline.total_cost, 3).c_str());
+  return 0;
+}

@@ -1,0 +1,46 @@
+// θ sensitivity — the paper fixes θ = 0.3 after reading the Fig. 11
+// crossover; this harness sweeps θ over [0, 1] on the taxi trace across the
+// α regimes of Fig. 13 and reports where total cost is minimized.
+#include <cstdio>
+
+#include "harness_common.hpp"
+#include "solver/dp_greedy.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace dpg;
+
+int main() {
+  harness::print_header(
+      "theta sweep: sensitivity of DP_Greedy to the correlation threshold",
+      "theta = 0.3 sits in the flat optimum region at alpha = 0.8");
+
+  const RequestSequence trace = harness::evaluation_trace();
+
+  for (const double alpha : {0.4, 0.8}) {
+    CostModel model;
+    model.mu = 1.0;
+    model.lambda = 2.0;
+    model.alpha = alpha;
+    std::printf("--- alpha = %.1f ---\n", alpha);
+    TextTable table({"theta", "packages", "total cost", "ave cost"});
+    double best_theta = 0.0, best_cost = -1.0;
+    for (double theta = 0.0; theta <= 1.0 + 1e-9; theta += 0.1) {
+      DpGreedyOptions options;
+      options.theta = theta;
+      const DpGreedyResult result = solve_dp_greedy(trace, model, options);
+      if (best_cost < 0.0 || result.total_cost < best_cost) {
+        best_cost = result.total_cost;
+        best_theta = theta;
+      }
+      table.add_row({format_fixed(theta, 1),
+                     std::to_string(result.packages.size()),
+                     format_fixed(result.total_cost, 1),
+                     format_fixed(result.ave_cost, 4)});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("cost-minimizing theta ≈ %s\n\n",
+                format_fixed(best_theta, 1).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Edge-CDN scenario: commuter bursts against a regional edge cluster.
+//
+// A content provider serves bundles (manifest + media segments) from edge
+// caches.  Traffic arrives in bursts around commute peaks — exactly the
+// non-stationary gap structure where cache-vs-transfer decisions flip
+// within a single trace.  This example contrasts offline DP_Greedy,
+// multi-item grouping, and the online policies on that workload.
+//
+//   $ edge_cdn --bursts 40 --alpha 0.6
+#include <cstdio>
+
+#include "solver/baselines.hpp"
+#include "solver/dp_greedy.hpp"
+#include "solver/group_solver.hpp"
+#include "solver/online_dp_greedy.hpp"
+#include "trace/generators.hpp"
+#include "trace/stats.hpp"
+#include "util/args.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace dpg;
+
+int main(int argc, char** argv) {
+  ArgParser args("edge_cdn", "bursty commuter workload on an edge cluster");
+  const std::size_t* seed = args.add_size("seed", "RNG seed", 17);
+  const std::size_t* bursts = args.add_size("bursts", "commute bursts", 40);
+  const double* alpha = args.add_double("alpha", "bundle discount factor", 0.6);
+  const double* lambda = args.add_double("lambda", "transfer cost", 4.0);
+  args.parse(argc, argv);
+
+  BurstyTraceConfig config;
+  config.burst_count = *bursts;
+  config.requests_per_burst = 30;
+  config.item_count = 8;
+  config.server_count = 20;
+  config.working_set = 2;
+  Rng rng(*seed);
+  const RequestSequence trace = generate_bursty_trace(config, rng);
+
+  std::printf("== workload ==\n");
+  const TraceStats stats = compute_trace_stats(trace);
+  std::printf("%zu requests in %zu bursts over %zu edge sites; "
+              "horizon %s, mean gap %s\n\n",
+              stats.request_count, *bursts, stats.server_count,
+              format_fixed(stats.horizon, 1).c_str(),
+              format_fixed(stats.mean_gap, 3).c_str());
+  std::printf("%s\n", render_frequent_pairs(trace, 6).c_str());
+
+  CostModel model;
+  model.mu = 1.0;
+  model.lambda = *lambda;
+  model.alpha = *alpha;
+
+  DpGreedyOptions offline_options;
+  offline_options.theta = 0.2;
+  const DpGreedyResult offline = solve_dp_greedy(trace, model, offline_options);
+  const OptimalBaselineResult optimal = solve_optimal_baseline(trace, model);
+
+  GroupDpGreedyOptions group_options;
+  group_options.theta = 0.2;
+  group_options.max_group_size = 3;
+  const GroupDpGreedyResult grouped =
+      solve_group_dp_greedy(trace, model, group_options);
+
+  OnlineDpGreedyOptions online_options;
+  online_options.theta = 0.2;
+  online_options.window = 150;
+  const OnlineDpGreedyResult online =
+      solve_online_dp_greedy(trace, model, online_options);
+
+  std::printf("== cost comparison (α=%.2f, λ=%.1f) ==\n", *alpha, *lambda);
+  TextTable table({"algorithm", "total", "ave", "note"});
+  table.add_row({"Optimal (no packing)", format_fixed(optimal.total_cost, 1),
+                 format_fixed(optimal.ave_cost, 4), "offline, per-item DP"});
+  table.add_row({"DP_Greedy (pairs)", format_fixed(offline.total_cost, 1),
+                 format_fixed(offline.ave_cost, 4),
+                 std::to_string(offline.packages.size()) + " packages"});
+  table.add_row({"Group DP_Greedy (<=3)", format_fixed(grouped.total_cost, 1),
+                 format_fixed(grouped.ave_cost, 4),
+                 std::to_string(grouped.groups.size()) + " groups"});
+  table.add_row({"Online DP_Greedy", format_fixed(online.total_cost, 1),
+                 format_fixed(online.ave_cost, 4),
+                 std::to_string(online.pack_events) + " packs / " +
+                     std::to_string(online.unpack_events) + " unpacks"});
+  std::printf("%s\n", table.render().c_str());
+
+  if (offline.total_cost > 0.0) {
+    const double ratio = online.total_cost / offline.total_cost;
+    std::printf("online/offline ratio: %s\n", format_fixed(ratio, 2).c_str());
+    if (ratio < 1.0) {
+      std::printf(
+          "note: on bursty traffic the *online* variant can beat offline\n"
+          "DP_Greedy — burst working sets correlate strongly for minutes but\n"
+          "weakly over the whole trace, so Algorithm 1's global Jaccard\n"
+          "never clears θ while the sliding window packs and unpacks per\n"
+          "burst.  A limitation of global-threshold packing, not of the\n"
+          "offline setting itself.\n");
+    } else {
+      std::printf("the premium is the price of not knowing the trajectory\n"
+                  "in advance on bursty traffic.\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+#include "core/flow.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace dpg {
+
+Flow make_item_flow(const RequestSequence& sequence, ItemId item) {
+  Flow flow;
+  flow.group_size = 1;
+  for (const std::size_t index : sequence.indices_for_item(item)) {
+    const Request& r = sequence[index];
+    flow.points.push_back(ServicePoint{r.server, r.time, index});
+  }
+  return flow;
+}
+
+Flow make_package_flow(const RequestSequence& sequence, ItemId a, ItemId b) {
+  return make_group_flow(sequence, {a, b});
+}
+
+Flow make_group_flow(const RequestSequence& sequence,
+                     const std::vector<ItemId>& group) {
+  require(!group.empty(), "make_group_flow: empty group");
+  Flow flow;
+  flow.group_size = group.size();
+  if (group.size() == 1) return make_item_flow(sequence, group.front());
+  for (std::size_t index = 0; index < sequence.size(); ++index) {
+    const Request& r = sequence[index];
+    const bool has_all = std::all_of(
+        group.begin(), group.end(),
+        [&r](ItemId item) { return r.contains(item); });
+    if (has_all) flow.points.push_back(ServicePoint{r.server, r.time, index});
+  }
+  return flow;
+}
+
+Flow make_union_flow(const RequestSequence& sequence,
+                     const std::vector<ItemId>& group) {
+  require(!group.empty(), "make_union_flow: empty group");
+  Flow flow;
+  flow.group_size = group.size();
+  for (std::size_t index = 0; index < sequence.size(); ++index) {
+    const Request& r = sequence[index];
+    const bool has_any = std::any_of(
+        group.begin(), group.end(),
+        [&r](ItemId item) { return r.contains(item); });
+    if (has_any) flow.points.push_back(ServicePoint{r.server, r.time, index});
+  }
+  return flow;
+}
+
+void validate_flow(const Flow& flow) {
+  require(flow.group_size >= 1, "Flow: group_size must be >= 1");
+  Time previous = 0.0;
+  for (const ServicePoint& point : flow.points) {
+    require(point.time > previous,
+            "Flow: service times must be strictly increasing and positive");
+    previous = point.time;
+  }
+}
+
+}  // namespace dpg

@@ -1,0 +1,60 @@
+#include "core/interval_set.hpp"
+
+#include <algorithm>
+
+namespace dpg {
+
+void IntervalSet::normalize() const {
+  if (normalized_) return;
+  std::sort(intervals_.begin(), intervals_.end());
+  std::vector<std::pair<Time, Time>> merged;
+  merged.reserve(intervals_.size());
+  for (const auto& [b, e] : intervals_) {
+    if (!merged.empty() && b <= merged.back().second) {
+      merged.back().second = std::max(merged.back().second, e);
+    } else {
+      merged.emplace_back(b, e);
+    }
+  }
+  intervals_ = std::move(merged);
+  normalized_ = true;
+}
+
+Time IntervalSet::union_length() const {
+  normalize();
+  Time total = 0.0;
+  for (const auto& [b, e] : intervals_) total += e - b;
+  return total;
+}
+
+Time IntervalSet::uncovered_within(Time lo, Time hi) const {
+  if (hi <= lo) return 0.0;
+  normalize();
+  Time covered = 0.0;
+  for (const auto& [b, e] : intervals_) {
+    const Time begin = std::max(b, lo);
+    const Time end = std::min(e, hi);
+    if (end > begin) covered += end - begin;
+  }
+  return (hi - lo) - covered;
+}
+
+bool IntervalSet::covers(Time t) const {
+  normalize();
+  // Merged intervals are sorted and disjoint: binary search the candidate.
+  const auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), t,
+      [](Time value, const std::pair<Time, Time>& interval) {
+        return value < interval.first;
+      });
+  if (it == intervals_.begin()) return false;
+  const auto& candidate = *(it - 1);
+  return candidate.first <= t && t <= candidate.second;
+}
+
+std::vector<std::pair<Time, Time>> IntervalSet::merged() const {
+  normalize();
+  return intervals_;
+}
+
+}  // namespace dpg

@@ -1,0 +1,57 @@
+// Interval arithmetic on the time axis.
+//
+// The cost semantics of the whole model reduce to "union length of hold
+// intervals per server" (DESIGN.md §1); this small value type implements
+// that union once, for Schedule::total_cache_time, the exhaustive solvers
+// and the replay engine.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace dpg {
+
+/// A multiset of closed intervals with union-length and merge queries.
+/// Cheap to build incrementally; normalization is lazy.
+class IntervalSet {
+ public:
+  IntervalSet() = default;
+
+  void add(Time begin, Time end) {
+    if (end <= begin) return;  // empty or inverted: carries no length
+    intervals_.emplace_back(begin, end);
+    normalized_ = intervals_.size() <= 1;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return intervals_.empty(); }
+  [[nodiscard]] std::size_t piece_count() const noexcept {
+    return intervals_.size();
+  }
+
+  /// Total length of the union of all added intervals.
+  [[nodiscard]] Time union_length() const;
+
+  /// Length of [lo, hi] not covered by the union.
+  [[nodiscard]] Time uncovered_within(Time lo, Time hi) const;
+
+  /// True if `t` lies inside (or on the boundary of) some interval.
+  [[nodiscard]] bool covers(Time t) const;
+
+  /// Merged, sorted, disjoint intervals.
+  [[nodiscard]] std::vector<std::pair<Time, Time>> merged() const;
+
+  void clear() {
+    intervals_.clear();
+    normalized_ = true;
+  }
+
+ private:
+  mutable std::vector<std::pair<Time, Time>> intervals_;
+  mutable bool normalized_ = true;
+
+  void normalize() const;
+};
+
+}  // namespace dpg

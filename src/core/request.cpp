@@ -1,0 +1,117 @@
+#include "core/request.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace dpg {
+
+bool Request::contains(ItemId item) const noexcept {
+  return std::binary_search(items.begin(), items.end(), item);
+}
+
+RequestSequence::RequestSequence(std::size_t server_count,
+                                 std::size_t item_count,
+                                 std::vector<Request> requests)
+    : server_count_(server_count),
+      item_count_(item_count),
+      requests_(std::move(requests)),
+      per_item_indices_(item_count) {
+  require(server_count_ > 0, "RequestSequence: need >= 1 server");
+  require(item_count_ > 0, "RequestSequence: need >= 1 item");
+  Time previous = 0.0;
+  for (std::size_t i = 0; i < requests_.size(); ++i) {
+    const Request& r = requests_[i];
+    require(r.server < server_count_,
+            "RequestSequence: server id out of range at request " +
+                std::to_string(i));
+    require(r.time > previous,
+            "RequestSequence: times must be strictly increasing and > 0 "
+            "(violated at request " + std::to_string(i) + ")");
+    previous = r.time;
+    require(!r.items.empty(),
+            "RequestSequence: empty item set at request " + std::to_string(i));
+    require(std::is_sorted(r.items.begin(), r.items.end()) &&
+                std::adjacent_find(r.items.begin(), r.items.end()) ==
+                    r.items.end(),
+            "RequestSequence: item set must be sorted and duplicate-free at "
+            "request " + std::to_string(i));
+    require(r.items.back() < item_count_,
+            "RequestSequence: item id out of range at request " +
+                std::to_string(i));
+    for (const ItemId item : r.items) {
+      per_item_indices_[item].push_back(i);
+      ++total_item_accesses_;
+    }
+  }
+}
+
+std::size_t RequestSequence::item_frequency(ItemId item) const {
+  require(item < item_count_, "item_frequency: item out of range");
+  return per_item_indices_[item].size();
+}
+
+std::size_t RequestSequence::pair_frequency(ItemId a, ItemId b) const {
+  require(a < item_count_ && b < item_count_, "pair_frequency: item out of range");
+  const auto& ia = per_item_indices_[a];
+  const auto& ib = per_item_indices_[b];
+  std::size_t count = 0;
+  std::size_t x = 0, y = 0;
+  while (x < ia.size() && y < ib.size()) {
+    if (ia[x] == ib[y]) {
+      ++count;
+      ++x;
+      ++y;
+    } else if (ia[x] < ib[y]) {
+      ++x;
+    } else {
+      ++y;
+    }
+  }
+  return count;
+}
+
+const std::vector<std::size_t>& RequestSequence::indices_for_item(
+    ItemId item) const {
+  require(item < item_count_, "indices_for_item: item out of range");
+  return per_item_indices_[item];
+}
+
+std::string RequestSequence::to_string() const {
+  std::string out = "RequestSequence(m=" + std::to_string(server_count_) +
+                    ", k=" + std::to_string(item_count_) +
+                    ", n=" + std::to_string(requests_.size()) + ")\n";
+  for (const Request& r : requests_) {
+    out += "  t=" + format_fixed(r.time, 3) + " s=" + std::to_string(r.server) +
+           " items={";
+    for (std::size_t j = 0; j < r.items.size(); ++j) {
+      if (j > 0) out += ",";
+      out += std::to_string(r.items[j]);
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+SequenceBuilder::SequenceBuilder(std::size_t server_count,
+                                 std::size_t item_count)
+    : server_count_(server_count), item_count_(item_count) {}
+
+SequenceBuilder& SequenceBuilder::add(ServerId server, Time time,
+                                      std::vector<ItemId> items) {
+  std::sort(items.begin(), items.end());
+  items.erase(std::unique(items.begin(), items.end()), items.end());
+  requests_.push_back(Request{server, time, std::move(items)});
+  return *this;
+}
+
+RequestSequence SequenceBuilder::build() && {
+  std::stable_sort(requests_.begin(), requests_.end(),
+                   [](const Request& a, const Request& b) {
+                     return a.time < b.time;
+                   });
+  return RequestSequence(server_count_, item_count_, std::move(requests_));
+}
+
+}  // namespace dpg

@@ -1,0 +1,91 @@
+// Requests and request sequences (Section III-A).
+//
+// A request r_i = <s_i, t_i, D_i> asks for the item subset D_i at server s_i
+// at time t_i.  A RequestSequence is the offline input of the problem: the
+// full spatio-temporal trajectory, strictly ordered by time (the paper
+// assumes at most one request per time instance).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace dpg {
+
+/// One timed request for a subset of items at one server.
+struct Request {
+  ServerId server = 0;
+  Time time = 0.0;
+  std::vector<ItemId> items;  // sorted, unique
+
+  [[nodiscard]] bool contains(ItemId item) const noexcept;
+};
+
+/// The validated offline input: m servers, k items, n requests in strictly
+/// increasing time order.  Item 0..k-1 all start on server 0 at time 0.
+class RequestSequence {
+ public:
+  /// Validates and takes ownership.  Requirements: strictly increasing
+  /// times > 0, server ids < server_count, item ids < item_count, item sets
+  /// non-empty / sorted / duplicate-free.  Throws InvalidArgument.
+  RequestSequence(std::size_t server_count, std::size_t item_count,
+                  std::vector<Request> requests);
+
+  [[nodiscard]] std::size_t server_count() const noexcept { return server_count_; }
+  [[nodiscard]] std::size_t item_count() const noexcept { return item_count_; }
+  [[nodiscard]] std::size_t size() const noexcept { return requests_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return requests_.empty(); }
+
+  [[nodiscard]] const Request& operator[](std::size_t i) const noexcept {
+    return requests_[i];
+  }
+  [[nodiscard]] std::span<const Request> requests() const noexcept {
+    return requests_;
+  }
+
+  /// Number of requests whose item set contains `item` (the |d_i| of Eq. 5).
+  [[nodiscard]] std::size_t item_frequency(ItemId item) const;
+
+  /// Number of requests containing both items (the |(d_i, d_j)| of Eq. 5).
+  [[nodiscard]] std::size_t pair_frequency(ItemId a, ItemId b) const;
+
+  /// Total item-accesses Σ_i |d_i| — the ave_cost denominator of Algorithm 1.
+  [[nodiscard]] std::size_t total_item_accesses() const noexcept {
+    return total_item_accesses_;
+  }
+
+  /// Indices (into the sequence) of requests containing `item`, in time order.
+  [[nodiscard]] const std::vector<std::size_t>& indices_for_item(ItemId item) const;
+
+  /// Human-readable one-line-per-request dump (debugging/tests).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::size_t server_count_;
+  std::size_t item_count_;
+  std::vector<Request> requests_;
+  std::vector<std::vector<std::size_t>> per_item_indices_;
+  std::size_t total_item_accesses_ = 0;
+};
+
+/// Convenience builder used heavily by tests and generators: requests may be
+/// appended in any order and are sorted by time on build(); times must still
+/// end up unique.
+class SequenceBuilder {
+ public:
+  SequenceBuilder(std::size_t server_count, std::size_t item_count);
+
+  SequenceBuilder& add(ServerId server, Time time, std::vector<ItemId> items);
+
+  /// Sorts, validates and produces the immutable sequence.
+  [[nodiscard]] RequestSequence build() &&;
+
+ private:
+  std::size_t server_count_;
+  std::size_t item_count_;
+  std::vector<Request> requests_;
+};
+
+}  // namespace dpg

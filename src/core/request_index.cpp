@@ -1,0 +1,47 @@
+#include "core/request_index.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace dpg {
+
+RequestIndex::RequestIndex(const Flow& flow, std::size_t server_count,
+                           ServerId origin)
+    : m_(server_count) {
+  require(server_count > 0, "RequestIndex: need >= 1 server");
+  require(origin < server_count, "RequestIndex: origin out of range");
+  validate_flow(flow);
+
+  const std::size_t n = flow.points.size() + 1;  // + origin node
+  times_.resize(n);
+  servers_.resize(n);
+  snapshots_.assign(n * m_, kNone);
+  q_prev_.assign(n, kNone);
+  q_next_.assign(n, kNone);
+  q_tail_.assign(m_, kNone);
+
+  times_[0] = 0.0;
+  servers_[0] = origin;
+  for (std::size_t i = 1; i < n; ++i) {
+    const ServicePoint& p = flow.points[i - 1];
+    require(p.server < m_, "RequestIndex: service point server out of range");
+    times_[i] = p.time;
+    servers_[i] = p.server;
+  }
+
+  // Pre-scan: rolling pLast[m], snapshotted per node, plus the Q_j lists.
+  std::vector<std::int32_t> p_last(m_, kNone);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Snapshot BEFORE inserting node i: "most recent strictly before".
+    std::copy(p_last.begin(), p_last.end(), snapshots_.begin() + static_cast<std::ptrdiff_t>(i * m_));
+    const ServerId s = servers_[i];
+    const std::int32_t tail = q_tail_[s];
+    q_prev_[i] = tail;
+    if (tail != kNone) q_next_[static_cast<std::size_t>(tail)] = static_cast<std::int32_t>(i);
+    q_tail_[s] = static_cast<std::int32_t>(i);
+    p_last[s] = static_cast<std::int32_t>(i);
+  }
+}
+
+}  // namespace dpg

@@ -1,0 +1,84 @@
+// The pre-scan data structures of Section V (Fig. 8).
+//
+// For one flow we build, in a single O(m·N) pre-scan pass:
+//   * per-server doubly linked lists Q_j of the flow's service nodes,
+//   * a time index A[N] over all nodes,
+//   * a rolling pLast[m] array of the most recent node on each server,
+//     snapshotted into every node's m-size pointer array.
+// The service pass then identifies each candidate interval in O(1) per
+// server, giving the paper's O(mn^2) time / O(mn) space bounds.
+//
+// Node 0 is always the implicit origin (server kOriginServer, time 0).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "core/types.hpp"
+
+namespace dpg {
+
+class RequestIndex {
+ public:
+  /// Sentinel for "no node".
+  static constexpr std::int32_t kNone = -1;
+
+  /// Builds the index for `flow` over `server_count` servers.
+  RequestIndex(const Flow& flow, std::size_t server_count,
+               ServerId origin = kOriginServer);
+
+  /// Number of nodes including the origin node 0.
+  [[nodiscard]] std::size_t node_count() const noexcept { return times_.size(); }
+  [[nodiscard]] std::size_t server_count() const noexcept { return m_; }
+
+  [[nodiscard]] Time time_of(std::size_t node) const noexcept {
+    return times_[node];
+  }
+  [[nodiscard]] ServerId server_of(std::size_t node) const noexcept {
+    return servers_[node];
+  }
+
+  /// Most recent node on `server` strictly before `node` (the r_{p(i)} /
+  /// pLast snapshot of the paper); kNone if the flow never visited it.
+  [[nodiscard]] std::int32_t recent_on_server(std::size_t node,
+                                              ServerId server) const noexcept {
+    return snapshots_[node * m_ + server];
+  }
+
+  /// p(i): most recent node on node i's own server, strictly before i.
+  [[nodiscard]] std::int32_t prev_same_server(std::size_t node) const noexcept {
+    return recent_on_server(node, server_of(node));
+  }
+
+  /// Doubly linked list Q_j navigation: previous/next node on the same server.
+  [[nodiscard]] std::int32_t q_prev(std::size_t node) const noexcept {
+    return q_prev_[node];
+  }
+  [[nodiscard]] std::int32_t q_next(std::size_t node) const noexcept {
+    return q_next_[node];
+  }
+  /// Last node of Q_j after the full pre-scan.
+  [[nodiscard]] std::int32_t q_tail(ServerId server) const noexcept {
+    return q_tail_[server];
+  }
+
+  /// The full pLast snapshot of `node` (m entries, one per server): the most
+  /// recent node on each server strictly before `node`. These are the
+  /// potential start nodes of the intervals that cover the node (Fig. 8).
+  [[nodiscard]] std::span<const std::int32_t> snapshot(std::size_t node) const {
+    return {snapshots_.data() + node * m_, m_};
+  }
+
+ private:
+  std::size_t m_;
+  std::vector<Time> times_;
+  std::vector<ServerId> servers_;
+  std::vector<std::int32_t> snapshots_;  // node-major, m per node
+  std::vector<std::int32_t> q_prev_;
+  std::vector<std::int32_t> q_next_;
+  std::vector<std::int32_t> q_tail_;
+};
+
+}  // namespace dpg

@@ -1,0 +1,28 @@
+// Schedule serialization: CSV (machine-readable, round-trippable) and
+// Graphviz DOT (the space-time diagram of Figs. 1/2/7 as a graph).
+#pragma once
+
+#include <string>
+
+#include "core/flow.hpp"
+#include "core/schedule.hpp"
+
+namespace dpg {
+
+/// CSV with columns kind,server,from,begin,end — one row per cache segment
+/// (`kind=cache`, from empty) or transfer (`kind=transfer`, begin==end).
+[[nodiscard]] std::string schedule_to_csv(const Schedule& schedule);
+
+/// Parses the CSV form back (group_size must be supplied; it is pricing
+/// metadata, not structure).
+[[nodiscard]] Schedule schedule_from_csv(const std::string& text,
+                                         std::size_t group_size = 1);
+
+/// Graphviz DOT rendering of the space-time diagram: one node per event
+/// (segment endpoints, transfer instants, service points), horizontal
+/// edges for cache intervals, arrows for transfers.
+[[nodiscard]] std::string schedule_to_dot(const Schedule& schedule,
+                                          const Flow& flow,
+                                          const std::string& title = "schedule");
+
+}  // namespace dpg

@@ -1,0 +1,62 @@
+#include "mobility/city.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace dpg {
+
+CityGrid::CityGrid(std::size_t width, std::size_t height,
+                   std::size_t hotspot_count, Rng& rng)
+    : width_(width), height_(height) {
+  require(width > 0 && height > 0, "CityGrid: dimensions must be positive");
+  require(hotspot_count >= 1, "CityGrid: need at least one hotspot");
+  require(hotspot_count <= zone_count(),
+          "CityGrid: more hotspots than zones");
+  // Choose distinct hotspot zones via a partial shuffle.
+  std::vector<ServerId> zones(zone_count());
+  std::iota(zones.begin(), zones.end(), ServerId{0});
+  for (std::size_t i = 0; i < hotspot_count; ++i) {
+    const std::size_t j = i + static_cast<std::size_t>(
+                                  rng.next_below(zones.size() - i));
+    std::swap(zones[i], zones[j]);
+  }
+  hotspots_.assign(zones.begin(),
+                   zones.begin() + static_cast<std::ptrdiff_t>(hotspot_count));
+  // Zipf-like gravity: the first hotspot is the dominant commercial center.
+  hotspot_weight_.resize(hotspot_count);
+  for (std::size_t i = 0; i < hotspot_count; ++i) {
+    hotspot_weight_[i] = 1.0 / static_cast<double>(i + 1);
+  }
+}
+
+ServerId CityGrid::zone_of(Position position) const noexcept {
+  const double x = std::clamp(position.x, 0.0,
+                              static_cast<double>(width_) - 1e-9);
+  const double y = std::clamp(position.y, 0.0,
+                              static_cast<double>(height_) - 1e-9);
+  const auto col = static_cast<std::size_t>(x);
+  const auto row = static_cast<std::size_t>(y);
+  return static_cast<ServerId>(row * width_ + col);
+}
+
+Position CityGrid::center_of(ServerId zone) const {
+  require(zone < zone_count(), "center_of: zone out of range");
+  const std::size_t row = zone / width_;
+  const std::size_t col = zone % width_;
+  return Position{static_cast<double>(col) + 0.5,
+                  static_cast<double>(row) + 0.5};
+}
+
+ServerId CityGrid::sample_hotspot(Rng& rng) const {
+  return hotspots_[rng.next_weighted(hotspot_weight_)];
+}
+
+Position CityGrid::sample_position(Rng& rng) const {
+  return Position{rng.next_double(0.0, static_cast<double>(width_)),
+                  rng.next_double(0.0, static_cast<double>(height_))};
+}
+
+}  // namespace dpg

@@ -1,0 +1,58 @@
+// City model: a rectangular grid of zones, each hosting one cache server
+// (the paper partitions Shenzhen into ~50 parts, "each maintaining a data
+// server to serve the user requests made in the taxis").  A subset of zones
+// are *hotspots* (commercial centers) that attract taxi trips; hotspot
+// gravity is what produces the skewed spatial request distribution of
+// Fig. 9 and the trajectory locality the algorithms exploit.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/types.hpp"
+#include "util/rng.hpp"
+
+namespace dpg {
+
+/// Continuous position in city coordinates ([0, width) × [0, height)).
+struct Position {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+class CityGrid {
+ public:
+  /// `hotspot_count` zones are promoted to hotspots with Zipf-like weights.
+  CityGrid(std::size_t width, std::size_t height, std::size_t hotspot_count,
+           Rng& rng);
+
+  [[nodiscard]] std::size_t width() const noexcept { return width_; }
+  [[nodiscard]] std::size_t height() const noexcept { return height_; }
+  [[nodiscard]] std::size_t zone_count() const noexcept {
+    return width_ * height_;
+  }
+
+  /// Server/zone id of a position (positions are clamped to the city).
+  [[nodiscard]] ServerId zone_of(Position position) const noexcept;
+
+  /// Center of a zone.
+  [[nodiscard]] Position center_of(ServerId zone) const;
+
+  [[nodiscard]] const std::vector<ServerId>& hotspots() const noexcept {
+    return hotspots_;
+  }
+
+  /// Draws a hotspot with gravity proportional to its weight.
+  [[nodiscard]] ServerId sample_hotspot(Rng& rng) const;
+
+  /// Draws a uniformly random position in the city.
+  [[nodiscard]] Position sample_position(Rng& rng) const;
+
+ private:
+  std::size_t width_;
+  std::size_t height_;
+  std::vector<ServerId> hotspots_;
+  std::vector<double> hotspot_weight_;
+};
+
+}  // namespace dpg

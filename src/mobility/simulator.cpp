@@ -1,0 +1,85 @@
+#include "mobility/simulator.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace dpg {
+
+RequestSequence simulate_mobility(const MobilityConfig& config, Rng& rng) {
+  require(config.taxi_count >= 1, "mobility: need at least one taxi");
+  require(config.duration > 0.0, "mobility: duration must be positive");
+  const std::size_t pair_count = config.taxi_count / 2;
+  std::vector<double> co_access = config.pair_co_access;
+  if (co_access.empty() && pair_count > 0) {
+    co_access.resize(pair_count);
+    for (std::size_t p = 0; p < pair_count; ++p) {
+      co_access[p] =
+          pair_count == 1
+              ? 0.5
+              : 0.1 + 0.8 * static_cast<double>(p) /
+                          static_cast<double>(pair_count - 1);
+    }
+  }
+  require(co_access.size() >= pair_count,
+          "mobility: pair_co_access must cover every taxi pair");
+
+  CityGrid city(config.grid_width, config.grid_height, config.hotspot_count,
+                rng);
+
+  // Fleet: partners start from the same hotspot so their trajectories are
+  // spatially correlated from the outset.
+  std::vector<Taxi> fleet;
+  fleet.reserve(config.taxi_count);
+  for (std::size_t i = 0; i < config.taxi_count; ++i) {
+    Position start;
+    if (i % 2 == 1) {
+      start = fleet[i - 1].position();
+    } else {
+      start = city.center_of(city.sample_hotspot(rng));
+    }
+    fleet.emplace_back(static_cast<ItemId>(i), start, config.taxi);
+  }
+
+  // Event-driven request emission: each taxi holds an exponential clock;
+  // taxis advance lazily to their own request instants.
+  struct Pending {
+    Time time;
+    std::size_t taxi;
+    bool operator>(const Pending& other) const { return time > other.time; }
+  };
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<>> queue;
+  std::vector<Time> last_advance(config.taxi_count, 0.0);
+  for (std::size_t i = 0; i < config.taxi_count; ++i) {
+    queue.push(Pending{fleet[i].next_request_gap(rng), i});
+  }
+
+  SequenceBuilder builder(city.zone_count(), config.taxi_count);
+  Time last_emitted = 0.0;
+  while (!queue.empty()) {
+    const Pending next = queue.top();
+    queue.pop();
+    if (next.time > config.duration) continue;  // drain the horizon
+    Taxi& taxi = fleet[next.taxi];
+    taxi.advance(next.time - last_advance[next.taxi], city, rng);
+    last_advance[next.taxi] = next.time;
+
+    std::vector<ItemId> items{taxi.item()};
+    const std::size_t pair = next.taxi / 2;
+    const std::size_t partner = next.taxi ^ 1u;
+    if (pair < pair_count && partner < config.taxi_count &&
+        rng.next_bool(co_access[pair])) {
+      items.push_back(static_cast<ItemId>(partner));
+    }
+    // Globally unique, strictly increasing timestamps.
+    const Time stamp = std::max(next.time, last_emitted + 1e-7);
+    last_emitted = stamp;
+    builder.add(city.zone_of(taxi.position()), stamp, std::move(items));
+
+    queue.push(Pending{next.time + taxi.next_request_gap(rng), next.taxi});
+  }
+  return std::move(builder).build();
+}
+
+}  // namespace dpg

@@ -1,0 +1,35 @@
+// The Shenzhen-taxi-trace substitute (DESIGN.md, substitution table):
+// a fleet of hotspot-seeking taxis moving over a zoned city, each mapped to
+// one data item; fleet partners co-issue requests with a per-pair
+// probability, which is what gives item pairs their Jaccard similarities
+// (Fig. 10) without any proprietary data.
+#pragma once
+
+#include <vector>
+
+#include "core/request.hpp"
+#include "mobility/taxi.hpp"
+
+namespace dpg {
+
+struct MobilityConfig {
+  /// 10 × 5 = 50 zones — the paper's partition cardinality.
+  std::size_t grid_width = 10;
+  std::size_t grid_height = 5;
+  std::size_t hotspot_count = 8;
+  /// One item per taxi (the paper uses 10 taxis / 10 items).
+  std::size_t taxi_count = 10;
+  /// Simulated time horizon.
+  double duration = 200.0;
+  TaxiConfig taxi;
+  /// Per-pair probability that a request by either partner includes both
+  /// items.  Pair p couples taxis 2p and 2p+1.  Empty = a linear ramp from
+  /// 0.1 to 0.9 across pairs (gives Fig. 10 its spread of similarities).
+  std::vector<double> pair_co_access;
+};
+
+/// Runs the fleet and returns the request trace, ready for the solvers.
+[[nodiscard]] RequestSequence simulate_mobility(const MobilityConfig& config,
+                                                Rng& rng);
+
+}  // namespace dpg

@@ -1,0 +1,54 @@
+#include "mobility/taxi.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dpg {
+
+Taxi::Taxi(ItemId item, Position start, const TaxiConfig& config)
+    : item_(item), position_(start), waypoint_(start), config_(config) {
+  require(config.speed > 0.0, "Taxi: speed must be positive");
+  require(config.request_rate > 0.0, "Taxi: request_rate must be positive");
+  require(config.hotspot_bias >= 0.0 && config.hotspot_bias <= 1.0,
+          "Taxi: hotspot_bias must be in [0, 1]");
+}
+
+void Taxi::pick_waypoint(const CityGrid& city, Rng& rng) {
+  if (rng.next_bool(config_.hotspot_bias)) {
+    waypoint_ = city.center_of(city.sample_hotspot(rng));
+  } else {
+    waypoint_ = city.sample_position(rng);
+  }
+  has_waypoint_ = true;
+}
+
+void Taxi::advance(double dt, const CityGrid& city, Rng& rng) {
+  double remaining = config_.speed * dt;  // distance budget
+  while (remaining > 0.0) {
+    if (!has_waypoint_) pick_waypoint(city, rng);
+    const double dx = waypoint_.x - position_.x;
+    const double dy = waypoint_.y - position_.y;
+    const double dist = std::hypot(dx, dy);
+    if (dist <= remaining) {
+      position_ = waypoint_;
+      remaining -= dist;
+      has_waypoint_ = false;
+      if (dist == 0.0 && remaining > 0.0) {
+        // Degenerate waypoint on our position: pick another and, if the
+        // generator keeps handing us our own location, stop moving this
+        // tick rather than loop forever.
+        pick_waypoint(city, rng);
+        const double d2 = std::hypot(waypoint_.x - position_.x,
+                                     waypoint_.y - position_.y);
+        if (d2 == 0.0) break;
+      }
+    } else {
+      position_.x += dx / dist * remaining;
+      position_.y += dy / dist * remaining;
+      remaining = 0.0;
+    }
+  }
+}
+
+}  // namespace dpg

@@ -1,0 +1,43 @@
+// One taxi: a hotspot-biased random-waypoint mover.  The paper's setup maps
+// each taxi to one distinct data item ("10 taxis, each accessing a single
+// distinct data item"); correlation between items arises when taxis travel
+// together (fleet pairs) and co-issue requests.
+#pragma once
+
+#include "mobility/city.hpp"
+
+namespace dpg {
+
+struct TaxiConfig {
+  double speed = 2.0;          // city units per time unit
+  double hotspot_bias = 0.7;   // probability the next waypoint is a hotspot
+  double request_rate = 1.0;   // Poisson request rate while driving
+};
+
+class Taxi {
+ public:
+  Taxi(ItemId item, Position start, const TaxiConfig& config);
+
+  [[nodiscard]] ItemId item() const noexcept { return item_; }
+  [[nodiscard]] Position position() const noexcept { return position_; }
+
+  /// Advances the taxi by `dt` towards its waypoint, picking a fresh
+  /// waypoint (hotspot-biased) whenever one is reached.
+  void advance(double dt, const CityGrid& city, Rng& rng);
+
+  /// Draws the time until this taxi's next request.
+  [[nodiscard]] double next_request_gap(Rng& rng) const {
+    return rng.next_exponential(config_.request_rate);
+  }
+
+ private:
+  void pick_waypoint(const CityGrid& city, Rng& rng);
+
+  ItemId item_;
+  Position position_;
+  Position waypoint_;
+  bool has_waypoint_ = false;
+  TaxiConfig config_;
+};
+
+}  // namespace dpg

@@ -1,0 +1,67 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+
+namespace dpg {
+
+ThreadPool::ThreadPool(std::size_t worker_count) {
+  std::size_t n = worker_count;
+  if (n == 0) {
+    n = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  const std::size_t chunk_count =
+      std::min(count, std::max<std::size_t>(1, pool.worker_count() * 4));
+  std::vector<std::future<void>> pending;
+  pending.reserve(chunk_count);
+  for (std::size_t c = 0; c < chunk_count; ++c) {
+    const std::size_t begin = count * c / chunk_count;
+    const std::size_t end = count * (c + 1) / chunk_count;
+    pending.push_back(pool.submit([&body, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) body(i);
+    }));
+  }
+  std::exception_ptr first_error;
+  for (auto& f : pending) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace dpg

@@ -1,0 +1,79 @@
+// Fixed-size worker pool with a blocking task queue.
+//
+// The evaluation sweeps (Figs. 11–13) and the per-package solves in Phase 2
+// are embarrassingly parallel; this pool fans them out.  Design follows the
+// Core Guidelines concurrency advice: tasks are value-captured closures,
+// shutdown is deterministic (join in the destructor), and no task may outlive
+// the pool.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dpg {
+
+class ThreadPool {
+ public:
+  /// Spawns `worker_count` workers (0 = std::thread::hardware_concurrency,
+  /// floored at 1).
+  explicit ThreadPool(std::size_t worker_count = 0);
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return workers_.size();
+  }
+
+  /// Enqueues a task and returns a future for its result. Exceptions thrown
+  /// by the task are captured into the future.
+  template <typename F>
+  [[nodiscard]] auto submit(F&& task) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto packaged =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(task));
+    std::future<R> result = packaged->get_future();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace_back([packaged] { (*packaged)(); });
+    }
+    wake_.notify_one();
+    return result;
+  }
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs `body(i)` for every i in [0, count), distributing contiguous chunks
+/// over `pool`.  Blocks until all iterations finish; the first exception (if
+/// any) is rethrown on the calling thread.  `body` must be safe to invoke
+/// concurrently for distinct indices.
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& body);
+
+/// Maps `make(i)` over [0, count) in parallel and collects results in order.
+template <typename T>
+std::vector<T> parallel_map(ThreadPool& pool, std::size_t count,
+                            const std::function<T(std::size_t)>& make) {
+  std::vector<T> out(count);
+  parallel_for(pool, count, [&](std::size_t i) { out[i] = make(i); });
+  return out;
+}
+
+}  // namespace dpg

@@ -1,0 +1,108 @@
+#include "sim/replay.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace dpg {
+
+ReplayMetrics replay_plans(const std::vector<FlowPlan>& plans,
+                           const CostModel& model, std::size_t server_count) {
+  model.validate();
+  ReplayMetrics metrics;
+  metrics.per_server_cache_time.assign(server_count, 0.0);
+  metrics.per_server_peak_copies.assign(server_count, 0);
+
+  // Sweep events for peak concurrent copies: +1 at segment begin, −1 at end,
+  // across every plan (each plan's segments are one replica each).
+  std::vector<std::pair<Time, int>> copy_events;
+  std::vector<std::vector<std::pair<Time, int>>> per_server_events(server_count);
+
+  for (std::size_t p = 0; p < plans.size(); ++p) {
+    const FlowPlan& plan = plans[p];
+    const ValidationResult validation = plan.schedule.validate(plan.flow);
+    if (!validation.ok) {
+      metrics.feasible = false;
+      metrics.issue = plan.label.empty()
+                          ? validation.message
+                          : plan.label + ": " + validation.message;
+      return metrics;
+    }
+
+    metrics.transfer_count += plan.schedule.transfers().size();
+    metrics.total_cache_time += plan.schedule.total_cache_time();
+    metrics.total_cost += plan.schedule.cost(model);
+    for (const CacheSegment& seg : plan.schedule.segments()) {
+      require(seg.server < server_count, "replay: segment server out of range");
+      metrics.per_server_cache_time[seg.server] += seg.end - seg.begin;
+      copy_events.emplace_back(seg.begin, +1);
+      copy_events.emplace_back(seg.end, -1);
+      per_server_events[seg.server].emplace_back(seg.begin, +1);
+      per_server_events[seg.server].emplace_back(seg.end, -1);
+    }
+
+    // Classify each service point: covered by a segment interior (cache
+    // hit) or only by a transfer arrival at that instant.
+    for (const ServicePoint& point : plan.flow.points) {
+      ServiceRecord record;
+      record.plan_index = p;
+      record.server = point.server;
+      record.time = point.time;
+      bool on_segment = false;
+      for (const CacheSegment& seg : plan.schedule.segments()) {
+        if (seg.server == point.server && seg.begin <= point.time &&
+            point.time <= seg.end) {
+          // A segment *starting* exactly at the request that a transfer
+          // just delivered still counts as a transfer arrival.
+          if (seg.begin < point.time) {
+            on_segment = true;
+            break;
+          }
+        }
+      }
+      record.kind = on_segment ? ServiceKind::kCacheHit
+                               : ServiceKind::kTransferArrival;
+      ++metrics.service_count;
+      if (on_segment) {
+        ++metrics.cache_hits;
+      } else {
+        ++metrics.transfer_arrivals;
+      }
+      metrics.services.push_back(record);
+    }
+  }
+
+  // Peak concurrent replicas: close segments before opening new ones at the
+  // same instant (a replica dropped at t and another created at t never
+  // coexist).
+  std::sort(copy_events.begin(), copy_events.end(),
+            [](const std::pair<Time, int>& a, const std::pair<Time, int>& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return a.second < b.second;
+            });
+  int live = 0;
+  for (const auto& [time, delta] : copy_events) {
+    live += delta;
+    metrics.peak_concurrent_copies = std::max(
+        metrics.peak_concurrent_copies, static_cast<std::size_t>(std::max(0, live)));
+  }
+  for (std::size_t s = 0; s < server_count; ++s) {
+    auto& events = per_server_events[s];
+    std::sort(events.begin(), events.end(),
+              [](const std::pair<Time, int>& a, const std::pair<Time, int>& b) {
+                if (a.first != b.first) return a.first < b.first;
+                return a.second < b.second;
+              });
+    int resident = 0;
+    for (const auto& [time, delta] : events) {
+      resident += delta;
+      metrics.per_server_peak_copies[s] =
+          std::max(metrics.per_server_peak_copies[s],
+                   static_cast<std::size_t>(std::max(0, resident)));
+    }
+  }
+  return metrics;
+}
+
+}  // namespace dpg

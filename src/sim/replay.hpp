@@ -1,0 +1,75 @@
+// Operational replay of solver output.
+//
+// The solvers emit space-time Schedules; the replay engine "executes" them
+// against a simulated server cluster: it re-checks causal feasibility,
+// classifies how each service point was satisfied, and aggregates the
+// operational metrics (transfers on the wire, cache occupancy per server,
+// peak concurrent replicas) that a deployment would observe.  This is the
+// bridge between the cost abstraction and a running system, and the
+// integration tests drive whole traces through it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "core/flow.hpp"
+#include "core/schedule.hpp"
+
+namespace dpg {
+
+/// One flow and the schedule chosen for it.
+struct FlowPlan {
+  Flow flow;
+  Schedule schedule;
+  std::string label;  // e.g. "item 3" or "package {1,2}"
+};
+
+/// How a service point obtained its copy.
+enum class ServiceKind {
+  kCacheHit,        // inside a cache segment on its own server
+  kTransferArrival, // delivered by a transfer at the request instant
+};
+
+struct ServiceRecord {
+  std::size_t plan_index = 0;
+  ServerId server = 0;
+  Time time = 0.0;
+  ServiceKind kind = ServiceKind::kCacheHit;
+};
+
+struct ReplayMetrics {
+  bool feasible = true;
+  std::string issue;  // first infeasibility, with the plan label
+
+  std::size_t service_count = 0;
+  std::size_t cache_hits = 0;
+  std::size_t transfer_arrivals = 0;
+
+  std::size_t transfer_count = 0;       // wire transfers across all plans
+  Time total_cache_time = 0.0;          // per-flow union cache time summed
+  std::vector<Time> per_server_cache_time;
+  std::size_t peak_concurrent_copies = 0;  // across all flows and servers
+  /// Peak replicas resident simultaneously on each server — the cache
+  /// capacity a deployment would need to provision (the paper assumes
+  /// unbounded capacity; this measures what "unbounded" actually meant).
+  std::vector<std::size_t> per_server_peak_copies;
+
+  Cost total_cost = 0.0;  // discounted, summed over plans
+  std::vector<ServiceRecord> services;
+
+  [[nodiscard]] double cache_hit_ratio() const noexcept {
+    return service_count == 0
+               ? 0.0
+               : static_cast<double>(cache_hits) /
+                     static_cast<double>(service_count);
+  }
+};
+
+/// Replays every plan. Stops classifying at the first infeasible plan but
+/// still reports which one failed.
+[[nodiscard]] ReplayMetrics replay_plans(const std::vector<FlowPlan>& plans,
+                                         const CostModel& model,
+                                         std::size_t server_count);
+
+}  // namespace dpg

@@ -1,0 +1,50 @@
+#include "sim/report.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace dpg {
+
+std::string render_replay_report(const ReplayMetrics& metrics,
+                                 std::size_t top_servers) {
+  std::string out;
+  if (!metrics.feasible) {
+    return "REPLAY INFEASIBLE: " + metrics.issue + "\n";
+  }
+  out += "replay: feasible\n";
+  out += "  total cost        : " + format_fixed(metrics.total_cost, 2) + "\n";
+  out += "  services          : " + std::to_string(metrics.service_count) +
+         " (" + std::to_string(metrics.cache_hits) + " cache hits, " +
+         std::to_string(metrics.transfer_arrivals) + " transfer arrivals, " +
+         "hit ratio " + format_fixed(metrics.cache_hit_ratio(), 3) + ")\n";
+  out += "  wire transfers    : " + std::to_string(metrics.transfer_count) + "\n";
+  out += "  cache time        : " + format_fixed(metrics.total_cache_time, 2) + "\n";
+  out += "  peak replicas     : " + std::to_string(metrics.peak_concurrent_copies) + "\n";
+
+  // Busiest servers by cache time.
+  std::vector<std::size_t> order(metrics.per_server_cache_time.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&metrics](std::size_t a, std::size_t b) {
+    return metrics.per_server_cache_time[a] > metrics.per_server_cache_time[b];
+  });
+  TextTable table({"server", "cache time", "peak replicas"});
+  for (std::size_t i = 0; i < std::min(top_servers, order.size()); ++i) {
+    const std::size_t s = order[i];
+    if (metrics.per_server_cache_time[s] == 0.0) break;
+    table.add_row({"s" + std::to_string(s),
+                   format_fixed(metrics.per_server_cache_time[s], 2),
+                   std::to_string(s < metrics.per_server_peak_copies.size()
+                                      ? metrics.per_server_peak_copies[s]
+                                      : 0)});
+  }
+  if (table.row_count() > 0) {
+    out += "  busiest servers:\n";
+    out += table.render();
+  }
+  return out;
+}
+
+}  // namespace dpg

@@ -1,0 +1,15 @@
+// Human-readable rendering of replay metrics (used by examples and the CLI).
+#pragma once
+
+#include <string>
+
+#include "sim/replay.hpp"
+
+namespace dpg {
+
+/// Multi-line summary: feasibility, cost, transfer/cache totals, hit ratio,
+/// and a per-server occupancy table for the busiest servers.
+[[nodiscard]] std::string render_replay_report(const ReplayMetrics& metrics,
+                                               std::size_t top_servers = 8);
+
+}  // namespace dpg

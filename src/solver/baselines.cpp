@@ -1,0 +1,123 @@
+#include "solver/baselines.hpp"
+
+#include "parallel/thread_pool.hpp"
+#include "solver/correlation.hpp"
+#include "util/error.hpp"
+
+namespace dpg {
+
+double OptimalBaselineResult::pair_ave_cost(ItemId a, ItemId b) const {
+  Cost cost = 0.0;
+  std::size_t accesses = 0;
+  for (const OptimalItemReport& report : items) {
+    if (report.item == a || report.item == b) {
+      cost += report.cost;
+      accesses += report.accesses;
+    }
+  }
+  return accesses == 0 ? 0.0 : cost / static_cast<double>(accesses);
+}
+
+OptimalBaselineResult solve_optimal_baseline(const RequestSequence& sequence,
+                                             const CostModel& model,
+                                             const OptimalOfflineOptions& dp,
+                                             ThreadPool* pool) {
+  model.validate();
+  OptimalBaselineResult result;
+  result.total_item_accesses = sequence.total_item_accesses();
+  result.items.resize(sequence.item_count());
+
+  const auto solve_item = [&](std::size_t i) {
+    const auto item = static_cast<ItemId>(i);
+    OptimalItemReport report;
+    report.item = item;
+    report.accesses = sequence.item_frequency(item);
+    SolveResult solved = solve_optimal_offline(
+        make_item_flow(sequence, item), model, sequence.server_count(), dp);
+    report.cost = solved.cost;
+    report.schedule = std::move(solved.schedule);
+    result.items[i] = std::move(report);
+  };
+  if (pool != nullptr && sequence.item_count() > 1) {
+    parallel_for(*pool, sequence.item_count(), solve_item);
+  } else {
+    for (std::size_t i = 0; i < sequence.item_count(); ++i) solve_item(i);
+  }
+
+  for (const OptimalItemReport& report : result.items) {
+    result.total_cost += report.cost;
+  }
+  result.ave_cost =
+      result.total_item_accesses == 0
+          ? 0.0
+          : result.total_cost / static_cast<double>(result.total_item_accesses);
+  return result;
+}
+
+PackageServedPair solve_pair_package_served(const RequestSequence& sequence,
+                                            const CostModel& model,
+                                            ItemPair pair,
+                                            const OptimalOfflineOptions& dp) {
+  model.validate();
+  PackageServedPair out;
+  out.pair = pair;
+  out.total_accesses =
+      sequence.item_frequency(pair.a) + sequence.item_frequency(pair.b);
+  const Flow union_flow = make_union_flow(sequence, {pair.a, pair.b});
+  SolveResult solved =
+      solve_optimal_offline(union_flow, model, sequence.server_count(), dp);
+  out.cost = solved.cost;  // priced at the 2α package rate
+  out.schedule = std::move(solved.schedule);
+  return out;
+}
+
+PackageServedResult solve_package_served(const RequestSequence& sequence,
+                                         const CostModel& model, double theta,
+                                         const OptimalOfflineOptions& dp,
+                                         ThreadPool* pool) {
+  model.validate();
+  require(theta >= 0.0 && theta <= 1.0,
+          "solve_package_served: theta must be in [0, 1]");
+  PackageServedResult result;
+  result.total_item_accesses = sequence.total_item_accesses();
+
+  const CorrelationAnalysis analysis(sequence);
+  result.packing = greedy_pairing(analysis, theta, /*inclusive=*/true);
+
+  const std::size_t pair_count = result.packing.pairs.size();
+  const std::size_t single_count = result.packing.singles.size();
+  result.pairs.resize(pair_count);
+  result.singles.resize(single_count);
+
+  const auto solve_one = [&](std::size_t i) {
+    if (i < pair_count) {
+      result.pairs[i] = solve_pair_package_served(
+          sequence, model, result.packing.pairs[i], dp);
+    } else {
+      const ItemId item = result.packing.singles[i - pair_count];
+      OptimalItemReport report;
+      report.item = item;
+      report.accesses = sequence.item_frequency(item);
+      SolveResult solved = solve_optimal_offline(
+          make_item_flow(sequence, item), model, sequence.server_count(), dp);
+      report.cost = solved.cost;
+      report.schedule = std::move(solved.schedule);
+      result.singles[i - pair_count] = std::move(report);
+    }
+  };
+  if (pool != nullptr && pair_count + single_count > 1) {
+    parallel_for(*pool, pair_count + single_count, solve_one);
+  } else {
+    for (std::size_t i = 0; i < pair_count + single_count; ++i) solve_one(i);
+  }
+
+  for (const PackageServedPair& p : result.pairs) result.total_cost += p.cost;
+  for (const OptimalItemReport& s : result.singles) result.total_cost += s.cost;
+  result.ave_cost =
+      result.total_item_accesses == 0
+          ? 0.0
+          : result.total_cost / static_cast<double>(result.total_item_accesses);
+  return result;
+}
+
+}  // namespace dpg

@@ -1,0 +1,44 @@
+// Exhaustive optimal solver for small flows — the yardstick the tests use to
+// validate the DP's optimality claim and the 2/α bound (not part of the
+// paper's toolchain; enumeration is exponential).
+//
+// Search space: standard-form "service-tree" schedules.  Each service point
+// picks a parent event (the origin or any earlier service point); the copy is
+// held at the parent's server from the parent's time to the child's time and
+// transferred if the servers differ.  Cache intervals on the same server are
+// unioned (a server never holds two copies of one flow), which is exactly the
+// sharing that makes greedy sub-optimal.  Multi-hop relays and cache lines on
+// never-requested servers are dominated under the homogeneous model, so this
+// space contains an optimal schedule.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "core/flow.hpp"
+#include "solver/solve_result.hpp"
+
+namespace dpg {
+
+struct BruteForceResult {
+  Cost raw_cost = 0.0;
+  Cost cost = 0.0;
+  /// parents[i] = chosen parent event of service point i (0 = origin,
+  /// j >= 1 = service point j-1).
+  std::vector<std::uint8_t> parents;
+  Schedule schedule;
+};
+
+/// Enumerates all parent assignments. Throws InvalidArgument when the flow
+/// has more than `max_points` service points (default keeps runtime sane).
+[[nodiscard]] BruteForceResult solve_bruteforce(const Flow& flow,
+                                                const CostModel& model,
+                                                std::size_t max_points = 10);
+
+/// Prices one explicit parent assignment (exposed for tests).
+[[nodiscard]] Cost price_parent_assignment(
+    const Flow& flow, const CostModel& model,
+    const std::vector<std::uint8_t>& parents);
+
+}  // namespace dpg

@@ -1,0 +1,100 @@
+#include "solver/correlation.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace dpg {
+
+double jaccard_similarity(std::size_t freq_a, std::size_t freq_b,
+                          std::size_t co_freq) noexcept {
+  const std::size_t union_size = freq_a + freq_b - co_freq;
+  if (union_size == 0) return 0.0;
+  return static_cast<double>(co_freq) / static_cast<double>(union_size);
+}
+
+CorrelationAnalysis::CorrelationAnalysis(const RequestSequence& sequence)
+    : k_(sequence.item_count()),
+      frequency_(k_, 0),
+      co_frequency_(k_ * (k_ - 1) / 2, 0) {
+  for (ItemId item = 0; item < k_; ++item) {
+    frequency_[item] = sequence.item_frequency(item);
+  }
+  // One pass over requests: bump the counter of every co-requested pair.
+  for (const Request& r : sequence.requests()) {
+    for (std::size_t x = 0; x < r.items.size(); ++x) {
+      for (std::size_t y = x + 1; y < r.items.size(); ++y) {
+        ++co_frequency_[tri_index(r.items[x], r.items[y])];
+      }
+    }
+  }
+  for (ItemId a = 0; a + 1 < k_; ++a) {
+    for (ItemId b = a + 1; b < k_; ++b) {
+      PairCorrelation pair;
+      pair.a = a;
+      pair.b = b;
+      pair.freq_a = frequency_[a];
+      pair.freq_b = frequency_[b];
+      pair.co_freq = co_frequency_[tri_index(a, b)];
+      pair.jaccard = jaccard_similarity(pair.freq_a, pair.freq_b, pair.co_freq);
+      sorted_pairs_.push_back(pair);
+    }
+  }
+  std::sort(sorted_pairs_.begin(), sorted_pairs_.end(),
+            [](const PairCorrelation& x, const PairCorrelation& y) {
+              if (x.jaccard != y.jaccard) return x.jaccard > y.jaccard;
+              if (x.a != y.a) return x.a < y.a;
+              return x.b < y.b;
+            });
+}
+
+std::size_t CorrelationAnalysis::tri_index(ItemId a, ItemId b) const {
+  require(a < k_ && b < k_ && a != b, "CorrelationAnalysis: bad item pair");
+  if (a > b) std::swap(a, b);
+  // Row-major upper triangle: offset of row a plus column within the row.
+  const std::size_t row_offset =
+      static_cast<std::size_t>(a) * (2 * k_ - a - 1) / 2;
+  return row_offset + (b - a - 1);
+}
+
+double CorrelationAnalysis::jaccard(ItemId a, ItemId b) const {
+  require(a < k_ && b < k_, "jaccard: item out of range");
+  if (a == b) return 1.0;
+  return jaccard_similarity(frequency_[a], frequency_[b],
+                            co_frequency_[tri_index(a, b)]);
+}
+
+std::size_t CorrelationAnalysis::frequency(ItemId item) const {
+  require(item < k_, "frequency: item out of range");
+  return frequency_[item];
+}
+
+std::size_t CorrelationAnalysis::co_frequency(ItemId a, ItemId b) const {
+  require(a < k_ && b < k_, "co_frequency: item out of range");
+  if (a == b) return frequency_[a];
+  return co_frequency_[tri_index(a, b)];
+}
+
+std::vector<PairCorrelation> CorrelationAnalysis::frequent_pairs(
+    double min_jaccard) const {
+  std::vector<PairCorrelation> out;
+  for (const PairCorrelation& pair : sorted_pairs_) {
+    if (pair.co_freq > 0 && pair.jaccard >= min_jaccard) out.push_back(pair);
+  }
+  return out;
+}
+
+std::string CorrelationAnalysis::to_string(std::size_t max_rows) const {
+  std::string out = "pair  |d_a| |d_b| co  J\n";
+  std::size_t rows = 0;
+  for (const PairCorrelation& p : sorted_pairs_) {
+    if (rows++ >= max_rows) break;
+    out += "(" + std::to_string(p.a) + "," + std::to_string(p.b) + ")  " +
+           std::to_string(p.freq_a) + " " + std::to_string(p.freq_b) + " " +
+           std::to_string(p.co_freq) + "  " + format_fixed(p.jaccard, 4) + "\n";
+  }
+  return out;
+}
+
+}  // namespace dpg

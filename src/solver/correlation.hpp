@@ -1,0 +1,67 @@
+// Phase 1 ingredients: item frequencies, co-occurrence counts and the
+// Jaccard similarity matrix A(i,j) of Section IV-A (Eqs. 4–5).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/request.hpp"
+#include "core/types.hpp"
+
+namespace dpg {
+
+/// One item pair with its correlation statistics (a row of Fig. 10).
+struct PairCorrelation {
+  ItemId a = 0;
+  ItemId b = 0;
+  std::size_t freq_a = 0;      // |d_a|
+  std::size_t freq_b = 0;      // |d_b|
+  std::size_t co_freq = 0;     // |(d_a, d_b)|
+  double jaccard = 0.0;        // Eq. (5)
+};
+
+/// All-pairs correlation analysis of a request sequence.
+class CorrelationAnalysis {
+ public:
+  explicit CorrelationAnalysis(const RequestSequence& sequence);
+
+  [[nodiscard]] std::size_t item_count() const noexcept { return k_; }
+
+  /// J(a, b); J(a, a) = 1 by definition (Eq. 4). Symmetric.
+  [[nodiscard]] double jaccard(ItemId a, ItemId b) const;
+
+  /// |d_item|.
+  [[nodiscard]] std::size_t frequency(ItemId item) const;
+
+  /// |(d_a, d_b)|.
+  [[nodiscard]] std::size_t co_frequency(ItemId a, ItemId b) const;
+
+  /// Every unordered pair (a < b), sorted by descending Jaccard, ties broken
+  /// by (a, b) ascending — the sorted dictionary of Algorithm 1 line 14.
+  [[nodiscard]] const std::vector<PairCorrelation>& sorted_pairs() const noexcept {
+    return sorted_pairs_;
+  }
+
+  /// Pairs with co_freq > 0 and Jaccard >= `min_jaccard`, most similar first
+  /// (the "frequent dataset" view of Fig. 10).
+  [[nodiscard]] std::vector<PairCorrelation> frequent_pairs(
+      double min_jaccard) const;
+
+  /// Tabular dump for harnesses.
+  [[nodiscard]] std::string to_string(std::size_t max_rows = 20) const;
+
+ private:
+  std::size_t k_;
+  std::vector<std::size_t> frequency_;
+  std::vector<std::size_t> co_frequency_;  // upper-triangular, row-major
+  std::vector<PairCorrelation> sorted_pairs_;
+
+  [[nodiscard]] std::size_t tri_index(ItemId a, ItemId b) const;
+};
+
+/// Standalone Jaccard from counts (Eq. 5); 0 when both frequencies are 0.
+[[nodiscard]] double jaccard_similarity(std::size_t freq_a, std::size_t freq_b,
+                                        std::size_t co_freq) noexcept;
+
+}  // namespace dpg

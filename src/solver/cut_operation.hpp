@@ -1,0 +1,54 @@
+// The cut (remove) operation of the approximation analysis (Section IV-B,
+// Figs. 5–6), implemented as an explicit transformation so the proof's
+// "critical state" is machine-checkable:
+//
+//   * requests with μ(t_i − t_{p(i)}) ≤ λ cost the same in the optimal and
+//     the greedy schedule (both cache locally); their cost is cut entirely;
+//   * requests with μ(t_i − t_{i−1}) > λ have a single copy alive in
+//     (t_{i−1}, t_i) in both schedules; the long cache line is trimmed so
+//     the remaining cache cost equals λ.
+//
+// After cutting, every surviving request costs at least λ under the optimal
+// schedule and at most 2λ under the greedy one — which is exactly Eq. (7):
+// C'_G / C'_opt ≤ 2n'λ / n'λ = 2.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "core/flow.hpp"
+
+namespace dpg {
+
+/// Classification of one service point under the cut rules.
+enum class CutClass {
+  kRemoved,      // case 1: local gap ≤ λ — identical in both schedules, cut
+  kTrimmed,      // case 2: predecessor gap > λ — cache line trimmed to λ
+  kUntouched,    // neither rule applies; kept at its greedy step cost
+};
+
+struct CutEntry {
+  std::size_t point_index = 0;
+  CutClass cut = CutClass::kUntouched;
+  Cost greedy_step = 0.0;          // original greedy decision cost
+  Cost trimmed_greedy_step = 0.0;  // after the cut operation
+};
+
+struct CutAnalysis {
+  std::vector<CutEntry> entries;
+  /// n' — service points surviving the cut.
+  std::size_t surviving_count = 0;
+  /// Σ trimmed greedy step costs (the C'_G of Eq. 7).
+  Cost trimmed_greedy_cost = 0.0;
+  /// The analysis' bounds for the surviving requests.
+  Cost per_request_optimal_floor = 0.0;  // λ
+  Cost per_request_greedy_ceiling = 0.0; // 2λ
+};
+
+/// Runs the cut operation over one flow's greedy decisions.
+[[nodiscard]] CutAnalysis cut_operation(const Flow& flow,
+                                        const CostModel& model,
+                                        std::size_t server_count);
+
+}  // namespace dpg

@@ -1,0 +1,149 @@
+#include "solver/dp_greedy.hpp"
+
+#include <algorithm>
+
+#include "parallel/thread_pool.hpp"
+#include "solver/correlation.hpp"
+#include "util/error.hpp"
+
+namespace dpg {
+
+namespace {
+
+/// Greedy service of the requests that touch exactly one item of a pair.
+/// Events of `item` (origin, single-item requests, package requests) are
+/// walked in time order; package events cost nothing here (the package DP
+/// already paid for them) but do update the recency state the greedy
+/// options consult, because serving a request leaves a copy behind.
+void serve_singletons(const RequestSequence& sequence, const CostModel& model,
+                      ItemId item, ItemId partner, PackageReport& report) {
+  // Recency state over this item's event history.
+  Time prev_time = 0.0;
+  std::vector<Time> last_on_server(sequence.server_count(), -1.0);
+  last_on_server[kOriginServer] = 0.0;  // the origin copy
+
+  for (const std::size_t index : sequence.indices_for_item(item)) {
+    const Request& r = sequence[index];
+    const bool is_package_request = r.contains(partner);
+    if (!is_package_request) {
+      Cost cache_option = kInfiniteCost;
+      if (last_on_server[r.server] >= 0.0) {
+        cache_option = model.mu * (r.time - last_on_server[r.server]);
+      }
+      const Cost transfer_option = model.mu * (r.time - prev_time) + model.lambda;
+      const Cost package_option = model.package_fetch_cost();
+
+      SingletonService service;
+      service.request_index = index;
+      service.item = item;
+      if (cache_option <= transfer_option && cache_option <= package_option) {
+        service.choice = ServeChoice::kCacheSameServer;
+        service.cost = cache_option;
+      } else if (transfer_option <= package_option) {
+        service.choice = ServeChoice::kTransferFromPrev;
+        service.cost = transfer_option;
+      } else {
+        service.choice = ServeChoice::kPackageFetch;
+        service.cost = package_option;
+      }
+      report.singleton_cost += service.cost;
+      report.services.push_back(service);
+    }
+    prev_time = r.time;
+    last_on_server[r.server] = r.time;
+  }
+}
+
+}  // namespace
+
+PackageReport solve_pair_package(const RequestSequence& sequence,
+                                 const CostModel& model, ItemPair pair,
+                                 const OptimalOfflineOptions& dp) {
+  model.validate();
+  PackageReport report;
+  report.pair = pair;
+  report.total_accesses =
+      sequence.item_frequency(pair.a) + sequence.item_frequency(pair.b);
+
+  const Flow package_flow = make_package_flow(sequence, pair.a, pair.b);
+  report.co_request_count = package_flow.size();
+  SolveResult package =
+      solve_optimal_offline(package_flow, model, sequence.server_count(), dp);
+  report.package_cost = package.cost;  // already 2α-discounted
+  report.package_schedule = std::move(package.schedule);
+
+  serve_singletons(sequence, model, pair.a, pair.b, report);
+  serve_singletons(sequence, model, pair.b, pair.a, report);
+  return report;
+}
+
+DpGreedyResult solve_dp_greedy(const RequestSequence& sequence,
+                               const CostModel& model,
+                               const DpGreedyOptions& options) {
+  model.validate();
+  require(options.theta >= 0.0 && options.theta <= 1.0,
+          "solve_dp_greedy: theta must be in [0, 1]");
+
+  DpGreedyResult result;
+  result.total_item_accesses = sequence.total_item_accesses();
+
+  // Phase 1: correlation analysis and greedy packing.
+  const CorrelationAnalysis analysis(sequence);
+  result.packing =
+      greedy_pairing(analysis, options.theta, options.inclusive_threshold);
+
+  // Phase 2: independent per-package and per-single solves (parallelizable).
+  const auto solve_package = [&](std::size_t p) {
+    return solve_pair_package(sequence, model, result.packing.pairs[p],
+                              options.dp);
+  };
+  const auto solve_single = [&](std::size_t s) {
+    const ItemId item = result.packing.singles[s];
+    SingleItemReport report;
+    report.item = item;
+    report.accesses = sequence.item_frequency(item);
+    SolveResult solved = solve_optimal_offline(
+        make_item_flow(sequence, item), model, sequence.server_count(),
+        options.dp);
+    report.cost = solved.cost;
+    report.schedule = std::move(solved.schedule);
+    return report;
+  };
+
+  const std::size_t pair_count = result.packing.pairs.size();
+  const std::size_t single_count = result.packing.singles.size();
+  result.packages.resize(pair_count);
+  result.singles.resize(single_count);
+  if (options.pool != nullptr && pair_count + single_count > 1) {
+    parallel_for(*options.pool, pair_count + single_count,
+                 [&](std::size_t i) {
+                   if (i < pair_count) {
+                     result.packages[i] = solve_package(i);
+                   } else {
+                     result.singles[i - pair_count] =
+                         solve_single(i - pair_count);
+                   }
+                 });
+  } else {
+    for (std::size_t p = 0; p < pair_count; ++p) {
+      result.packages[p] = solve_package(p);
+    }
+    for (std::size_t s = 0; s < single_count; ++s) {
+      result.singles[s] = solve_single(s);
+    }
+  }
+
+  for (const PackageReport& report : result.packages) {
+    result.total_cost += report.total_cost();
+  }
+  for (const SingleItemReport& report : result.singles) {
+    result.total_cost += report.cost;
+  }
+  result.ave_cost =
+      result.total_item_accesses == 0
+          ? 0.0
+          : result.total_cost / static_cast<double>(result.total_item_accesses);
+  return result;
+}
+
+}  // namespace dpg

@@ -1,0 +1,33 @@
+// The simple greedy baseline of the approximation analysis (Fig. 4):
+// each service point is satisfied by the cheaper of
+//   * a cache on its own server from the previous same-server visit, or
+//   * a cache-then-transfer from the immediately preceding service point.
+// Section IV-B shows this is at most 2× the optimal offline cost under the
+// homogeneous model; tests/approximation_test.cpp checks that bound.
+#pragma once
+
+#include "core/cost_model.hpp"
+#include "core/flow.hpp"
+#include "solver/solve_result.hpp"
+
+namespace dpg {
+
+/// Solves one flow greedily. The reported raw_cost is the per-decision sum
+/// the paper analyses; the reconstructed schedule's cost can only be lower
+/// (shared cache lines are double-counted by the greedy accounting but
+/// unioned in the schedule).
+[[nodiscard]] SolveResult solve_greedy(const Flow& flow, const CostModel& model,
+                                       std::size_t server_count);
+
+/// The chain strategy: the copy simply follows the request trajectory
+/// (always Tr, never a same-server cache line).  The weakest sensible
+/// offline policy; benches use it as a floor-of-quality baseline.
+[[nodiscard]] SolveResult solve_chain(const Flow& flow, const CostModel& model);
+
+/// Greedy under the heterogeneous cost generalization (per-server μ,
+/// per-pair λ); the only solver that accepts it, since the general problem
+/// is conjectured NP-complete (Section III-C).
+[[nodiscard]] SolveResult solve_greedy_heterogeneous(
+    const Flow& flow, const HeterogeneousCostModel& model);
+
+}  // namespace dpg

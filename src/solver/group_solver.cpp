@@ -1,0 +1,115 @@
+#include "solver/group_solver.hpp"
+
+#include <algorithm>
+
+#include "solver/correlation.hpp"
+#include "util/error.hpp"
+
+namespace dpg {
+
+GroupReport solve_group_package(const RequestSequence& sequence,
+                                const CostModel& model,
+                                const std::vector<ItemId>& group,
+                                const OptimalOfflineOptions& dp) {
+  model.validate();
+  require(group.size() >= 2, "solve_group_package: group must have >= 2 items");
+  GroupReport report;
+  report.items = group;
+  for (const ItemId item : group) {
+    report.total_accesses += sequence.item_frequency(item);
+  }
+
+  const Flow group_flow = make_group_flow(sequence, group);
+  report.full_request_count = group_flow.size();
+  SolveResult solved =
+      solve_optimal_offline(group_flow, model, sequence.server_count(), dp);
+  report.package_cost = solved.cost;  // g·α-discounted
+  report.package_schedule = std::move(solved.schedule);
+
+  // Greedy pass over every request touching the group but not all of it.
+  const double g = static_cast<double>(group.size());
+  const Cost package_fetch = g * model.alpha * model.lambda;
+
+  // Per-item recency state: previous event time and last visit per server.
+  std::vector<Time> prev_time(group.size(), 0.0);
+  std::vector<std::vector<Time>> last_on_server(
+      group.size(), std::vector<Time>(sequence.server_count(), -1.0));
+  for (auto& per_server : last_on_server) per_server[kOriginServer] = 0.0;
+
+  const auto slot_of = [&group](ItemId item) {
+    return static_cast<std::size_t>(
+        std::find(group.begin(), group.end(), item) - group.begin());
+  };
+
+  for (const Request& r : sequence.requests()) {
+    std::vector<std::size_t> present;  // group slots requested here
+    for (const ItemId item : r.items) {
+      if (std::find(group.begin(), group.end(), item) != group.end()) {
+        present.push_back(slot_of(item));
+      }
+    }
+    if (present.empty()) continue;
+    if (present.size() < group.size()) {
+      Cost individual_total = 0.0;
+      for (const std::size_t slot : present) {
+        Cost cache_option = kInfiniteCost;
+        if (last_on_server[slot][r.server] >= 0.0) {
+          cache_option = model.mu * (r.time - last_on_server[slot][r.server]);
+        }
+        const Cost transfer_option =
+            model.mu * (r.time - prev_time[slot]) + model.lambda;
+        individual_total += std::min(cache_option, transfer_option);
+      }
+      report.partial_cost += std::min(individual_total, package_fetch);
+    }
+    for (const std::size_t slot : present) {
+      prev_time[slot] = r.time;
+      last_on_server[slot][r.server] = r.time;
+    }
+  }
+  return report;
+}
+
+GroupDpGreedyResult solve_group_dp_greedy(const RequestSequence& sequence,
+                                          const CostModel& model,
+                                          const GroupDpGreedyOptions& options) {
+  model.validate();
+  require(options.theta >= 0.0 && options.theta <= 1.0,
+          "solve_group_dp_greedy: theta must be in [0, 1]");
+  GroupDpGreedyResult result;
+  result.total_item_accesses = sequence.total_item_accesses();
+
+  const CorrelationAnalysis analysis(sequence);
+  result.packing =
+      greedy_grouping(analysis, options.theta, options.max_group_size);
+
+  for (const auto& group : result.packing.groups) {
+    result.groups.push_back(
+        solve_group_package(sequence, model, group, options.dp));
+  }
+  for (const ItemId item : result.packing.singles) {
+    SingleItemReport report;
+    report.item = item;
+    report.accesses = sequence.item_frequency(item);
+    SolveResult solved = solve_optimal_offline(
+        make_item_flow(sequence, item), model, sequence.server_count(),
+        options.dp);
+    report.cost = solved.cost;
+    report.schedule = std::move(solved.schedule);
+    result.singles.push_back(std::move(report));
+  }
+
+  for (const GroupReport& report : result.groups) {
+    result.total_cost += report.total_cost();
+  }
+  for (const SingleItemReport& report : result.singles) {
+    result.total_cost += report.cost;
+  }
+  result.ave_cost =
+      result.total_item_accesses == 0
+          ? 0.0
+          : result.total_cost / static_cast<double>(result.total_item_accesses);
+  return result;
+}
+
+}  // namespace dpg

@@ -1,0 +1,36 @@
+// Lower bounds on the packed-model optimum C* (Section IV-B).
+//
+// C* is not directly computable (the packed caching problem is believed
+// NP-complete, Section III-C), but Lemma 1 gives the workable bound
+//   C* ≥ α · (C_1opt + C_2opt + ...)
+// over the per-item offline optima.  The cut analysis adds a per-request
+// floor: after trimming, every surviving request costs at least λ.  These
+// bounds anchor the Theorem-1 checks in tests and bench/tab_approx_ratio.
+#pragma once
+
+#include "core/cost_model.hpp"
+#include "core/request.hpp"
+#include "solver/optimal_offline.hpp"
+
+namespace dpg {
+
+struct PackedLowerBound {
+  /// Σ_i C_iopt — the non-packing optimum (also the Optimal baseline).
+  Cost sum_item_optima = 0.0;
+  /// α · Σ_i C_iopt — Lemma 1's lower bound on C*.
+  Cost lemma1 = 0.0;
+  /// The implied upper bound on any algorithm's ratio certificate:
+  /// cost / lemma1 ≤ 2/α certifies Theorem 1's guarantee.
+  [[nodiscard]] double certify_ratio(Cost algorithm_cost) const noexcept {
+    return lemma1 > 0.0 ? algorithm_cost / lemma1 : 1.0;
+  }
+};
+
+/// Computes the bound for a whole sequence (every item solved to optimality
+/// by the DP; use `solve_bruteforce` manually when exhaustive anchoring is
+/// wanted).
+[[nodiscard]] PackedLowerBound packed_lower_bound(
+    const RequestSequence& sequence, const CostModel& model,
+    const OptimalOfflineOptions& dp = {});
+
+}  // namespace dpg

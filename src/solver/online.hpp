@@ -1,0 +1,48 @@
+// Online caching (extension).
+//
+// The paper's offline setting assumes the full trajectory is known; its
+// reference [6] also gives a 3-competitive online algorithm for the single
+// item case.  We implement the classic deterministic rent-or-buy rule that
+// achieves small constant competitiveness under the homogeneous model:
+// after a copy's last use, keep renting cache for λ/μ time units (the
+// break-even horizon), then drop it — except the globally most recent copy,
+// which is never dropped (the flow must stay alive somewhere).  Misses are
+// served by a λ transfer from any live copy.
+//
+// tests/online_test.cpp checks feasibility and the empirical competitive
+// ratio against the offline DP; bench/tab_online_ratio reports it.
+#pragma once
+
+#include <cstddef>
+
+#include "core/cost_model.hpp"
+#include "core/flow.hpp"
+#include "core/schedule.hpp"
+#include "core/types.hpp"
+
+namespace dpg {
+
+struct OnlineResult {
+  /// Total cost paid (cache accrual + transfers), flow multiplier applied.
+  Cost cost = 0.0;
+  /// Undiscounted cost.
+  Cost raw_cost = 0.0;
+  std::size_t transfer_count = 0;
+  Time cache_time = 0.0;
+  /// Reconstructed schedule (validatable like the offline ones).
+  Schedule schedule;
+};
+
+struct OnlineOptions {
+  /// Multiplier on the λ/μ break-even holding horizon (1.0 = classic rule;
+  /// 0 degenerates towards the chain strategy, ∞ towards cache-everywhere).
+  double hold_factor = 1.0;
+};
+
+/// Runs the break-even policy over one flow, one service point at a time
+/// (the policy never looks ahead).
+[[nodiscard]] OnlineResult solve_online_break_even(
+    const Flow& flow, const CostModel& model, std::size_t server_count,
+    const OnlineOptions& options = {});
+
+}  // namespace dpg

@@ -1,0 +1,48 @@
+// Online DP_Greedy (extension).
+//
+// The paper assumes the full trajectory is known ("93% of human behaviour
+// is predictable"); this module drops that assumption.  Correlation is
+// estimated from a sliding window of past requests; a pair is packed when
+// its windowed Jaccard exceeds θ (and unpacked when it decays below θ/2,
+// hysteresis to avoid thrashing).  Serving is the break-even rent-or-buy
+// rule per flow: one replica set for each current package (at the 2α rate)
+// and one per unpacked item, with the package-fetch option (2αλ) available
+// to single-item requests of a packed pair.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "core/request.hpp"
+#include "core/types.hpp"
+
+namespace dpg {
+
+struct OnlineDpGreedyOptions {
+  double theta = 0.3;
+  /// Sliding window length (number of past requests) for Jaccard estimates.
+  std::size_t window = 200;
+  /// Re-evaluate pairings every `repack_interval` requests.
+  std::size_t repack_interval = 50;
+  /// Multiplier on the λ/μ break-even holding horizon.
+  double hold_factor = 1.0;
+};
+
+struct OnlineDpGreedyResult {
+  Cost total_cost = 0.0;
+  double ave_cost = 0.0;
+  std::size_t total_item_accesses = 0;
+  std::size_t pack_events = 0;    // pair formations over the run
+  std::size_t unpack_events = 0;  // pair dissolutions
+  std::size_t package_fetches = 0;
+  std::size_t transfers = 0;
+  Time cache_time = 0.0;
+};
+
+/// Processes the sequence strictly left to right (no lookahead).
+[[nodiscard]] OnlineDpGreedyResult solve_online_dp_greedy(
+    const RequestSequence& sequence, const CostModel& model,
+    const OnlineDpGreedyOptions& options = {});
+
+}  // namespace dpg

@@ -1,0 +1,178 @@
+#include "solver/optimal_offline.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/request_index.hpp"
+#include "util/error.hpp"
+
+namespace dpg {
+
+namespace {
+
+/// Per-node backtracking record.
+struct Choice {
+  bool via_line = false;       // true: D(i) with split k; false: Tr(i)
+  std::int32_t split_k = -1;   // predecessor state for the D choice
+};
+
+/// Monotonic-stack suffix-minimum structure over values v_k = C(k) − W(k).
+/// Push happens in index order; query(l) returns min_{k in [l, last]} v_k.
+/// After pops the stack keeps (index, value) with values strictly increasing
+/// bottom→top, so the answer to query(l) is the first entry with index >= l.
+class SuffixMin {
+ public:
+  void push(std::int32_t index, double value) {
+    while (!entries_.empty() && entries_.back().second >= value) {
+      entries_.pop_back();
+    }
+    entries_.emplace_back(index, value);
+  }
+
+  [[nodiscard]] std::pair<std::int32_t, double> query(std::int32_t lo) const {
+    const auto it = std::lower_bound(
+        entries_.begin(), entries_.end(), lo,
+        [](const std::pair<std::int32_t, double>& e, std::int32_t l) {
+          return e.first < l;
+        });
+    if (it == entries_.end()) return {-1, kInfiniteCost};
+    return *it;
+  }
+
+ private:
+  std::vector<std::pair<std::int32_t, double>> entries_;
+};
+
+}  // namespace
+
+SolveResult solve_optimal_offline(const Flow& flow, const CostModel& model,
+                                  std::size_t server_count,
+                                  const OptimalOfflineOptions& options) {
+  model.validate();
+  validate_flow(flow);
+  SolveResult result;
+  result.schedule = Schedule(flow.group_size);
+  if (flow.empty()) {
+    result.raw_cost = 0.0;
+    result.cost = 0.0;
+    return result;
+  }
+
+  const RequestIndex index(flow, server_count);
+  const std::size_t n = index.node_count();  // origin + services
+  const double mu = model.mu;
+  const double lambda = model.lambda;
+
+  // w_j: the cheapest way to serve node j as an *intermediate* under a cache
+  // line that spans its time — a λ side-transfer off the line, or j's own
+  // local cache link from its previous same-server visit.
+  std::vector<Cost> w(n, 0.0);
+  // W: prefix sums of w, W[i] = w_1 + ... + w_i.
+  std::vector<Cost> w_prefix(n, 0.0);
+  for (std::size_t j = 1; j < n; ++j) {
+    Cost local = kInfiniteCost;
+    const std::int32_t pj = index.prev_same_server(j);
+    if (pj >= 0) {
+      local = mu * (index.time_of(j) - index.time_of(static_cast<std::size_t>(pj)));
+    }
+    w[j] = std::min(lambda, local);
+    w_prefix[j] = w_prefix[j - 1] + w[j];
+  }
+
+  std::vector<Cost> c(n, 0.0);
+  std::vector<Choice> choice(n);
+  SuffixMin suffix;  // over v_k = C(k) − W(k), pushed as states complete
+  suffix.push(0, 0.0);
+
+  for (std::size_t i = 1; i < n; ++i) {
+    const Time t_i = index.time_of(i);
+    const Time t_prev = index.time_of(i - 1);
+    const ServerId s_i = index.server_of(i);
+    const ServerId s_prev = index.server_of(i - 1);
+
+    // Tr(i): chain through the previous service point.
+    const Cost tr = c[i - 1] + mu * (t_i - t_prev) + (s_i != s_prev ? lambda : 0.0);
+
+    // D(i): cache line on s_i from the previous same-server visit p(i);
+    // every node between the split k and i is served for w_j.
+    Cost line = kInfiniteCost;
+    std::int32_t line_k = -1;
+    const std::int32_t p = index.prev_same_server(i);
+    if (p >= 0) {
+      const Time t_p = index.time_of(static_cast<std::size_t>(p));
+      const Cost base = mu * (t_i - t_p) + w_prefix[i - 1];
+      if (options.fast_range_min) {
+        const auto [arg, best] = suffix.query(p);
+        if (best < kInfiniteCost) {
+          line = base + best;
+          line_k = arg;
+        }
+      } else {
+        for (std::int32_t k = p; k < static_cast<std::int32_t>(i); ++k) {
+          const Cost candidate =
+              base + c[static_cast<std::size_t>(k)] -
+              w_prefix[static_cast<std::size_t>(k)];
+          if (candidate < line) {
+            line = candidate;
+            line_k = k;
+          }
+        }
+      }
+    }
+
+    if (line < tr) {
+      c[i] = line;
+      choice[i] = Choice{true, line_k};
+    } else {
+      c[i] = tr;
+      choice[i] = Choice{false, static_cast<std::int32_t>(i) - 1};
+    }
+    suffix.push(static_cast<std::int32_t>(i), c[i] - w_prefix[i]);
+  }
+
+  result.raw_cost = c[n - 1];
+  result.cost = model.flow_multiplier(flow.group_size) * result.raw_cost;
+
+  if (options.build_schedule) {
+    // Backtrack from the last node; each step explains how node i and the
+    // nodes between the predecessor state and i are physically served.
+    std::size_t i = n - 1;
+    while (i > 0) {
+      const Choice& ch = choice[i];
+      const Time t_i = index.time_of(i);
+      const ServerId s_i = index.server_of(i);
+      if (ch.via_line) {
+        const auto p = static_cast<std::size_t>(index.prev_same_server(i));
+        result.schedule.add_segment(s_i, index.time_of(p), t_i);
+        const auto k = static_cast<std::size_t>(ch.split_k);
+        // Intermediates: local cache link when that is what w_j priced,
+        // otherwise a side transfer off the line.
+        for (std::size_t j = k + 1; j < i; ++j) {
+          const std::int32_t pj = index.prev_same_server(j);
+          const bool local_chosen =
+              pj >= 0 &&
+              mu * (index.time_of(j) -
+                    index.time_of(static_cast<std::size_t>(pj))) < lambda;
+          if (local_chosen) {
+            result.schedule.add_segment(
+                index.server_of(j),
+                index.time_of(static_cast<std::size_t>(pj)),
+                index.time_of(j));
+          } else {
+            result.schedule.add_transfer(s_i, index.server_of(j),
+                                         index.time_of(j));
+          }
+        }
+        i = k;
+      } else {
+        const ServerId s_prev = index.server_of(i - 1);
+        result.schedule.add_segment(s_prev, index.time_of(i - 1), t_i);
+        if (s_prev != s_i) result.schedule.add_transfer(s_prev, s_i, t_i);
+        i = i - 1;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace dpg

@@ -1,0 +1,76 @@
+#include "solver/pairing.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace dpg {
+
+Packing greedy_pairing(const CorrelationAnalysis& analysis, double theta,
+                       bool inclusive) {
+  const std::size_t k = analysis.item_count();
+  std::vector<bool> packed(k, false);
+  Packing packing;
+  for (const PairCorrelation& pair : analysis.sorted_pairs()) {
+    const bool clears =
+        inclusive ? pair.jaccard >= theta : pair.jaccard > theta;
+    if (!clears) break;  // pairs are sorted by descending similarity
+    if (packed[pair.a] || packed[pair.b]) continue;
+    packing.pairs.push_back(ItemPair{pair.a, pair.b, pair.jaccard});
+    packed[pair.a] = true;
+    packed[pair.b] = true;
+  }
+  for (ItemId item = 0; item < k; ++item) {
+    if (!packed[item]) packing.singles.push_back(item);
+  }
+  return packing;
+}
+
+GroupPacking greedy_grouping(const CorrelationAnalysis& analysis, double theta,
+                             std::size_t max_group_size) {
+  require(max_group_size >= 2, "greedy_grouping: max_group_size must be >= 2");
+  const std::size_t k = analysis.item_count();
+  // Union-find style group membership, merged pair-by-pair.
+  std::vector<std::size_t> group_of(k);
+  std::iota(group_of.begin(), group_of.end(), std::size_t{0});
+  std::vector<std::vector<ItemId>> members(k);
+  for (ItemId item = 0; item < k; ++item) members[item] = {item};
+
+  for (const PairCorrelation& pair : analysis.sorted_pairs()) {
+    if (pair.jaccard <= theta) break;
+    const std::size_t ga = group_of[pair.a];
+    const std::size_t gb = group_of[pair.b];
+    if (ga == gb) continue;
+    if (members[ga].size() + members[gb].size() > max_group_size) continue;
+    // Complete linkage: every cross pair must clear theta.
+    bool all_clear = true;
+    for (const ItemId x : members[ga]) {
+      for (const ItemId y : members[gb]) {
+        if (analysis.jaccard(x, y) <= theta) {
+          all_clear = false;
+          break;
+        }
+      }
+      if (!all_clear) break;
+    }
+    if (!all_clear) continue;
+    for (const ItemId y : members[gb]) group_of[y] = ga;
+    members[ga].insert(members[ga].end(), members[gb].begin(),
+                       members[gb].end());
+    members[gb].clear();
+  }
+
+  GroupPacking out;
+  for (std::size_t g = 0; g < k; ++g) {
+    if (members[g].size() >= 2) {
+      std::sort(members[g].begin(), members[g].end());
+      out.groups.push_back(members[g]);
+    } else if (members[g].size() == 1) {
+      out.singles.push_back(members[g].front());
+    }
+  }
+  return out;
+}
+
+}  // namespace dpg

@@ -1,0 +1,44 @@
+// Phase 1 of Algorithm 1: greedy disjoint pairing of correlated items, plus
+// the multi-item grouping extension sketched in the paper's Remarks.
+#pragma once
+
+#include <vector>
+
+#include "solver/correlation.hpp"
+
+namespace dpg {
+
+/// A package of two items with the similarity that justified it.
+struct ItemPair {
+  ItemId a = 0;
+  ItemId b = 0;
+  double jaccard = 0.0;
+};
+
+/// Result of the packing decision: disjoint pairs plus leftover singles.
+struct Packing {
+  std::vector<ItemPair> pairs;
+  std::vector<ItemId> singles;
+};
+
+/// Algorithm 1 lines 14–27: walk pairs by descending Jaccard and pack a pair
+/// when its similarity clears `theta` and neither item is packed yet.
+/// `inclusive` selects `J >= theta` (Package_Served's reading, Section VI-c)
+/// instead of the strict `J > theta` of Algorithm 1 line 16.
+[[nodiscard]] Packing greedy_pairing(const CorrelationAnalysis& analysis,
+                                     double theta, bool inclusive = false);
+
+/// Multi-item extension: agglomerates items into groups of up to
+/// `max_group_size`, merging greedily by descending pair similarity as long
+/// as the *minimum* pairwise Jaccard inside the merged group stays above
+/// `theta` (complete-linkage, so every member pair is genuinely correlated).
+/// Groups of size 1 come back in `singles`; larger groups in `groups`.
+struct GroupPacking {
+  std::vector<std::vector<ItemId>> groups;  // each of size >= 2
+  std::vector<ItemId> singles;
+};
+[[nodiscard]] GroupPacking greedy_grouping(const CorrelationAnalysis& analysis,
+                                           double theta,
+                                           std::size_t max_group_size);
+
+}  // namespace dpg

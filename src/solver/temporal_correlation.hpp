@@ -1,0 +1,44 @@
+// Time-resolved correlation (extension).
+//
+// Algorithm 1 decides packing from whole-trace Jaccard similarities.  On
+// non-stationary workloads (commute bursts, breaking news) a pair can be
+// intensely correlated for minutes yet dilute to nothing over a day; the
+// edge_cdn example shows the online variant exploiting exactly this.  This
+// module computes sliding-window Jaccard series so that dilution can be
+// measured and the right θ granularity chosen.
+#pragma once
+
+#include <vector>
+
+#include "core/request.hpp"
+
+namespace dpg {
+
+struct WindowedJaccardPoint {
+  Time time = 0.0;      // time of the window's last request
+  double jaccard = 0.0; // Jaccard inside the window
+};
+
+/// Sliding-window Jaccard of pair (a, b): windows of `window` consecutive
+/// requests, advanced by `stride` requests.  Empty result if the trace has
+/// fewer than `window` requests.
+[[nodiscard]] std::vector<WindowedJaccardPoint> windowed_jaccard_series(
+    const RequestSequence& sequence, ItemId a, ItemId b, std::size_t window,
+    std::size_t stride);
+
+struct DilutionReport {
+  double global_jaccard = 0.0;  // whole-trace J (what Algorithm 1 sees)
+  double peak_windowed = 0.0;   // max windowed J
+  double mean_windowed = 0.0;
+  /// peak − global: how much burst-local correlation the global statistic
+  /// hides.  ~0 on stationary traces, large on bursty ones.
+  [[nodiscard]] double dilution() const noexcept {
+    return peak_windowed - global_jaccard;
+  }
+};
+
+[[nodiscard]] DilutionReport measure_dilution(const RequestSequence& sequence,
+                                              ItemId a, ItemId b,
+                                              std::size_t window);
+
+}  // namespace dpg

@@ -1,0 +1,102 @@
+// Synthetic request-trace generators.
+//
+// The paper evaluates on a proprietary Shenzhen taxi GPS trace; these
+// generators (together with mobility/) are the documented substitute: they
+// expose exactly the knobs the evaluation sweeps — the pairwise Jaccard
+// similarity J, the number of servers m, items k and requests n — while
+// keeping every run a pure function of one seed.
+#pragma once
+
+#include <vector>
+
+#include "core/request.hpp"
+#include "util/rng.hpp"
+
+namespace dpg {
+
+/// Generator that produces item pairs with *controlled* Jaccard similarity:
+/// items 2p and 2p+1 form pair p; a request for pair p contains both items
+/// with probability `jaccard[p]` and a uniformly chosen single item
+/// otherwise, which makes E[J(2p, 2p+1)] = jaccard[p] by construction
+/// (J = co / (co + singles)).  Servers follow a sticky random walk to mimic
+/// trajectory locality.
+struct PairedTraceConfig {
+  std::size_t server_count = 50;
+  std::size_t requests_per_pair = 200;
+  /// Target Jaccard similarity per pair; its size fixes the item count (2×).
+  std::vector<double> pair_jaccard = {0.1, 0.3, 0.5, 0.7, 0.9};
+  /// Probability that a pair's next request stays on its current server.
+  double locality = 0.6;
+  /// Mean time gap between consecutive requests of one pair.
+  double mean_gap = 1.0;
+};
+
+[[nodiscard]] RequestSequence generate_paired_trace(const PairedTraceConfig& config,
+                                                    Rng& rng);
+
+/// Zipf-popularity generator: items drawn from a Zipf(s) distribution, with
+/// optional correlated co-access to a fixed partner item.  Models skewed
+/// content popularity (news pages and their media assets).
+struct ZipfTraceConfig {
+  std::size_t server_count = 20;
+  std::size_t item_count = 10;
+  std::size_t request_count = 1000;
+  double zipf_exponent = 1.0;
+  /// Probability that a request also pulls the item's fixed partner
+  /// (item i's partner is i^1, i.e. consecutive even/odd pairs).
+  double co_access = 0.5;
+  double locality = 0.5;
+  double mean_gap = 0.5;
+};
+
+[[nodiscard]] RequestSequence generate_zipf_trace(const ZipfTraceConfig& config,
+                                                  Rng& rng);
+
+/// Uniform noise generator (uncorrelated requests): the degenerate baseline
+/// workload for robustness tests.
+struct UniformTraceConfig {
+  std::size_t server_count = 10;
+  std::size_t item_count = 5;
+  std::size_t request_count = 500;
+  double mean_gap = 1.0;
+};
+
+[[nodiscard]] RequestSequence generate_uniform_trace(
+    const UniformTraceConfig& config, Rng& rng);
+
+/// Diurnal / bursty workload: requests arrive in Poisson bursts around
+/// peak hours (a crude commute pattern), items chosen per burst from a
+/// small working set so temporal correlation is high within a burst and
+/// low across bursts.  Exercises the algorithms on non-stationary gaps —
+/// the regime where cache-vs-transfer decisions flip within one trace.
+struct BurstyTraceConfig {
+  std::size_t server_count = 20;
+  std::size_t item_count = 8;
+  std::size_t burst_count = 30;
+  std::size_t requests_per_burst = 25;
+  /// Mean inter-request gap inside a burst (tight) and between bursts.
+  double intra_burst_gap = 0.1;
+  double inter_burst_gap = 20.0;
+  /// Items per burst working set.
+  std::size_t working_set = 2;
+};
+
+[[nodiscard]] RequestSequence generate_bursty_trace(
+    const BurstyTraceConfig& config, Rng& rng);
+
+/// Adversarial workload for the Section-V complexity bounds: one item whose
+/// requests visit `server_count` servers round-robin, `rounds` times.  The
+/// gap between same-server visits is then `server_count` requests, so the
+/// naive D(i) scan does Θ(m) work per request — Θ(m·n) = Θ(n²/rounds)
+/// overall, the paper's O(mn²) worst case (exercised in
+/// bench/tab_complexity_scaling and bm_solvers).
+struct AdversarialWindowConfig {
+  std::size_t server_count = 256;
+  std::size_t rounds = 4;
+  double gap = 0.5;
+};
+
+[[nodiscard]] RequestSequence generate_adversarial_window_trace(
+    const AdversarialWindowConfig& config);
+
+}  // namespace dpg

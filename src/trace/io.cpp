@@ -1,0 +1,75 @@
+#include "trace/io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace dpg {
+
+std::string trace_to_csv(const RequestSequence& sequence) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_row({"server", "time", "items"});
+  for (const Request& r : sequence.requests()) {
+    std::vector<std::string> item_text;
+    item_text.reserve(r.items.size());
+    for (const ItemId item : r.items) item_text.push_back(std::to_string(item));
+    char time_buffer[32];
+    // %.17g round-trips every IEEE-754 double exactly.
+    std::snprintf(time_buffer, sizeof time_buffer, "%.17g", r.time);
+    writer.write_row(
+        {std::to_string(r.server), time_buffer, join(item_text, ";")});
+  }
+  return out.str();
+}
+
+RequestSequence trace_from_csv(const std::string& text,
+                               std::size_t min_server_count,
+                               std::size_t min_item_count) {
+  const CsvTable table = parse_csv(text);
+  const std::size_t server_col = table.column_index("server");
+  const std::size_t time_col = table.column_index("time");
+  const std::size_t items_col = table.column_index("items");
+
+  std::vector<Request> requests;
+  std::size_t server_count = std::max<std::size_t>(min_server_count, 1);
+  std::size_t item_count = std::max<std::size_t>(min_item_count, 1);
+  for (const auto& row : table.rows) {
+    Request r;
+    r.server = static_cast<ServerId>(parse_size(row[server_col]));
+    r.time = parse_double(row[time_col]);
+    for (const std::string& field : split(row[items_col], ';')) {
+      r.items.push_back(static_cast<ItemId>(parse_size(field)));
+    }
+    std::sort(r.items.begin(), r.items.end());
+    server_count = std::max<std::size_t>(server_count, r.server + 1);
+    if (!r.items.empty()) {
+      item_count = std::max<std::size_t>(item_count, r.items.back() + 1);
+    }
+    requests.push_back(std::move(r));
+  }
+  return RequestSequence(server_count, item_count, std::move(requests));
+}
+
+void write_trace_file(const std::string& path, const RequestSequence& sequence) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw IoError("cannot write trace file: " + path);
+  out << trace_to_csv(sequence);
+  if (!out) throw IoError("error while writing trace file: " + path);
+}
+
+RequestSequence read_trace_file(const std::string& path,
+                                std::size_t min_server_count,
+                                std::size_t min_item_count) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open trace file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return trace_from_csv(buffer.str(), min_server_count, min_item_count);
+}
+
+}  // namespace dpg

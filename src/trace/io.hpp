@@ -1,0 +1,27 @@
+// Trace persistence: request sequences as CSV files with columns
+// `server,time,items`, where items are ';'-separated item ids.  The format
+// is stable so experiment inputs can be archived and replayed.
+#pragma once
+
+#include <string>
+
+#include "core/request.hpp"
+
+namespace dpg {
+
+/// Serializes a sequence to CSV text.
+[[nodiscard]] std::string trace_to_csv(const RequestSequence& sequence);
+
+/// Parses CSV text back to a sequence.  `server_count`/`item_count` are
+/// inferred as max id + 1 unless explicit larger bounds are given.
+[[nodiscard]] RequestSequence trace_from_csv(const std::string& text,
+                                             std::size_t min_server_count = 0,
+                                             std::size_t min_item_count = 0);
+
+/// File variants. Throw IoError on filesystem problems.
+void write_trace_file(const std::string& path, const RequestSequence& sequence);
+[[nodiscard]] RequestSequence read_trace_file(const std::string& path,
+                                              std::size_t min_server_count = 0,
+                                              std::size_t min_item_count = 0);
+
+}  // namespace dpg

@@ -1,0 +1,71 @@
+#include "trace/stats.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace dpg {
+
+TraceStats compute_trace_stats(const RequestSequence& sequence) {
+  TraceStats stats;
+  stats.request_count = sequence.size();
+  stats.server_count = sequence.server_count();
+  stats.item_count = sequence.item_count();
+  stats.per_server.assign(sequence.server_count(), 0);
+  stats.per_item.assign(sequence.item_count(), 0);
+
+  std::size_t item_accesses = 0;
+  Time previous = 0.0;
+  double gap_sum = 0.0;
+  for (const Request& r : sequence.requests()) {
+    ++stats.per_server[r.server];
+    for (const ItemId item : r.items) ++stats.per_item[item];
+    item_accesses += r.items.size();
+    gap_sum += r.time - previous;
+    previous = r.time;
+    stats.horizon = r.time;
+  }
+  if (stats.request_count > 0) {
+    stats.mean_items_per_request =
+        static_cast<double>(item_accesses) /
+        static_cast<double>(stats.request_count);
+    stats.mean_gap = gap_sum / static_cast<double>(stats.request_count);
+  }
+  return stats;
+}
+
+std::string render_spatial_distribution(const TraceStats& stats,
+                                        std::size_t max_width) {
+  std::size_t peak = 1;
+  for (const std::size_t count : stats.per_server) peak = std::max(peak, count);
+  std::string out = "requests per server (n=" +
+                    std::to_string(stats.request_count) + ", m=" +
+                    std::to_string(stats.server_count) + ")\n";
+  for (std::size_t s = 0; s < stats.per_server.size(); ++s) {
+    out += "s";
+    out += std::to_string(s);
+    out.append(s < 10 ? 2 : 1, ' ');
+    const std::size_t bar = stats.per_server[s] * max_width / peak;
+    out.append(bar, '#');
+    out += " " + std::to_string(stats.per_server[s]) + "\n";
+  }
+  return out;
+}
+
+std::string render_frequent_pairs(const RequestSequence& sequence,
+                                  std::size_t top) {
+  const CorrelationAnalysis analysis(sequence);
+  TextTable table({"pair", "|d_a|", "|d_b|", "co-freq", "Jaccard"});
+  std::size_t emitted = 0;
+  for (const PairCorrelation& p : analysis.sorted_pairs()) {
+    if (p.co_freq == 0 || emitted >= top) break;
+    table.add_row({"(d" + std::to_string(p.a) + ",d" + std::to_string(p.b) + ")",
+                   std::to_string(p.freq_a), std::to_string(p.freq_b),
+                   std::to_string(p.co_freq), format_fixed(p.jaccard, 4)});
+    ++emitted;
+  }
+  return table.render();
+}
+
+}  // namespace dpg

@@ -1,0 +1,36 @@
+// Descriptive trace statistics backing Figs. 9 and 10: the spatial request
+// distribution over servers/zones and the frequency + Jaccard table of the
+// most correlated item pairs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/request.hpp"
+#include "solver/correlation.hpp"
+
+namespace dpg {
+
+struct TraceStats {
+  std::size_t request_count = 0;
+  std::size_t server_count = 0;
+  std::size_t item_count = 0;
+  Time horizon = 0.0;                       // time of the last request
+  std::vector<std::size_t> per_server;      // requests per server (Fig. 9)
+  std::vector<std::size_t> per_item;        // |d_i|
+  double mean_items_per_request = 0.0;
+  double mean_gap = 0.0;                    // mean inter-request time
+};
+
+[[nodiscard]] TraceStats compute_trace_stats(const RequestSequence& sequence);
+
+/// Renders the per-server request histogram (the textual Fig. 9).
+[[nodiscard]] std::string render_spatial_distribution(const TraceStats& stats,
+                                                      std::size_t max_width = 50);
+
+/// The Fig. 10 table: the `top` most similar co-occurring pairs with their
+/// frequencies and Jaccard similarities, rendered as text.
+[[nodiscard]] std::string render_frequent_pairs(const RequestSequence& sequence,
+                                                std::size_t top = 10);
+
+}  // namespace dpg

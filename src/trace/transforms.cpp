@@ -1,0 +1,100 @@
+#include "trace/transforms.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace dpg {
+
+RequestSequence slice_time_window(const RequestSequence& sequence, Time begin,
+                                  Time end) {
+  require(end > begin, "slice_time_window: end must exceed begin");
+  std::vector<Request> requests;
+  for (const Request& r : sequence.requests()) {
+    if (r.time > begin && r.time <= end) {
+      Request shifted = r;
+      shifted.time = r.time - begin;
+      requests.push_back(std::move(shifted));
+    }
+  }
+  return RequestSequence(sequence.server_count(), sequence.item_count(),
+                         std::move(requests));
+}
+
+RequestSequence filter_items(const RequestSequence& sequence,
+                             const std::vector<ItemId>& items) {
+  require(!items.empty(), "filter_items: need at least one item");
+  std::vector<ItemId> remap(sequence.item_count(), kNoItem);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    require(items[i] < sequence.item_count(), "filter_items: item out of range");
+    require(remap[items[i]] == kNoItem, "filter_items: duplicate item");
+    remap[items[i]] = static_cast<ItemId>(i);
+  }
+  std::vector<Request> requests;
+  for (const Request& r : sequence.requests()) {
+    Request kept;
+    kept.server = r.server;
+    kept.time = r.time;
+    for (const ItemId item : r.items) {
+      if (remap[item] != kNoItem) kept.items.push_back(remap[item]);
+    }
+    if (!kept.items.empty()) {
+      std::sort(kept.items.begin(), kept.items.end());
+      requests.push_back(std::move(kept));
+    }
+  }
+  return RequestSequence(sequence.server_count(), items.size(),
+                         std::move(requests));
+}
+
+RequestSequence merge_sequences(const RequestSequence& a,
+                                const RequestSequence& b, double epsilon) {
+  require(epsilon > 0.0, "merge_sequences: epsilon must be positive");
+  const std::size_t server_count =
+      std::max(a.server_count(), b.server_count());
+  const auto item_offset = static_cast<ItemId>(a.item_count());
+
+  std::vector<Request> merged;
+  merged.reserve(a.size() + b.size());
+  std::size_t ia = 0, ib = 0;
+  Time last = 0.0;
+  const auto emit = [&merged, &last, epsilon](Request r) {
+    if (r.time <= last) r.time = last + epsilon;
+    last = r.time;
+    merged.push_back(std::move(r));
+  };
+  while (ia < a.size() || ib < b.size()) {
+    const bool take_a =
+        ib >= b.size() || (ia < a.size() && a[ia].time <= b[ib].time);
+    if (take_a) {
+      emit(a[ia++]);
+    } else {
+      Request r = b[ib++];
+      for (ItemId& item : r.items) {
+        item = static_cast<ItemId>(item + item_offset);
+      }
+      emit(std::move(r));
+    }
+  }
+  return RequestSequence(server_count, a.item_count() + b.item_count(),
+                         std::move(merged));
+}
+
+RequestSequence remap_servers(const RequestSequence& sequence,
+                              const std::vector<ServerId>& mapping) {
+  require(mapping.size() >= sequence.server_count(),
+          "remap_servers: mapping must cover every server");
+  ServerId max_server = 0;
+  for (const ServerId s : mapping) max_server = std::max(max_server, s);
+  std::vector<Request> requests;
+  requests.reserve(sequence.size());
+  for (const Request& r : sequence.requests()) {
+    Request moved = r;
+    moved.server = mapping[r.server];
+    requests.push_back(std::move(moved));
+  }
+  return RequestSequence(static_cast<std::size_t>(max_server) + 1,
+                         sequence.item_count(), std::move(requests));
+}
+
+}  // namespace dpg

@@ -1,0 +1,37 @@
+// Trace transformations: slicing, filtering and remapping request
+// sequences.  These are the everyday tools for working with archived
+// traces — cutting a time window out of a day-long trace, restricting to
+// an item subset, merging fleets, anonymizing server ids.
+#pragma once
+
+#include <vector>
+
+#include "core/request.hpp"
+
+namespace dpg {
+
+/// Requests with time in (begin, end], times shifted so the window starts
+/// at 0 (shift = begin; resulting times are > 0 as the model requires).
+[[nodiscard]] RequestSequence slice_time_window(const RequestSequence& sequence,
+                                                Time begin, Time end);
+
+/// Requests restricted to the given items (other items are dropped from
+/// request item-sets; requests left empty are removed).  Item ids are
+/// remapped densely in the order given, so `items = {7, 2}` produces a
+/// 2-item sequence where old item 7 is new item 0.
+[[nodiscard]] RequestSequence filter_items(const RequestSequence& sequence,
+                                           const std::vector<ItemId>& items);
+
+/// Interleaves two sequences over the same server universe; the second
+/// sequence's items are renumbered after the first's.  Identical timestamps
+/// are disambiguated by nudging the later one forward by `epsilon`.
+[[nodiscard]] RequestSequence merge_sequences(const RequestSequence& a,
+                                              const RequestSequence& b,
+                                              double epsilon = 1e-7);
+
+/// Applies a server permutation/mapping (`mapping[s]` = new id).  The new
+/// server count is max(mapping)+1; mapping must cover every used server.
+[[nodiscard]] RequestSequence remap_servers(const RequestSequence& sequence,
+                                            const std::vector<ServerId>& mapping);
+
+}  // namespace dpg

@@ -1,0 +1,131 @@
+#include "util/args.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace dpg {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+const double* ArgParser::add_double(std::string name, std::string help, double def) {
+  auto opt = std::make_unique<Option>();
+  opt->name = std::move(name);
+  opt->help = std::move(help);
+  opt->kind = Kind::kDouble;
+  opt->default_text = format_fixed(def, 4);
+  opt->as_double = std::make_unique<double>(def);
+  const double* out = opt->as_double.get();
+  options_.push_back(std::move(opt));
+  return out;
+}
+
+const std::size_t* ArgParser::add_size(std::string name, std::string help,
+                                       std::size_t def) {
+  auto opt = std::make_unique<Option>();
+  opt->name = std::move(name);
+  opt->help = std::move(help);
+  opt->kind = Kind::kSize;
+  opt->default_text = std::to_string(def);
+  opt->as_size = std::make_unique<std::size_t>(def);
+  const std::size_t* out = opt->as_size.get();
+  options_.push_back(std::move(opt));
+  return out;
+}
+
+const std::string* ArgParser::add_string(std::string name, std::string help,
+                                         std::string def) {
+  auto opt = std::make_unique<Option>();
+  opt->name = std::move(name);
+  opt->help = std::move(help);
+  opt->kind = Kind::kString;
+  opt->default_text = def;
+  opt->as_string = std::make_unique<std::string>(std::move(def));
+  const std::string* out = opt->as_string.get();
+  options_.push_back(std::move(opt));
+  return out;
+}
+
+const bool* ArgParser::add_flag(std::string name, std::string help) {
+  auto opt = std::make_unique<Option>();
+  opt->name = std::move(name);
+  opt->help = std::move(help);
+  opt->kind = Kind::kFlag;
+  opt->default_text = "false";
+  opt->as_flag = std::make_unique<bool>(false);
+  const bool* out = opt->as_flag.get();
+  options_.push_back(std::move(opt));
+  return out;
+}
+
+ArgParser::Option* ArgParser::find(const std::string& name) {
+  for (auto& opt : options_) {
+    if (opt->name == name) return opt.get();
+  }
+  return nullptr;
+}
+
+void ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token == "--help" || token == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      std::exit(0);
+    }
+    if (!starts_with(token, "--")) {
+      throw InvalidArgument(program_ + ": unexpected positional argument '" +
+                            token + "'");
+    }
+    token.erase(0, 2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = token.find('='); eq != std::string::npos) {
+      value = token.substr(eq + 1);
+      token.erase(eq);
+      has_value = true;
+    }
+    Option* opt = find(token);
+    if (opt == nullptr) {
+      throw InvalidArgument(program_ + ": unknown option --" + token);
+    }
+    if (opt->kind == Kind::kFlag) {
+      *opt->as_flag = true;
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) {
+        throw InvalidArgument(program_ + ": option --" + token +
+                              " expects a value");
+      }
+      value = argv[++i];
+    }
+    switch (opt->kind) {
+      case Kind::kDouble:
+        *opt->as_double = parse_double(value);
+        break;
+      case Kind::kSize:
+        *opt->as_size = parse_size(value);
+        break;
+      case Kind::kString:
+        *opt->as_string = value;
+        break;
+      case Kind::kFlag:
+        break;
+    }
+  }
+}
+
+std::string ArgParser::usage() const {
+  std::string out = program_ + " — " + description_ + "\n\noptions:\n";
+  for (const auto& opt : options_) {
+    out += "  --" + opt->name;
+    if (opt->kind != Kind::kFlag) out += " <value>";
+    out += "\n      " + opt->help + " (default: " + opt->default_text + ")\n";
+  }
+  return out;
+}
+
+}  // namespace dpg

@@ -1,0 +1,56 @@
+// Tiny declarative command-line parser for examples and figure harnesses.
+//
+//   ArgParser args("taxi_fleet", "simulate a taxi fleet workload");
+//   auto seed  = args.add_size("seed", "RNG seed", 42);
+//   auto alpha = args.add_double("alpha", "discount factor", 0.8);
+//   args.parse(argc, argv);            // accepts --alpha 0.6 and --alpha=0.6
+//   run(*seed, *alpha);
+//
+// Unknown flags and malformed values raise InvalidArgument; `--help` prints
+// usage and exits(0).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dpg {
+
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string description);
+
+  /// Registers a flag; the returned pointer stays valid for the parser's
+  /// lifetime and holds the default until parse() overwrites it.
+  const double* add_double(std::string name, std::string help, double def);
+  const std::size_t* add_size(std::string name, std::string help, std::size_t def);
+  const std::string* add_string(std::string name, std::string help, std::string def);
+  const bool* add_flag(std::string name, std::string help);
+
+  /// Parses argv. Throws InvalidArgument on unknown/malformed options.
+  void parse(int argc, const char* const* argv);
+
+  /// Usage text (also printed by --help).
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  enum class Kind { kDouble, kSize, kString, kFlag };
+  struct Option {
+    std::string name;
+    std::string help;
+    Kind kind;
+    std::string default_text;
+    std::unique_ptr<double> as_double;
+    std::unique_ptr<std::size_t> as_size;
+    std::unique_ptr<std::string> as_string;
+    std::unique_ptr<bool> as_flag;
+  };
+
+  Option* find(const std::string& name);
+
+  std::string program_;
+  std::string description_;
+  std::vector<std::unique_ptr<Option>> options_;
+};
+
+}  // namespace dpg

@@ -1,0 +1,121 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace dpg {
+
+std::size_t CsvTable::column_index(std::string_view column) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == column) return i;
+  }
+  throw IoError("CSV column not found: " + std::string(column));
+}
+
+namespace {
+
+// Parses one logical CSV record starting at `pos`; advances `pos` past the
+// record's line terminator. Handles quoted fields with embedded separators.
+std::vector<std::string> parse_record(std::string_view text, std::size_t& pos) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  while (pos < text.size()) {
+    const char c = text[pos];
+    if (in_quotes) {
+      if (c == '"') {
+        if (pos + 1 < text.size() && text[pos + 1] == '"') {
+          current += '"';
+          ++pos;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c == '\n' || c == '\r') {
+      if (c == '\r' && pos + 1 < text.size() && text[pos + 1] == '\n') ++pos;
+      ++pos;
+      fields.push_back(std::move(current));
+      return fields;
+    } else {
+      current += c;
+    }
+    ++pos;
+  }
+  if (in_quotes) throw IoError("CSV: unterminated quoted field");
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+bool needs_quoting(std::string_view field) {
+  return field.find_first_of(",\"\n\r") != std::string_view::npos;
+}
+
+std::string quote(std::string_view field) {
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+CsvTable parse_csv(std::string_view text) {
+  CsvTable table;
+  std::size_t pos = 0;
+  bool first = true;
+  while (pos < text.size()) {
+    auto record = parse_record(text, pos);
+    if (record.size() == 1 && record[0].empty()) continue;  // blank line
+    if (first) {
+      table.header = std::move(record);
+      first = false;
+    } else {
+      if (record.size() != table.header.size()) {
+        throw IoError("CSV: row has " + std::to_string(record.size()) +
+                      " fields, header has " + std::to_string(table.header.size()));
+      }
+      table.rows.push_back(std::move(record));
+    }
+  }
+  return table;
+}
+
+CsvTable read_csv_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open CSV file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_csv(buffer.str());
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << (needs_quoting(fields[i]) ? quote(fields[i]) : fields[i]);
+  }
+  out_ << '\n';
+}
+
+void write_csv_file(const std::string& path, const CsvTable& table) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw IoError("cannot write CSV file: " + path);
+  CsvWriter writer(out);
+  writer.write_row(table.header);
+  for (const auto& row : table.rows) writer.write_row(row);
+  if (!out) throw IoError("error while writing CSV file: " + path);
+}
+
+}  // namespace dpg

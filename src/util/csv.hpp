@@ -1,0 +1,46 @@
+// Minimal CSV reading/writing used by trace I/O and figure harnesses.
+//
+// The dialect is deliberately simple: comma separator, first row is a header,
+// quoting with '"' supported on read, fields containing comma/quote/newline
+// are quoted on write.  That is sufficient for traces and experiment tables
+// and keeps the parser easy to audit.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dpg {
+
+/// One parsed CSV document: a header plus rows of string fields.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of `column` in the header; throws IoError if absent.
+  [[nodiscard]] std::size_t column_index(std::string_view column) const;
+};
+
+/// Parses CSV text. Throws IoError on ragged rows or unterminated quotes.
+[[nodiscard]] CsvTable parse_csv(std::string_view text);
+
+/// Reads and parses a CSV file. Throws IoError if unreadable.
+[[nodiscard]] CsvTable read_csv_file(const std::string& path);
+
+/// Incremental CSV writer.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  /// Writes one row; fields are quoted only when needed.
+  void write_row(const std::vector<std::string>& fields);
+
+ private:
+  std::ostream& out_;
+};
+
+/// Writes a whole table (header + rows) to a file. Throws IoError on failure.
+void write_csv_file(const std::string& path, const CsvTable& table);
+
+}  // namespace dpg

@@ -1,0 +1,37 @@
+// Error-handling primitives shared across the dpgreedy libraries.
+//
+// Construction and I/O failures throw `dpg::Error`; hot-path computations
+// never throw and report impossibility through sentinel costs (see
+// core/cost_model.hpp) instead.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dpg {
+
+/// Base exception for all library-raised errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an input violates a documented precondition
+/// (e.g. requests out of time order, server index out of range).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown on file / parse failures in trace I/O.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// Precondition check that survives NDEBUG builds: throws InvalidArgument.
+inline void require(bool condition, const std::string& message) {
+  if (!condition) throw InvalidArgument(message);
+}
+
+}  // namespace dpg

@@ -1,0 +1,51 @@
+// Leveled stderr logger.
+//
+// The library itself logs nothing at Info by default; harnesses raise the
+// level with --verbose. Thread-safe: each message is formatted into a local
+// buffer and written with a single mutex-guarded call.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dpg {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Writes one formatted line (used by the LOG macro; callable directly).
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace dpg
+
+#define DPG_LOG(level)                                  \
+  if (static_cast<int>(level) < static_cast<int>(::dpg::log_level())) {} \
+  else ::dpg::detail::LogLine(level)
+
+#define DPG_DEBUG DPG_LOG(::dpg::LogLevel::kDebug)
+#define DPG_INFO DPG_LOG(::dpg::LogLevel::kInfo)
+#define DPG_WARN DPG_LOG(::dpg::LogLevel::kWarn)
+#define DPG_ERROR DPG_LOG(::dpg::LogLevel::kError)

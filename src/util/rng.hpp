@@ -1,0 +1,89 @@
+// Deterministic random-number utilities.
+//
+// Every stochastic component in the library (trace generators, the mobility
+// simulator, randomized property tests) draws from dpg::Rng so that a single
+// 64-bit seed reproduces an experiment bit-for-bit.  Rng wraps SplitMix64 for
+// seeding and xoshiro256** for the stream; both are small, fast and of
+// well-studied quality for simulation workloads.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dpg {
+
+/// SplitMix64 step; used to expand one seed into full generator state.
+/// Public because tests and stream-splitting also use it directly.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Deterministic pseudo-random generator (xoshiro256**).
+///
+/// Satisfies `std::uniform_random_bit_generator`, so it can also feed
+/// `std::shuffle` and standard distributions when convenient, but the
+/// member helpers below are the preferred, reproducible interface.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the generator; equal seeds yield equal streams on every platform.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ull; }
+  result_type operator()() noexcept { return next_u64(); }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform in [0, bound). `bound` must be > 0. Unbiased (rejection).
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in the closed range [lo, hi].
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double next_double(double lo, double hi) noexcept;
+
+  /// Standard-normal variate (Box–Muller, cached pair).
+  double next_gaussian() noexcept;
+
+  /// Exponential variate with the given rate (mean 1/rate).
+  double next_exponential(double rate) noexcept;
+
+  /// Bernoulli trial.
+  bool next_bool(double probability_true) noexcept;
+
+  /// Index drawn from the discrete distribution proportional to `weights`.
+  /// Weights must be non-negative with a positive sum.
+  std::size_t next_weighted(std::span<const double> weights) noexcept;
+
+  /// Zipf-distributed rank in [0, n) with exponent `s` (s = 0 is uniform).
+  /// Uses inverse-CDF over precomputable weights; O(n) per call by design
+  /// (callers that need many draws should use trace::ZipfSampler).
+  std::size_t next_zipf(std::size_t n, double s) noexcept;
+
+  /// Fisher–Yates shuffle of a vector-like span.
+  template <typename T>
+  void shuffle(std::span<T> values) noexcept {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(values[i - 1], values[j]);
+    }
+  }
+
+  /// Derives an independent child generator; used to give each parallel
+  /// worker its own stream while keeping the whole run a function of one seed.
+  [[nodiscard]] Rng split() noexcept;
+
+ private:
+  std::uint64_t state_[4];
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+}  // namespace dpg

@@ -1,0 +1,120 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace dpg {
+
+Summary summarize(std::span<const double> values) noexcept {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  double sum = 0.0;
+  s.min = values.front();
+  s.max = values.front();
+  for (const double v : values) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(s.count);
+  if (s.count >= 2) {
+    double ss = 0.0;
+    for (const double v : values) ss += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(ss / static_cast<double>(s.count - 1));
+  }
+  return s;
+}
+
+double percentile(std::span<const double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto below = static_cast<std::size_t>(rank);
+  const std::size_t above = std::min(below + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(below);
+  return sorted[below] * (1.0 - frac) + sorted[above] * frac;
+}
+
+double confidence95(std::span<const double> values) noexcept {
+  const Summary s = summarize(values);
+  if (s.count < 2) return 0.0;
+  return 1.96 * s.stddev / std::sqrt(static_cast<double>(s.count));
+}
+
+Histogram::Histogram(double lo_edge, double hi_edge, std::size_t bin_count)
+    : lo(lo_edge), hi(hi_edge), bins(bin_count, 0) {
+  require(bin_count > 0, "Histogram needs at least one bin");
+  require(hi_edge > lo_edge, "Histogram needs hi > lo");
+}
+
+void Histogram::add(double value) noexcept {
+  const double unit = (value - lo) / (hi - lo);
+  auto index = static_cast<std::ptrdiff_t>(
+      std::floor(unit * static_cast<double>(bins.size())));
+  index = std::clamp<std::ptrdiff_t>(index, 0,
+                                     static_cast<std::ptrdiff_t>(bins.size()) - 1);
+  ++bins[static_cast<std::size_t>(index)];
+}
+
+std::size_t Histogram::total() const noexcept {
+  std::size_t n = 0;
+  for (const std::size_t b : bins) n += b;
+  return n;
+}
+
+std::string Histogram::render(std::size_t max_width) const {
+  std::size_t peak = 1;
+  for (const std::size_t b : bins) peak = std::max(peak, b);
+  std::string out;
+  const double width = (hi - lo) / static_cast<double>(bins.size());
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    const double edge = lo + width * static_cast<double>(i);
+    out += '[';
+    out += format_fixed(edge, 2);
+    out += ',';
+    out += format_fixed(edge + width, 2);
+    out += ") ";
+    const std::size_t bar = bins[i] * max_width / peak;
+    out.append(bar, '#');
+    out += " " + std::to_string(bins[i]) + "\n";
+  }
+  return out;
+}
+
+PowerFit fit_power_law(std::span<const double> x, std::span<const double> y) {
+  require(x.size() == y.size(), "fit_power_law: size mismatch");
+  require(x.size() >= 2, "fit_power_law: need at least 2 points");
+  const auto n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    require(x[i] > 0.0 && y[i] > 0.0, "fit_power_law: inputs must be positive");
+    const double lx = std::log(x[i]);
+    const double ly = std::log(y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    syy += ly * ly;
+  }
+  PowerFit fit;
+  const double denom = n * sxx - sx * sx;
+  fit.exponent = (n * sxy - sx * sy) / denom;
+  fit.coefficient = std::exp((sy - fit.exponent * sx) / n);
+  const double ss_tot = syy - sy * sy / n;
+  double ss_res = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double pred = std::log(fit.coefficient) + fit.exponent * std::log(x[i]);
+    const double err = std::log(y[i]) - pred;
+    ss_res += err * err;
+  }
+  fit.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+}  // namespace dpg

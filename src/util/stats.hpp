@@ -1,0 +1,55 @@
+// Descriptive statistics for experiment post-processing: summary moments,
+// percentiles, histograms and a least-squares power-law fit used by the
+// complexity-scaling bench to check the O(mn^2) claim empirically.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dpg {
+
+/// Summary of a sample: count, mean, (unbiased) stddev, min/max.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Computes a Summary; an empty sample yields all zeros.
+[[nodiscard]] Summary summarize(std::span<const double> values) noexcept;
+
+/// p-th percentile (0..100) by linear interpolation on the sorted sample.
+/// The input need not be sorted. Empty sample returns 0.
+[[nodiscard]] double percentile(std::span<const double> values, double p);
+
+/// Half-width of the ~95% normal-approximation confidence interval of the
+/// mean (1.96 * stddev / sqrt(n)); 0 for samples smaller than 2.
+[[nodiscard]] double confidence95(std::span<const double> values) noexcept;
+
+/// Fixed-bin histogram over [lo, hi); values outside clamp to edge bins.
+struct Histogram {
+  double lo = 0.0;
+  double hi = 1.0;
+  std::vector<std::size_t> bins;
+
+  Histogram(double lo_edge, double hi_edge, std::size_t bin_count);
+  void add(double value) noexcept;
+  [[nodiscard]] std::size_t total() const noexcept;
+  /// ASCII rendering ("[0.0,0.1) ###### 42") used by figure harnesses.
+  [[nodiscard]] std::string render(std::size_t max_width = 50) const;
+};
+
+/// Least-squares fit of y = c * x^k via log–log regression.
+/// Inputs must be positive and the spans equal-length with >= 2 points.
+struct PowerFit {
+  double exponent = 0.0;
+  double coefficient = 0.0;
+  double r_squared = 0.0;
+};
+[[nodiscard]] PowerFit fit_power_law(std::span<const double> x,
+                                     std::span<const double> y);
+
+}  // namespace dpg

@@ -1,0 +1,25 @@
+// Monotonic wall-clock stopwatch for harness timing (benchmarks proper use
+// google-benchmark; this is for coarse experiment bookkeeping).
+#pragma once
+
+#include <chrono>
+
+namespace dpg {
+
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(clock::now()) {}
+
+  /// Seconds since construction or the last reset().
+  [[nodiscard]] double elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  void reset() noexcept { start_ = clock::now(); }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace dpg

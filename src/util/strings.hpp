@@ -1,0 +1,33 @@
+// Small string helpers shared by CSV/CLI parsing and report formatting.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dpg {
+
+/// Splits `text` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view text) noexcept;
+
+/// Joins `parts` with `sep` between consecutive elements.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// True if `text` begins with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view text,
+                               std::string_view prefix) noexcept;
+
+/// Parses a double; throws dpg::IoError with context on failure.
+[[nodiscard]] double parse_double(std::string_view text);
+
+/// Parses a non-negative integer; throws dpg::IoError with context on failure.
+[[nodiscard]] std::size_t parse_size(std::string_view text);
+
+/// Formats a double with `digits` digits after the decimal point.
+[[nodiscard]] std::string format_fixed(double value, int digits);
+
+}  // namespace dpg

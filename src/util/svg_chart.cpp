@@ -1,0 +1,186 @@
+#include "util/svg_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace dpg {
+
+SvgChart::SvgChart(std::string title, std::string x_label, std::string y_label,
+                   std::size_t width, std::size_t height)
+    : title_(std::move(title)),
+      x_label_(std::move(x_label)),
+      y_label_(std::move(y_label)),
+      width_(width),
+      height_(height) {
+  require(width_ >= 160 && height_ >= 120, "SvgChart: canvas too small");
+}
+
+void SvgChart::add_series(std::string name,
+                          std::vector<std::pair<double, double>> points,
+                          std::string color) {
+  std::sort(points.begin(), points.end());
+  series_.push_back(Series{std::move(name), std::move(points), std::move(color)});
+}
+
+namespace {
+
+std::string escape_xml(const std::string& text) {
+  std::string out;
+  for (const char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// A "nice" tick step covering `span` with ~`count` ticks.
+double nice_step(double span, int count) {
+  const double raw = span / count;
+  const double magnitude = std::pow(10.0, std::floor(std::log10(raw)));
+  const double residual = raw / magnitude;
+  double step = 10.0;
+  if (residual <= 1.0) step = 1.0;
+  else if (residual <= 2.0) step = 2.0;
+  else if (residual <= 5.0) step = 5.0;
+  return step * magnitude;
+}
+
+}  // namespace
+
+std::string SvgChart::render() const {
+  // Data bounds.
+  double x_min = 0.0, x_max = 1.0, y_min = 0.0, y_max = 1.0;
+  bool first = true;
+  for (const Series& s : series_) {
+    for (const auto& [x, y] : s.points) {
+      if (first) {
+        x_min = x_max = x;
+        y_min = y_max = y;
+        first = false;
+      }
+      x_min = std::min(x_min, x);
+      x_max = std::max(x_max, x);
+      y_min = std::min(y_min, y);
+      y_max = std::max(y_max, y);
+    }
+  }
+  if (x_max == x_min) x_max = x_min + 1.0;
+  if (y_max == y_min) y_max = y_min + 1.0;
+  // Pad the y range a little so lines do not hug the frame.
+  const double y_pad = 0.05 * (y_max - y_min);
+  y_min -= y_pad;
+  y_max += y_pad;
+
+  const double margin_left = 64, margin_right = 16;
+  const double margin_top = 36, margin_bottom = 48;
+  const double plot_w = static_cast<double>(width_) - margin_left - margin_right;
+  const double plot_h = static_cast<double>(height_) - margin_top - margin_bottom;
+
+  const auto sx = [&](double x) {
+    return margin_left + (x - x_min) / (x_max - x_min) * plot_w;
+  };
+  const auto sy = [&](double y) {
+    return margin_top + plot_h - (y - y_min) / (y_max - y_min) * plot_h;
+  };
+
+  std::ostringstream out;
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width_
+      << "\" height=\"" << height_ << "\" viewBox=\"0 0 " << width_ << " "
+      << height_ << "\">\n"
+      << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n"
+      << "<text x=\"" << width_ / 2 << "\" y=\"20\" text-anchor=\"middle\" "
+         "font-family=\"sans-serif\" font-size=\"14\">"
+      << escape_xml(title_) << "</text>\n";
+
+  // Axes frame.
+  out << "<rect x=\"" << margin_left << "\" y=\"" << margin_top << "\" width=\""
+      << plot_w << "\" height=\"" << plot_h
+      << "\" fill=\"none\" stroke=\"#333\"/>\n";
+
+  // Ticks and grid.
+  const double x_step = nice_step(x_max - x_min, 6);
+  for (double x = std::ceil(x_min / x_step) * x_step; x <= x_max + 1e-12;
+       x += x_step) {
+    out << "<line x1=\"" << sx(x) << "\" y1=\"" << margin_top << "\" x2=\""
+        << sx(x) << "\" y2=\"" << margin_top + plot_h
+        << "\" stroke=\"#ddd\"/>\n";
+    out << "<text x=\"" << sx(x) << "\" y=\"" << margin_top + plot_h + 16
+        << "\" text-anchor=\"middle\" font-family=\"sans-serif\" "
+           "font-size=\"10\">"
+        << format_fixed(x, x_step < 1.0 ? 2 : 0) << "</text>\n";
+  }
+  const double y_step = nice_step(y_max - y_min, 6);
+  for (double y = std::ceil(y_min / y_step) * y_step; y <= y_max + 1e-12;
+       y += y_step) {
+    out << "<line x1=\"" << margin_left << "\" y1=\"" << sy(y) << "\" x2=\""
+        << margin_left + plot_w << "\" y2=\"" << sy(y)
+        << "\" stroke=\"#ddd\"/>\n";
+    out << "<text x=\"" << margin_left - 6 << "\" y=\"" << sy(y) + 3
+        << "\" text-anchor=\"end\" font-family=\"sans-serif\" "
+           "font-size=\"10\">"
+        << format_fixed(y, y_step < 1.0 ? 2 : 0) << "</text>\n";
+  }
+
+  // Axis labels.
+  out << "<text x=\"" << margin_left + plot_w / 2 << "\" y=\""
+      << static_cast<double>(height_) - 10
+      << "\" text-anchor=\"middle\" font-family=\"sans-serif\" "
+         "font-size=\"12\">"
+      << escape_xml(x_label_) << "</text>\n";
+  out << "<text x=\"14\" y=\"" << margin_top + plot_h / 2
+      << "\" text-anchor=\"middle\" font-family=\"sans-serif\" "
+         "font-size=\"12\" transform=\"rotate(-90 14 "
+      << margin_top + plot_h / 2 << ")\">" << escape_xml(y_label_)
+      << "</text>\n";
+
+  // Series.
+  for (const Series& s : series_) {
+    if (s.points.empty()) continue;
+    out << "<polyline fill=\"none\" stroke=\"" << s.color
+        << "\" stroke-width=\"1.8\" points=\"";
+    for (const auto& [x, y] : s.points) {
+      out << format_fixed(sx(x), 1) << "," << format_fixed(sy(y), 1) << " ";
+    }
+    out << "\"/>\n";
+    for (const auto& [x, y] : s.points) {
+      out << "<circle cx=\"" << format_fixed(sx(x), 1) << "\" cy=\""
+          << format_fixed(sy(y), 1) << "\" r=\"2.2\" fill=\"" << s.color
+          << "\"/>\n";
+    }
+  }
+
+  // Legend (top-right inside the frame).
+  double legend_y = margin_top + 14;
+  for (const Series& s : series_) {
+    const double x0 = margin_left + plot_w - 150;
+    out << "<line x1=\"" << x0 << "\" y1=\"" << legend_y - 4 << "\" x2=\""
+        << x0 + 22 << "\" y2=\"" << legend_y - 4 << "\" stroke=\"" << s.color
+        << "\" stroke-width=\"2\"/>\n";
+    out << "<text x=\"" << x0 + 28 << "\" y=\"" << legend_y
+        << "\" font-family=\"sans-serif\" font-size=\"11\">"
+        << escape_xml(s.name) << "</text>\n";
+    legend_y += 16;
+  }
+
+  out << "</svg>\n";
+  return out.str();
+}
+
+void SvgChart::write_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw IoError("cannot write SVG file: " + path);
+  out << render();
+  if (!out) throw IoError("error while writing SVG file: " + path);
+}
+
+}  // namespace dpg

@@ -1,0 +1,45 @@
+// Dependency-free SVG line charts.
+//
+// The figure harnesses print the paper's series as text tables and, via this
+// module, also emit an .svg next to them so the reproduced figures can be
+// compared with the paper's visually.  Deliberately minimal: linear axes,
+// ticks, polyline series, legend.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dpg {
+
+class SvgChart {
+ public:
+  SvgChart(std::string title, std::string x_label, std::string y_label,
+           std::size_t width = 640, std::size_t height = 420);
+
+  /// Adds one series; call in legend order. Points need not be sorted.
+  /// `color` is any SVG color ("#1f77b4", "crimson", ...).
+  void add_series(std::string name, std::vector<std::pair<double, double>> points,
+                  std::string color);
+
+  /// Renders the complete SVG document.
+  [[nodiscard]] std::string render() const;
+
+  /// Convenience: render straight to a file. Throws IoError on failure.
+  void write_file(const std::string& path) const;
+
+ private:
+  struct Series {
+    std::string name;
+    std::vector<std::pair<double, double>> points;
+    std::string color;
+  };
+
+  std::string title_;
+  std::string x_label_;
+  std::string y_label_;
+  std::size_t width_;
+  std::size_t height_;
+  std::vector<Series> series_;
+};
+
+}  // namespace dpg

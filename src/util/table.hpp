@@ -1,0 +1,34 @@
+// Aligned plain-text table printer; figure harnesses use it to print the
+// same rows/series the paper plots.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dpg {
+
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; must have as many fields as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `digits` decimals.
+  void add_numeric_row(const std::vector<double>& row, int digits = 4);
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders with padded columns and a header rule.
+  [[nodiscard]] std::string render() const;
+
+  friend std::ostream& operator<<(std::ostream& out, const TextTable& table);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dpg

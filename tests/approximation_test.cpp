@@ -1,0 +1,126 @@
+// Empirical validation of the approximation analysis of Section IV-B:
+//   (i)  greedy ≤ 2 × optimal per flow (Eq. 7–8, the cut-operation lemma),
+//   (ii) Lemma 1's lower bound C* ≥ α(C1opt + C2opt),
+//   (iii) Theorem 1: C_DPG ≤ (2/α) · C*.
+// Since C* (the optimum of the packed model) is not directly computable, we
+// check the stronger inequality C_DPG ≤ 2 · (C1opt + C2opt) implied by the
+// paper's own proof chain, with the per-item optima taken from exhaustive
+// search on small instances and from the DP on larger ones.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "solver/bruteforce.hpp"
+#include "solver/dp_greedy.hpp"
+#include "solver/greedy.hpp"
+#include "solver/optimal_offline.hpp"
+#include "test_support.hpp"
+
+namespace dpg {
+namespace {
+
+class GreedyWithinTwiceOptimal
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double>> {};
+
+TEST_P(GreedyWithinTwiceOptimal, HoldsOnRandomFlows) {
+  const auto [n, lambda] = GetParam();
+  Rng rng(0xACE0 + n * 7);
+  const CostModel model{1.0, lambda, 0.8};
+  for (int trial = 0; trial < 50; ++trial) {
+    const Flow flow = testing::random_flow(rng, n, 4);
+    const Cost greedy = solve_greedy(flow, model, 4).raw_cost;
+    const Cost optimal = solve_optimal_offline(flow, model, 4).raw_cost;
+    if (optimal == 0.0) {
+      ASSERT_EQ(greedy, 0.0);
+      continue;
+    }
+    ASSERT_LE(greedy, 2.0 * optimal + 1e-9)
+        << "greedy/optimal = " << greedy / optimal;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GreedyWithinTwiceOptimal,
+    ::testing::Combine(::testing::Values<std::size_t>(3, 10, 40, 120),
+                       ::testing::Values(0.2, 1.0, 3.0, 8.0)));
+
+// Lemma 1 chain on two-item traces: the DP_Greedy cost is bounded by twice
+// the sum of the per-item optima (hence by (2/α)·C*).
+class DpGreedyBound
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(DpGreedyBound, WithinTwiceSumOfItemOptima) {
+  const auto [alpha, co_prob] = GetParam();
+  Rng rng(0xF00 + static_cast<std::uint64_t>(alpha * 100));
+  const CostModel model{1.0, 1.0, alpha};
+  for (int trial = 0; trial < 30; ++trial) {
+    const RequestSequence seq = testing::random_sequence(rng, 40, 3, 2, co_prob);
+    DpGreedyOptions options;
+    options.theta = 0.0;  // force packing whenever the items ever co-occur
+    const DpGreedyResult dpg = solve_dp_greedy(seq, model, options);
+    const Cost c1 =
+        solve_optimal_offline(make_item_flow(seq, 0), model, 3).raw_cost;
+    const Cost c2 =
+        solve_optimal_offline(make_item_flow(seq, 1), model, 3).raw_cost;
+    ASSERT_LE(dpg.total_cost, 2.0 * (c1 + c2) + 1e-9)
+        << "alpha=" << alpha << " co=" << co_prob << " trial=" << trial;
+    // And therefore within (2/α) of the true packed optimum C*, which
+    // Lemma 1 lower-bounds by α(c1 + c2).
+    const Cost lemma1_lower_bound = alpha * (c1 + c2);
+    if (lemma1_lower_bound > 0.0) {
+      ASSERT_LE(dpg.total_cost / lemma1_lower_bound,
+                model.approximation_bound() + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DpGreedyBound,
+    ::testing::Combine(::testing::Values(0.2, 0.4, 0.6, 0.8, 1.0),
+                       ::testing::Values(0.1, 0.5, 0.9)));
+
+// On tiny instances, verify the per-item optima against exhaustive search so
+// the bound above is anchored to the true optimum, not to the DP itself.
+TEST(DpGreedyBound, AnchoredToBruteForceOnTinyInstances) {
+  Rng rng(0xCAFE);
+  const CostModel model{1.0, 1.0, 0.6};
+  for (int trial = 0; trial < 25; ++trial) {
+    const RequestSequence seq = testing::random_sequence(rng, 10, 3, 2, 0.5);
+    DpGreedyOptions options;
+    options.theta = 0.0;
+    const DpGreedyResult dpg = solve_dp_greedy(seq, model, options);
+    const Cost c1 =
+        solve_bruteforce(make_item_flow(seq, 0), model).raw_cost;
+    const Cost c2 =
+        solve_bruteforce(make_item_flow(seq, 1), model).raw_cost;
+    ASSERT_LE(dpg.total_cost, 2.0 * (c1 + c2) + 1e-9);
+  }
+}
+
+// The cut-operation critical state (Section IV-B item 3): after trimming,
+// every request costs at least λ in the optimal schedule and at most 2λ in
+// the greedy one.  We verify the per-request greedy decision bound directly:
+// each greedy step pays at most μ(t_i − t_{i-1}) + λ, and when
+// μ(t_i − t_{i-1}) > λ would make that exceed 2λ, the cache option from
+// p(i) is... not necessarily cheaper; instead the *pair* of schedules obeys
+// the aggregate 2× bound, which GreedyWithinTwiceOptimal covers.  Here we
+// lock the per-step upper bound used in Eq. 7: greedy step ≤ previous-gap
+// cache + λ.
+TEST(CutOperation, GreedyStepNeverExceedsTransferOption) {
+  Rng rng(0xBADA);
+  const CostModel model{1.0, 2.0, 0.8};
+  for (int trial = 0; trial < 20; ++trial) {
+    const Flow flow = testing::random_flow(rng, 30, 4);
+    Cost expected_upper = 0.0;
+    Time prev = 0.0;
+    for (const ServicePoint& p : flow.points) {
+      expected_upper += model.mu * (p.time - prev) + model.lambda;
+      prev = p.time;
+    }
+    const Cost greedy = solve_greedy(flow, model, 4).raw_cost;
+    ASSERT_LE(greedy, expected_upper + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace dpg

@@ -1,0 +1,96 @@
+// Unit tests for Jaccard correlation analysis (Phase 1 ingredients).
+#include <gtest/gtest.h>
+
+#include "solver/correlation.hpp"
+#include "test_support.hpp"
+
+namespace dpg {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+TEST(Jaccard, CountFormulaMatchesEq5) {
+  EXPECT_NEAR(jaccard_similarity(5, 5, 3), 3.0 / 7.0, kTol);
+  EXPECT_NEAR(jaccard_similarity(4, 4, 4), 1.0, kTol);
+  EXPECT_NEAR(jaccard_similarity(3, 5, 0), 0.0, kTol);
+  EXPECT_NEAR(jaccard_similarity(0, 0, 0), 0.0, kTol);  // guarded division
+}
+
+TEST(Correlation, SelfSimilarityIsOne) {
+  const RequestSequence seq = testing::running_example_sequence();
+  const CorrelationAnalysis analysis(seq);
+  EXPECT_NEAR(analysis.jaccard(0, 0), 1.0, kTol);
+  EXPECT_NEAR(analysis.jaccard(1, 1), 1.0, kTol);
+}
+
+TEST(Correlation, MatrixIsSymmetric) {
+  Rng rng(5);
+  const RequestSequence seq = testing::random_sequence(rng, 120, 5, 6);
+  const CorrelationAnalysis analysis(seq);
+  for (ItemId a = 0; a < 6; ++a) {
+    for (ItemId b = 0; b < 6; ++b) {
+      ASSERT_NEAR(analysis.jaccard(a, b), analysis.jaccard(b, a), kTol);
+    }
+  }
+}
+
+TEST(Correlation, FrequenciesMatchSequenceCounts) {
+  Rng rng(17);
+  const RequestSequence seq = testing::random_sequence(rng, 200, 4, 5);
+  const CorrelationAnalysis analysis(seq);
+  for (ItemId item = 0; item < 5; ++item) {
+    ASSERT_EQ(analysis.frequency(item), seq.item_frequency(item));
+  }
+  for (ItemId a = 0; a < 5; ++a) {
+    for (ItemId b = a + 1; b < 5; ++b) {
+      ASSERT_EQ(analysis.co_frequency(a, b), seq.pair_frequency(a, b));
+    }
+  }
+}
+
+TEST(Correlation, SortedPairsAreDescendingWithDeterministicTies) {
+  Rng rng(23);
+  const RequestSequence seq = testing::random_sequence(rng, 150, 4, 7);
+  const CorrelationAnalysis analysis(seq);
+  const auto& pairs = analysis.sorted_pairs();
+  ASSERT_EQ(pairs.size(), 7u * 6u / 2u);
+  for (std::size_t i = 1; i < pairs.size(); ++i) {
+    const auto& prev = pairs[i - 1];
+    const auto& cur = pairs[i];
+    ASSERT_TRUE(prev.jaccard > cur.jaccard ||
+                (prev.jaccard == cur.jaccard &&
+                 std::make_pair(prev.a, prev.b) < std::make_pair(cur.a, cur.b)));
+  }
+}
+
+TEST(Correlation, JaccardInUnitInterval) {
+  Rng rng(31);
+  const RequestSequence seq = testing::random_sequence(rng, 300, 6, 8, 0.7);
+  const CorrelationAnalysis analysis(seq);
+  for (const PairCorrelation& p : analysis.sorted_pairs()) {
+    ASSERT_GE(p.jaccard, 0.0);
+    ASSERT_LE(p.jaccard, 1.0);
+    ASSERT_LE(p.co_freq, std::min(p.freq_a, p.freq_b));
+  }
+}
+
+TEST(Correlation, FrequentPairsFiltersByThresholdAndCoOccurrence) {
+  const RequestSequence seq = testing::running_example_sequence();
+  const CorrelationAnalysis analysis(seq);
+  const auto frequent = analysis.frequent_pairs(0.3);
+  ASSERT_EQ(frequent.size(), 1u);
+  EXPECT_EQ(frequent[0].a, 0u);
+  EXPECT_EQ(frequent[0].b, 1u);
+  EXPECT_TRUE(analysis.frequent_pairs(0.9).empty());
+}
+
+TEST(Correlation, SingleItemSequenceHasNoPairs) {
+  SequenceBuilder builder(2, 1);
+  builder.add(0, 1.0, {0});
+  const RequestSequence seq = std::move(builder).build();
+  const CorrelationAnalysis analysis(seq);
+  EXPECT_TRUE(analysis.sorted_pairs().empty());
+}
+
+}  // namespace
+}  // namespace dpg

@@ -1,0 +1,145 @@
+// Unit and property tests for the full DP_Greedy pipeline (Algorithm 1).
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "parallel/thread_pool.hpp"
+#include "solver/baselines.hpp"
+#include "solver/dp_greedy.hpp"
+#include "test_support.hpp"
+
+namespace dpg {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+TEST(DpGreedy, NoPairsMeansPureOptimalBaseline) {
+  // With θ = 1 (strict) nothing is packed, so DP_Greedy degenerates to the
+  // per-item optimal DP and must match the Optimal baseline exactly.
+  Rng rng(4);
+  const RequestSequence seq = testing::random_sequence(rng, 100, 5, 6, 0.5);
+  const CostModel model{1.0, 2.0, 0.8};
+  DpGreedyOptions options;
+  options.theta = 1.0;
+  const DpGreedyResult dpg = solve_dp_greedy(seq, model, options);
+  const OptimalBaselineResult opt = solve_optimal_baseline(seq, model);
+  EXPECT_TRUE(dpg.packages.empty());
+  EXPECT_NEAR(dpg.total_cost, opt.total_cost, kTol);
+  EXPECT_NEAR(dpg.ave_cost, opt.ave_cost, kTol);
+}
+
+TEST(DpGreedy, ParallelAndSerialResultsAreIdentical) {
+  Rng rng(8);
+  const RequestSequence seq = testing::random_sequence(rng, 200, 6, 8, 0.5);
+  const CostModel model{1.0, 2.0, 0.6};
+  DpGreedyOptions serial;
+  serial.theta = 0.1;
+  DpGreedyOptions parallel_opts = serial;
+  ThreadPool pool(4);
+  parallel_opts.pool = &pool;
+  const DpGreedyResult a = solve_dp_greedy(seq, model, serial);
+  const DpGreedyResult b = solve_dp_greedy(seq, model, parallel_opts);
+  ASSERT_EQ(a.packages.size(), b.packages.size());
+  EXPECT_NEAR(a.total_cost, b.total_cost, kTol);
+  for (std::size_t i = 0; i < a.packages.size(); ++i) {
+    EXPECT_NEAR(a.packages[i].total_cost(), b.packages[i].total_cost(), kTol);
+  }
+}
+
+TEST(DpGreedy, PackageSchedulesAreFeasible) {
+  Rng rng(12);
+  for (int trial = 0; trial < 10; ++trial) {
+    const RequestSequence seq = testing::random_sequence(rng, 80, 4, 6, 0.6);
+    const CostModel model{1.0, 1.5, 0.8};
+    DpGreedyOptions options;
+    options.theta = 0.05;
+    const DpGreedyResult result = solve_dp_greedy(seq, model, options);
+    for (const PackageReport& report : result.packages) {
+      const Flow flow = make_package_flow(seq, report.pair.a, report.pair.b);
+      const ValidationResult v = report.package_schedule.validate(flow);
+      ASSERT_TRUE(v.ok) << v.message;
+    }
+    for (const SingleItemReport& report : result.singles) {
+      const Flow flow = make_item_flow(seq, report.item);
+      const ValidationResult v = report.schedule.validate(flow);
+      ASSERT_TRUE(v.ok) << v.message;
+    }
+  }
+}
+
+TEST(DpGreedy, AveCostUsesTotalItemAccesses) {
+  const RequestSequence seq = testing::running_example_sequence();
+  const CostModel model = testing::running_example_model();
+  DpGreedyOptions options;
+  options.theta = 0.4;
+  const DpGreedyResult result = solve_dp_greedy(seq, model, options);
+  EXPECT_NEAR(result.ave_cost * static_cast<double>(result.total_item_accesses),
+              result.total_cost, kTol);
+}
+
+TEST(DpGreedy, SingletonCostsNeverExceedPackageFetch) {
+  // Every greedy decision is bounded by the 2αλ package-fetch constant
+  // (Observation 2): that option is always available.
+  Rng rng(19);
+  for (int trial = 0; trial < 10; ++trial) {
+    const RequestSequence seq = testing::random_sequence(rng, 100, 5, 4, 0.5);
+    const CostModel model{1.0, 3.0, 0.5};
+    DpGreedyOptions options;
+    options.theta = 0.01;
+    const DpGreedyResult result = solve_dp_greedy(seq, model, options);
+    for (const PackageReport& report : result.packages) {
+      for (const SingletonService& s : report.services) {
+        ASSERT_LE(s.cost, model.package_fetch_cost() + kTol);
+      }
+    }
+  }
+}
+
+TEST(DpGreedy, HighThetaYieldsFewerPackagesThanLowTheta) {
+  Rng rng(30);
+  const RequestSequence seq = testing::random_sequence(rng, 300, 4, 8, 0.5);
+  const CostModel model{1.0, 1.0, 0.8};
+  DpGreedyOptions low;
+  low.theta = 0.01;
+  DpGreedyOptions high;
+  high.theta = 0.6;
+  const auto low_result = solve_dp_greedy(seq, model, low);
+  const auto high_result = solve_dp_greedy(seq, model, high);
+  EXPECT_GE(low_result.packages.size(), high_result.packages.size());
+}
+
+TEST(DpGreedy, RejectsBadTheta) {
+  const RequestSequence seq = testing::running_example_sequence();
+  DpGreedyOptions options;
+  options.theta = 1.5;
+  EXPECT_THROW(
+      (void)solve_dp_greedy(seq, testing::running_example_model(), options),
+      InvalidArgument);
+}
+
+// Small-α regimes should favour packing; DP_Greedy with packing enabled must
+// then beat the non-packing Optimal baseline on strongly correlated traces.
+TEST(DpGreedy, BeatsOptimalBaselineWhenAlphaIsSmallAndCorrelationHigh) {
+  Rng rng(77);
+  SequenceBuilder builder(5, 2);
+  Time t = 0.0;
+  for (int i = 0; i < 120; ++i) {
+    t += 0.5;
+    const auto server = static_cast<ServerId>(rng.next_below(5));
+    if (rng.next_bool(0.85)) {
+      builder.add(server, t, {0, 1});
+    } else {
+      builder.add(server, t, {rng.next_bool(0.5) ? ItemId{0} : ItemId{1}});
+    }
+  }
+  const RequestSequence seq = std::move(builder).build();
+  const CostModel model{1.0, 2.0, 0.3};  // strong discount
+  DpGreedyOptions options;
+  options.theta = 0.3;
+  const DpGreedyResult dpg = solve_dp_greedy(seq, model, options);
+  const OptimalBaselineResult opt = solve_optimal_baseline(seq, model);
+  ASSERT_EQ(dpg.packages.size(), 1u);
+  EXPECT_LT(dpg.total_cost, opt.total_cost);
+}
+
+}  // namespace
+}  // namespace dpg

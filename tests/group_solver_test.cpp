@@ -1,0 +1,103 @@
+// Tests for the multi-item packing extension.
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "solver/baselines.hpp"
+#include "solver/dp_greedy.hpp"
+#include "solver/group_solver.hpp"
+#include "test_support.hpp"
+
+namespace dpg {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+TEST(GroupSolver, PairGroupMatchesDpGreedyPairSolver) {
+  Rng rng(2);
+  for (int trial = 0; trial < 15; ++trial) {
+    const RequestSequence seq = testing::random_sequence(rng, 60, 4, 2, 0.6);
+    const CostModel model{1.0, 1.0, 0.8};
+    const GroupReport group = solve_group_package(seq, model, {0, 1});
+    const PackageReport pair =
+        solve_pair_package(seq, model, ItemPair{0, 1, 0.5});
+    ASSERT_NEAR(group.total_cost(), pair.total_cost(), kTol)
+        << "trial " << trial;
+    ASSERT_EQ(group.full_request_count, pair.co_request_count);
+  }
+}
+
+TEST(GroupSolver, TripleGroupOnFullyCorrelatedTraceUsesPackageRate) {
+  SequenceBuilder builder(3, 3);
+  Rng rng(5);
+  Time t = 0.0;
+  for (int i = 0; i < 30; ++i) {
+    builder.add(static_cast<ServerId>(rng.next_below(3)), t += 1.0, {0, 1, 2});
+  }
+  const RequestSequence seq = std::move(builder).build();
+  const CostModel model{1.0, 1.0, 0.5};
+  const GroupReport report = solve_group_package(seq, model, {0, 1, 2});
+  EXPECT_EQ(report.full_request_count, 30u);
+  EXPECT_EQ(report.partial_cost, 0.0);
+  // The package flow equals any single item's flow; the rate is 3α.
+  const Cost raw =
+      solve_optimal_offline(make_item_flow(seq, 0), model, 3).raw_cost;
+  EXPECT_NEAR(report.package_cost, 3.0 * model.alpha * raw, kTol);
+}
+
+TEST(GroupSolver, PartialRequestsChooseCheaperOfIndividualAndFetch) {
+  // One full-group request, then a distant partial request: fetching the
+  // package (gαλ) must beat individually transferring when gaps are huge.
+  SequenceBuilder builder(2, 3);
+  builder.add(1, 1.0, {0, 1, 2});
+  builder.add(0, 100.0, {0, 1});  // partial: items {0,1} of the triple
+  const RequestSequence seq = std::move(builder).build();
+  const CostModel model{1.0, 1.0, 0.5};
+  const GroupReport report = solve_group_package(seq, model, {0, 1, 2});
+  // Individual: each of 2 items — cache@origin option μ·100 vs transfer
+  // μ(100−1)+λ = 100 → 100 each, 200 total. Fetch: 3·0.5·1 = 1.5.
+  EXPECT_NEAR(report.partial_cost, 1.5, kTol);
+}
+
+TEST(GroupSolver, EndToEndDecomposition) {
+  Rng rng(9);
+  const RequestSequence seq = testing::random_sequence(rng, 150, 4, 6, 0.5);
+  const CostModel model{1.0, 1.0, 0.6};
+  GroupDpGreedyOptions options;
+  options.theta = 0.05;
+  options.max_group_size = 3;
+  const GroupDpGreedyResult result = solve_group_dp_greedy(seq, model, options);
+  Cost manual = 0.0;
+  for (const GroupReport& g : result.groups) manual += g.total_cost();
+  for (const SingleItemReport& s : result.singles) manual += s.cost;
+  EXPECT_NEAR(result.total_cost, manual, kTol);
+  std::size_t covered = result.packing.singles.size();
+  for (const auto& g : result.packing.groups) covered += g.size();
+  EXPECT_EQ(covered, 6u);
+}
+
+TEST(GroupSolver, MaxGroupSizeTwoMatchesDpGreedyTotals) {
+  Rng rng(21);
+  for (int trial = 0; trial < 8; ++trial) {
+    const RequestSequence seq = testing::random_sequence(rng, 100, 4, 6, 0.5);
+    const CostModel model{1.0, 1.0, 0.8};
+    GroupDpGreedyOptions group_options;
+    group_options.theta = 0.2;
+    group_options.max_group_size = 2;
+    DpGreedyOptions pair_options;
+    pair_options.theta = 0.2;
+    const GroupDpGreedyResult grouped =
+        solve_group_dp_greedy(seq, model, group_options);
+    const DpGreedyResult paired = solve_dp_greedy(seq, model, pair_options);
+    ASSERT_NEAR(grouped.total_cost, paired.total_cost, kTol);
+  }
+}
+
+TEST(GroupSolver, RejectsSingletonGroup) {
+  const RequestSequence seq = testing::running_example_sequence();
+  EXPECT_THROW(
+      (void)solve_group_package(seq, CostModel{1, 1, 0.8}, {0}),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dpg

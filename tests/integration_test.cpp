@@ -1,0 +1,143 @@
+// End-to-end integration: mobility trace -> correlation -> DP_Greedy /
+// baselines -> replay, checking the cross-module contracts the figure
+// harnesses rely on.
+#include <gtest/gtest.h>
+
+#include "mobility/simulator.hpp"
+#include "sim/replay.hpp"
+#include "solver/baselines.hpp"
+#include "solver/dp_greedy.hpp"
+#include "solver/group_solver.hpp"
+#include "solver/online.hpp"
+#include "trace/generators.hpp"
+#include "trace/io.hpp"
+
+namespace dpg {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+TEST(Integration, MobilityTraceThroughDpGreedyAndReplay) {
+  MobilityConfig mobility;
+  mobility.duration = 150.0;
+  Rng rng(99);
+  const RequestSequence seq = simulate_mobility(mobility, rng);
+  const CostModel model{1.0, 2.0, 0.8};
+  DpGreedyOptions options;
+  options.theta = 0.3;
+  const DpGreedyResult result = solve_dp_greedy(seq, model, options);
+
+  // Replay every produced schedule (packages + unpacked items).
+  std::vector<FlowPlan> plans;
+  for (const PackageReport& report : result.packages) {
+    plans.push_back(FlowPlan{
+        make_package_flow(seq, report.pair.a, report.pair.b),
+        report.package_schedule,
+        "package"});
+  }
+  for (const SingleItemReport& report : result.singles) {
+    plans.push_back(
+        FlowPlan{make_item_flow(seq, report.item), report.schedule, "item"});
+  }
+  const ReplayMetrics metrics = replay_plans(plans, model, seq.server_count());
+  ASSERT_TRUE(metrics.feasible) << metrics.issue;
+  EXPECT_GT(metrics.service_count, 0u);
+}
+
+TEST(Integration, AlgorithmOrderingOnCorrelatedTraces) {
+  // On a strongly correlated trace with a deep discount, the paper's
+  // qualitative ordering must hold: Package_Served <= DP_Greedy-ish and
+  // both beat the non-packing Optimal; with alpha near 1 the ordering of
+  // Package_Served and Optimal flips (Fig. 13's story).
+  PairedTraceConfig trace;
+  trace.pair_jaccard = {0.8};
+  trace.requests_per_pair = 400;
+  trace.server_count = 10;
+  Rng rng(5);
+  const RequestSequence seq = generate_paired_trace(trace, rng);
+
+  const CostModel deep{1.0, 1.0, 0.3};
+  DpGreedyOptions options;
+  options.theta = 0.3;
+  const double dpg_deep = solve_dp_greedy(seq, deep, options).ave_cost;
+  const double opt_deep = solve_optimal_baseline(seq, deep).ave_cost;
+  const double pack_deep = solve_package_served(seq, deep, 0.3).ave_cost;
+  EXPECT_LT(pack_deep, opt_deep);
+  EXPECT_LT(dpg_deep, opt_deep);
+
+  const CostModel shallow{1.0, 1.0, 1.0};
+  const double opt_shallow = solve_optimal_baseline(seq, shallow).ave_cost;
+  const double pack_shallow = solve_package_served(seq, shallow, 0.3).ave_cost;
+  EXPECT_GE(pack_shallow + kTol, opt_shallow);
+}
+
+TEST(Integration, TraceRoundTripPreservesSolverResults) {
+  ZipfTraceConfig config;
+  config.request_count = 300;
+  Rng rng(17);
+  const RequestSequence original = generate_zipf_trace(config, rng);
+  const RequestSequence restored = trace_from_csv(
+      trace_to_csv(original), original.server_count(), original.item_count());
+  const CostModel model{1.0, 1.5, 0.7};
+  DpGreedyOptions options;
+  options.theta = 0.2;
+  const double a = solve_dp_greedy(original, model, options).total_cost;
+  const double b = solve_dp_greedy(restored, model, options).total_cost;
+  EXPECT_NEAR(a, b, kTol);
+}
+
+TEST(Integration, OnlineNeverBeatsOfflinePerItem) {
+  MobilityConfig mobility;
+  mobility.duration = 120.0;
+  Rng rng(23);
+  const RequestSequence seq = simulate_mobility(mobility, rng);
+  const CostModel model{1.0, 2.0, 0.8};
+  for (ItemId item = 0; item < seq.item_count(); ++item) {
+    const Flow flow = make_item_flow(seq, item);
+    if (flow.empty()) continue;
+    const Cost online =
+        solve_online_break_even(flow, model, seq.server_count()).raw_cost;
+    const Cost offline =
+        solve_optimal_offline(flow, model, seq.server_count()).raw_cost;
+    ASSERT_GE(online, offline - kTol);
+  }
+}
+
+TEST(Integration, GroupExtensionNeverWorseThanIgnoringTriples) {
+  // A trace where items 0,1,2 co-occur heavily: allowing groups of 3 should
+  // not lose to pair-only packing by more than numerical noise... in fact
+  // it should usually win under a deep discount.
+  SequenceBuilder builder(6, 3);
+  Rng rng(31);
+  Time t = 0.0;
+  for (int i = 0; i < 300; ++i) {
+    t += 0.4;
+    const auto server = static_cast<ServerId>(rng.next_below(6));
+    const double roll = rng.next_double();
+    if (roll < 0.7) {
+      builder.add(server, t, {0, 1, 2});
+    } else if (roll < 0.8) {
+      builder.add(server, t, {0});
+    } else if (roll < 0.9) {
+      builder.add(server, t, {1});
+    } else {
+      builder.add(server, t, {2});
+    }
+  }
+  const RequestSequence seq = std::move(builder).build();
+  const CostModel model{1.0, 1.0, 0.4};
+  GroupDpGreedyOptions triple_options;
+  triple_options.theta = 0.3;
+  triple_options.max_group_size = 3;
+  GroupDpGreedyOptions pair_options;
+  pair_options.theta = 0.3;
+  pair_options.max_group_size = 2;
+  const double with_triples =
+      solve_group_dp_greedy(seq, model, triple_options).total_cost;
+  const double pairs_only =
+      solve_group_dp_greedy(seq, model, pair_options).total_cost;
+  EXPECT_LT(with_triples, pairs_only * 1.05);
+}
+
+}  // namespace
+}  // namespace dpg

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "core/interval_set.hpp"
+
+namespace dpg {
+namespace {
+
+TEST(IntervalSet, EmptySet) {
+  IntervalSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.union_length(), 0.0);
+  EXPECT_FALSE(set.covers(0.0));
+  EXPECT_DOUBLE_EQ(set.uncovered_within(0.0, 5.0), 5.0);
+}
+
+TEST(IntervalSet, DisjointPieces) {
+  IntervalSet set;
+  set.add(0.0, 1.0);
+  set.add(2.0, 3.5);
+  EXPECT_DOUBLE_EQ(set.union_length(), 2.5);
+  EXPECT_TRUE(set.covers(0.5));
+  EXPECT_TRUE(set.covers(1.0));  // closed boundary
+  EXPECT_FALSE(set.covers(1.5));
+  EXPECT_DOUBLE_EQ(set.uncovered_within(0.0, 4.0), 1.5);
+}
+
+TEST(IntervalSet, OverlapsMerge) {
+  IntervalSet set;
+  set.add(0.0, 2.0);
+  set.add(1.0, 3.0);
+  set.add(2.5, 4.0);
+  EXPECT_DOUBLE_EQ(set.union_length(), 4.0);
+  EXPECT_EQ(set.merged().size(), 1u);
+}
+
+TEST(IntervalSet, TouchingIntervalsMerge) {
+  IntervalSet set;
+  set.add(0.0, 1.0);
+  set.add(1.0, 2.0);
+  EXPECT_EQ(set.merged().size(), 1u);
+  EXPECT_DOUBLE_EQ(set.union_length(), 2.0);
+}
+
+TEST(IntervalSet, EmptyAndInvertedIntervalsIgnored) {
+  IntervalSet set;
+  set.add(1.0, 1.0);
+  set.add(3.0, 2.0);
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(IntervalSet, UncoveredClampsToWindow) {
+  IntervalSet set;
+  set.add(-5.0, 1.0);
+  set.add(3.0, 100.0);
+  EXPECT_DOUBLE_EQ(set.uncovered_within(0.0, 4.0), 2.0);  // (1,3) uncovered
+  EXPECT_DOUBLE_EQ(set.uncovered_within(4.0, 4.0), 0.0);
+  EXPECT_DOUBLE_EQ(set.uncovered_within(5.0, 4.0), 0.0);  // inverted window
+}
+
+TEST(IntervalSet, CoversUsesBinarySearchOverManyPieces) {
+  IntervalSet set;
+  for (int i = 0; i < 100; ++i) {
+    set.add(2.0 * i, 2.0 * i + 1.0);
+  }
+  EXPECT_TRUE(set.covers(50.5));
+  EXPECT_FALSE(set.covers(51.5));
+  EXPECT_TRUE(set.covers(0.0));
+  EXPECT_FALSE(set.covers(-0.1));
+  EXPECT_DOUBLE_EQ(set.union_length(), 100.0);
+}
+
+TEST(IntervalSet, ClearResets) {
+  IntervalSet set;
+  set.add(0.0, 1.0);
+  set.clear();
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.union_length(), 0.0);
+}
+
+TEST(IntervalSet, IncrementalAddAfterQueryStaysCorrect) {
+  IntervalSet set;
+  set.add(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(set.union_length(), 1.0);
+  set.add(0.5, 2.0);  // added after a normalize()
+  EXPECT_DOUBLE_EQ(set.union_length(), 2.0);
+  set.add(5.0, 6.0);
+  EXPECT_DOUBLE_EQ(set.union_length(), 3.0);
+}
+
+}  // namespace
+}  // namespace dpg

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "mobility/simulator.hpp"
+#include "solver/correlation.hpp"
+#include "trace/stats.hpp"
+#include "util/error.hpp"
+
+namespace dpg {
+namespace {
+
+TEST(CityGrid, ZoneMappingAndCenters) {
+  Rng rng(1);
+  CityGrid city(10, 5, 3, rng);
+  EXPECT_EQ(city.zone_count(), 50u);
+  EXPECT_EQ(city.zone_of(Position{0.5, 0.5}), 0u);
+  EXPECT_EQ(city.zone_of(Position{9.5, 4.5}), 49u);
+  EXPECT_EQ(city.zone_of(Position{3.2, 1.7}), 13u);  // row 1, col 3
+  // Out-of-range positions clamp instead of faulting.
+  EXPECT_EQ(city.zone_of(Position{-4.0, -4.0}), 0u);
+  EXPECT_EQ(city.zone_of(Position{100.0, 100.0}), 49u);
+  const Position c = city.center_of(13);
+  EXPECT_DOUBLE_EQ(c.x, 3.5);
+  EXPECT_DOUBLE_EQ(c.y, 1.5);
+  EXPECT_EQ(city.zone_of(c), 13u);
+}
+
+TEST(CityGrid, HotspotsAreDistinctZones) {
+  Rng rng(2);
+  CityGrid city(6, 6, 5, rng);
+  const auto& hotspots = city.hotspots();
+  ASSERT_EQ(hotspots.size(), 5u);
+  for (std::size_t i = 0; i < hotspots.size(); ++i) {
+    ASSERT_LT(hotspots[i], 36u);
+    for (std::size_t j = i + 1; j < hotspots.size(); ++j) {
+      ASSERT_NE(hotspots[i], hotspots[j]);
+    }
+  }
+}
+
+TEST(CityGrid, ValidatesConstruction) {
+  Rng rng(3);
+  EXPECT_THROW(CityGrid(0, 5, 1, rng), InvalidArgument);
+  EXPECT_THROW(CityGrid(2, 2, 0, rng), InvalidArgument);
+  EXPECT_THROW(CityGrid(2, 2, 9, rng), InvalidArgument);
+}
+
+TEST(Taxi, MovesTowardWaypointAtConfiguredSpeed) {
+  Rng rng(4);
+  CityGrid city(10, 10, 2, rng);
+  TaxiConfig config;
+  config.speed = 1.0;
+  Taxi taxi(0, Position{5.0, 5.0}, config);
+  const Position before = taxi.position();
+  taxi.advance(0.5, city, rng);
+  const Position after = taxi.position();
+  const double moved =
+      std::hypot(after.x - before.x, after.y - before.y);
+  EXPECT_LE(moved, 0.5 + 1e-9);
+}
+
+TEST(Mobility, ProducesValidDeterministicTrace) {
+  MobilityConfig config;
+  config.duration = 50.0;
+  Rng a(7), b(7);
+  const RequestSequence s1 = simulate_mobility(config, a);
+  const RequestSequence s2 = simulate_mobility(config, b);
+  ASSERT_GT(s1.size(), 0u);
+  ASSERT_EQ(s1.size(), s2.size());
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    ASSERT_EQ(s1[i].server, s2[i].server);
+    ASSERT_EQ(s1[i].items, s2[i].items);
+  }
+  EXPECT_EQ(s1.server_count(), 50u);
+  EXPECT_EQ(s1.item_count(), 10u);
+}
+
+TEST(Mobility, PairCoAccessRampYieldsOrderedJaccards) {
+  MobilityConfig config;
+  config.duration = 600.0;
+  Rng rng(21);
+  const RequestSequence seq = simulate_mobility(config, rng);
+  const CorrelationAnalysis analysis(seq);
+  // The default ramp makes later pairs more correlated: J(8,9) > J(0,1).
+  EXPECT_GT(analysis.jaccard(8, 9), analysis.jaccard(0, 1));
+  // All cross-pair similarities are zero (items only co-occur with their
+  // fleet partner).
+  EXPECT_EQ(analysis.jaccard(0, 2), 0.0);
+  EXPECT_EQ(analysis.jaccard(3, 7), 0.0);
+}
+
+TEST(Mobility, HotspotGravitySkewsSpatialDistribution) {
+  MobilityConfig config;
+  config.duration = 400.0;
+  config.taxi.hotspot_bias = 0.9;
+  Rng rng(31);
+  const RequestSequence seq = simulate_mobility(config, rng);
+  const TraceStats stats = compute_trace_stats(seq);
+  // A heavily biased fleet concentrates requests: the busiest zone should
+  // see far more than the mean zone load (Fig. 9's skew).
+  std::size_t peak = 0;
+  for (const std::size_t c : stats.per_server) peak = std::max(peak, c);
+  const double mean = static_cast<double>(stats.request_count) /
+                      static_cast<double>(stats.server_count);
+  EXPECT_GT(static_cast<double>(peak), 2.0 * mean);
+}
+
+TEST(Mobility, ExplicitCoAccessVectorIsHonored) {
+  MobilityConfig config;
+  config.taxi_count = 4;
+  config.duration = 400.0;
+  config.pair_co_access = {1.0, 0.0};
+  Rng rng(41);
+  const RequestSequence seq = simulate_mobility(config, rng);
+  const CorrelationAnalysis analysis(seq);
+  EXPECT_NEAR(analysis.jaccard(0, 1), 1.0, 1e-12);
+  EXPECT_EQ(analysis.jaccard(2, 3), 0.0);
+}
+
+TEST(Mobility, OddFleetLeavesLastTaxiUnpaired) {
+  MobilityConfig config;
+  config.taxi_count = 3;
+  config.duration = 100.0;
+  Rng rng(51);
+  const RequestSequence seq = simulate_mobility(config, rng);
+  const CorrelationAnalysis analysis(seq);
+  EXPECT_EQ(analysis.jaccard(0, 2), 0.0);
+  EXPECT_EQ(analysis.jaccard(1, 2), 0.0);
+  EXPECT_GT(seq.item_frequency(2), 0u);
+}
+
+TEST(Mobility, ValidatesConfig) {
+  Rng rng(1);
+  MobilityConfig zero_taxis;
+  zero_taxis.taxi_count = 0;
+  EXPECT_THROW((void)simulate_mobility(zero_taxis, rng), InvalidArgument);
+  MobilityConfig short_vector;
+  short_vector.taxi_count = 6;
+  short_vector.pair_co_access = {0.5};
+  EXPECT_THROW((void)simulate_mobility(short_vector, rng), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dpg

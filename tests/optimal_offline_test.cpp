@@ -1,0 +1,137 @@
+// Unit tests for the optimal offline DP (solver/optimal_offline).
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "solver/optimal_offline.hpp"
+#include "test_support.hpp"
+
+namespace dpg {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+CostModel unit_model() { return CostModel{1.0, 1.0, 0.8}; }
+
+TEST(OptimalOffline, EmptyFlowCostsNothing) {
+  const Flow flow{{}, 1};
+  const SolveResult r = solve_optimal_offline(flow, unit_model(), 3);
+  EXPECT_EQ(r.raw_cost, 0.0);
+  EXPECT_EQ(r.cost, 0.0);
+  EXPECT_TRUE(r.schedule.segments().empty());
+}
+
+TEST(OptimalOffline, SingleRequestAtOriginIsPureCache) {
+  Flow flow;
+  flow.points.push_back({kOriginServer, 2.5, 0});
+  const SolveResult r = solve_optimal_offline(flow, unit_model(), 3);
+  EXPECT_NEAR(r.raw_cost, 2.5, kTol);  // hold at the origin, no transfer
+  EXPECT_TRUE(r.schedule.transfers().empty());
+}
+
+TEST(OptimalOffline, SingleRemoteRequestIsCachePlusTransfer) {
+  Flow flow;
+  flow.points.push_back({2, 2.5, 0});
+  const SolveResult r = solve_optimal_offline(flow, unit_model(), 3);
+  EXPECT_NEAR(r.raw_cost, 3.5, kTol);  // 2.5μ hold + λ
+  EXPECT_EQ(r.schedule.transfers().size(), 1u);
+}
+
+TEST(OptimalOffline, RepeatedSameServerRequestsChainCacheLines) {
+  Flow flow;
+  flow.points.push_back({1, 1.0, 0});
+  flow.points.push_back({1, 2.0, 1});
+  flow.points.push_back({1, 3.0, 2});
+  const SolveResult r = solve_optimal_offline(flow, unit_model(), 2);
+  // 1μ hold at origin + λ + 2μ hold at server 1.
+  EXPECT_NEAR(r.raw_cost, 4.0, kTol);
+  EXPECT_EQ(r.schedule.transfers().size(), 1u);
+}
+
+TEST(OptimalOffline, SideTransferOffALineBeatsChaining) {
+  // Two interleaved servers: the DP should hold one line on server 1 and
+  // side-transfer to server 2 rather than bounce the copy back and forth.
+  Flow flow;
+  flow.points.push_back({1, 1.0, 0});
+  flow.points.push_back({2, 1.1, 1});
+  flow.points.push_back({1, 1.2, 2});
+  CostModel model{1.0, 0.05, 0.8};  // cheap transfers
+  const SolveResult r = solve_optimal_offline(flow, model, 3);
+  // Hold origin [0,1] (1μ), transfer to s1; hold s1 [1.0,1.2] (0.2μ);
+  // side transfer to s2 at 1.1.  Total = 1.2μ + 3λ... the first transfer
+  // plus side transfer plus nothing else: 1.2 + 0.05*2 = 1.3.
+  EXPECT_NEAR(r.raw_cost, 1.2 * model.mu + 2 * model.lambda, kTol);
+  const ValidationResult v = r.schedule.validate(flow);
+  EXPECT_TRUE(v.ok) << v.message;
+}
+
+TEST(OptimalOffline, FastAndNaiveRangeMinAgree) {
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Flow flow = testing::random_flow(rng, 40, 5);
+    CostModel model{1.0, 0.25 + 0.25 * static_cast<double>(trial % 16), 0.8};
+    OptimalOfflineOptions fast;
+    fast.fast_range_min = true;
+    OptimalOfflineOptions naive;
+    naive.fast_range_min = false;
+    const SolveResult a = solve_optimal_offline(flow, model, 5, fast);
+    const SolveResult b = solve_optimal_offline(flow, model, 5, naive);
+    ASSERT_NEAR(a.raw_cost, b.raw_cost, 1e-9);
+  }
+}
+
+TEST(OptimalOffline, ScheduleIsAlwaysFeasibleAndMatchesReportedCost) {
+  Rng rng(13);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Flow flow = testing::random_flow(rng, 30, 4);
+    CostModel model{1.0, 0.5 + static_cast<double>(trial % 8), 0.8};
+    const SolveResult r = solve_optimal_offline(flow, model, 4);
+    const ValidationResult v = r.schedule.validate(flow);
+    ASSERT_TRUE(v.ok) << v.message;
+    ASSERT_NEAR(r.schedule.raw_cost(model), r.raw_cost, 1e-9)
+        << "reconstructed schedule should realize the DP objective";
+  }
+}
+
+TEST(OptimalOffline, PackageMultiplierScalesCost) {
+  Rng rng(21);
+  const Flow base = testing::random_flow(rng, 12, 3);
+  Flow packaged = base;
+  packaged.group_size = 2;
+  const CostModel model = unit_model();
+  const SolveResult single = solve_optimal_offline(base, model, 3);
+  const SolveResult pack = solve_optimal_offline(packaged, model, 3);
+  EXPECT_NEAR(pack.raw_cost, single.raw_cost, kTol);
+  EXPECT_NEAR(pack.cost, 2.0 * model.alpha * single.raw_cost, kTol);
+}
+
+TEST(OptimalOffline, ZeroLambdaPrefersTransfersEverywhere) {
+  Flow flow;
+  flow.points.push_back({1, 1.0, 0});
+  flow.points.push_back({2, 5.0, 1});
+  CostModel model{1.0, 0.0, 0.8};
+  const SolveResult r = solve_optimal_offline(flow, model, 3);
+  // Free transfers: chain the copy, pay only the unavoidable cache time.
+  EXPECT_NEAR(r.raw_cost, 5.0, kTol);
+}
+
+TEST(OptimalOffline, ZeroMuPrefersOneLongLine) {
+  Flow flow;
+  flow.points.push_back({1, 1.0, 0});
+  flow.points.push_back({2, 2.0, 1});
+  flow.points.push_back({1, 3.0, 2});
+  flow.points.push_back({2, 4.0, 3});
+  CostModel model{0.0, 1.0, 0.8};
+  const SolveResult r = solve_optimal_offline(flow, model, 3);
+  // Free caching: every server needs the copy delivered once: two transfers.
+  EXPECT_NEAR(r.raw_cost, 2.0, kTol);
+}
+
+TEST(OptimalOffline, RejectsUnsortedFlow) {
+  Flow flow;
+  flow.points.push_back({1, 2.0, 0});
+  flow.points.push_back({1, 1.0, 1});
+  EXPECT_THROW((void)solve_optimal_offline(flow, unit_model(), 2), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dpg

@@ -1,0 +1,139 @@
+// Unit tests for Phase 1 packing and the multi-item grouping extension.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "solver/pairing.hpp"
+#include "test_support.hpp"
+
+namespace dpg {
+namespace {
+
+/// Builds a sequence whose pair Jaccards we control: items co-occur within
+/// fixed "cliques" with the given probability.
+RequestSequence clique_sequence(Rng& rng, std::size_t n, double co_prob) {
+  SequenceBuilder builder(4, 6);
+  Time t = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    t += 0.25;
+    const auto clique = static_cast<ItemId>(rng.next_below(3));  // {0,1},{2,3},{4,5}
+    std::vector<ItemId> items = {static_cast<ItemId>(2 * clique)};
+    if (rng.next_bool(co_prob)) items.push_back(static_cast<ItemId>(2 * clique + 1));
+    builder.add(static_cast<ServerId>(rng.next_below(4)), t, std::move(items));
+  }
+  return std::move(builder).build();
+}
+
+TEST(GreedyPairing, PacksDisjointPairsAboveTheta) {
+  Rng rng(1);
+  const RequestSequence seq = clique_sequence(rng, 400, 0.8);
+  const CorrelationAnalysis analysis(seq);
+  const Packing packing = greedy_pairing(analysis, 0.3);
+  // Expect the three designed cliques to be found.
+  ASSERT_EQ(packing.pairs.size(), 3u);
+  std::set<ItemId> seen;
+  for (const ItemPair& pair : packing.pairs) {
+    EXPECT_GT(pair.jaccard, 0.3);
+    EXPECT_EQ(pair.b, pair.a + 1);
+    EXPECT_EQ(pair.a % 2, 0u);
+    seen.insert(pair.a);
+    seen.insert(pair.b);
+  }
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_TRUE(packing.singles.empty());
+}
+
+TEST(GreedyPairing, EachItemInAtMostOnePackage) {
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const RequestSequence seq = testing::random_sequence(rng, 150, 4, 8, 0.6);
+    const CorrelationAnalysis analysis(seq);
+    const Packing packing = greedy_pairing(analysis, 0.1);
+    std::set<ItemId> seen;
+    for (const ItemPair& pair : packing.pairs) {
+      ASSERT_TRUE(seen.insert(pair.a).second);
+      ASSERT_TRUE(seen.insert(pair.b).second);
+    }
+    for (const ItemId single : packing.singles) {
+      ASSERT_TRUE(seen.insert(single).second);
+    }
+    ASSERT_EQ(seen.size(), 8u);  // partition of the item universe
+  }
+}
+
+TEST(GreedyPairing, ThetaOneStrictPacksNothing) {
+  Rng rng(3);
+  const RequestSequence seq = clique_sequence(rng, 200, 1.0);
+  const CorrelationAnalysis analysis(seq);
+  // Even perfectly correlated pairs (J = 1) fail the strict J > 1 test.
+  const Packing strict = greedy_pairing(analysis, 1.0, /*inclusive=*/false);
+  EXPECT_TRUE(strict.pairs.empty());
+  // The inclusive reading packs them.
+  const Packing inclusive = greedy_pairing(analysis, 1.0, /*inclusive=*/true);
+  EXPECT_EQ(inclusive.pairs.size(), 3u);
+}
+
+TEST(GreedyPairing, HigherSimilarityWinsConflicts) {
+  // Item 1 is correlated with both 0 and 2; the stronger pair must win.
+  SequenceBuilder builder(2, 3);
+  Time t = 0.0;
+  for (int i = 0; i < 10; ++i) builder.add(0, t += 1.0, {0, 1});
+  for (int i = 0; i < 4; ++i) builder.add(0, t += 1.0, {1, 2});
+  for (int i = 0; i < 4; ++i) builder.add(0, t += 1.0, {2});
+  const RequestSequence seq = std::move(builder).build();
+  const CorrelationAnalysis analysis(seq);
+  const Packing packing = greedy_pairing(analysis, 0.05);
+  ASSERT_EQ(packing.pairs.size(), 1u);
+  EXPECT_EQ(packing.pairs[0].a, 0u);
+  EXPECT_EQ(packing.pairs[0].b, 1u);
+  ASSERT_EQ(packing.singles.size(), 1u);
+  EXPECT_EQ(packing.singles[0], 2u);
+}
+
+TEST(GreedyGrouping, BuildsTriplesUnderCompleteLinkage) {
+  // Items 0,1,2 pairwise correlated; 3 independent.
+  SequenceBuilder builder(2, 4);
+  Time t = 0.0;
+  for (int i = 0; i < 20; ++i) builder.add(0, t += 1.0, {0, 1, 2});
+  for (int i = 0; i < 5; ++i) builder.add(0, t += 1.0, {3});
+  const RequestSequence seq = std::move(builder).build();
+  const CorrelationAnalysis analysis(seq);
+  const GroupPacking packing = greedy_grouping(analysis, 0.3, 3);
+  ASSERT_EQ(packing.groups.size(), 1u);
+  EXPECT_EQ(packing.groups[0], (std::vector<ItemId>{0, 1, 2}));
+  ASSERT_EQ(packing.singles.size(), 1u);
+  EXPECT_EQ(packing.singles[0], 3u);
+}
+
+TEST(GreedyGrouping, RespectsMaxGroupSize) {
+  SequenceBuilder builder(2, 4);
+  Time t = 0.0;
+  for (int i = 0; i < 20; ++i) builder.add(0, t += 1.0, {0, 1, 2, 3});
+  const RequestSequence seq = std::move(builder).build();
+  const CorrelationAnalysis analysis(seq);
+  const GroupPacking packing = greedy_grouping(analysis, 0.3, 2);
+  for (const auto& group : packing.groups) {
+    ASSERT_LE(group.size(), 2u);
+  }
+}
+
+TEST(GreedyGrouping, SizeTwoMatchesGreedyPairingPartition) {
+  Rng rng(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    const RequestSequence seq = testing::random_sequence(rng, 120, 3, 6, 0.5);
+    const CorrelationAnalysis analysis(seq);
+    const Packing pairs = greedy_pairing(analysis, 0.2);
+    const GroupPacking groups = greedy_grouping(analysis, 0.2, 2);
+    ASSERT_EQ(groups.groups.size(), pairs.pairs.size());
+    for (std::size_t i = 0; i < pairs.pairs.size(); ++i) {
+      std::vector<ItemId> expected{pairs.pairs[i].a, pairs.pairs[i].b};
+      // Both walk pairs in the same deterministic order.
+      ASSERT_TRUE(std::find(groups.groups.begin(), groups.groups.end(),
+                            expected) != groups.groups.end());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dpg

@@ -1,0 +1,88 @@
+// The Section-V pre-scan structures (Fig. 8): Q_j lists, pLast snapshots.
+#include <gtest/gtest.h>
+
+#include "core/request_index.hpp"
+#include "util/error.hpp"
+
+namespace dpg {
+namespace {
+
+Flow fig8_like_flow() {
+  // Servers: 0 (origin), 1, 2, 3; nodes at 0.5@2, 0.8@1, 1.4@0, 2.6@2, 4.0@1.
+  Flow flow;
+  flow.points.push_back({2, 0.5, 0});
+  flow.points.push_back({1, 0.8, 1});
+  flow.points.push_back({0, 1.4, 2});
+  flow.points.push_back({2, 2.6, 3});
+  flow.points.push_back({1, 4.0, 4});
+  return flow;
+}
+
+TEST(RequestIndex, OriginIsNodeZero) {
+  const RequestIndex index(fig8_like_flow(), 4);
+  EXPECT_EQ(index.node_count(), 6u);
+  EXPECT_EQ(index.server_of(0), kOriginServer);
+  EXPECT_EQ(index.time_of(0), 0.0);
+}
+
+TEST(RequestIndex, SnapshotsHoldMostRecentStrictlyBefore) {
+  const RequestIndex index(fig8_like_flow(), 4);
+  // Node 1 (0.5@2): only the origin exists before it.
+  EXPECT_EQ(index.recent_on_server(1, 0), 0);
+  EXPECT_EQ(index.recent_on_server(1, 1), RequestIndex::kNone);
+  EXPECT_EQ(index.recent_on_server(1, 2), RequestIndex::kNone);
+  // Node 4 (2.6@2): server 2 last visited by node 1 (0.5).
+  EXPECT_EQ(index.prev_same_server(4), 1);
+  EXPECT_EQ(index.recent_on_server(4, 0), 3);  // 1.4@0
+  EXPECT_EQ(index.recent_on_server(4, 1), 2);  // 0.8@1
+  EXPECT_EQ(index.recent_on_server(4, 3), RequestIndex::kNone);
+  // Node 5 (4.0@1): p(i) is node 2 (0.8@1).
+  EXPECT_EQ(index.prev_same_server(5), 2);
+}
+
+TEST(RequestIndex, SelfIsExcludedFromItsOwnSnapshot) {
+  const RequestIndex index(fig8_like_flow(), 4);
+  // Node 3 sits on server 0; its snapshot for server 0 must be the origin,
+  // not itself.
+  EXPECT_EQ(index.recent_on_server(3, 0), 0);
+}
+
+TEST(RequestIndex, QueueLinksWalkPerServerHistory) {
+  const RequestIndex index(fig8_like_flow(), 4);
+  // Server 2's queue: node 1 (0.5) then node 4 (2.6).
+  EXPECT_EQ(index.q_tail(2), 4);
+  EXPECT_EQ(index.q_prev(4), 1);
+  EXPECT_EQ(index.q_prev(1), RequestIndex::kNone);
+  EXPECT_EQ(index.q_next(1), 4);
+  EXPECT_EQ(index.q_next(4), RequestIndex::kNone);
+  // Server 0's queue: origin (node 0) then node 3 (1.4).
+  EXPECT_EQ(index.q_tail(0), 3);
+  EXPECT_EQ(index.q_prev(3), 0);
+  // Server 3 never visited.
+  EXPECT_EQ(index.q_tail(3), RequestIndex::kNone);
+}
+
+TEST(RequestIndex, SnapshotSpanHasOneEntryPerServer) {
+  const RequestIndex index(fig8_like_flow(), 4);
+  EXPECT_EQ(index.snapshot(5).size(), 4u);
+}
+
+TEST(RequestIndex, RejectsBadInputs) {
+  EXPECT_THROW(RequestIndex(fig8_like_flow(), 0), InvalidArgument);
+  EXPECT_THROW(RequestIndex(fig8_like_flow(), 2),  // server 3 out of range
+               InvalidArgument);
+  Flow bad;
+  bad.points.push_back({0, 2.0, 0});
+  bad.points.push_back({0, 1.0, 1});
+  EXPECT_THROW(RequestIndex(bad, 1), InvalidArgument);
+}
+
+TEST(RequestIndex, EmptyFlowHasJustTheOrigin) {
+  const RequestIndex index(Flow{}, 3);
+  EXPECT_EQ(index.node_count(), 1u);
+  EXPECT_EQ(index.q_tail(0), 0);
+  EXPECT_EQ(index.prev_same_server(0), RequestIndex::kNone);
+}
+
+}  // namespace
+}  // namespace dpg

@@ -1,0 +1,91 @@
+// Unit tests for Request / RequestSequence / SequenceBuilder.
+#include <gtest/gtest.h>
+
+#include "core/request.hpp"
+#include "util/error.hpp"
+
+namespace dpg {
+namespace {
+
+TEST(Request, ContainsUsesBinarySearch) {
+  const Request r{0, 1.0, {1, 3, 5}};
+  EXPECT_TRUE(r.contains(1));
+  EXPECT_TRUE(r.contains(5));
+  EXPECT_FALSE(r.contains(2));
+}
+
+TEST(RequestSequence, ValidatesOrderingAndRanges) {
+  // Out-of-order times.
+  EXPECT_THROW(RequestSequence(2, 2,
+                               {Request{0, 2.0, {0}}, Request{1, 1.0, {1}}}),
+               InvalidArgument);
+  // Time zero is reserved for the origin.
+  EXPECT_THROW(RequestSequence(2, 2, {Request{0, 0.0, {0}}}), InvalidArgument);
+  // Duplicate times.
+  EXPECT_THROW(RequestSequence(2, 2,
+                               {Request{0, 1.0, {0}}, Request{1, 1.0, {1}}}),
+               InvalidArgument);
+  // Server out of range.
+  EXPECT_THROW(RequestSequence(2, 2, {Request{7, 1.0, {0}}}), InvalidArgument);
+  // Item out of range.
+  EXPECT_THROW(RequestSequence(2, 2, {Request{0, 1.0, {5}}}), InvalidArgument);
+  // Empty item set.
+  EXPECT_THROW(RequestSequence(2, 2, {Request{0, 1.0, {}}}), InvalidArgument);
+  // Unsorted item set.
+  EXPECT_THROW(RequestSequence(2, 3, {Request{0, 1.0, {2, 0}}}),
+               InvalidArgument);
+  // Duplicate items.
+  EXPECT_THROW(RequestSequence(2, 3, {Request{0, 1.0, {1, 1}}}),
+               InvalidArgument);
+  // Degenerate dimensions.
+  EXPECT_THROW(RequestSequence(0, 1, {}), InvalidArgument);
+  EXPECT_THROW(RequestSequence(1, 0, {}), InvalidArgument);
+}
+
+TEST(RequestSequence, FrequenciesAndIndices) {
+  const RequestSequence seq(2, 3,
+                            {Request{0, 1.0, {0, 1}}, Request{1, 2.0, {1}},
+                             Request{0, 3.0, {0, 1, 2}}});
+  EXPECT_EQ(seq.item_frequency(0), 2u);
+  EXPECT_EQ(seq.item_frequency(1), 3u);
+  EXPECT_EQ(seq.item_frequency(2), 1u);
+  EXPECT_EQ(seq.pair_frequency(0, 1), 2u);
+  EXPECT_EQ(seq.pair_frequency(1, 2), 1u);
+  EXPECT_EQ(seq.pair_frequency(0, 2), 1u);
+  EXPECT_EQ(seq.total_item_accesses(), 6u);
+  EXPECT_EQ(seq.indices_for_item(1), (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(RequestSequence, PairFrequencyIsSymmetric) {
+  const RequestSequence seq(2, 2,
+                            {Request{0, 1.0, {0, 1}}, Request{1, 2.0, {0}}});
+  EXPECT_EQ(seq.pair_frequency(0, 1), seq.pair_frequency(1, 0));
+}
+
+TEST(SequenceBuilder, SortsByTimeAndNormalizesItems) {
+  SequenceBuilder builder(3, 4);
+  builder.add(1, 2.0, {3, 1, 1});  // unsorted + duplicate, normalized by add
+  builder.add(0, 1.0, {0});
+  const RequestSequence seq = std::move(builder).build();
+  ASSERT_EQ(seq.size(), 2u);
+  EXPECT_EQ(seq[0].time, 1.0);
+  EXPECT_EQ(seq[1].items, (std::vector<ItemId>{1, 3}));
+}
+
+TEST(SequenceBuilder, DuplicateTimesStillRejected) {
+  SequenceBuilder builder(2, 2);
+  builder.add(0, 1.0, {0});
+  builder.add(1, 1.0, {1});
+  EXPECT_THROW(std::move(builder).build(), InvalidArgument);
+}
+
+TEST(RequestSequence, ToStringMentionsDimensions) {
+  const RequestSequence seq(3, 2, {Request{1, 1.5, {0}}});
+  const std::string text = seq.to_string();
+  EXPECT_NE(text.find("m=3"), std::string::npos);
+  EXPECT_NE(text.find("k=2"), std::string::npos);
+  EXPECT_NE(text.find("t=1.500"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dpg

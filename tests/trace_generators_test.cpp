@@ -1,0 +1,170 @@
+// Tests for the synthetic trace generators.
+#include <gtest/gtest.h>
+
+#include "solver/correlation.hpp"
+#include "trace/generators.hpp"
+#include "util/error.hpp"
+
+namespace dpg {
+namespace {
+
+TEST(PairedTrace, IsDeterministicPerSeed) {
+  PairedTraceConfig config;
+  config.requests_per_pair = 50;
+  Rng a(1), b(1);
+  const RequestSequence s1 = generate_paired_trace(config, a);
+  const RequestSequence s2 = generate_paired_trace(config, b);
+  ASSERT_EQ(s1.size(), s2.size());
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    ASSERT_EQ(s1[i].server, s2[i].server);
+    ASSERT_EQ(s1[i].time, s2[i].time);
+    ASSERT_EQ(s1[i].items, s2[i].items);
+  }
+}
+
+TEST(PairedTrace, HitsTargetJaccardWithinTolerance) {
+  PairedTraceConfig config;
+  config.pair_jaccard = {0.2, 0.5, 0.8};
+  config.requests_per_pair = 3000;
+  Rng rng(42);
+  const RequestSequence seq = generate_paired_trace(config, rng);
+  const CorrelationAnalysis analysis(seq);
+  for (std::size_t p = 0; p < config.pair_jaccard.size(); ++p) {
+    const double measured = analysis.jaccard(static_cast<ItemId>(2 * p),
+                                             static_cast<ItemId>(2 * p + 1));
+    EXPECT_NEAR(measured, config.pair_jaccard[p], 0.05)
+        << "pair " << p << " missed its target Jaccard";
+  }
+}
+
+TEST(PairedTrace, CrossPairJaccardIsZero) {
+  PairedTraceConfig config;
+  config.pair_jaccard = {0.5, 0.5};
+  config.requests_per_pair = 200;
+  Rng rng(7);
+  const RequestSequence seq = generate_paired_trace(config, rng);
+  const CorrelationAnalysis analysis(seq);
+  EXPECT_EQ(analysis.jaccard(0, 2), 0.0);
+  EXPECT_EQ(analysis.jaccard(1, 3), 0.0);
+}
+
+TEST(PairedTrace, RequestCountsAndRanges) {
+  PairedTraceConfig config;
+  config.pair_jaccard = {0.3, 0.6};
+  config.requests_per_pair = 100;
+  config.server_count = 7;
+  Rng rng(3);
+  const RequestSequence seq = generate_paired_trace(config, rng);
+  EXPECT_EQ(seq.size(), 200u);
+  EXPECT_EQ(seq.item_count(), 4u);
+  EXPECT_EQ(seq.server_count(), 7u);
+  Time prev = 0.0;
+  for (const Request& r : seq.requests()) {
+    ASSERT_LT(r.server, 7u);
+    ASSERT_GT(r.time, prev);
+    prev = r.time;
+  }
+}
+
+TEST(PairedTrace, ValidatesConfig) {
+  Rng rng(1);
+  PairedTraceConfig bad;
+  bad.pair_jaccard = {1.5};
+  EXPECT_THROW((void)generate_paired_trace(bad, rng), InvalidArgument);
+  PairedTraceConfig empty;
+  empty.pair_jaccard.clear();
+  EXPECT_THROW((void)generate_paired_trace(empty, rng), InvalidArgument);
+}
+
+TEST(ZipfTrace, PopularItemsDominate) {
+  ZipfTraceConfig config;
+  config.item_count = 8;
+  config.request_count = 4000;
+  config.zipf_exponent = 1.2;
+  config.co_access = 0.0;
+  Rng rng(11);
+  const RequestSequence seq = generate_zipf_trace(config, rng);
+  EXPECT_GT(seq.item_frequency(0), seq.item_frequency(4));
+  EXPECT_GT(seq.item_frequency(0), seq.item_frequency(7));
+}
+
+TEST(ZipfTrace, CoAccessCouplesEvenOddPartners) {
+  ZipfTraceConfig config;
+  config.item_count = 6;
+  config.request_count = 2000;
+  config.co_access = 1.0;
+  Rng rng(13);
+  const RequestSequence seq = generate_zipf_trace(config, rng);
+  // Every request must contain a full partner pair.
+  for (const Request& r : seq.requests()) {
+    ASSERT_EQ(r.items.size(), 2u);
+    ASSERT_EQ(r.items[0] ^ 1u, r.items[1]);
+  }
+}
+
+TEST(UniformTrace, ShapeAndDeterminism) {
+  UniformTraceConfig config;
+  config.request_count = 300;
+  Rng a(5), b(5);
+  const RequestSequence s1 = generate_uniform_trace(config, a);
+  const RequestSequence s2 = generate_uniform_trace(config, b);
+  EXPECT_EQ(s1.size(), 300u);
+  ASSERT_EQ(s1.size(), s2.size());
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    ASSERT_EQ(s1[i].time, s2[i].time);
+  }
+}
+
+
+TEST(BurstyTrace, BurstsAreTemporallyClustered) {
+  BurstyTraceConfig config;
+  config.burst_count = 10;
+  config.requests_per_burst = 20;
+  Rng rng(4);
+  const RequestSequence seq = generate_bursty_trace(config, rng);
+  EXPECT_EQ(seq.size(), 200u);
+  // Gap distribution must be bimodal: many tiny intra-burst gaps, a few
+  // large inter-burst gaps.
+  std::size_t tiny = 0, large = 0;
+  Time prev = 0.0;
+  for (const Request& r : seq.requests()) {
+    const Time gap = r.time - prev;
+    prev = r.time;
+    if (gap < 1.0) ++tiny;
+    if (gap > 5.0) ++large;
+  }
+  EXPECT_GT(tiny, 150u);
+  EXPECT_GE(large, 5u);
+}
+
+TEST(BurstyTrace, WorkingSetBoundsItemsPerBurst) {
+  BurstyTraceConfig config;
+  config.working_set = 1;
+  config.burst_count = 5;
+  Rng rng(6);
+  const RequestSequence seq = generate_bursty_trace(config, rng);
+  for (const Request& r : seq.requests()) {
+    ASSERT_EQ(r.items.size(), 1u);  // singleton working set -> single item
+  }
+}
+
+TEST(BurstyTrace, ValidatesConfig) {
+  Rng rng(1);
+  BurstyTraceConfig bad;
+  bad.working_set = 99;
+  EXPECT_THROW((void)generate_bursty_trace(bad, rng), InvalidArgument);
+}
+
+TEST(AdversarialTrace, RoundRobinPattern) {
+  AdversarialWindowConfig config;
+  config.server_count = 8;
+  config.rounds = 3;
+  const RequestSequence seq = generate_adversarial_window_trace(config);
+  ASSERT_EQ(seq.size(), 24u);
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    ASSERT_EQ(seq[i].server, static_cast<ServerId>(i % 8));
+  }
+}
+
+}  // namespace
+}  // namespace dpg

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "trace/generators.hpp"
+#include "trace/io.hpp"
+#include "util/error.hpp"
+
+namespace dpg {
+namespace {
+
+TEST(TraceIo, CsvRoundTripPreservesEverything) {
+  PairedTraceConfig config;
+  config.pair_jaccard = {0.4, 0.7};
+  config.requests_per_pair = 60;
+  Rng rng(9);
+  const RequestSequence original = generate_paired_trace(config, rng);
+  const RequestSequence restored = trace_from_csv(trace_to_csv(original));
+  ASSERT_EQ(restored.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    ASSERT_EQ(restored[i].server, original[i].server);
+    ASSERT_DOUBLE_EQ(restored[i].time, original[i].time);
+    ASSERT_EQ(restored[i].items, original[i].items);
+  }
+}
+
+TEST(TraceIo, InfersDimensionsFromContent) {
+  const RequestSequence seq =
+      trace_from_csv("server,time,items\n3,1.5,0;2\n1,2.0,4\n");
+  EXPECT_EQ(seq.server_count(), 4u);
+  EXPECT_EQ(seq.item_count(), 5u);
+}
+
+TEST(TraceIo, HonorsMinimumDimensions) {
+  const RequestSequence seq =
+      trace_from_csv("server,time,items\n0,1.0,0\n", 50, 10);
+  EXPECT_EQ(seq.server_count(), 50u);
+  EXPECT_EQ(seq.item_count(), 10u);
+}
+
+TEST(TraceIo, RejectsMissingColumns) {
+  EXPECT_THROW((void)trace_from_csv("server,time\n0,1.0\n"), IoError);
+}
+
+TEST(TraceIo, RejectsMalformedFields) {
+  EXPECT_THROW((void)trace_from_csv("server,time,items\nx,1.0,0\n"), IoError);
+  EXPECT_THROW((void)trace_from_csv("server,time,items\n0,zzz,0\n"), IoError);
+}
+
+TEST(TraceIo, InvalidSequencesStillValidated) {
+  // Duplicate timestamps are a sequence-level invariant violation.
+  EXPECT_THROW(
+      (void)trace_from_csv("server,time,items\n0,1.0,0\n1,1.0,1\n"),
+      InvalidArgument);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  UniformTraceConfig config;
+  config.request_count = 40;
+  Rng rng(2);
+  const RequestSequence original = generate_uniform_trace(config, rng);
+  const std::string path = ::testing::TempDir() + "dpg_trace_roundtrip.csv";
+  write_trace_file(path, original);
+  const RequestSequence restored =
+      read_trace_file(path, original.server_count(), original.item_count());
+  EXPECT_EQ(restored.size(), original.size());
+  EXPECT_EQ(restored.server_count(), original.server_count());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileRaises) {
+  EXPECT_THROW((void)read_trace_file("/nope/missing.csv"), IoError);
+}
+
+}  // namespace
+}  // namespace dpg

@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "trace/generators.hpp"
+#include "trace/stats.hpp"
+
+namespace dpg {
+namespace {
+
+TEST(TraceStats, CountsMatchSequence) {
+  RequestSequence seq(3, 2,
+                      {Request{0, 1.0, {0}}, Request{2, 2.0, {0, 1}},
+                       Request{2, 4.0, {1}}});
+  const TraceStats stats = compute_trace_stats(seq);
+  EXPECT_EQ(stats.request_count, 3u);
+  EXPECT_EQ(stats.per_server, (std::vector<std::size_t>{1, 0, 2}));
+  EXPECT_EQ(stats.per_item, (std::vector<std::size_t>{2, 2}));
+  EXPECT_DOUBLE_EQ(stats.horizon, 4.0);
+  EXPECT_NEAR(stats.mean_items_per_request, 4.0 / 3.0, 1e-12);
+  EXPECT_NEAR(stats.mean_gap, 4.0 / 3.0, 1e-12);
+}
+
+TEST(TraceStats, EmptySequenceIsAllZero) {
+  RequestSequence seq(2, 2, {});
+  const TraceStats stats = compute_trace_stats(seq);
+  EXPECT_EQ(stats.request_count, 0u);
+  EXPECT_EQ(stats.horizon, 0.0);
+  EXPECT_EQ(stats.mean_gap, 0.0);
+}
+
+TEST(TraceStats, SpatialRenderingShowsEveryServer) {
+  PairedTraceConfig config;
+  config.server_count = 5;
+  config.requests_per_pair = 100;
+  config.pair_jaccard = {0.5};
+  Rng rng(6);
+  const RequestSequence seq = generate_paired_trace(config, rng);
+  const std::string art =
+      render_spatial_distribution(compute_trace_stats(seq));
+  for (std::size_t s = 0; s < 5; ++s) {
+    EXPECT_NE(art.find("s" + std::to_string(s)), std::string::npos);
+  }
+}
+
+TEST(TraceStats, FrequentPairsTableOrdersBySimilarity) {
+  PairedTraceConfig config;
+  config.pair_jaccard = {0.2, 0.9};
+  config.requests_per_pair = 500;
+  Rng rng(8);
+  const RequestSequence seq = generate_paired_trace(config, rng);
+  const std::string table = render_frequent_pairs(seq, 5);
+  // The strongly correlated pair (d2,d3) must be listed before (d0,d1).
+  const auto strong = table.find("(d2,d3)");
+  const auto weak = table.find("(d0,d1)");
+  ASSERT_NE(strong, std::string::npos);
+  ASSERT_NE(weak, std::string::npos);
+  EXPECT_LT(strong, weak);
+}
+
+}  // namespace
+}  // namespace dpg

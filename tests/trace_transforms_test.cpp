@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "trace/generators.hpp"
+#include "trace/transforms.hpp"
+#include "util/error.hpp"
+
+namespace dpg {
+namespace {
+
+RequestSequence sample() {
+  return RequestSequence(
+      3, 3,
+      {Request{0, 1.0, {0}}, Request{1, 2.0, {0, 1}}, Request{2, 3.0, {2}},
+       Request{1, 4.0, {1, 2}}, Request{0, 5.0, {0}}});
+}
+
+TEST(SliceTimeWindow, KeepsHalfOpenWindowAndShiftsTimes) {
+  const RequestSequence sliced = slice_time_window(sample(), 1.0, 4.0);
+  ASSERT_EQ(sliced.size(), 3u);  // times 2, 3, 4 -> shifted 1, 2, 3
+  EXPECT_DOUBLE_EQ(sliced[0].time, 1.0);
+  EXPECT_DOUBLE_EQ(sliced[2].time, 3.0);
+  EXPECT_EQ(sliced[0].items, (std::vector<ItemId>{0, 1}));
+}
+
+TEST(SliceTimeWindow, EmptyWindowYieldsEmptySequence) {
+  const RequestSequence sliced = slice_time_window(sample(), 10.0, 20.0);
+  EXPECT_TRUE(sliced.empty());
+  EXPECT_THROW((void)slice_time_window(sample(), 3.0, 3.0), InvalidArgument);
+}
+
+TEST(FilterItems, DropsOtherItemsAndRemapsDensely) {
+  const RequestSequence filtered = filter_items(sample(), {2, 0});
+  // Requests containing neither 0 nor 2 disappear; 2 -> 0, 0 -> 1.
+  ASSERT_EQ(filtered.item_count(), 2u);
+  ASSERT_EQ(filtered.size(), 5u);  // every request touches 0 or 2 here
+  EXPECT_EQ(filtered[0].items, (std::vector<ItemId>{1}));   // was {0}
+  EXPECT_EQ(filtered[2].items, (std::vector<ItemId>{0}));   // was {2}
+  EXPECT_EQ(filtered[3].items, (std::vector<ItemId>{0}));   // was {1,2}
+}
+
+TEST(FilterItems, RemovesEmptiedRequests) {
+  const RequestSequence filtered = filter_items(sample(), {1});
+  ASSERT_EQ(filtered.size(), 2u);  // only requests that contained item 1
+  EXPECT_EQ(filtered.item_count(), 1u);
+}
+
+TEST(FilterItems, Validates) {
+  EXPECT_THROW((void)filter_items(sample(), {}), InvalidArgument);
+  EXPECT_THROW((void)filter_items(sample(), {9}), InvalidArgument);
+  EXPECT_THROW((void)filter_items(sample(), {0, 0}), InvalidArgument);
+}
+
+TEST(MergeSequences, InterleavesAndRenumbersItems) {
+  const RequestSequence a(2, 1, {Request{0, 1.0, {0}}, Request{1, 3.0, {0}}});
+  const RequestSequence b(3, 2, {Request{2, 2.0, {0, 1}}});
+  const RequestSequence merged = merge_sequences(a, b);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged.server_count(), 3u);
+  EXPECT_EQ(merged.item_count(), 3u);
+  EXPECT_EQ(merged[1].items, (std::vector<ItemId>{1, 2}));  // b's items + 1
+}
+
+TEST(MergeSequences, NudgesDuplicateTimestamps) {
+  const RequestSequence a(2, 1, {Request{0, 1.0, {0}}});
+  const RequestSequence b(2, 1, {Request{1, 1.0, {0}}});
+  const RequestSequence merged = merge_sequences(a, b);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_GT(merged[1].time, merged[0].time);
+}
+
+TEST(MergeSequences, PreservesSolvability) {
+  Rng rng(8);
+  UniformTraceConfig config;
+  config.request_count = 50;
+  const RequestSequence a = generate_uniform_trace(config, rng);
+  const RequestSequence b = generate_uniform_trace(config, rng);
+  const RequestSequence merged = merge_sequences(a, b);
+  EXPECT_EQ(merged.size(), 100u);
+  EXPECT_EQ(merged.item_count(), a.item_count() + b.item_count());
+}
+
+TEST(RemapServers, AppliesMappingAndResizesUniverse) {
+  const RequestSequence remapped = remap_servers(sample(), {5, 1, 0});
+  EXPECT_EQ(remapped.server_count(), 6u);
+  EXPECT_EQ(remapped[0].server, 5u);
+  EXPECT_EQ(remapped[1].server, 1u);
+  EXPECT_EQ(remapped[2].server, 0u);
+}
+
+TEST(RemapServers, RejectsShortMapping) {
+  EXPECT_THROW((void)remap_servers(sample(), {0, 1}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dpg

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "util/args.hpp"
+#include "util/error.hpp"
+
+namespace dpg {
+namespace {
+
+TEST(Args, DefaultsSurviveEmptyParse) {
+  ArgParser args("prog", "test");
+  const double* alpha = args.add_double("alpha", "discount", 0.8);
+  const std::size_t* n = args.add_size("n", "requests", 100);
+  const std::string* name = args.add_string("name", "label", "x");
+  const bool* flag = args.add_flag("verbose", "noise");
+  const char* argv[] = {"prog"};
+  args.parse(1, argv);
+  EXPECT_DOUBLE_EQ(*alpha, 0.8);
+  EXPECT_EQ(*n, 100u);
+  EXPECT_EQ(*name, "x");
+  EXPECT_FALSE(*flag);
+}
+
+TEST(Args, ParsesSpaceAndEqualsForms) {
+  ArgParser args("prog", "test");
+  const double* alpha = args.add_double("alpha", "discount", 0.8);
+  const std::size_t* n = args.add_size("n", "requests", 100);
+  const char* argv[] = {"prog", "--alpha", "0.5", "--n=250"};
+  args.parse(4, argv);
+  EXPECT_DOUBLE_EQ(*alpha, 0.5);
+  EXPECT_EQ(*n, 250u);
+}
+
+TEST(Args, FlagsNeedNoValue) {
+  ArgParser args("prog", "test");
+  const bool* flag = args.add_flag("verbose", "noise");
+  const char* argv[] = {"prog", "--verbose"};
+  args.parse(2, argv);
+  EXPECT_TRUE(*flag);
+}
+
+TEST(Args, UnknownOptionRejected) {
+  ArgParser args("prog", "test");
+  const char* argv[] = {"prog", "--mystery"};
+  EXPECT_THROW(args.parse(2, argv), InvalidArgument);
+}
+
+TEST(Args, MissingValueRejected) {
+  ArgParser args("prog", "test");
+  args.add_double("alpha", "discount", 0.8);
+  const char* argv[] = {"prog", "--alpha"};
+  EXPECT_THROW(args.parse(2, argv), InvalidArgument);
+}
+
+TEST(Args, MalformedValueRejected) {
+  ArgParser args("prog", "test");
+  args.add_double("alpha", "discount", 0.8);
+  const char* argv[] = {"prog", "--alpha", "huge"};
+  EXPECT_THROW(args.parse(3, argv), IoError);
+}
+
+TEST(Args, PositionalArgumentsRejected) {
+  ArgParser args("prog", "test");
+  const char* argv[] = {"prog", "stray"};
+  EXPECT_THROW(args.parse(2, argv), InvalidArgument);
+}
+
+TEST(Args, UsageListsOptionsWithDefaults) {
+  ArgParser args("prog", "does things");
+  args.add_double("alpha", "discount factor", 0.8);
+  args.add_flag("verbose", "more logs");
+  const std::string usage = args.usage();
+  EXPECT_NE(usage.find("--alpha"), std::string::npos);
+  EXPECT_NE(usage.find("0.8000"), std::string::npos);
+  EXPECT_NE(usage.find("does things"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dpg

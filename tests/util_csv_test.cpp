@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+
+namespace dpg {
+namespace {
+
+TEST(Csv, ParsesHeaderAndRows) {
+  const CsvTable t = parse_csv("a,b,c\n1,2,3\n4,5,6\n");
+  EXPECT_EQ(t.header, (std::vector<std::string>{"a", "b", "c"}));
+  ASSERT_EQ(t.rows.size(), 2u);
+  EXPECT_EQ(t.rows[1][2], "6");
+}
+
+TEST(Csv, HandlesQuotedFieldsAndEscapes) {
+  const CsvTable t = parse_csv("name,note\nx,\"a,b\"\ny,\"say \"\"hi\"\"\"\n");
+  EXPECT_EQ(t.rows[0][1], "a,b");
+  EXPECT_EQ(t.rows[1][1], "say \"hi\"");
+}
+
+TEST(Csv, HandlesCrLfAndMissingTrailingNewline) {
+  const CsvTable t = parse_csv("a,b\r\n1,2\r\n3,4");
+  ASSERT_EQ(t.rows.size(), 2u);
+  EXPECT_EQ(t.rows[1][1], "4");
+}
+
+TEST(Csv, SkipsBlankLines) {
+  const CsvTable t = parse_csv("a,b\n\n1,2\n\n");
+  EXPECT_EQ(t.rows.size(), 1u);
+}
+
+TEST(Csv, RaggedRowsRejected) {
+  EXPECT_THROW((void)parse_csv("a,b\n1\n"), IoError);
+}
+
+TEST(Csv, UnterminatedQuoteRejected) {
+  EXPECT_THROW((void)parse_csv("a\n\"oops\n"), IoError);
+}
+
+TEST(Csv, ColumnIndexLookups) {
+  const CsvTable t = parse_csv("x,y\n1,2\n");
+  EXPECT_EQ(t.column_index("y"), 1u);
+  EXPECT_THROW((void)t.column_index("z"), IoError);
+}
+
+TEST(Csv, WriterQuotesOnlyWhenNeeded) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_row({"plain", "with,comma", "with\"quote"});
+  EXPECT_EQ(out.str(), "plain,\"with,comma\",\"with\"\"quote\"\n");
+}
+
+TEST(Csv, FileRoundTrip) {
+  CsvTable t;
+  t.header = {"server", "time", "items"};
+  t.rows = {{"0", "1.5", "0;1"}, {"3", "2.0", "2"}};
+  const std::string path = ::testing::TempDir() + "dpg_csv_roundtrip.csv";
+  write_csv_file(path, t);
+  const CsvTable back = read_csv_file(path);
+  EXPECT_EQ(back.header, t.header);
+  EXPECT_EQ(back.rows, t.rows);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, MissingFileRaises) {
+  EXPECT_THROW((void)read_csv_file("/nonexistent/nowhere.csv"), IoError);
+}
+
+}  // namespace
+}  // namespace dpg

@@ -1,0 +1,52 @@
+#include <gtest/gtest.h>
+
+#include "util/log.hpp"
+
+namespace dpg {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, LevelRoundTrips) {
+  const LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+TEST(Log, MacroShortCircuitsBelowThreshold) {
+  const LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  int evaluations = 0;
+  const auto expensive = [&evaluations] {
+    ++evaluations;
+    return "payload";
+  };
+  DPG_ERROR << expensive();
+  EXPECT_EQ(evaluations, 0) << "suppressed log still evaluated its arguments";
+  set_log_level(LogLevel::kDebug);
+  // Redirecting stderr is not worth the complexity here; we only check the
+  // argument IS evaluated when the level passes.
+  DPG_DEBUG << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Log, DirectCallRespectsThreshold) {
+  const LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  // Must be a no-op (nothing observable to assert beyond "does not crash",
+  // but it exercises the early-return path).
+  log_message(LogLevel::kError, "should be dropped");
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace dpg

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace dpg {
+namespace {
+
+TEST(Stats, SummaryMoments) {
+  const std::array<double, 4> v{1.0, 2.0, 3.0, 4.0};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Stats, SummaryOfEmptyAndSingleton) {
+  EXPECT_EQ(summarize({}).count, 0u);
+  const std::array<double, 1> one{7.0};
+  const Summary s = summarize(one);
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::array<double, 5> v{10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 20.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 12.5), 15.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+}
+
+TEST(Stats, Confidence95ShrinksWithSampleSize) {
+  std::vector<double> small(10, 0.0), large(1000, 0.0);
+  for (std::size_t i = 0; i < small.size(); ++i) {
+    small[i] = static_cast<double>(i % 2);
+  }
+  for (std::size_t i = 0; i < large.size(); ++i) {
+    large[i] = static_cast<double>(i % 2);
+  }
+  EXPECT_GT(confidence95(small), confidence95(large));
+  EXPECT_EQ(confidence95(std::vector<double>{1.0}), 0.0);
+}
+
+TEST(Stats, HistogramBinsAndClamping) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(0.1);
+  h.add(0.3);
+  h.add(0.99);
+  h.add(-5.0);  // clamps into the first bin
+  h.add(5.0);   // clamps into the last bin
+  EXPECT_EQ(h.bins[0], 2u);
+  EXPECT_EQ(h.bins[1], 1u);
+  EXPECT_EQ(h.bins[3], 2u);
+  EXPECT_EQ(h.total(), 5u);
+  const std::string art = h.render();
+  EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+TEST(Stats, HistogramRejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), InvalidArgument);
+  EXPECT_THROW(Histogram(1.0, 0.0, 4), InvalidArgument);
+}
+
+TEST(Stats, PowerFitRecoversExactLaw) {
+  std::vector<double> x, y;
+  for (double v = 1.0; v <= 64.0; v *= 2.0) {
+    x.push_back(v);
+    y.push_back(3.0 * v * v);  // y = 3 x^2
+  }
+  const PowerFit fit = fit_power_law(x, y);
+  EXPECT_NEAR(fit.exponent, 2.0, 1e-9);
+  EXPECT_NEAR(fit.coefficient, 3.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+}
+
+TEST(Stats, PowerFitValidatesInputs) {
+  EXPECT_THROW((void)fit_power_law(std::vector<double>{1.0},
+                             std::vector<double>{1.0}),
+               InvalidArgument);
+  EXPECT_THROW((void)fit_power_law(std::vector<double>{1.0, -2.0},
+                             std::vector<double>{1.0, 2.0}),
+               InvalidArgument);
+  EXPECT_THROW((void)fit_power_law(std::vector<double>{1.0, 2.0},
+                             std::vector<double>{1.0}),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dpg

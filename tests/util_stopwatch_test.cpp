@@ -1,0 +1,28 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "util/stopwatch.hpp"
+
+namespace dpg {
+namespace {
+
+TEST(Stopwatch, ElapsedIsMonotonicNonNegative) {
+  Stopwatch watch;
+  const double first = watch.elapsed_seconds();
+  EXPECT_GE(first, 0.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const double second = watch.elapsed_seconds();
+  EXPECT_GE(second, first);
+  EXPECT_GE(second, 0.002 * 0.5);  // slept ~2ms, allow scheduler slop
+}
+
+TEST(Stopwatch, ResetRestartsTheClock) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  watch.reset();
+  EXPECT_LT(watch.elapsed_seconds(), 0.002);
+}
+
+}  // namespace
+}  // namespace dpg

@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace dpg {
+namespace {
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  EXPECT_EQ(split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split("x", ','), (std::vector<std::string>{"x"}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(Strings, TrimStripsAsciiWhitespace) {
+  EXPECT_EQ(trim("  a b \t\r\n"), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+}
+
+TEST(Strings, JoinInterleavesSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"only"}, ","), "only");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("--flag", "--"));
+  EXPECT_FALSE(starts_with("-", "--"));
+}
+
+TEST(Strings, ParseDoubleAcceptsTrimmedNumbers) {
+  EXPECT_DOUBLE_EQ(parse_double(" 1.5 "), 1.5);
+  EXPECT_DOUBLE_EQ(parse_double("-2"), -2.0);
+  EXPECT_THROW((void)parse_double("abc"), IoError);
+  EXPECT_THROW((void)parse_double("1.5x"), IoError);
+  EXPECT_THROW((void)parse_double(""), IoError);
+}
+
+TEST(Strings, ParseSize) {
+  EXPECT_EQ(parse_size("42"), 42u);
+  EXPECT_THROW((void)parse_size("-1"), IoError);
+  EXPECT_THROW((void)parse_size("1.5"), IoError);
+}
+
+TEST(Strings, FormatFixed) {
+  EXPECT_EQ(format_fixed(1.23456, 2), "1.23");
+  EXPECT_EQ(format_fixed(2.0, 0), "2");
+  EXPECT_EQ(format_fixed(-0.5, 3), "-0.500");
+}
+
+}  // namespace
+}  // namespace dpg

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/error.hpp"
+#include "util/svg_chart.hpp"
+
+namespace dpg {
+namespace {
+
+SvgChart sample_chart() {
+  SvgChart chart("ave cost vs J", "Jaccard", "ave cost");
+  chart.add_series("DP_Greedy", {{0.1, 3.0}, {0.5, 2.0}, {0.9, 1.5}}, "#1f77b4");
+  chart.add_series("Optimal", {{0.1, 2.5}, {0.5, 2.4}, {0.9, 2.3}}, "#d62728");
+  return chart;
+}
+
+TEST(SvgChart, RendersWellFormedDocument) {
+  const std::string svg = sample_chart().render();
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("polyline"), std::string::npos);
+  EXPECT_NE(svg.find("DP_Greedy"), std::string::npos);
+  EXPECT_NE(svg.find("Optimal"), std::string::npos);
+  EXPECT_NE(svg.find("Jaccard"), std::string::npos);
+  // Two series -> two polylines.
+  std::size_t polylines = 0;
+  for (std::size_t pos = svg.find("<polyline"); pos != std::string::npos;
+       pos = svg.find("<polyline", pos + 1)) {
+    ++polylines;
+  }
+  EXPECT_EQ(polylines, 2u);
+}
+
+TEST(SvgChart, EscapesXmlInLabels) {
+  SvgChart chart("a < b & c", "x", "y");
+  chart.add_series("s<1>", {{0, 0}, {1, 1}}, "black");
+  const std::string svg = chart.render();
+  EXPECT_EQ(svg.find("a < b &"), std::string::npos);
+  EXPECT_NE(svg.find("a &lt; b &amp; c"), std::string::npos);
+  EXPECT_NE(svg.find("s&lt;1&gt;"), std::string::npos);
+}
+
+TEST(SvgChart, HandlesDegenerateRanges) {
+  SvgChart chart("flat", "x", "y");
+  chart.add_series("constant", {{1.0, 5.0}, {2.0, 5.0}}, "green");
+  EXPECT_NO_THROW((void)chart.render());
+  SvgChart empty("empty", "x", "y");
+  EXPECT_NO_THROW((void)empty.render());
+}
+
+TEST(SvgChart, WritesFile) {
+  const std::string path = ::testing::TempDir() + "dpg_chart.svg";
+  sample_chart().write_file(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_NE(line.find("<svg"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(SvgChart, RejectsTinyCanvas) {
+  EXPECT_THROW(SvgChart("t", "x", "y", 10, 10), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dpg

@@ -1,0 +1,43 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace dpg {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  TextTable table({"name", "value"});
+  table.add_row({"x", "1"});
+  table.add_row({"longer", "2.5"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer  2.5"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, NumericRowsAreFormatted) {
+  TextTable table({"a", "b"});
+  table.add_numeric_row({1.23456, 2.0}, 2);
+  EXPECT_NE(table.render().find("1.23"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 1u);
+}
+
+TEST(Table, WidthMismatchRejected) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), InvalidArgument);
+  EXPECT_THROW(TextTable({}), InvalidArgument);
+}
+
+TEST(Table, StreamsViaOperator) {
+  TextTable table({"h"});
+  table.add_row({"v"});
+  std::ostringstream out;
+  out << table;
+  EXPECT_NE(out.str().find('v'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dpg

@@ -1,0 +1,279 @@
+// dpgreedy — the command-line front end to the library.
+//
+//   dpgreedy generate --out trace.csv [--kind taxi|paired|zipf] [--seed N]
+//   dpgreedy stats    --trace trace.csv
+//   dpgreedy solve    --trace trace.csv [--theta T] [--alpha A] [--mu M]
+//                     [--lambda L] [--export-dir DIR]
+//   dpgreedy compare  --trace trace.csv ...        (three-way comparison)
+//   dpgreedy online   --trace trace.csv ...        (online DP_Greedy)
+//
+// Traces are the CSV format of trace/io.hpp, so generated workloads can be
+// archived, inspected and re-solved reproducibly.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/schedule_export.hpp"
+#include "mobility/simulator.hpp"
+#include "solver/baselines.hpp"
+#include "solver/dp_greedy.hpp"
+#include "solver/online_dp_greedy.hpp"
+#include "trace/generators.hpp"
+#include "trace/io.hpp"
+#include "trace/stats.hpp"
+#include "util/args.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace dpg;
+
+namespace {
+
+int cmd_generate(int argc, const char* const* argv) {
+  ArgParser args("dpgreedy generate", "generate a workload trace CSV");
+  const std::string* out = args.add_string("out", "output trace path", "trace.csv");
+  const std::string* kind =
+      args.add_string("kind", "taxi | paired | zipf | uniform | bursty", "taxi");
+  const std::size_t* seed = args.add_size("seed", "RNG seed", 42);
+  const double* duration = args.add_double("duration", "taxi: simulated time", 300.0);
+  const std::size_t* requests = args.add_size("requests", "non-taxi: request count", 2000);
+  const std::size_t* servers = args.add_size("servers", "server count", 50);
+  const std::size_t* items = args.add_size("items", "item count", 10);
+  args.parse(argc, argv);
+
+  Rng rng(*seed);
+  RequestSequence trace = [&] {
+    if (*kind == "taxi") {
+      MobilityConfig config;
+      config.duration = *duration;
+      config.taxi_count = *items;
+      return simulate_mobility(config, rng);
+    }
+    if (*kind == "paired") {
+      PairedTraceConfig config;
+      config.server_count = *servers;
+      config.requests_per_pair = *requests / std::max<std::size_t>(1, *items / 2);
+      config.pair_jaccard.assign(*items / 2, 0.0);
+      for (std::size_t p = 0; p < config.pair_jaccard.size(); ++p) {
+        config.pair_jaccard[p] =
+            0.1 + 0.8 * static_cast<double>(p) /
+                      static_cast<double>(std::max<std::size_t>(
+                          1, config.pair_jaccard.size() - 1));
+      }
+      return generate_paired_trace(config, rng);
+    }
+    if (*kind == "zipf") {
+      ZipfTraceConfig config;
+      config.server_count = *servers;
+      config.item_count = *items;
+      config.request_count = *requests;
+      return generate_zipf_trace(config, rng);
+    }
+    if (*kind == "uniform") {
+      UniformTraceConfig config;
+      config.server_count = *servers;
+      config.item_count = *items;
+      config.request_count = *requests;
+      return generate_uniform_trace(config, rng);
+    }
+    if (*kind == "bursty") {
+      BurstyTraceConfig config;
+      config.server_count = *servers;
+      config.item_count = *items;
+      config.requests_per_burst = 25;
+      config.burst_count = std::max<std::size_t>(1, *requests / 25);
+      return generate_bursty_trace(config, rng);
+    }
+    throw InvalidArgument("unknown --kind: " + *kind);
+  }();
+
+  write_trace_file(*out, trace);
+  std::printf("wrote %zu requests (m=%zu, k=%zu) to %s\n", trace.size(),
+              trace.server_count(), trace.item_count(), out->c_str());
+  return 0;
+}
+
+int cmd_stats(int argc, const char* const* argv) {
+  ArgParser args("dpgreedy stats", "describe a trace");
+  const std::string* path = args.add_string("trace", "trace CSV path", "trace.csv");
+  args.parse(argc, argv);
+  const RequestSequence trace = read_trace_file(*path);
+  const TraceStats stats = compute_trace_stats(trace);
+  std::printf("%s\n", render_spatial_distribution(stats).c_str());
+  std::printf("%s\n", render_frequent_pairs(trace, 10).c_str());
+  std::printf("requests %zu, servers %zu, items %zu, horizon %s, "
+              "mean items/request %s\n",
+              stats.request_count, stats.server_count, stats.item_count,
+              format_fixed(stats.horizon, 2).c_str(),
+              format_fixed(stats.mean_items_per_request, 3).c_str());
+  return 0;
+}
+
+CostModel model_from(const double* mu, const double* lambda, const double* alpha) {
+  CostModel model;
+  model.mu = *mu;
+  model.lambda = *lambda;
+  model.alpha = *alpha;
+  model.validate();
+  return model;
+}
+
+int cmd_solve(int argc, const char* const* argv) {
+  ArgParser args("dpgreedy solve", "run DP_Greedy on a trace");
+  const std::string* path = args.add_string("trace", "trace CSV path", "trace.csv");
+  const double* theta = args.add_double("theta", "correlation threshold", 0.3);
+  const double* mu = args.add_double("mu", "cache cost rate", 1.0);
+  const double* lambda = args.add_double("lambda", "transfer cost", 1.0);
+  const double* alpha = args.add_double("alpha", "package discount", 0.8);
+  const std::string* export_dir =
+      args.add_string("export-dir", "write package schedules (CSV+DOT) here", "");
+  args.parse(argc, argv);
+
+  const RequestSequence trace = read_trace_file(*path);
+  const CostModel model = model_from(mu, lambda, alpha);
+  DpGreedyOptions options;
+  options.theta = *theta;
+  const DpGreedyResult result = solve_dp_greedy(trace, model, options);
+
+  TextTable table({"package/item", "J", "cost", "ave"});
+  for (const PackageReport& report : result.packages) {
+    table.add_row({"{d" + std::to_string(report.pair.a) + ",d" +
+                       std::to_string(report.pair.b) + "}",
+                   format_fixed(report.pair.jaccard, 3),
+                   format_fixed(report.total_cost(), 2),
+                   format_fixed(report.ave_cost(), 4)});
+  }
+  for (const SingleItemReport& report : result.singles) {
+    table.add_row({"d" + std::to_string(report.item), "-",
+                   format_fixed(report.cost, 2),
+                   format_fixed(report.accesses == 0
+                                    ? 0.0
+                                    : report.cost /
+                                          static_cast<double>(report.accesses),
+                                4)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("total %s over %zu item accesses — ave_cost %s\n",
+              format_fixed(result.total_cost, 2).c_str(),
+              result.total_item_accesses,
+              format_fixed(result.ave_cost, 4).c_str());
+
+  if (!export_dir->empty()) {
+    for (const PackageReport& report : result.packages) {
+      const std::string base = *export_dir + "/package_" +
+                               std::to_string(report.pair.a) + "_" +
+                               std::to_string(report.pair.b);
+      const Flow flow = make_package_flow(trace, report.pair.a, report.pair.b);
+      std::FILE* csv = std::fopen((base + ".csv").c_str(), "w");
+      std::FILE* dot = std::fopen((base + ".dot").c_str(), "w");
+      if (csv == nullptr || dot == nullptr) {
+        if (csv != nullptr) std::fclose(csv);
+        if (dot != nullptr) std::fclose(dot);
+        throw IoError("cannot write exports under " + *export_dir);
+      }
+      std::fputs(schedule_to_csv(report.package_schedule).c_str(), csv);
+      std::fputs(schedule_to_dot(report.package_schedule, flow).c_str(), dot);
+      std::fclose(csv);
+      std::fclose(dot);
+      std::printf("exported %s.{csv,dot}\n", base.c_str());
+    }
+  }
+  return 0;
+}
+
+int cmd_compare(int argc, const char* const* argv) {
+  ArgParser args("dpgreedy compare", "DP_Greedy vs Optimal vs Package_Served");
+  const std::string* path = args.add_string("trace", "trace CSV path", "trace.csv");
+  const double* theta = args.add_double("theta", "correlation threshold", 0.3);
+  const double* mu = args.add_double("mu", "cache cost rate", 1.0);
+  const double* lambda = args.add_double("lambda", "transfer cost", 1.0);
+  const double* alpha = args.add_double("alpha", "package discount", 0.8);
+  args.parse(argc, argv);
+
+  const RequestSequence trace = read_trace_file(*path);
+  const CostModel model = model_from(mu, lambda, alpha);
+  DpGreedyOptions options;
+  options.theta = *theta;
+  const DpGreedyResult dpg = solve_dp_greedy(trace, model, options);
+  const OptimalBaselineResult optimal = solve_optimal_baseline(trace, model);
+  const PackageServedResult packaged = solve_package_served(trace, model, *theta);
+
+  TextTable table({"algorithm", "total", "ave"});
+  table.add_row({"Optimal", format_fixed(optimal.total_cost, 2),
+                 format_fixed(optimal.ave_cost, 4)});
+  table.add_row({"Package_Served", format_fixed(packaged.total_cost, 2),
+                 format_fixed(packaged.ave_cost, 4)});
+  table.add_row({"DP_Greedy", format_fixed(dpg.total_cost, 2),
+                 format_fixed(dpg.ave_cost, 4)});
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+int cmd_online(int argc, const char* const* argv) {
+  ArgParser args("dpgreedy online", "online DP_Greedy (no lookahead)");
+  const std::string* path = args.add_string("trace", "trace CSV path", "trace.csv");
+  const double* theta = args.add_double("theta", "correlation threshold", 0.3);
+  const double* mu = args.add_double("mu", "cache cost rate", 1.0);
+  const double* lambda = args.add_double("lambda", "transfer cost", 1.0);
+  const double* alpha = args.add_double("alpha", "package discount", 0.8);
+  const std::size_t* window = args.add_size("window", "Jaccard window", 200);
+  args.parse(argc, argv);
+
+  const RequestSequence trace = read_trace_file(*path);
+  const CostModel model = model_from(mu, lambda, alpha);
+  OnlineDpGreedyOptions options;
+  options.theta = *theta;
+  options.window = *window;
+  const OnlineDpGreedyResult online = solve_online_dp_greedy(trace, model, options);
+  DpGreedyOptions offline_options;
+  offline_options.theta = *theta;
+  const DpGreedyResult offline = solve_dp_greedy(trace, model, offline_options);
+
+  std::printf("online : total %s, ave %s (%zu packs, %zu unpacks, "
+              "%zu package fetches, %zu transfers)\n",
+              format_fixed(online.total_cost, 2).c_str(),
+              format_fixed(online.ave_cost, 4).c_str(), online.pack_events,
+              online.unpack_events, online.package_fetches, online.transfers);
+  std::printf("offline: total %s, ave %s\n",
+              format_fixed(offline.total_cost, 2).c_str(),
+              format_fixed(offline.ave_cost, 4).c_str());
+  if (offline.total_cost > 0.0) {
+    std::printf("online/offline ratio: %s\n",
+                format_fixed(online.total_cost / offline.total_cost, 3).c_str());
+  }
+  return 0;
+}
+
+void usage() {
+  std::fputs(
+      "usage: dpgreedy <generate|stats|solve|compare|online> [options]\n"
+      "       dpgreedy <command> --help for per-command options\n",
+      stderr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  // Shift argv so each subcommand parses its own options.
+  const int sub_argc = argc - 1;
+  const char* const* sub_argv = argv + 1;
+  try {
+    if (command == "generate") return cmd_generate(sub_argc, sub_argv);
+    if (command == "stats") return cmd_stats(sub_argc, sub_argv);
+    if (command == "solve") return cmd_solve(sub_argc, sub_argv);
+    if (command == "compare") return cmd_compare(sub_argc, sub_argv);
+    if (command == "online") return cmd_online(sub_argc, sub_argv);
+    usage();
+    return 2;
+  } catch (const Error& error) {
+    std::fprintf(stderr, "dpgreedy %s: %s\n", command.c_str(), error.what());
+    return 1;
+  }
+}
