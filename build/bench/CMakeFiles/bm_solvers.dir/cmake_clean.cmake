@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_solvers.dir/bm_solvers.cpp.o"
+  "CMakeFiles/bm_solvers.dir/bm_solvers.cpp.o.d"
+  "bm_solvers"
+  "bm_solvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_trace.dir/bm_trace.cpp.o"
+  "CMakeFiles/bm_trace.dir/bm_trace.cpp.o.d"
+  "bm_trace"
+  "bm_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

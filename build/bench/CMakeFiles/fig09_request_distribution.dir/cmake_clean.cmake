@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_request_distribution.dir/fig09_request_distribution.cpp.o"
+  "CMakeFiles/fig09_request_distribution.dir/fig09_request_distribution.cpp.o.d"
+  "fig09_request_distribution"
+  "fig09_request_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_request_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

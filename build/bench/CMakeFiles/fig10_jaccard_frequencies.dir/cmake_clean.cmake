@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_jaccard_frequencies.dir/fig10_jaccard_frequencies.cpp.o"
+  "CMakeFiles/fig10_jaccard_frequencies.dir/fig10_jaccard_frequencies.cpp.o.d"
+  "fig10_jaccard_frequencies"
+  "fig10_jaccard_frequencies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_jaccard_frequencies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

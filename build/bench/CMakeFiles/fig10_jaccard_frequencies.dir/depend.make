@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_jaccard_frequencies.
+# This may be replaced when dependencies are built.

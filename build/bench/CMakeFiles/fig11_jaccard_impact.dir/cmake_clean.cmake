@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_jaccard_impact.dir/fig11_jaccard_impact.cpp.o"
+  "CMakeFiles/fig11_jaccard_impact.dir/fig11_jaccard_impact.cpp.o.d"
+  "fig11_jaccard_impact"
+  "fig11_jaccard_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_jaccard_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_rho_impact.dir/fig12_rho_impact.cpp.o"
+  "CMakeFiles/fig12_rho_impact.dir/fig12_rho_impact.cpp.o.d"
+  "fig12_rho_impact"
+  "fig12_rho_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_rho_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

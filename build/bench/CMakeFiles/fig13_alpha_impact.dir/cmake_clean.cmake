@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_alpha_impact.dir/fig13_alpha_impact.cpp.o"
+  "CMakeFiles/fig13_alpha_impact.dir/fig13_alpha_impact.cpp.o.d"
+  "fig13_alpha_impact"
+  "fig13_alpha_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_alpha_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_approx_ratio.dir/tab_approx_ratio.cpp.o"
+  "CMakeFiles/tab_approx_ratio.dir/tab_approx_ratio.cpp.o.d"
+  "tab_approx_ratio"
+  "tab_approx_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_approx_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

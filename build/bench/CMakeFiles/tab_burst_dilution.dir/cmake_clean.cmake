@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_burst_dilution.dir/tab_burst_dilution.cpp.o"
+  "CMakeFiles/tab_burst_dilution.dir/tab_burst_dilution.cpp.o.d"
+  "tab_burst_dilution"
+  "tab_burst_dilution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_burst_dilution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_capacity.dir/tab_capacity.cpp.o"
+  "CMakeFiles/tab_capacity.dir/tab_capacity.cpp.o.d"
+  "tab_capacity"
+  "tab_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

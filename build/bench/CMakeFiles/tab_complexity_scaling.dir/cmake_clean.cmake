@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_complexity_scaling.dir/tab_complexity_scaling.cpp.o"
+  "CMakeFiles/tab_complexity_scaling.dir/tab_complexity_scaling.cpp.o.d"
+  "tab_complexity_scaling"
+  "tab_complexity_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_complexity_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

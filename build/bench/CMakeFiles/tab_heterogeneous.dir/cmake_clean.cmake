@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_heterogeneous.dir/tab_heterogeneous.cpp.o"
+  "CMakeFiles/tab_heterogeneous.dir/tab_heterogeneous.cpp.o.d"
+  "tab_heterogeneous"
+  "tab_heterogeneous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_heterogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

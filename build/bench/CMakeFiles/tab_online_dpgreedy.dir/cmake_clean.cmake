@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_online_dpgreedy.dir/tab_online_dpgreedy.cpp.o"
+  "CMakeFiles/tab_online_dpgreedy.dir/tab_online_dpgreedy.cpp.o.d"
+  "tab_online_dpgreedy"
+  "tab_online_dpgreedy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_online_dpgreedy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_online_ratio.dir/tab_online_ratio.cpp.o"
+  "CMakeFiles/tab_online_ratio.dir/tab_online_ratio.cpp.o.d"
+  "tab_online_ratio"
+  "tab_online_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_online_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_theta_sweep.dir/tab_theta_sweep.cpp.o"
+  "CMakeFiles/tab_theta_sweep.dir/tab_theta_sweep.cpp.o.d"
+  "tab_theta_sweep"
+  "tab_theta_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_theta_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_vs_offline.dir/online_vs_offline.cpp.o"
+  "CMakeFiles/online_vs_offline.dir/online_vs_offline.cpp.o.d"
+  "online_vs_offline"
+  "online_vs_offline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_vs_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

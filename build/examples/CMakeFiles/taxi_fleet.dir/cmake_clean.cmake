@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taxi_fleet.dir/taxi_fleet.cpp.o"
+  "CMakeFiles/taxi_fleet.dir/taxi_fleet.cpp.o.d"
+  "taxi_fleet"
+  "taxi_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taxi_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cost_model.cpp" "src/core/CMakeFiles/dpg_core.dir/cost_model.cpp.o" "gcc" "src/core/CMakeFiles/dpg_core.dir/cost_model.cpp.o.d"
+  "/root/repo/src/core/flow.cpp" "src/core/CMakeFiles/dpg_core.dir/flow.cpp.o" "gcc" "src/core/CMakeFiles/dpg_core.dir/flow.cpp.o.d"
+  "/root/repo/src/core/interval_set.cpp" "src/core/CMakeFiles/dpg_core.dir/interval_set.cpp.o" "gcc" "src/core/CMakeFiles/dpg_core.dir/interval_set.cpp.o.d"
+  "/root/repo/src/core/request.cpp" "src/core/CMakeFiles/dpg_core.dir/request.cpp.o" "gcc" "src/core/CMakeFiles/dpg_core.dir/request.cpp.o.d"
+  "/root/repo/src/core/request_index.cpp" "src/core/CMakeFiles/dpg_core.dir/request_index.cpp.o" "gcc" "src/core/CMakeFiles/dpg_core.dir/request_index.cpp.o.d"
+  "/root/repo/src/core/schedule.cpp" "src/core/CMakeFiles/dpg_core.dir/schedule.cpp.o" "gcc" "src/core/CMakeFiles/dpg_core.dir/schedule.cpp.o.d"
+  "/root/repo/src/core/schedule_export.cpp" "src/core/CMakeFiles/dpg_core.dir/schedule_export.cpp.o" "gcc" "src/core/CMakeFiles/dpg_core.dir/schedule_export.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dpg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

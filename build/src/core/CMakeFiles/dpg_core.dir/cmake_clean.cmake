@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpg_core.dir/cost_model.cpp.o"
+  "CMakeFiles/dpg_core.dir/cost_model.cpp.o.d"
+  "CMakeFiles/dpg_core.dir/flow.cpp.o"
+  "CMakeFiles/dpg_core.dir/flow.cpp.o.d"
+  "CMakeFiles/dpg_core.dir/interval_set.cpp.o"
+  "CMakeFiles/dpg_core.dir/interval_set.cpp.o.d"
+  "CMakeFiles/dpg_core.dir/request.cpp.o"
+  "CMakeFiles/dpg_core.dir/request.cpp.o.d"
+  "CMakeFiles/dpg_core.dir/request_index.cpp.o"
+  "CMakeFiles/dpg_core.dir/request_index.cpp.o.d"
+  "CMakeFiles/dpg_core.dir/schedule.cpp.o"
+  "CMakeFiles/dpg_core.dir/schedule.cpp.o.d"
+  "CMakeFiles/dpg_core.dir/schedule_export.cpp.o"
+  "CMakeFiles/dpg_core.dir/schedule_export.cpp.o.d"
+  "libdpg_core.a"
+  "libdpg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

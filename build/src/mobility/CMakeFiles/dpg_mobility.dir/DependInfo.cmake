@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mobility/city.cpp" "src/mobility/CMakeFiles/dpg_mobility.dir/city.cpp.o" "gcc" "src/mobility/CMakeFiles/dpg_mobility.dir/city.cpp.o.d"
+  "/root/repo/src/mobility/simulator.cpp" "src/mobility/CMakeFiles/dpg_mobility.dir/simulator.cpp.o" "gcc" "src/mobility/CMakeFiles/dpg_mobility.dir/simulator.cpp.o.d"
+  "/root/repo/src/mobility/taxi.cpp" "src/mobility/CMakeFiles/dpg_mobility.dir/taxi.cpp.o" "gcc" "src/mobility/CMakeFiles/dpg_mobility.dir/taxi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dpg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dpg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

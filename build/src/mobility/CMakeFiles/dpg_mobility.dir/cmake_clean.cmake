@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpg_mobility.dir/city.cpp.o"
+  "CMakeFiles/dpg_mobility.dir/city.cpp.o.d"
+  "CMakeFiles/dpg_mobility.dir/simulator.cpp.o"
+  "CMakeFiles/dpg_mobility.dir/simulator.cpp.o.d"
+  "CMakeFiles/dpg_mobility.dir/taxi.cpp.o"
+  "CMakeFiles/dpg_mobility.dir/taxi.cpp.o.d"
+  "libdpg_mobility.a"
+  "libdpg_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpg_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpg_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/dpg_parallel.dir/thread_pool.cpp.o.d"
+  "libdpg_parallel.a"
+  "libdpg_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpg_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpg_sim.dir/replay.cpp.o"
+  "CMakeFiles/dpg_sim.dir/replay.cpp.o.d"
+  "CMakeFiles/dpg_sim.dir/report.cpp.o"
+  "CMakeFiles/dpg_sim.dir/report.cpp.o.d"
+  "libdpg_sim.a"
+  "libdpg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

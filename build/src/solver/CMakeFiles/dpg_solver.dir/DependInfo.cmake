@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/baselines.cpp" "src/solver/CMakeFiles/dpg_solver.dir/baselines.cpp.o" "gcc" "src/solver/CMakeFiles/dpg_solver.dir/baselines.cpp.o.d"
+  "/root/repo/src/solver/bruteforce.cpp" "src/solver/CMakeFiles/dpg_solver.dir/bruteforce.cpp.o" "gcc" "src/solver/CMakeFiles/dpg_solver.dir/bruteforce.cpp.o.d"
+  "/root/repo/src/solver/correlation.cpp" "src/solver/CMakeFiles/dpg_solver.dir/correlation.cpp.o" "gcc" "src/solver/CMakeFiles/dpg_solver.dir/correlation.cpp.o.d"
+  "/root/repo/src/solver/cut_operation.cpp" "src/solver/CMakeFiles/dpg_solver.dir/cut_operation.cpp.o" "gcc" "src/solver/CMakeFiles/dpg_solver.dir/cut_operation.cpp.o.d"
+  "/root/repo/src/solver/dp_greedy.cpp" "src/solver/CMakeFiles/dpg_solver.dir/dp_greedy.cpp.o" "gcc" "src/solver/CMakeFiles/dpg_solver.dir/dp_greedy.cpp.o.d"
+  "/root/repo/src/solver/greedy.cpp" "src/solver/CMakeFiles/dpg_solver.dir/greedy.cpp.o" "gcc" "src/solver/CMakeFiles/dpg_solver.dir/greedy.cpp.o.d"
+  "/root/repo/src/solver/group_solver.cpp" "src/solver/CMakeFiles/dpg_solver.dir/group_solver.cpp.o" "gcc" "src/solver/CMakeFiles/dpg_solver.dir/group_solver.cpp.o.d"
+  "/root/repo/src/solver/lower_bound.cpp" "src/solver/CMakeFiles/dpg_solver.dir/lower_bound.cpp.o" "gcc" "src/solver/CMakeFiles/dpg_solver.dir/lower_bound.cpp.o.d"
+  "/root/repo/src/solver/online.cpp" "src/solver/CMakeFiles/dpg_solver.dir/online.cpp.o" "gcc" "src/solver/CMakeFiles/dpg_solver.dir/online.cpp.o.d"
+  "/root/repo/src/solver/online_dp_greedy.cpp" "src/solver/CMakeFiles/dpg_solver.dir/online_dp_greedy.cpp.o" "gcc" "src/solver/CMakeFiles/dpg_solver.dir/online_dp_greedy.cpp.o.d"
+  "/root/repo/src/solver/optimal_offline.cpp" "src/solver/CMakeFiles/dpg_solver.dir/optimal_offline.cpp.o" "gcc" "src/solver/CMakeFiles/dpg_solver.dir/optimal_offline.cpp.o.d"
+  "/root/repo/src/solver/pairing.cpp" "src/solver/CMakeFiles/dpg_solver.dir/pairing.cpp.o" "gcc" "src/solver/CMakeFiles/dpg_solver.dir/pairing.cpp.o.d"
+  "/root/repo/src/solver/subset_exact.cpp" "src/solver/CMakeFiles/dpg_solver.dir/subset_exact.cpp.o" "gcc" "src/solver/CMakeFiles/dpg_solver.dir/subset_exact.cpp.o.d"
+  "/root/repo/src/solver/temporal_correlation.cpp" "src/solver/CMakeFiles/dpg_solver.dir/temporal_correlation.cpp.o" "gcc" "src/solver/CMakeFiles/dpg_solver.dir/temporal_correlation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dpg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/dpg_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dpg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpg_solver.dir/baselines.cpp.o"
+  "CMakeFiles/dpg_solver.dir/baselines.cpp.o.d"
+  "CMakeFiles/dpg_solver.dir/bruteforce.cpp.o"
+  "CMakeFiles/dpg_solver.dir/bruteforce.cpp.o.d"
+  "CMakeFiles/dpg_solver.dir/correlation.cpp.o"
+  "CMakeFiles/dpg_solver.dir/correlation.cpp.o.d"
+  "CMakeFiles/dpg_solver.dir/cut_operation.cpp.o"
+  "CMakeFiles/dpg_solver.dir/cut_operation.cpp.o.d"
+  "CMakeFiles/dpg_solver.dir/dp_greedy.cpp.o"
+  "CMakeFiles/dpg_solver.dir/dp_greedy.cpp.o.d"
+  "CMakeFiles/dpg_solver.dir/greedy.cpp.o"
+  "CMakeFiles/dpg_solver.dir/greedy.cpp.o.d"
+  "CMakeFiles/dpg_solver.dir/group_solver.cpp.o"
+  "CMakeFiles/dpg_solver.dir/group_solver.cpp.o.d"
+  "CMakeFiles/dpg_solver.dir/lower_bound.cpp.o"
+  "CMakeFiles/dpg_solver.dir/lower_bound.cpp.o.d"
+  "CMakeFiles/dpg_solver.dir/online.cpp.o"
+  "CMakeFiles/dpg_solver.dir/online.cpp.o.d"
+  "CMakeFiles/dpg_solver.dir/online_dp_greedy.cpp.o"
+  "CMakeFiles/dpg_solver.dir/online_dp_greedy.cpp.o.d"
+  "CMakeFiles/dpg_solver.dir/optimal_offline.cpp.o"
+  "CMakeFiles/dpg_solver.dir/optimal_offline.cpp.o.d"
+  "CMakeFiles/dpg_solver.dir/pairing.cpp.o"
+  "CMakeFiles/dpg_solver.dir/pairing.cpp.o.d"
+  "CMakeFiles/dpg_solver.dir/subset_exact.cpp.o"
+  "CMakeFiles/dpg_solver.dir/subset_exact.cpp.o.d"
+  "CMakeFiles/dpg_solver.dir/temporal_correlation.cpp.o"
+  "CMakeFiles/dpg_solver.dir/temporal_correlation.cpp.o.d"
+  "libdpg_solver.a"
+  "libdpg_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpg_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/generators.cpp" "src/trace/CMakeFiles/dpg_trace.dir/generators.cpp.o" "gcc" "src/trace/CMakeFiles/dpg_trace.dir/generators.cpp.o.d"
+  "/root/repo/src/trace/io.cpp" "src/trace/CMakeFiles/dpg_trace.dir/io.cpp.o" "gcc" "src/trace/CMakeFiles/dpg_trace.dir/io.cpp.o.d"
+  "/root/repo/src/trace/stats.cpp" "src/trace/CMakeFiles/dpg_trace.dir/stats.cpp.o" "gcc" "src/trace/CMakeFiles/dpg_trace.dir/stats.cpp.o.d"
+  "/root/repo/src/trace/transforms.cpp" "src/trace/CMakeFiles/dpg_trace.dir/transforms.cpp.o" "gcc" "src/trace/CMakeFiles/dpg_trace.dir/transforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dpg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/dpg_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dpg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/dpg_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

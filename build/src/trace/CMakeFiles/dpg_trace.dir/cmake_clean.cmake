@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpg_trace.dir/generators.cpp.o"
+  "CMakeFiles/dpg_trace.dir/generators.cpp.o.d"
+  "CMakeFiles/dpg_trace.dir/io.cpp.o"
+  "CMakeFiles/dpg_trace.dir/io.cpp.o.d"
+  "CMakeFiles/dpg_trace.dir/stats.cpp.o"
+  "CMakeFiles/dpg_trace.dir/stats.cpp.o.d"
+  "CMakeFiles/dpg_trace.dir/transforms.cpp.o"
+  "CMakeFiles/dpg_trace.dir/transforms.cpp.o.d"
+  "libdpg_trace.a"
+  "libdpg_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpg_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

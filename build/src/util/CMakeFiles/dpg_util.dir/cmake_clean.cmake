@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpg_util.dir/args.cpp.o"
+  "CMakeFiles/dpg_util.dir/args.cpp.o.d"
+  "CMakeFiles/dpg_util.dir/csv.cpp.o"
+  "CMakeFiles/dpg_util.dir/csv.cpp.o.d"
+  "CMakeFiles/dpg_util.dir/log.cpp.o"
+  "CMakeFiles/dpg_util.dir/log.cpp.o.d"
+  "CMakeFiles/dpg_util.dir/rng.cpp.o"
+  "CMakeFiles/dpg_util.dir/rng.cpp.o.d"
+  "CMakeFiles/dpg_util.dir/stats.cpp.o"
+  "CMakeFiles/dpg_util.dir/stats.cpp.o.d"
+  "CMakeFiles/dpg_util.dir/strings.cpp.o"
+  "CMakeFiles/dpg_util.dir/strings.cpp.o.d"
+  "CMakeFiles/dpg_util.dir/svg_chart.cpp.o"
+  "CMakeFiles/dpg_util.dir/svg_chart.cpp.o.d"
+  "CMakeFiles/dpg_util.dir/table.cpp.o"
+  "CMakeFiles/dpg_util.dir/table.cpp.o.d"
+  "libdpg_util.a"
+  "libdpg_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpg_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

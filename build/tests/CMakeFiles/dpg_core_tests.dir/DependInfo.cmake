@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cost_model_test.cpp" "tests/CMakeFiles/dpg_core_tests.dir/cost_model_test.cpp.o" "gcc" "tests/CMakeFiles/dpg_core_tests.dir/cost_model_test.cpp.o.d"
+  "/root/repo/tests/flow_test.cpp" "tests/CMakeFiles/dpg_core_tests.dir/flow_test.cpp.o" "gcc" "tests/CMakeFiles/dpg_core_tests.dir/flow_test.cpp.o.d"
+  "/root/repo/tests/interval_set_test.cpp" "tests/CMakeFiles/dpg_core_tests.dir/interval_set_test.cpp.o" "gcc" "tests/CMakeFiles/dpg_core_tests.dir/interval_set_test.cpp.o.d"
+  "/root/repo/tests/request_index_test.cpp" "tests/CMakeFiles/dpg_core_tests.dir/request_index_test.cpp.o" "gcc" "tests/CMakeFiles/dpg_core_tests.dir/request_index_test.cpp.o.d"
+  "/root/repo/tests/request_test.cpp" "tests/CMakeFiles/dpg_core_tests.dir/request_test.cpp.o" "gcc" "tests/CMakeFiles/dpg_core_tests.dir/request_test.cpp.o.d"
+  "/root/repo/tests/schedule_export_test.cpp" "tests/CMakeFiles/dpg_core_tests.dir/schedule_export_test.cpp.o" "gcc" "tests/CMakeFiles/dpg_core_tests.dir/schedule_export_test.cpp.o.d"
+  "/root/repo/tests/schedule_test.cpp" "tests/CMakeFiles/dpg_core_tests.dir/schedule_test.cpp.o" "gcc" "tests/CMakeFiles/dpg_core_tests.dir/schedule_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dpg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dpg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

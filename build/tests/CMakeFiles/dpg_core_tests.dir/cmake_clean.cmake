@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpg_core_tests.dir/cost_model_test.cpp.o"
+  "CMakeFiles/dpg_core_tests.dir/cost_model_test.cpp.o.d"
+  "CMakeFiles/dpg_core_tests.dir/flow_test.cpp.o"
+  "CMakeFiles/dpg_core_tests.dir/flow_test.cpp.o.d"
+  "CMakeFiles/dpg_core_tests.dir/interval_set_test.cpp.o"
+  "CMakeFiles/dpg_core_tests.dir/interval_set_test.cpp.o.d"
+  "CMakeFiles/dpg_core_tests.dir/request_index_test.cpp.o"
+  "CMakeFiles/dpg_core_tests.dir/request_index_test.cpp.o.d"
+  "CMakeFiles/dpg_core_tests.dir/request_test.cpp.o"
+  "CMakeFiles/dpg_core_tests.dir/request_test.cpp.o.d"
+  "CMakeFiles/dpg_core_tests.dir/schedule_export_test.cpp.o"
+  "CMakeFiles/dpg_core_tests.dir/schedule_export_test.cpp.o.d"
+  "CMakeFiles/dpg_core_tests.dir/schedule_test.cpp.o"
+  "CMakeFiles/dpg_core_tests.dir/schedule_test.cpp.o.d"
+  "dpg_core_tests"
+  "dpg_core_tests.pdb"
+  "dpg_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpg_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/failure_injection_test.cpp" "tests/CMakeFiles/dpg_integration_tests.dir/failure_injection_test.cpp.o" "gcc" "tests/CMakeFiles/dpg_integration_tests.dir/failure_injection_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/dpg_integration_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/dpg_integration_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/dpg_integration_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/dpg_integration_tests.dir/sim_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dpg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dpg_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/dpg_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/dpg_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/dpg_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dpg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dpg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpg_integration_tests.dir/failure_injection_test.cpp.o"
+  "CMakeFiles/dpg_integration_tests.dir/failure_injection_test.cpp.o.d"
+  "CMakeFiles/dpg_integration_tests.dir/integration_test.cpp.o"
+  "CMakeFiles/dpg_integration_tests.dir/integration_test.cpp.o.d"
+  "CMakeFiles/dpg_integration_tests.dir/sim_test.cpp.o"
+  "CMakeFiles/dpg_integration_tests.dir/sim_test.cpp.o.d"
+  "dpg_integration_tests"
+  "dpg_integration_tests.pdb"
+  "dpg_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpg_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/approximation_test.cpp" "tests/CMakeFiles/dpg_solver_tests.dir/approximation_test.cpp.o" "gcc" "tests/CMakeFiles/dpg_solver_tests.dir/approximation_test.cpp.o.d"
+  "/root/repo/tests/baselines_test.cpp" "tests/CMakeFiles/dpg_solver_tests.dir/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/dpg_solver_tests.dir/baselines_test.cpp.o.d"
+  "/root/repo/tests/bruteforce_test.cpp" "tests/CMakeFiles/dpg_solver_tests.dir/bruteforce_test.cpp.o" "gcc" "tests/CMakeFiles/dpg_solver_tests.dir/bruteforce_test.cpp.o.d"
+  "/root/repo/tests/correlation_test.cpp" "tests/CMakeFiles/dpg_solver_tests.dir/correlation_test.cpp.o" "gcc" "tests/CMakeFiles/dpg_solver_tests.dir/correlation_test.cpp.o.d"
+  "/root/repo/tests/cut_operation_test.cpp" "tests/CMakeFiles/dpg_solver_tests.dir/cut_operation_test.cpp.o" "gcc" "tests/CMakeFiles/dpg_solver_tests.dir/cut_operation_test.cpp.o.d"
+  "/root/repo/tests/dp_greedy_grid_test.cpp" "tests/CMakeFiles/dpg_solver_tests.dir/dp_greedy_grid_test.cpp.o" "gcc" "tests/CMakeFiles/dpg_solver_tests.dir/dp_greedy_grid_test.cpp.o.d"
+  "/root/repo/tests/dp_greedy_test.cpp" "tests/CMakeFiles/dpg_solver_tests.dir/dp_greedy_test.cpp.o" "gcc" "tests/CMakeFiles/dpg_solver_tests.dir/dp_greedy_test.cpp.o.d"
+  "/root/repo/tests/greedy_test.cpp" "tests/CMakeFiles/dpg_solver_tests.dir/greedy_test.cpp.o" "gcc" "tests/CMakeFiles/dpg_solver_tests.dir/greedy_test.cpp.o.d"
+  "/root/repo/tests/group_solver_test.cpp" "tests/CMakeFiles/dpg_solver_tests.dir/group_solver_test.cpp.o" "gcc" "tests/CMakeFiles/dpg_solver_tests.dir/group_solver_test.cpp.o.d"
+  "/root/repo/tests/online_dp_greedy_test.cpp" "tests/CMakeFiles/dpg_solver_tests.dir/online_dp_greedy_test.cpp.o" "gcc" "tests/CMakeFiles/dpg_solver_tests.dir/online_dp_greedy_test.cpp.o.d"
+  "/root/repo/tests/online_test.cpp" "tests/CMakeFiles/dpg_solver_tests.dir/online_test.cpp.o" "gcc" "tests/CMakeFiles/dpg_solver_tests.dir/online_test.cpp.o.d"
+  "/root/repo/tests/optimal_offline_test.cpp" "tests/CMakeFiles/dpg_solver_tests.dir/optimal_offline_test.cpp.o" "gcc" "tests/CMakeFiles/dpg_solver_tests.dir/optimal_offline_test.cpp.o.d"
+  "/root/repo/tests/optimality_test.cpp" "tests/CMakeFiles/dpg_solver_tests.dir/optimality_test.cpp.o" "gcc" "tests/CMakeFiles/dpg_solver_tests.dir/optimality_test.cpp.o.d"
+  "/root/repo/tests/pairing_test.cpp" "tests/CMakeFiles/dpg_solver_tests.dir/pairing_test.cpp.o" "gcc" "tests/CMakeFiles/dpg_solver_tests.dir/pairing_test.cpp.o.d"
+  "/root/repo/tests/running_example_test.cpp" "tests/CMakeFiles/dpg_solver_tests.dir/running_example_test.cpp.o" "gcc" "tests/CMakeFiles/dpg_solver_tests.dir/running_example_test.cpp.o.d"
+  "/root/repo/tests/solver_invariants_test.cpp" "tests/CMakeFiles/dpg_solver_tests.dir/solver_invariants_test.cpp.o" "gcc" "tests/CMakeFiles/dpg_solver_tests.dir/solver_invariants_test.cpp.o.d"
+  "/root/repo/tests/subset_exact_test.cpp" "tests/CMakeFiles/dpg_solver_tests.dir/subset_exact_test.cpp.o" "gcc" "tests/CMakeFiles/dpg_solver_tests.dir/subset_exact_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/solver/CMakeFiles/dpg_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dpg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/dpg_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dpg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpg_trace_tests.dir/mobility_test.cpp.o"
+  "CMakeFiles/dpg_trace_tests.dir/mobility_test.cpp.o.d"
+  "CMakeFiles/dpg_trace_tests.dir/temporal_correlation_test.cpp.o"
+  "CMakeFiles/dpg_trace_tests.dir/temporal_correlation_test.cpp.o.d"
+  "CMakeFiles/dpg_trace_tests.dir/trace_generators_test.cpp.o"
+  "CMakeFiles/dpg_trace_tests.dir/trace_generators_test.cpp.o.d"
+  "CMakeFiles/dpg_trace_tests.dir/trace_io_test.cpp.o"
+  "CMakeFiles/dpg_trace_tests.dir/trace_io_test.cpp.o.d"
+  "CMakeFiles/dpg_trace_tests.dir/trace_stats_test.cpp.o"
+  "CMakeFiles/dpg_trace_tests.dir/trace_stats_test.cpp.o.d"
+  "CMakeFiles/dpg_trace_tests.dir/trace_transforms_test.cpp.o"
+  "CMakeFiles/dpg_trace_tests.dir/trace_transforms_test.cpp.o.d"
+  "dpg_trace_tests"
+  "dpg_trace_tests.pdb"
+  "dpg_trace_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpg_trace_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/parallel_test.cpp" "tests/CMakeFiles/dpg_util_tests.dir/parallel_test.cpp.o" "gcc" "tests/CMakeFiles/dpg_util_tests.dir/parallel_test.cpp.o.d"
+  "/root/repo/tests/util_args_test.cpp" "tests/CMakeFiles/dpg_util_tests.dir/util_args_test.cpp.o" "gcc" "tests/CMakeFiles/dpg_util_tests.dir/util_args_test.cpp.o.d"
+  "/root/repo/tests/util_csv_test.cpp" "tests/CMakeFiles/dpg_util_tests.dir/util_csv_test.cpp.o" "gcc" "tests/CMakeFiles/dpg_util_tests.dir/util_csv_test.cpp.o.d"
+  "/root/repo/tests/util_log_test.cpp" "tests/CMakeFiles/dpg_util_tests.dir/util_log_test.cpp.o" "gcc" "tests/CMakeFiles/dpg_util_tests.dir/util_log_test.cpp.o.d"
+  "/root/repo/tests/util_rng_test.cpp" "tests/CMakeFiles/dpg_util_tests.dir/util_rng_test.cpp.o" "gcc" "tests/CMakeFiles/dpg_util_tests.dir/util_rng_test.cpp.o.d"
+  "/root/repo/tests/util_stats_test.cpp" "tests/CMakeFiles/dpg_util_tests.dir/util_stats_test.cpp.o" "gcc" "tests/CMakeFiles/dpg_util_tests.dir/util_stats_test.cpp.o.d"
+  "/root/repo/tests/util_stopwatch_test.cpp" "tests/CMakeFiles/dpg_util_tests.dir/util_stopwatch_test.cpp.o" "gcc" "tests/CMakeFiles/dpg_util_tests.dir/util_stopwatch_test.cpp.o.d"
+  "/root/repo/tests/util_strings_test.cpp" "tests/CMakeFiles/dpg_util_tests.dir/util_strings_test.cpp.o" "gcc" "tests/CMakeFiles/dpg_util_tests.dir/util_strings_test.cpp.o.d"
+  "/root/repo/tests/util_svg_chart_test.cpp" "tests/CMakeFiles/dpg_util_tests.dir/util_svg_chart_test.cpp.o" "gcc" "tests/CMakeFiles/dpg_util_tests.dir/util_svg_chart_test.cpp.o.d"
+  "/root/repo/tests/util_table_test.cpp" "tests/CMakeFiles/dpg_util_tests.dir/util_table_test.cpp.o" "gcc" "tests/CMakeFiles/dpg_util_tests.dir/util_table_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parallel/CMakeFiles/dpg_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dpg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

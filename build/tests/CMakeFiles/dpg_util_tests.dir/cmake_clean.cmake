@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpg_util_tests.dir/parallel_test.cpp.o"
+  "CMakeFiles/dpg_util_tests.dir/parallel_test.cpp.o.d"
+  "CMakeFiles/dpg_util_tests.dir/util_args_test.cpp.o"
+  "CMakeFiles/dpg_util_tests.dir/util_args_test.cpp.o.d"
+  "CMakeFiles/dpg_util_tests.dir/util_csv_test.cpp.o"
+  "CMakeFiles/dpg_util_tests.dir/util_csv_test.cpp.o.d"
+  "CMakeFiles/dpg_util_tests.dir/util_log_test.cpp.o"
+  "CMakeFiles/dpg_util_tests.dir/util_log_test.cpp.o.d"
+  "CMakeFiles/dpg_util_tests.dir/util_rng_test.cpp.o"
+  "CMakeFiles/dpg_util_tests.dir/util_rng_test.cpp.o.d"
+  "CMakeFiles/dpg_util_tests.dir/util_stats_test.cpp.o"
+  "CMakeFiles/dpg_util_tests.dir/util_stats_test.cpp.o.d"
+  "CMakeFiles/dpg_util_tests.dir/util_stopwatch_test.cpp.o"
+  "CMakeFiles/dpg_util_tests.dir/util_stopwatch_test.cpp.o.d"
+  "CMakeFiles/dpg_util_tests.dir/util_strings_test.cpp.o"
+  "CMakeFiles/dpg_util_tests.dir/util_strings_test.cpp.o.d"
+  "CMakeFiles/dpg_util_tests.dir/util_svg_chart_test.cpp.o"
+  "CMakeFiles/dpg_util_tests.dir/util_svg_chart_test.cpp.o.d"
+  "CMakeFiles/dpg_util_tests.dir/util_table_test.cpp.o"
+  "CMakeFiles/dpg_util_tests.dir/util_table_test.cpp.o.d"
+  "dpg_util_tests"
+  "dpg_util_tests.pdb"
+  "dpg_util_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpg_util_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

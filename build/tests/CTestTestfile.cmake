@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/dpg_util_tests[1]_include.cmake")
+include("/root/repo/build/tests/dpg_core_tests[1]_include.cmake")
+include("/root/repo/build/tests/dpg_solver_tests[1]_include.cmake")
+include("/root/repo/build/tests/dpg_trace_tests[1]_include.cmake")
+include("/root/repo/build/tests/dpg_integration_tests[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpgreedy.dir/dpgreedy_cli.cpp.o"
+  "CMakeFiles/dpgreedy.dir/dpgreedy_cli.cpp.o.d"
+  "dpgreedy"
+  "dpgreedy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpgreedy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
