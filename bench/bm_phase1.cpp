@@ -1,0 +1,324 @@
+// Perf-trajectory baseline harness: dense vs sparse Phase-1 correlation and
+// fresh vs workspace-reuse Phase-2 solves, emitted as machine-readable JSON
+// (BENCH_solvers.json) so every future PR can diff wall time, peak pair
+// counts and steady-state allocation counts against this PR's numbers.
+//
+// Usage: bm_phase1 [output.json]   (default: BENCH_solvers.json in the CWD;
+// run from the repo root to refresh the committed baseline)
+//
+// Allocation counts come from a global operator new/delete override local to
+// this binary: every new/new[] bumps one relaxed atomic.  That makes
+// "allocations per solve" an exact count, not a sampling estimate.
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "solver/dp_greedy.hpp"
+#include "solver/pairing.hpp"
+#include "solver/workspace.hpp"
+#include "trace/generators.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+
+void* counted_alloc(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size > 0 ? size : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t alignment) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, alignment, size > 0 ? size : alignment) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace dpg {
+namespace {
+
+constexpr int kRepetitions = 5;
+
+std::uint64_t allocations_now() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+/// Best-of-N wall time of `fn`, in milliseconds.
+template <typename Fn>
+double time_best_ms(Fn&& fn, int repetitions = kRepetitions) {
+  double best = 1e300;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    Stopwatch watch;
+    fn();
+    best = std::min(best, watch.elapsed_seconds() * 1e3);
+  }
+  return best;
+}
+
+struct Phase1Row {
+  std::size_t k = 0;
+  std::size_t requests = 0;
+  std::size_t dense_pairs = 0;     // k(k−1)/2, materialized by the triangle
+  std::size_t observed_pairs = 0;  // co_freq > 0, all the sparse path keeps
+  double dense_ms = 0.0;
+  double sparse_ms = 0.0;
+  std::uint64_t dense_allocs = 0;
+  std::uint64_t sparse_allocs = 0;
+  bool packing_identical = false;
+};
+
+bool same_packing(const Packing& x, const Packing& y) {
+  if (x.pairs.size() != y.pairs.size() || x.singles != y.singles) return false;
+  for (std::size_t i = 0; i < x.pairs.size(); ++i) {
+    if (x.pairs[i].a != y.pairs[i].a || x.pairs[i].b != y.pairs[i].b) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Phase1Row run_phase1(std::size_t k, std::size_t requests) {
+  ZipfTraceConfig config;
+  config.server_count = 50;
+  config.item_count = k;
+  config.request_count = requests;
+  config.co_access = 0.3;
+  Rng rng(1234);
+  const RequestSequence seq = generate_zipf_trace(config, rng);
+
+  CorrelationOptions dense;
+  dense.mode = CorrelationOptions::Mode::kDense;
+  CorrelationOptions sparse;
+  sparse.mode = CorrelationOptions::Mode::kSparse;
+
+  Phase1Row row;
+  row.k = k;
+  row.requests = requests;
+  row.dense_pairs = k * (k - 1) / 2;
+
+  row.dense_ms = time_best_ms([&] {
+    const CorrelationAnalysis analysis(seq, dense);
+    if (analysis.sorted_pairs().empty()) std::abort();  // keep it observable
+  });
+  row.sparse_ms = time_best_ms([&] {
+    const CorrelationAnalysis analysis(seq, sparse);
+    if (analysis.sorted_pairs().size() != analysis.observed_pair_count()) {
+      std::abort();
+    }
+  });
+
+  std::uint64_t before = allocations_now();
+  const CorrelationAnalysis dense_analysis(seq, dense);
+  row.dense_allocs = allocations_now() - before;
+  before = allocations_now();
+  const CorrelationAnalysis sparse_analysis(seq, sparse);
+  row.sparse_allocs = allocations_now() - before;
+  row.observed_pairs = sparse_analysis.observed_pair_count();
+
+  row.packing_identical =
+      same_packing(greedy_pairing(dense_analysis, 0.3),
+                   greedy_pairing(sparse_analysis, 0.3));
+  return row;
+}
+
+struct Phase2Report {
+  std::size_t solves = 0;
+  std::size_t pairs = 0;
+  std::size_t singles = 0;
+  double fresh_ms = 0.0;
+  double workspace_ms = 0.0;
+  double fresh_allocs_per_solve = 0.0;
+  double workspace_allocs_per_solve = 0.0;
+  bool costs_identical = false;
+};
+
+Phase2Report run_phase2() {
+  // A paired trace with enough flows that per-solve scratch dominates:
+  // 48 controlled-Jaccard pairs (96 items), 200 requests each.
+  PairedTraceConfig config;
+  config.server_count = 50;
+  config.requests_per_pair = 200;
+  config.pair_jaccard.clear();
+  for (std::size_t p = 0; p < 48; ++p) {
+    config.pair_jaccard.push_back(0.1 + 0.8 * static_cast<double>(p) / 47.0);
+  }
+  Rng rng(99);
+  const RequestSequence seq = generate_paired_trace(config, rng);
+  const CostModel model{1.0, 2.0, 0.8};
+
+  const CorrelationAnalysis analysis(seq, {});
+  const Packing packing = greedy_pairing(analysis, 0.3);
+
+  // Cost-only solves isolate the scratch path: with build_schedule off the
+  // only allocations left are the solver's own working buffers.
+  OptimalOfflineOptions dp;
+  dp.build_schedule = false;
+
+  Phase2Report report;
+  report.pairs = packing.pairs.size();
+  report.singles = packing.singles.size();
+  report.solves = packing.pairs.size() + packing.singles.size();
+
+  const auto solve_all_fresh = [&]() {
+    Cost total = 0.0;
+    for (const ItemPair& pair : packing.pairs) {
+      const Flow flow = make_package_flow(seq, pair.a, pair.b);
+      total += solve_optimal_offline(flow, model, seq.server_count(), dp).cost;
+    }
+    for (const ItemId item : packing.singles) {
+      const Flow flow = make_item_flow(seq, item);
+      total += solve_optimal_offline(flow, model, seq.server_count(), dp).cost;
+    }
+    return total;
+  };
+  const auto solve_all_workspace = [&](SolverWorkspace& ws) {
+    Cost total = 0.0;
+    for (const ItemPair& pair : packing.pairs) {
+      make_package_flow(seq, pair.a, pair.b, ws.flow);
+      total +=
+          solve_optimal_offline(ws.flow, model, seq.server_count(), dp, &ws)
+              .cost;
+    }
+    for (const ItemId item : packing.singles) {
+      make_item_flow(seq, item, ws.flow);
+      total +=
+          solve_optimal_offline(ws.flow, model, seq.server_count(), dp, &ws)
+              .cost;
+    }
+    return total;
+  };
+
+  SolverWorkspace ws;
+  const Cost warmup_total = solve_all_workspace(ws);  // grow buffers once
+  report.costs_identical = warmup_total == solve_all_fresh();
+
+  report.fresh_ms = time_best_ms([&] { (void)solve_all_fresh(); });
+  report.workspace_ms = time_best_ms([&] { (void)solve_all_workspace(ws); });
+
+  std::uint64_t before = allocations_now();
+  (void)solve_all_fresh();
+  const std::uint64_t fresh_allocs = allocations_now() - before;
+  before = allocations_now();
+  (void)solve_all_workspace(ws);
+  const std::uint64_t workspace_allocs = allocations_now() - before;
+
+  const double solves = static_cast<double>(report.solves);
+  report.fresh_allocs_per_solve = static_cast<double>(fresh_allocs) / solves;
+  report.workspace_allocs_per_solve =
+      static_cast<double>(workspace_allocs) / solves;
+  return report;
+}
+
+int run(const std::string& out_path) {
+  std::vector<Phase1Row> phase1;
+  for (const std::size_t k : {512u, 1024u, 2048u}) {
+    std::printf("phase1 k=%zu ...\n", k);
+    phase1.push_back(run_phase1(k, 20000));
+  }
+  std::printf("phase2 ...\n");
+  const Phase2Report phase2 = run_phase2();
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"schema\": \"dpgreedy-bench-v1\",\n");
+  std::fprintf(out, "  \"binary\": \"bm_phase1\",\n");
+  std::fprintf(out, "  \"repetitions\": %d,\n", kRepetitions);
+  std::fprintf(out, "  \"phase1_dense_vs_sparse\": [\n");
+  for (std::size_t i = 0; i < phase1.size(); ++i) {
+    const Phase1Row& r = phase1[i];
+    std::fprintf(
+        out,
+        "    {\"k\": %zu, \"requests\": %zu, \"dense_pairs\": %zu, "
+        "\"observed_pairs\": %zu, \"dense_ms\": %.3f, \"sparse_ms\": %.3f, "
+        "\"speedup\": %.2f, \"dense_allocs\": %llu, \"sparse_allocs\": %llu, "
+        "\"packing_identical\": %s}%s\n",
+        r.k, r.requests, r.dense_pairs, r.observed_pairs, r.dense_ms,
+        r.sparse_ms, r.dense_ms / r.sparse_ms,
+        static_cast<unsigned long long>(r.dense_allocs),
+        static_cast<unsigned long long>(r.sparse_allocs),
+        r.packing_identical ? "true" : "false",
+        i + 1 < phase1.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"phase2_fresh_vs_workspace\": {\n");
+  std::fprintf(out, "    \"solves\": %zu, \"pairs\": %zu, \"singles\": %zu,\n",
+               phase2.solves, phase2.pairs, phase2.singles);
+  std::fprintf(out,
+               "    \"fresh_ms\": %.3f, \"workspace_ms\": %.3f, "
+               "\"speedup\": %.2f,\n",
+               phase2.fresh_ms, phase2.workspace_ms,
+               phase2.fresh_ms / phase2.workspace_ms);
+  std::fprintf(out,
+               "    \"fresh_allocs_per_solve\": %.1f, "
+               "\"workspace_allocs_per_solve\": %.1f,\n",
+               phase2.fresh_allocs_per_solve,
+               phase2.workspace_allocs_per_solve);
+  std::fprintf(out, "    \"costs_identical\": %s\n",
+               phase2.costs_identical ? "true" : "false");
+  std::fprintf(out, "  }\n");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  for (const Phase1Row& r : phase1) {
+    std::printf(
+        "phase1 k=%5zu: dense %8.2f ms (%zu pairs, %llu allocs)  "
+        "sparse %8.2f ms (%zu pairs, %llu allocs)  speedup %.2fx  packing %s\n",
+        r.k, r.dense_ms, r.dense_pairs,
+        static_cast<unsigned long long>(r.dense_allocs), r.sparse_ms,
+        r.observed_pairs, static_cast<unsigned long long>(r.sparse_allocs),
+        r.dense_ms / r.sparse_ms, r.packing_identical ? "identical" : "DIFFERS");
+  }
+  std::printf(
+      "phase2 %zu solves: fresh %.2f ms (%.1f allocs/solve)  "
+      "workspace %.2f ms (%.1f allocs/solve)  costs %s\n",
+      phase2.solves, phase2.fresh_ms, phase2.fresh_allocs_per_solve,
+      phase2.workspace_ms, phase2.workspace_allocs_per_solve,
+      phase2.costs_identical ? "identical" : "DIFFER");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dpg
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_solvers.json";
+  return dpg::run(out_path);
+}

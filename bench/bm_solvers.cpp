@@ -4,10 +4,12 @@
 #include <benchmark/benchmark.h>
 
 #include "core/request_index.hpp"
+#include "parallel/thread_pool.hpp"
 #include "solver/correlation.hpp"
 #include "solver/dp_greedy.hpp"
 #include "solver/greedy.hpp"
 #include "solver/optimal_offline.hpp"
+#include "solver/workspace.hpp"
 #include "trace/generators.hpp"
 
 namespace dpg {
@@ -89,6 +91,101 @@ void BM_CorrelationAnalysis(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CorrelationAnalysis)->Range(1024, 16384);
+
+/// Phase-1 representations head to head at growing item counts on a sparse
+/// workload (Zipf popularity, pairwise co-access): the dense triangle
+/// materializes k(k−1)/2 pairs, the sparse hash only the observed ones.
+RequestSequence sparse_phase1_trace(std::size_t k) {
+  ZipfTraceConfig config;
+  config.server_count = 50;
+  config.item_count = k;
+  config.request_count = 20000;
+  config.co_access = 0.3;
+  Rng rng(1234);
+  return generate_zipf_trace(config, rng);
+}
+
+void BM_CorrelationDense(benchmark::State& state) {
+  const RequestSequence seq =
+      sparse_phase1_trace(static_cast<std::size_t>(state.range(0)));
+  CorrelationOptions options;
+  options.mode = CorrelationOptions::Mode::kDense;
+  for (auto _ : state) {
+    const CorrelationAnalysis analysis(seq, options);
+    benchmark::DoNotOptimize(analysis.sorted_pairs().size());
+  }
+}
+BENCHMARK(BM_CorrelationDense)->Arg(256)->Arg(512)->Arg(1024)->Arg(2048);
+
+void BM_CorrelationSparse(benchmark::State& state) {
+  const RequestSequence seq =
+      sparse_phase1_trace(static_cast<std::size_t>(state.range(0)));
+  CorrelationOptions options;
+  options.mode = CorrelationOptions::Mode::kSparse;
+  for (auto _ : state) {
+    const CorrelationAnalysis analysis(seq, options);
+    benchmark::DoNotOptimize(analysis.observed_pair_count());
+  }
+}
+BENCHMARK(BM_CorrelationSparse)->Arg(256)->Arg(512)->Arg(1024)->Arg(2048);
+
+void BM_CorrelationSparseSharded(benchmark::State& state) {
+  const RequestSequence seq =
+      sparse_phase1_trace(static_cast<std::size_t>(state.range(0)));
+  ThreadPool pool;
+  CorrelationOptions options;
+  options.mode = CorrelationOptions::Mode::kSparse;
+  options.pool = &pool;
+  for (auto _ : state) {
+    const CorrelationAnalysis analysis(seq, options);
+    benchmark::DoNotOptimize(analysis.observed_pair_count());
+  }
+}
+BENCHMARK(BM_CorrelationSparseSharded)->Arg(512)->Arg(2048);
+
+/// Repeated DP solves with and without a reusable SolverWorkspace: the
+/// workspace path's steady state allocates nothing (bench/bm_phase1 counts
+/// the exact allocation numbers for the committed baseline).
+void BM_OptimalOfflineFreshBuffers(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Flow flow = make_flow(n, 16, 7);
+  const CostModel model{1.0, 1.0, 0.8};
+  OptimalOfflineOptions options;
+  options.build_schedule = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        solve_optimal_offline(flow, model, 16, options).raw_cost);
+  }
+}
+BENCHMARK(BM_OptimalOfflineFreshBuffers)->Range(256, 4096);
+
+void BM_OptimalOfflineWorkspaceReuse(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Flow flow = make_flow(n, 16, 7);
+  const CostModel model{1.0, 1.0, 0.8};
+  OptimalOfflineOptions options;
+  options.build_schedule = false;
+  SolverWorkspace workspace;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        solve_optimal_offline(flow, model, 16, options, &workspace).raw_cost);
+  }
+}
+BENCHMARK(BM_OptimalOfflineWorkspaceReuse)->Range(256, 4096);
+
+void BM_PackageFlowBuild(benchmark::State& state) {
+  PairedTraceConfig config;
+  config.server_count = 50;
+  config.requests_per_pair = static_cast<std::size_t>(state.range(0));
+  Rng rng(6);
+  const RequestSequence seq = generate_paired_trace(config, rng);
+  Flow scratch;
+  for (auto _ : state) {
+    make_package_flow(seq, 0, 1, scratch);
+    benchmark::DoNotOptimize(scratch.size());
+  }
+}
+BENCHMARK(BM_PackageFlowBuild)->Range(256, 4096);
 
 void BM_DpGreedyEndToEnd(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

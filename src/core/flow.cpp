@@ -8,16 +8,40 @@ namespace dpg {
 
 Flow make_item_flow(const RequestSequence& sequence, ItemId item) {
   Flow flow;
-  flow.group_size = 1;
-  for (const std::size_t index : sequence.indices_for_item(item)) {
-    const Request& r = sequence[index];
-    flow.points.push_back(ServicePoint{r.server, r.time, index});
-  }
+  make_item_flow(sequence, item, flow);
   return flow;
 }
 
+void make_item_flow(const RequestSequence& sequence, ItemId item, Flow& out) {
+  out.group_size = 1;
+  out.points.clear();
+  for (const std::size_t index : sequence.indices_for_item(item)) {
+    const Request& r = sequence[index];
+    out.points.push_back(ServicePoint{r.server, r.time, index});
+  }
+}
+
 Flow make_package_flow(const RequestSequence& sequence, ItemId a, ItemId b) {
-  return make_group_flow(sequence, {a, b});
+  Flow flow;
+  make_package_flow(sequence, a, b, flow);
+  return flow;
+}
+
+void make_package_flow(const RequestSequence& sequence, ItemId a, ItemId b,
+                       Flow& out) {
+  out.group_size = 2;
+  out.points.clear();
+  // Requests holding both items are a subset of either item's request list;
+  // walk the shorter one (indices are already in time order).
+  const ItemId walk =
+      sequence.item_frequency(a) <= sequence.item_frequency(b) ? a : b;
+  const ItemId other = walk == a ? b : a;
+  for (const std::size_t index : sequence.indices_for_item(walk)) {
+    const Request& r = sequence[index];
+    if (r.contains(other)) {
+      out.points.push_back(ServicePoint{r.server, r.time, index});
+    }
+  }
 }
 
 Flow make_group_flow(const RequestSequence& sequence,

@@ -43,10 +43,20 @@ struct Flow {
 /// Service points of all requests containing `item`.
 [[nodiscard]] Flow make_item_flow(const RequestSequence& sequence, ItemId item);
 
+/// In-place variant: rebuilds `out` (clearing points, keeping capacity) so a
+/// reused buffer makes repeated flow construction allocation-free.
+void make_item_flow(const RequestSequence& sequence, ItemId item, Flow& out);
+
 /// Service points of all requests containing *both* `a` and `b`
-/// (the package flow of Phase 2; group_size = 2).
+/// (the package flow of Phase 2; group_size = 2).  Walks the rarer item's
+/// request index instead of the whole sequence, so the cost is
+/// O(min(|d_a|, |d_b|) · log|D|) rather than O(n · |D|).
 [[nodiscard]] Flow make_package_flow(const RequestSequence& sequence, ItemId a,
                                      ItemId b);
+
+/// In-place variant of the package flow (same reuse contract as above).
+void make_package_flow(const RequestSequence& sequence, ItemId a, ItemId b,
+                       Flow& out);
 
 /// Service points of all requests containing every item of `group`
 /// (multi-item packing extension; group_size = group.size()).

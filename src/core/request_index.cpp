@@ -7,11 +7,16 @@
 namespace dpg {
 
 RequestIndex::RequestIndex(const Flow& flow, std::size_t server_count,
-                           ServerId origin)
-    : m_(server_count) {
+                           ServerId origin) {
+  rebuild(flow, server_count, origin);
+}
+
+void RequestIndex::rebuild(const Flow& flow, std::size_t server_count,
+                           ServerId origin) {
   require(server_count > 0, "RequestIndex: need >= 1 server");
   require(origin < server_count, "RequestIndex: origin out of range");
   validate_flow(flow);
+  m_ = server_count;
 
   const std::size_t n = flow.points.size() + 1;  // + origin node
   times_.resize(n);
@@ -31,16 +36,17 @@ RequestIndex::RequestIndex(const Flow& flow, std::size_t server_count,
   }
 
   // Pre-scan: rolling pLast[m], snapshotted per node, plus the Q_j lists.
-  std::vector<std::int32_t> p_last(m_, kNone);
+  p_last_.assign(m_, kNone);
   for (std::size_t i = 0; i < n; ++i) {
     // Snapshot BEFORE inserting node i: "most recent strictly before".
-    std::copy(p_last.begin(), p_last.end(), snapshots_.begin() + static_cast<std::ptrdiff_t>(i * m_));
+    std::copy(p_last_.begin(), p_last_.end(),
+              snapshots_.begin() + static_cast<std::ptrdiff_t>(i * m_));
     const ServerId s = servers_[i];
     const std::int32_t tail = q_tail_[s];
     q_prev_[i] = tail;
     if (tail != kNone) q_next_[static_cast<std::size_t>(tail)] = static_cast<std::int32_t>(i);
     q_tail_[s] = static_cast<std::int32_t>(i);
-    p_last[s] = static_cast<std::int32_t>(i);
+    p_last_[s] = static_cast<std::int32_t>(i);
   }
 }
 

@@ -25,8 +25,17 @@ class RequestIndex {
   /// Sentinel for "no node".
   static constexpr std::int32_t kNone = -1;
 
+  /// An empty index; call rebuild() before any query.
+  RequestIndex() = default;
+
   /// Builds the index for `flow` over `server_count` servers.
   RequestIndex(const Flow& flow, std::size_t server_count,
+               ServerId origin = kOriginServer);
+
+  /// Re-runs the pre-scan for a new flow, reusing the existing buffer
+  /// capacity — no allocation when the new flow is no larger than any
+  /// previously indexed one (the SolverWorkspace reuse contract).
+  void rebuild(const Flow& flow, std::size_t server_count,
                ServerId origin = kOriginServer);
 
   /// Number of nodes including the origin node 0.
@@ -72,13 +81,14 @@ class RequestIndex {
   }
 
  private:
-  std::size_t m_;
+  std::size_t m_ = 0;
   std::vector<Time> times_;
   std::vector<ServerId> servers_;
   std::vector<std::int32_t> snapshots_;  // node-major, m per node
   std::vector<std::int32_t> q_prev_;
   std::vector<std::int32_t> q_next_;
   std::vector<std::int32_t> q_tail_;
+  std::vector<std::int32_t> p_last_;  // rolling pre-scan scratch
 };
 
 }  // namespace dpg

@@ -39,18 +39,21 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void parallel_for(ThreadPool& pool, std::size_t count,
-                  const std::function<void(std::size_t)>& body) {
+void parallel_for_chunks(
+    ThreadPool& pool, std::size_t count,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body,
+    const std::function<void(std::size_t)>& setup) {
   if (count == 0) return;
   const std::size_t chunk_count =
       std::min(count, std::max<std::size_t>(1, pool.worker_count() * 4));
+  if (setup) setup(chunk_count);
   std::vector<std::future<void>> pending;
   pending.reserve(chunk_count);
   for (std::size_t c = 0; c < chunk_count; ++c) {
     const std::size_t begin = count * c / chunk_count;
     const std::size_t end = count * (c + 1) / chunk_count;
-    pending.push_back(pool.submit([&body, begin, end] {
-      for (std::size_t i = begin; i < end; ++i) body(i);
+    pending.push_back(pool.submit([&body, c, begin, end] {
+      body(c, begin, end);
     }));
   }
   std::exception_ptr first_error;
@@ -62,6 +65,14 @@ void parallel_for(ThreadPool& pool, std::size_t count,
     }
   }
   if (first_error) std::rethrow_exception(first_error);
+}
+
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& body) {
+  parallel_for_chunks(pool, count,
+                      [&body](std::size_t, std::size_t begin, std::size_t end) {
+                        for (std::size_t i = begin; i < end; ++i) body(i);
+                      });
 }
 
 }  // namespace dpg

@@ -60,6 +60,17 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 };
 
+/// Runs `body(chunk, begin, end)` over contiguous index ranges covering
+/// [0, count), one task per chunk.  `setup(chunk_count)`, when provided, is
+/// invoked on the calling thread before any chunk is scheduled so callers
+/// can size per-chunk state (shard maps, reusable workspaces) that each
+/// chunk then owns exclusively.  Blocks until all chunks finish; the first
+/// exception (if any) is rethrown on the calling thread.
+void parallel_for_chunks(
+    ThreadPool& pool, std::size_t count,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body,
+    const std::function<void(std::size_t)>& setup = {});
+
 /// Runs `body(i)` for every i in [0, count), distributing contiguous chunks
 /// over `pool`.  Blocks until all iterations finish; the first exception (if
 /// any) is rethrown on the calling thread.  `body` must be safe to invoke

@@ -4,6 +4,7 @@
 
 #include "parallel/thread_pool.hpp"
 #include "solver/correlation.hpp"
+#include "solver/workspace.hpp"
 #include "util/error.hpp"
 
 namespace dpg {
@@ -16,10 +17,12 @@ namespace {
 /// already paid for them) but do update the recency state the greedy
 /// options consult, because serving a request leaves a copy behind.
 void serve_singletons(const RequestSequence& sequence, const CostModel& model,
-                      ItemId item, ItemId partner, PackageReport& report) {
-  // Recency state over this item's event history.
+                      ItemId item, ItemId partner, PackageReport& report,
+                      SolverWorkspace& ws) {
+  // Recency state over this item's event history (workspace scratch).
   Time prev_time = 0.0;
-  std::vector<Time> last_on_server(sequence.server_count(), -1.0);
+  ws.server_times.assign(sequence.server_count(), -1.0);
+  std::vector<Time>& last_on_server = ws.server_times;
   last_on_server[kOriginServer] = 0.0;  // the origin copy
 
   for (const std::size_t index : sequence.indices_for_item(item)) {
@@ -54,27 +57,52 @@ void serve_singletons(const RequestSequence& sequence, const CostModel& model,
   }
 }
 
-}  // namespace
-
-PackageReport solve_pair_package(const RequestSequence& sequence,
-                                 const CostModel& model, ItemPair pair,
-                                 const OptimalOfflineOptions& dp) {
-  model.validate();
+PackageReport solve_pair_package_ws(const RequestSequence& sequence,
+                                    const CostModel& model, ItemPair pair,
+                                    const OptimalOfflineOptions& dp,
+                                    SolverWorkspace& ws) {
   PackageReport report;
   report.pair = pair;
   report.total_accesses =
       sequence.item_frequency(pair.a) + sequence.item_frequency(pair.b);
 
-  const Flow package_flow = make_package_flow(sequence, pair.a, pair.b);
-  report.co_request_count = package_flow.size();
+  make_package_flow(sequence, pair.a, pair.b, ws.flow);
+  report.co_request_count = ws.flow.size();
   SolveResult package =
-      solve_optimal_offline(package_flow, model, sequence.server_count(), dp);
+      solve_optimal_offline(ws.flow, model, sequence.server_count(), dp, &ws);
   report.package_cost = package.cost;  // already 2α-discounted
   report.package_schedule = std::move(package.schedule);
 
-  serve_singletons(sequence, model, pair.a, pair.b, report);
-  serve_singletons(sequence, model, pair.b, pair.a, report);
+  serve_singletons(sequence, model, pair.a, pair.b, report, ws);
+  serve_singletons(sequence, model, pair.b, pair.a, report, ws);
   return report;
+}
+
+SingleItemReport solve_single_ws(const RequestSequence& sequence,
+                                 const CostModel& model, ItemId item,
+                                 const OptimalOfflineOptions& dp,
+                                 SolverWorkspace& ws) {
+  SingleItemReport report;
+  report.item = item;
+  report.accesses = sequence.item_frequency(item);
+  make_item_flow(sequence, item, ws.flow);
+  SolveResult solved =
+      solve_optimal_offline(ws.flow, model, sequence.server_count(), dp, &ws);
+  report.cost = solved.cost;
+  report.schedule = std::move(solved.schedule);
+  return report;
+}
+
+}  // namespace
+
+PackageReport solve_pair_package(const RequestSequence& sequence,
+                                 const CostModel& model, ItemPair pair,
+                                 const OptimalOfflineOptions& dp,
+                                 SolverWorkspace* workspace) {
+  model.validate();
+  SolverWorkspace local;
+  return solve_pair_package_ws(sequence, model, pair, dp,
+                               workspace != nullptr ? *workspace : local);
 }
 
 DpGreedyResult solve_dp_greedy(const RequestSequence& sequence,
@@ -87,50 +115,45 @@ DpGreedyResult solve_dp_greedy(const RequestSequence& sequence,
   DpGreedyResult result;
   result.total_item_accesses = sequence.total_item_accesses();
 
-  // Phase 1: correlation analysis and greedy packing.
-  const CorrelationAnalysis analysis(sequence);
+  // Phase 1: correlation analysis and greedy packing.  The counting pass
+  // shards over the Phase-2 pool unless the caller pinned its own.
+  CorrelationOptions correlation = options.correlation;
+  if (correlation.pool == nullptr) correlation.pool = options.pool;
+  const CorrelationAnalysis analysis(sequence, correlation);
   result.packing =
       greedy_pairing(analysis, options.theta, options.inclusive_threshold);
 
-  // Phase 2: independent per-package and per-single solves (parallelizable).
-  const auto solve_package = [&](std::size_t p) {
-    return solve_pair_package(sequence, model, result.packing.pairs[p],
-                              options.dp);
-  };
-  const auto solve_single = [&](std::size_t s) {
-    const ItemId item = result.packing.singles[s];
-    SingleItemReport report;
-    report.item = item;
-    report.accesses = sequence.item_frequency(item);
-    SolveResult solved = solve_optimal_offline(
-        make_item_flow(sequence, item), model, sequence.server_count(),
-        options.dp);
-    report.cost = solved.cost;
-    report.schedule = std::move(solved.schedule);
-    return report;
+  // Phase 2: independent per-package and per-single solves.  Each worker
+  // chunk (or the serial path) reuses one SolverWorkspace across its solves,
+  // so the steady state allocates only for the returned reports.
+  const auto solve_one = [&](std::size_t i, SolverWorkspace& ws) {
+    const std::size_t pair_count = result.packing.pairs.size();
+    if (i < pair_count) {
+      result.packages[i] = solve_pair_package_ws(
+          sequence, model, result.packing.pairs[i], options.dp, ws);
+    } else {
+      result.singles[i - pair_count] = solve_single_ws(
+          sequence, model, result.packing.singles[i - pair_count], options.dp,
+          ws);
+    }
   };
 
   const std::size_t pair_count = result.packing.pairs.size();
   const std::size_t single_count = result.packing.singles.size();
   result.packages.resize(pair_count);
   result.singles.resize(single_count);
-  if (options.pool != nullptr && pair_count + single_count > 1) {
-    parallel_for(*options.pool, pair_count + single_count,
-                 [&](std::size_t i) {
-                   if (i < pair_count) {
-                     result.packages[i] = solve_package(i);
-                   } else {
-                     result.singles[i - pair_count] =
-                         solve_single(i - pair_count);
-                   }
-                 });
+  const std::size_t total = pair_count + single_count;
+  if (options.pool != nullptr && total > 1) {
+    parallel_for_chunks(*options.pool, total,
+                        [&](std::size_t, std::size_t begin, std::size_t end) {
+                          SolverWorkspace ws;
+                          for (std::size_t i = begin; i < end; ++i) {
+                            solve_one(i, ws);
+                          }
+                        });
   } else {
-    for (std::size_t p = 0; p < pair_count; ++p) {
-      result.packages[p] = solve_package(p);
-    }
-    for (std::size_t s = 0; s < single_count; ++s) {
-      result.singles[s] = solve_single(s);
-    }
+    SolverWorkspace ws;
+    for (std::size_t i = 0; i < total; ++i) solve_one(i, ws);
   }
 
   for (const PackageReport& report : result.packages) {

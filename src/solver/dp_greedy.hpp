@@ -25,6 +25,7 @@
 namespace dpg {
 
 class ThreadPool;
+struct SolverWorkspace;
 
 struct DpGreedyOptions {
   /// Correlation threshold θ; Algorithm 1 packs on J > θ.
@@ -33,6 +34,10 @@ struct DpGreedyOptions {
   bool inclusive_threshold = false;
   /// Options forwarded to the inner optimal-offline DP.
   OptimalOfflineOptions dp;
+  /// Phase-1 representation (dense triangle vs sparse observed-pair hash);
+  /// correlation.pool defaults to `pool` below when unset, so one pool
+  /// drives both the sharded counting pass and the Phase-2 fan-out.
+  CorrelationOptions correlation;
   /// When set, package solves fan out over this pool (packages are
   /// independent, so results are identical to the serial path).
   ThreadPool* pool = nullptr;
@@ -99,10 +104,11 @@ struct DpGreedyResult {
                                              const DpGreedyOptions& options = {});
 
 /// Phase 2 for one explicitly given pair (used by the figure harnesses,
-/// which sweep pairs regardless of the threshold decision).
-[[nodiscard]] PackageReport solve_pair_package(const RequestSequence& sequence,
-                                               const CostModel& model,
-                                               ItemPair pair,
-                                               const OptimalOfflineOptions& dp = {});
+/// which sweep pairs regardless of the threshold decision).  A `workspace`
+/// makes repeated calls allocation-free on the scratch path (results are
+/// identical either way).
+[[nodiscard]] PackageReport solve_pair_package(
+    const RequestSequence& sequence, const CostModel& model, ItemPair pair,
+    const OptimalOfflineOptions& dp = {}, SolverWorkspace* workspace = nullptr);
 
 }  // namespace dpg

@@ -3,51 +3,15 @@
 #include <algorithm>
 #include <vector>
 
-#include "core/request_index.hpp"
+#include "solver/workspace.hpp"
 #include "util/error.hpp"
 
 namespace dpg {
 
-namespace {
-
-/// Per-node backtracking record.
-struct Choice {
-  bool via_line = false;       // true: D(i) with split k; false: Tr(i)
-  std::int32_t split_k = -1;   // predecessor state for the D choice
-};
-
-/// Monotonic-stack suffix-minimum structure over values v_k = C(k) − W(k).
-/// Push happens in index order; query(l) returns min_{k in [l, last]} v_k.
-/// After pops the stack keeps (index, value) with values strictly increasing
-/// bottom→top, so the answer to query(l) is the first entry with index >= l.
-class SuffixMin {
- public:
-  void push(std::int32_t index, double value) {
-    while (!entries_.empty() && entries_.back().second >= value) {
-      entries_.pop_back();
-    }
-    entries_.emplace_back(index, value);
-  }
-
-  [[nodiscard]] std::pair<std::int32_t, double> query(std::int32_t lo) const {
-    const auto it = std::lower_bound(
-        entries_.begin(), entries_.end(), lo,
-        [](const std::pair<std::int32_t, double>& e, std::int32_t l) {
-          return e.first < l;
-        });
-    if (it == entries_.end()) return {-1, kInfiniteCost};
-    return *it;
-  }
-
- private:
-  std::vector<std::pair<std::int32_t, double>> entries_;
-};
-
-}  // namespace
-
 SolveResult solve_optimal_offline(const Flow& flow, const CostModel& model,
                                   std::size_t server_count,
-                                  const OptimalOfflineOptions& options) {
+                                  const OptimalOfflineOptions& options,
+                                  SolverWorkspace* workspace) {
   model.validate();
   validate_flow(flow);
   SolveResult result;
@@ -58,7 +22,13 @@ SolveResult solve_optimal_offline(const Flow& flow, const CostModel& model,
     return result;
   }
 
-  const RequestIndex index(flow, server_count);
+  // All scratch lives in the (caller-provided or local) workspace; repeated
+  // solves through one workspace reuse capacity and allocate nothing.
+  SolverWorkspace local;
+  SolverWorkspace& ws = workspace != nullptr ? *workspace : local;
+
+  ws.index.rebuild(flow, server_count);
+  const RequestIndex& index = ws.index;
   const std::size_t n = index.node_count();  // origin + services
   const double mu = model.mu;
   const double lambda = model.lambda;
@@ -66,22 +36,28 @@ SolveResult solve_optimal_offline(const Flow& flow, const CostModel& model,
   // w_j: the cheapest way to serve node j as an *intermediate* under a cache
   // line that spans its time — a λ side-transfer off the line, or j's own
   // local cache link from its previous same-server visit.
-  std::vector<Cost> w(n, 0.0);
+  ws.w.assign(n, 0.0);
+  std::vector<Cost>& w = ws.w;
   // W: prefix sums of w, W[i] = w_1 + ... + w_i.
-  std::vector<Cost> w_prefix(n, 0.0);
+  ws.w_prefix.assign(n, 0.0);
+  std::vector<Cost>& w_prefix = ws.w_prefix;
   for (std::size_t j = 1; j < n; ++j) {
-    Cost local = kInfiniteCost;
+    Cost local_link = kInfiniteCost;
     const std::int32_t pj = index.prev_same_server(j);
     if (pj >= 0) {
-      local = mu * (index.time_of(j) - index.time_of(static_cast<std::size_t>(pj)));
+      local_link =
+          mu * (index.time_of(j) - index.time_of(static_cast<std::size_t>(pj)));
     }
-    w[j] = std::min(lambda, local);
+    w[j] = std::min(lambda, local_link);
     w_prefix[j] = w_prefix[j - 1] + w[j];
   }
 
-  std::vector<Cost> c(n, 0.0);
-  std::vector<Choice> choice(n);
-  SuffixMin suffix;  // over v_k = C(k) − W(k), pushed as states complete
+  ws.c.assign(n, 0.0);
+  std::vector<Cost>& c = ws.c;
+  ws.choice.assign(n, DpChoice{});
+  std::vector<DpChoice>& choice = ws.choice;
+  SuffixMin& suffix = ws.suffix;  // over v_k = C(k) − W(k), pushed as states complete
+  suffix.clear();
   suffix.push(0, 0.0);
 
   for (std::size_t i = 1; i < n; ++i) {
@@ -122,10 +98,10 @@ SolveResult solve_optimal_offline(const Flow& flow, const CostModel& model,
 
     if (line < tr) {
       c[i] = line;
-      choice[i] = Choice{true, line_k};
+      choice[i] = DpChoice{true, line_k};
     } else {
       c[i] = tr;
-      choice[i] = Choice{false, static_cast<std::int32_t>(i) - 1};
+      choice[i] = DpChoice{false, static_cast<std::int32_t>(i) - 1};
     }
     suffix.push(static_cast<std::int32_t>(i), c[i] - w_prefix[i]);
   }
@@ -138,7 +114,7 @@ SolveResult solve_optimal_offline(const Flow& flow, const CostModel& model,
     // nodes between the predecessor state and i are physically served.
     std::size_t i = n - 1;
     while (i > 0) {
-      const Choice& ch = choice[i];
+      const DpChoice& ch = choice[i];
       const Time t_i = index.time_of(i);
       const ServerId s_i = index.server_of(i);
       if (ch.via_line) {

@@ -36,6 +36,8 @@
 
 namespace dpg {
 
+struct SolverWorkspace;
+
 struct OptimalOfflineOptions {
   /// Use the monotonic-stack suffix-min structure for the inner minimum of
   /// D(i) (O(n log n) overall) instead of the literal O(n) scan per node
@@ -49,8 +51,12 @@ struct OptimalOfflineOptions {
 
 /// Solves one flow to optimality. `server_count` bounds the server ids in
 /// the flow; the flow starts at `origin` (server 0 by default) at time 0.
+/// Passing a `workspace` reuses its scratch buffers (solver/workspace.hpp)
+/// so repeated solves perform zero steady-state allocations; results are
+/// bit-identical with or without one.
 [[nodiscard]] SolveResult solve_optimal_offline(
     const Flow& flow, const CostModel& model, std::size_t server_count,
-    const OptimalOfflineOptions& options = {});
+    const OptimalOfflineOptions& options = {},
+    SolverWorkspace* workspace = nullptr);
 
 }  // namespace dpg

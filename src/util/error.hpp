@@ -30,6 +30,12 @@ class IoError : public Error {
 };
 
 /// Precondition check that survives NDEBUG builds: throws InvalidArgument.
+/// The literal overload is allocation-free on success — hot-path callers
+/// (flow validation, index rebuilds) check per point, so a by-value
+/// std::string message would heap-allocate on every successful check.
+inline void require(bool condition, const char* message) {
+  if (!condition) throw InvalidArgument(message);
+}
 inline void require(bool condition, const std::string& message) {
   if (!condition) throw InvalidArgument(message);
 }

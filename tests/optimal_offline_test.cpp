@@ -3,6 +3,7 @@
 
 #include "util/error.hpp"
 #include "solver/optimal_offline.hpp"
+#include "solver/workspace.hpp"
 #include "test_support.hpp"
 
 namespace dpg {
@@ -131,6 +132,51 @@ TEST(OptimalOffline, RejectsUnsortedFlow) {
   flow.points.push_back({1, 2.0, 0});
   flow.points.push_back({1, 1.0, 1});
   EXPECT_THROW((void)solve_optimal_offline(flow, unit_model(), 2), InvalidArgument);
+}
+
+TEST(OptimalOffline, SharedWorkspaceMatchesFreshSolves) {
+  // One workspace reused across many flows of varying size (growing and
+  // shrinking) must reproduce every workspace-free result bit for bit,
+  // schedules included.
+  Rng rng(321);
+  const CostModel model = unit_model();
+  SolverWorkspace workspace;
+  for (const std::size_t n : {40u, 5u, 120u, 1u, 60u}) {
+    const Flow flow = testing::random_flow(rng, n, 5);
+    const SolveResult fresh = solve_optimal_offline(flow, model, 5);
+    const SolveResult reused =
+        solve_optimal_offline(flow, model, 5, {}, &workspace);
+    ASSERT_EQ(fresh.raw_cost, reused.raw_cost);
+    ASSERT_EQ(fresh.cost, reused.cost);
+    ASSERT_EQ(fresh.schedule.segments().size(),
+              reused.schedule.segments().size());
+    ASSERT_EQ(fresh.schedule.transfers().size(),
+              reused.schedule.transfers().size());
+    for (std::size_t i = 0; i < fresh.schedule.segments().size(); ++i) {
+      ASSERT_EQ(fresh.schedule.segments()[i].server,
+                reused.schedule.segments()[i].server);
+      ASSERT_EQ(fresh.schedule.segments()[i].begin,
+                reused.schedule.segments()[i].begin);
+      ASSERT_EQ(fresh.schedule.segments()[i].end,
+                reused.schedule.segments()[i].end);
+    }
+  }
+}
+
+TEST(OptimalOffline, WorkspaceReuseCoversBothRangeMinStrategies) {
+  Rng rng(654);
+  const CostModel model = unit_model();
+  OptimalOfflineOptions naive;
+  naive.fast_range_min = false;
+  SolverWorkspace workspace;
+  for (int round = 0; round < 5; ++round) {
+    const Flow flow = testing::random_flow(rng, 80, 4);
+    const Cost fast =
+        solve_optimal_offline(flow, model, 4, {}, &workspace).raw_cost;
+    const Cost slow =
+        solve_optimal_offline(flow, model, 4, naive, &workspace).raw_cost;
+    ASSERT_NEAR(fast, slow, kTol);
+  }
 }
 
 }  // namespace

@@ -63,6 +63,48 @@ TEST(ParallelMap, PreservesOrder) {
   }
 }
 
+TEST(ParallelForChunks, ChunksPartitionTheRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(777);
+  std::atomic<std::size_t> seen_chunks{0};
+  std::size_t announced_chunks = 0;
+  parallel_for_chunks(
+      pool, hits.size(),
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        ++seen_chunks;
+        ASSERT_LE(begin, end);
+        for (std::size_t i = begin; i < end; ++i) ++hits[i];
+      },
+      [&announced_chunks](std::size_t chunk_count) {
+        announced_chunks = chunk_count;
+      });
+  EXPECT_EQ(seen_chunks.load(), announced_chunks);
+  for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForChunks, SetupRunsBeforeAnyChunkAndSizesSharedState) {
+  ThreadPool pool(3);
+  std::vector<std::vector<std::size_t>> per_chunk;
+  parallel_for_chunks(
+      pool, 500,
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          per_chunk[chunk].push_back(i);  // exclusive slot: no locking needed
+        }
+      },
+      [&per_chunk](std::size_t chunk_count) { per_chunk.resize(chunk_count); });
+  std::size_t total = 0;
+  for (const auto& chunk : per_chunk) total += chunk.size();
+  EXPECT_EQ(total, 500u);
+}
+
+TEST(ParallelForChunks, ZeroCountSkipsSetupAndBody) {
+  ThreadPool pool(2);
+  parallel_for_chunks(
+      pool, 0, [](std::size_t, std::size_t, std::size_t) { FAIL(); },
+      [](std::size_t) { FAIL(); });
+}
+
 TEST(ThreadPool, DefaultSizeIsAtLeastOne) {
   ThreadPool pool;
   EXPECT_GE(pool.worker_count(), 1u);
