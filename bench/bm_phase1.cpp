@@ -17,10 +17,9 @@
 #include <string>
 #include <vector>
 
+#include "engine/algorithms.hpp"
+#include "engine/registry.hpp"
 #include "parallel/thread_pool.hpp"
-#include "solver/dp_greedy.hpp"
-#include "solver/pairing.hpp"
-#include "solver/workspace.hpp"
 #include "trace/generators.hpp"
 #include "util/stopwatch.hpp"
 
@@ -242,6 +241,44 @@ Phase2Report run_phase2() {
   return report;
 }
 
+/// One row per registered solver, end to end through the engine on a shared
+/// paired trace — the committed baseline rows carry the registry names, so
+/// future diffs line up with `dpgreedy list`.
+struct RegistryRow {
+  std::string name;
+  Cost total_cost = 0.0;
+  double solve_ms = 0.0;
+  std::uint64_t allocs = 0;
+};
+
+std::vector<RegistryRow> run_registry() {
+  PairedTraceConfig config;
+  config.server_count = 50;
+  config.requests_per_pair = 200;
+  Rng rng(7);
+  const RequestSequence seq = generate_paired_trace(config, rng);
+  const CostModel model{1.0, 2.0, 0.8};
+  SolverConfig solver_config;
+  solver_config.theta = 0.3;
+  solver_config.keep_schedules = false;
+
+  std::vector<RegistryRow> rows;
+  for (const std::string& name : builtin_registry().names()) {
+    const std::unique_ptr<Solver> solver = builtin_registry().create(name);
+    RegistryRow row;
+    row.name = name;
+    // Warm-up run grows the solver's workspace and records the cost.
+    row.total_cost = solver->run(seq, model, solver_config).total_cost;
+    row.solve_ms =
+        time_best_ms([&] { (void)solver->run(seq, model, solver_config); });
+    const std::uint64_t before = allocations_now();
+    (void)solver->run(seq, model, solver_config);
+    row.allocs = allocations_now() - before;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
 int run(const std::string& out_path) {
   std::vector<Phase1Row> phase1;
   for (const std::size_t k : {512u, 1024u, 2048u}) {
@@ -250,6 +287,8 @@ int run(const std::string& out_path) {
   }
   std::printf("phase2 ...\n");
   const Phase2Report phase2 = run_phase2();
+  std::printf("registry solvers ...\n");
+  const std::vector<RegistryRow> registry_rows = run_registry();
 
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (out == nullptr) {
@@ -292,7 +331,18 @@ int run(const std::string& out_path) {
                phase2.workspace_allocs_per_solve);
   std::fprintf(out, "    \"costs_identical\": %s\n",
                phase2.costs_identical ? "true" : "false");
-  std::fprintf(out, "  }\n");
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"registry_solvers\": [\n");
+  for (std::size_t i = 0; i < registry_rows.size(); ++i) {
+    const RegistryRow& r = registry_rows[i];
+    std::fprintf(out,
+                 "    {\"solver\": \"%s\", \"total_cost\": %.6f, "
+                 "\"solve_ms\": %.3f, \"allocs\": %llu}%s\n",
+                 r.name.c_str(), r.total_cost, r.solve_ms,
+                 static_cast<unsigned long long>(r.allocs),
+                 i + 1 < registry_rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n");
   std::fprintf(out, "}\n");
   std::fclose(out);
   std::printf("wrote %s\n", out_path.c_str());
@@ -312,6 +362,11 @@ int run(const std::string& out_path) {
       phase2.solves, phase2.fresh_ms, phase2.fresh_allocs_per_solve,
       phase2.workspace_ms, phase2.workspace_allocs_per_solve,
       phase2.costs_identical ? "identical" : "DIFFER");
+  for (const RegistryRow& r : registry_rows) {
+    std::printf("registry %-18s total %12.2f  %8.2f ms  %llu allocs\n",
+                r.name.c_str(), r.total_cost, r.solve_ms,
+                static_cast<unsigned long long>(r.allocs));
+  }
   return 0;
 }
 

@@ -1,15 +1,15 @@
 // google-benchmark microbenchmarks for the solver substrate: the optimal
 // offline DP (both inner-minimum strategies), greedy, the Section-V index
-// build, correlation analysis and the full DP_Greedy pipeline.
+// build, correlation analysis, the full DP_Greedy pipeline, and every
+// registry solver end to end (one benchmark per registered name).
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "core/request_index.hpp"
+#include "engine/algorithms.hpp"
+#include "engine/registry.hpp"
 #include "parallel/thread_pool.hpp"
-#include "solver/correlation.hpp"
-#include "solver/dp_greedy.hpp"
-#include "solver/greedy.hpp"
-#include "solver/optimal_offline.hpp"
-#include "solver/workspace.hpp"
 #include "trace/generators.hpp"
 
 namespace dpg {
@@ -202,6 +202,36 @@ void BM_DpGreedyEndToEnd(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DpGreedyEndToEnd)->Range(512, 8192);
+
+/// Every registered solver, end to end through the engine, on one shared
+/// paired trace — one benchmark per registry name, so adding a solver adds
+/// its benchmark without touching this file.  The Solver instance lives
+/// outside the loop, so workspace reuse across runs is part of what is
+/// measured (exactly how a sweep harness drives the engine).
+void BM_RegistrySolver(benchmark::State& state, const std::string& name) {
+  PairedTraceConfig config;
+  config.server_count = 50;
+  config.requests_per_pair = 400;
+  Rng rng(5);
+  const RequestSequence seq = generate_paired_trace(config, rng);
+  const CostModel model{1.0, 2.0, 0.8};
+  SolverConfig solver_config;
+  solver_config.theta = 0.3;
+  solver_config.keep_schedules = false;
+  const std::unique_ptr<Solver> solver = builtin_registry().create(name);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        solver->run(seq, model, solver_config).total_cost);
+  }
+}
+
+[[maybe_unused]] const int kRegistryBenchmarks = [] {
+  for (const std::string& name : builtin_registry().names()) {
+    benchmark::RegisterBenchmark(("BM_RegistrySolver/" + name).c_str(),
+                                 BM_RegistrySolver, name);
+  }
+  return 0;
+}();
 
 }  // namespace
 }  // namespace dpg

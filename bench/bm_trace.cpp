@@ -4,8 +4,7 @@
 
 #include "mobility/simulator.hpp"
 #include "sim/replay.hpp"
-#include "solver/optimal_offline.hpp"
-#include "solver/temporal_correlation.hpp"
+#include "engine/algorithms.hpp"
 #include "trace/generators.hpp"
 #include "trace/io.hpp"
 

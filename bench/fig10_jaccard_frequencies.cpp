@@ -6,7 +6,7 @@
 #include <cstdio>
 
 #include "harness_common.hpp"
-#include "solver/correlation.hpp"
+#include "engine/algorithms.hpp"
 #include "trace/stats.hpp"
 #include "util/strings.hpp"
 

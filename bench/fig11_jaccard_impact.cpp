@@ -8,8 +8,7 @@
 #include <cstdio>
 
 #include "harness_common.hpp"
-#include "solver/baselines.hpp"
-#include "solver/dp_greedy.hpp"
+#include "engine/algorithms.hpp"
 #include "trace/generators.hpp"
 #include "util/strings.hpp"
 #include "util/svg_chart.hpp"

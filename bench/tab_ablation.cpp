@@ -7,9 +7,7 @@
 #include <cstdio>
 
 #include "harness_common.hpp"
-#include "solver/baselines.hpp"
-#include "solver/dp_greedy.hpp"
-#include "solver/optimal_offline.hpp"
+#include "engine/algorithms.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 

@@ -9,9 +9,7 @@
 #include <algorithm>
 #include <cstdio>
 
-#include "solver/bruteforce.hpp"
-#include "solver/dp_greedy.hpp"
-#include "solver/optimal_offline.hpp"
+#include "engine/algorithms.hpp"
 #include "trace/generators.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"

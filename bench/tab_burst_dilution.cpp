@@ -8,9 +8,7 @@
 // detector IS windowed) recovering it.
 #include <cstdio>
 
-#include "solver/dp_greedy.hpp"
-#include "solver/online_dp_greedy.hpp"
-#include "solver/temporal_correlation.hpp"
+#include "engine/algorithms.hpp"
 #include "trace/generators.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"

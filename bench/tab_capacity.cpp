@@ -7,8 +7,7 @@
 
 #include "harness_common.hpp"
 #include "sim/replay.hpp"
-#include "solver/baselines.hpp"
-#include "solver/dp_greedy.hpp"
+#include "engine/algorithms.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 

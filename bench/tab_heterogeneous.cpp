@@ -8,8 +8,7 @@
 #include <cstdio>
 
 #include "harness_common.hpp"
-#include "solver/greedy.hpp"
-#include "solver/optimal_offline.hpp"
+#include "engine/algorithms.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"

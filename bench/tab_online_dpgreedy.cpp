@@ -4,8 +4,7 @@
 #include <cstdio>
 
 #include "harness_common.hpp"
-#include "solver/dp_greedy.hpp"
-#include "solver/online_dp_greedy.hpp"
+#include "engine/algorithms.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 

@@ -6,8 +6,7 @@
 #include <cstdio>
 
 #include "harness_common.hpp"
-#include "solver/online.hpp"
-#include "solver/optimal_offline.hpp"
+#include "engine/algorithms.hpp"
 #include "util/stats.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"

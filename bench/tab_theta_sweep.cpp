@@ -4,7 +4,7 @@
 #include <cstdio>
 
 #include "harness_common.hpp"
-#include "solver/dp_greedy.hpp"
+#include "engine/algorithms.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 

@@ -9,15 +9,12 @@
 //   $ edge_cdn --bursts 40 --alpha 0.6
 #include <cstdio>
 
-#include "solver/baselines.hpp"
-#include "solver/dp_greedy.hpp"
-#include "solver/group_solver.hpp"
-#include "solver/online_dp_greedy.hpp"
+#include "engine/registry.hpp"
+#include "engine/render.hpp"
 #include "trace/generators.hpp"
 #include "trace/stats.hpp"
 #include "util/args.hpp"
 #include "util/strings.hpp"
-#include "util/table.hpp"
 
 using namespace dpg;
 
@@ -52,38 +49,20 @@ int main(int argc, char** argv) {
   model.lambda = *lambda;
   model.alpha = *alpha;
 
-  DpGreedyOptions offline_options;
-  offline_options.theta = 0.2;
-  const DpGreedyResult offline = solve_dp_greedy(trace, model, offline_options);
-  const OptimalBaselineResult optimal = solve_optimal_baseline(trace, model);
-
-  GroupDpGreedyOptions group_options;
-  group_options.theta = 0.2;
-  group_options.max_group_size = 3;
-  const GroupDpGreedyResult grouped =
-      solve_group_dp_greedy(trace, model, group_options);
-
-  OnlineDpGreedyOptions online_options;
-  online_options.theta = 0.2;
-  online_options.window = 150;
-  const OnlineDpGreedyResult online =
-      solve_online_dp_greedy(trace, model, online_options);
+  SolverConfig solver_config;
+  solver_config.theta = 0.2;
+  solver_config.max_group_size = 3;
+  solver_config.window = 150;
+  const std::vector<RunReport> reports = run_solvers(
+      {"optimal_baseline", "dp_greedy", "group_dp_greedy", "online_dp_greedy"},
+      trace, model, solver_config);
+  const RunReport& offline = reports[1];
+  const RunReport& online = reports[3];
 
   std::printf("== cost comparison (α=%.2f, λ=%.1f) ==\n", *alpha, *lambda);
-  TextTable table({"algorithm", "total", "ave", "note"});
-  table.add_row({"Optimal (no packing)", format_fixed(optimal.total_cost, 1),
-                 format_fixed(optimal.ave_cost, 4), "offline, per-item DP"});
-  table.add_row({"DP_Greedy (pairs)", format_fixed(offline.total_cost, 1),
-                 format_fixed(offline.ave_cost, 4),
-                 std::to_string(offline.packages.size()) + " packages"});
-  table.add_row({"Group DP_Greedy (<=3)", format_fixed(grouped.total_cost, 1),
-                 format_fixed(grouped.ave_cost, 4),
-                 std::to_string(grouped.groups.size()) + " groups"});
-  table.add_row({"Online DP_Greedy", format_fixed(online.total_cost, 1),
-                 format_fixed(online.ave_cost, 4),
-                 std::to_string(online.pack_events) + " packs / " +
-                     std::to_string(online.unpack_events) + " unpacks"});
-  std::printf("%s\n", table.render().c_str());
+  std::printf("%s\n", render_comparison(reports).c_str());
+  std::printf("online packing churn: %zu packs / %zu unpacks\n",
+              online.package_count, online.unpack_events);
 
   if (offline.total_cost > 0.0) {
     const double ratio = online.total_cost / offline.total_cost;

@@ -7,14 +7,12 @@
 //   $ news_service --articles 4 --requests 2000 --alpha 0.6
 #include <cstdio>
 
-#include "solver/baselines.hpp"
-#include "solver/dp_greedy.hpp"
-#include "solver/group_solver.hpp"
+#include "engine/registry.hpp"
+#include "engine/render.hpp"
 #include "trace/generators.hpp"
 #include "trace/stats.hpp"
 #include "util/args.hpp"
 #include "util/strings.hpp"
-#include "util/table.hpp"
 
 using namespace dpg;
 
@@ -46,24 +44,20 @@ int main(int argc, char** argv) {
   model.lambda = 3.0;  // shipping a media bundle is pricey
   model.alpha = *alpha;
 
-  DpGreedyOptions options;
-  options.theta = 0.2;
-  const DpGreedyResult dpg = solve_dp_greedy(trace, model, options);
-  const OptimalBaselineResult optimal = solve_optimal_baseline(trace, model);
-  const PackageServedResult always = solve_package_served(trace, model, 0.2);
+  SolverConfig solver_config;
+  solver_config.theta = 0.2;
+  const std::vector<RunReport> reports = run_solvers(
+      {"optimal_baseline", "package_served", "dp_greedy"}, trace, model,
+      solver_config);
+  const Cost optimal_total = reports[0].total_cost;
 
   std::printf("== serving cost (α=%.2f) ==\n", *alpha);
-  TextTable table({"algorithm", "total", "ave", "vs Optimal"});
-  const auto relative = [&](double cost) {
-    return format_fixed(100.0 * (cost / optimal.total_cost - 1.0), 1) + "%";
-  };
-  table.add_row({"Optimal (per-item DP)", format_fixed(optimal.total_cost, 1),
-                 format_fixed(optimal.ave_cost, 4), "+0.0%"});
-  table.add_row({"Package_Served", format_fixed(always.total_cost, 1),
-                 format_fixed(always.ave_cost, 4), relative(always.total_cost)});
-  table.add_row({"DP_Greedy", format_fixed(dpg.total_cost, 1),
-                 format_fixed(dpg.ave_cost, 4), relative(dpg.total_cost)});
-  std::printf("%s\n", table.render().c_str());
+  std::printf("%s", render_comparison(reports).c_str());
+  for (const RunReport& report : reports) {
+    std::printf("%-16s %+.1f%% vs optimal_baseline\n", report.solver.c_str(),
+                100.0 * (report.total_cost / optimal_total - 1.0));
+  }
+  std::printf("\n");
 
   // Extension: a story page bundling text + image + video as a triple.
   std::printf("== multi-item extension: text+image+video triples ==\n");
@@ -84,15 +78,18 @@ int main(int argc, char** argv) {
   }
   const RequestSequence story = std::move(story_builder).build();
 
-  GroupDpGreedyOptions triples;
+  const SolverRegistry& registry = builtin_registry();
+  SolverConfig triples;
   triples.theta = 0.3;
   triples.max_group_size = 3;
-  GroupDpGreedyOptions pairs_only = triples;
+  SolverConfig pairs_only = triples;
   pairs_only.max_group_size = 2;
-  const double triple_cost = solve_group_dp_greedy(story, model, triples).total_cost;
+  const double triple_cost =
+      registry.run("group_dp_greedy", story, model, triples).total_cost;
   const double pair_cost =
-      solve_group_dp_greedy(story, model, pairs_only).total_cost;
-  const double single_cost = solve_optimal_baseline(story, model).total_cost;
+      registry.run("group_dp_greedy", story, model, pairs_only).total_cost;
+  const double single_cost =
+      registry.run("optimal_baseline", story, model).total_cost;
   std::printf("no packing : %s\n", format_fixed(single_cost, 1).c_str());
   std::printf("pairs only : %s\n", format_fixed(pair_cost, 1).c_str());
   std::printf("triples    : %s   (Table II rate 3αμ / 3αλ)\n",

@@ -7,9 +7,10 @@
 //   $ online_vs_offline --duration 300 --lambda 2
 #include <cstdio>
 
+#include "engine/algorithms.hpp"
+#include "engine/registry.hpp"
+#include "engine/render.hpp"
 #include "mobility/simulator.hpp"
-#include "solver/online.hpp"
-#include "solver/optimal_offline.hpp"
 #include "util/args.hpp"
 #include "util/stats.hpp"
 #include "util/strings.hpp"
@@ -81,5 +82,14 @@ int main(int argc, char** argv) {
   std::printf("%s", ablation.render().c_str());
   std::printf("\nfactor 1.0 is the classical rent-or-buy break-even point "
               "(hold λ/μ after the last use).\n");
+
+  // Whole-trace view through the engine: the same policies as registry
+  // solvers, plus the chain floor.
+  std::printf("\n== whole-trace comparison (registry) ==\n%s",
+              render_comparison(
+                  run_solvers({"optimal_baseline", "online_break_even",
+                               "chain"},
+                              trace, model))
+                  .c_str());
   return 0;
 }

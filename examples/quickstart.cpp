@@ -7,8 +7,9 @@
 // the resulting space-time schedule.  Expected total: 14.96.
 #include <cstdio>
 
-#include "solver/correlation.hpp"
-#include "solver/dp_greedy.hpp"
+#include "engine/algorithms.hpp"
+#include "engine/registry.hpp"
+#include "engine/render.hpp"
 #include "util/strings.hpp"
 
 using namespace dpg;
@@ -73,5 +74,14 @@ int main() {
               format_fixed(result.ave_cost, 4).c_str());
   std::printf("2/α guarantee  : DP_Greedy is within %.2fx of optimal\n",
               model.approximation_bound());
+
+  // The same trace through every registered solver (the engine's one
+  // dispatch path — `dpgreedy compare` prints this very table).
+  SolverConfig config;
+  config.theta = 0.4;
+  std::printf("\n== every registered solver on this trace ==\n%s",
+              render_comparison(run_solvers(builtin_registry().names(),
+                                            sequence, model, config))
+                  .c_str());
   return 0;
 }

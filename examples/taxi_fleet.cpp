@@ -7,10 +7,11 @@
 //   $ taxi_fleet --duration 300 --alpha 0.8 --theta 0.3 --seed 42
 #include <cstdio>
 
+#include "engine/algorithms.hpp"
+#include "engine/registry.hpp"
+#include "engine/render.hpp"
 #include "mobility/simulator.hpp"
 #include "sim/replay.hpp"
-#include "solver/baselines.hpp"
-#include "solver/dp_greedy.hpp"
 #include "trace/stats.hpp"
 #include "util/args.hpp"
 #include "util/strings.hpp"
@@ -48,26 +49,21 @@ int main(int argc, char** argv) {
   model.lambda = *lambda;
   model.alpha = *alpha;
 
-  DpGreedyOptions options;
-  options.theta = *theta;
-  const DpGreedyResult dpg = solve_dp_greedy(trace, model, options);
-  const OptimalBaselineResult optimal = solve_optimal_baseline(trace, model);
-  const PackageServedResult packaged =
-      solve_package_served(trace, model, *theta);
+  SolverConfig config;
+  config.theta = *theta;
+  const std::vector<RunReport> reports = run_solvers(
+      {"optimal_baseline", "package_served", "dp_greedy"}, trace, model,
+      config);
 
   std::printf("== algorithm comparison (θ=%.2f, α=%.2f, μ=%.2f, λ=%.2f) ==\n",
               *theta, *alpha, *mu, *lambda);
-  TextTable table({"algorithm", "total cost", "ave cost", "packages"});
-  table.add_row({"Optimal (no packing)", format_fixed(optimal.total_cost, 2),
-                 format_fixed(optimal.ave_cost, 4), "0"});
-  table.add_row({"Package_Served", format_fixed(packaged.total_cost, 2),
-                 format_fixed(packaged.ave_cost, 4),
-                 std::to_string(packaged.pairs.size())});
-  table.add_row({"DP_Greedy", format_fixed(dpg.total_cost, 2),
-                 format_fixed(dpg.ave_cost, 4),
-                 std::to_string(dpg.packages.size())});
-  std::printf("%s\n", table.render().c_str());
+  std::printf("%s\n", render_comparison(reports).c_str());
 
+  // Per-package detail needs DP_Greedy internals (Jaccard, co-requests, the
+  // Phase-2 split); that goes through the engine's algorithm facade.
+  DpGreedyOptions options;
+  options.theta = *theta;
+  const DpGreedyResult dpg = solve_dp_greedy(trace, model, options);
   std::printf("per-package breakdown (DP_Greedy):\n");
   TextTable pairs({"pair", "J", "co-req", "package cost", "singleton cost",
                    "pair ave"});
@@ -82,17 +78,10 @@ int main(int argc, char** argv) {
   }
   std::printf("%s\n", pairs.render().c_str());
 
-  // Operational replay of the DP_Greedy plan.
-  std::vector<FlowPlan> plans;
-  for (const PackageReport& report : dpg.packages) {
-    plans.push_back(FlowPlan{make_package_flow(trace, report.pair.a, report.pair.b),
-                             report.package_schedule, "package"});
-  }
-  for (const SingleItemReport& report : dpg.singles) {
-    plans.push_back(
-        FlowPlan{make_item_flow(trace, report.item), report.schedule, "item"});
-  }
-  const ReplayMetrics replay = replay_plans(plans, model, trace.server_count());
+  // Operational replay of the DP_Greedy plan, straight from the report's
+  // schedule handles.
+  const ReplayMetrics replay =
+      replay_plans(reports[2].plans, model, trace.server_count());
   std::printf("== replay of the DP_Greedy plan ==\n");
   std::printf("feasible: %s, wire transfers: %zu, cache-hours: %s, "
               "peak replicas: %zu, cache-hit ratio: %s\n",

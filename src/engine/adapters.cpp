@@ -1,0 +1,421 @@
+// The built-in solver adapters: each wraps one solve_* entry point behind
+// the engine's Solver interface without re-pricing anything.  total_cost is
+// copied bitwise from the wrapped result; the transfer-side breakdown is
+// reconstructed from the solver's own schedules/decision records (each
+// λ-charge counted once at its flow's rate), and cache_cost is the
+// renormalized remainder (see engine/run_report.cpp).
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "engine/registry.hpp"
+#include "solver/baselines.hpp"
+#include "solver/dp_greedy.hpp"
+#include "solver/greedy.hpp"
+#include "solver/group_solver.hpp"
+#include "solver/online.hpp"
+#include "solver/online_dp_greedy.hpp"
+#include "solver/workspace.hpp"
+#include "util/stopwatch.hpp"
+
+namespace dpg {
+
+namespace {
+
+std::string item_label(ItemId item) {
+  return "item " + std::to_string(item);
+}
+
+std::string group_label(const std::vector<ItemId>& items) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(items[i]);
+  }
+  return out + "}";
+}
+
+/// Accounts one schedule into the report: every transfer edge is one
+/// λ-charge at the flow's rate, every segment one cache interval.
+void tally_schedule(const Schedule& schedule, const CostModel& model,
+                    double rate, RunReport& report) {
+  report.transfer_cost +=
+      rate * model.lambda * static_cast<double>(schedule.transfers().size());
+  report.transfer_events += schedule.transfers().size();
+  report.cache_segments += schedule.segments().size();
+}
+
+void keep_plan(RunReport& report, const SolverConfig& config, Flow flow,
+               Schedule schedule, std::string label) {
+  if (!config.keep_schedules) return;
+  report.plans.push_back(
+      FlowPlan{std::move(flow), std::move(schedule), std::move(label)});
+}
+
+/// Standalone wall-clock of the Phase-1 packing analysis (correlation +
+/// pairing/grouping) on the same inputs.  The wrapped solvers run their own
+/// Phase 1 inside solve_seconds; this is an independent re-measurement, not
+/// a component of it.
+template <typename PackFn>
+double measure_phase1(const RequestSequence& sequence,
+                      const SolverConfig& config, PackFn&& pack) {
+  CorrelationOptions correlation;
+  correlation.pool = config.pool;
+  Stopwatch stopwatch;
+  const CorrelationAnalysis analysis(sequence, correlation);
+  pack(analysis);
+  return stopwatch.elapsed_seconds();
+}
+
+// ---------------------------------------------------------------------------
+// DP_Greedy (Algorithm 1).
+
+class DpGreedySolver final : public Solver {
+ public:
+  RunReport run(const RequestSequence& sequence, const CostModel& model,
+                const SolverConfig& config) override {
+    DpGreedyOptions options;
+    options.theta = config.theta;
+    options.dp = config.dp;
+    options.pool = config.pool;
+
+    RunReport report;
+    report.solver = "dp_greedy";
+    Stopwatch stopwatch;
+    const DpGreedyResult result = solve_dp_greedy(sequence, model, options);
+    report.solve_seconds = stopwatch.elapsed_seconds();
+    report.phase1_seconds =
+        measure_phase1(sequence, config, [&](const CorrelationAnalysis& a) {
+          return greedy_pairing(a, config.theta);
+        });
+
+    report.total_cost = result.total_cost;
+    report.raw_cost = result.total_cost;
+    report.total_item_accesses = result.total_item_accesses;
+    report.package_count = result.packing.pairs.size();
+
+    const double pack_rate = model.flow_multiplier(2);
+    for (const PackageReport& pkg : result.packages) {
+      tally_schedule(pkg.package_schedule, model, pack_rate, report);
+      for (const SingletonService& service : pkg.services) {
+        switch (service.choice) {
+          case ServeChoice::kCacheSameServer:
+            break;
+          case ServeChoice::kTransferFromPrev:
+            report.transfer_cost += model.lambda;
+            ++report.transfer_events;
+            break;
+          case ServeChoice::kPackageFetch:
+            report.transfer_cost += model.package_fetch_cost();
+            ++report.transfer_events;
+            break;
+        }
+      }
+      keep_plan(report, config,
+                make_package_flow(sequence, pkg.pair.a, pkg.pair.b),
+                pkg.package_schedule,
+                "package " + group_label({pkg.pair.a, pkg.pair.b}));
+    }
+    for (const SingleItemReport& single : result.singles) {
+      tally_schedule(single.schedule, model, 1.0, report);
+      keep_plan(report, config, make_item_flow(sequence, single.item),
+                single.schedule, item_label(single.item));
+    }
+    finalize_report(report);
+    return report;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Optimal baseline (per-item offline DP, Section VI).
+
+class OptimalBaselineSolver final : public Solver {
+ public:
+  RunReport run(const RequestSequence& sequence, const CostModel& model,
+                const SolverConfig& config) override {
+    RunReport report;
+    report.solver = "optimal_baseline";
+    Stopwatch stopwatch;
+    const OptimalBaselineResult result =
+        solve_optimal_baseline(sequence, model, config.dp, config.pool);
+    report.solve_seconds = stopwatch.elapsed_seconds();
+
+    report.total_cost = result.total_cost;
+    report.raw_cost = result.total_cost;
+    report.total_item_accesses = result.total_item_accesses;
+    for (const OptimalItemReport& item : result.items) {
+      tally_schedule(item.schedule, model, 1.0, report);
+      keep_plan(report, config, make_item_flow(sequence, item.item),
+                item.schedule, item_label(item.item));
+    }
+    finalize_report(report);
+    return report;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Package_Served (always-pack baseline, Section VI).
+
+class PackageServedSolver final : public Solver {
+ public:
+  RunReport run(const RequestSequence& sequence, const CostModel& model,
+                const SolverConfig& config) override {
+    RunReport report;
+    report.solver = "package_served";
+    Stopwatch stopwatch;
+    const PackageServedResult result = solve_package_served(
+        sequence, model, config.theta, config.dp, config.pool);
+    report.solve_seconds = stopwatch.elapsed_seconds();
+    report.phase1_seconds =
+        measure_phase1(sequence, config, [&](const CorrelationAnalysis& a) {
+          return greedy_pairing(a, config.theta, /*inclusive=*/true);
+        });
+
+    report.total_cost = result.total_cost;
+    report.raw_cost = result.total_cost;
+    report.total_item_accesses = result.total_item_accesses;
+    report.package_count = result.packing.pairs.size();
+
+    const double pack_rate = model.flow_multiplier(2);
+    for (const PackageServedPair& pkg : result.pairs) {
+      tally_schedule(pkg.schedule, model, pack_rate, report);
+      keep_plan(report, config,
+                make_union_flow(sequence, {pkg.pair.a, pkg.pair.b}),
+                pkg.schedule,
+                "package " + group_label({pkg.pair.a, pkg.pair.b}));
+    }
+    for (const OptimalItemReport& single : result.singles) {
+      tally_schedule(single.schedule, model, 1.0, report);
+      keep_plan(report, config, make_item_flow(sequence, single.item),
+                single.schedule, item_label(single.item));
+    }
+    finalize_report(report);
+    return report;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Group DP_Greedy (multi-item extension, Remarks).
+
+class GroupDpGreedySolver final : public Solver {
+ public:
+  RunReport run(const RequestSequence& sequence, const CostModel& model,
+                const SolverConfig& config) override {
+    GroupDpGreedyOptions options;
+    options.theta = config.theta;
+    options.max_group_size = config.max_group_size;
+    options.dp = config.dp;
+
+    RunReport report;
+    report.solver = "group_dp_greedy";
+    Stopwatch stopwatch;
+    const GroupDpGreedyResult result =
+        solve_group_dp_greedy(sequence, model, options);
+    report.solve_seconds = stopwatch.elapsed_seconds();
+    report.phase1_seconds =
+        measure_phase1(sequence, config, [&](const CorrelationAnalysis& a) {
+          return greedy_grouping(a, config.theta, config.max_group_size);
+        });
+
+    report.total_cost = result.total_cost;
+    report.raw_cost = result.total_cost;
+    report.total_item_accesses = result.total_item_accesses;
+    report.package_count = result.groups.size();
+
+    for (const GroupReport& group : result.groups) {
+      const double rate =
+          model.flow_multiplier(group.items.size());
+      tally_schedule(group.package_schedule, model, rate, report);
+      report.transfer_cost += group.partial_transfer_cost;
+      report.transfer_events += group.partial_transfer_events;
+      keep_plan(report, config, make_group_flow(sequence, group.items),
+                group.package_schedule, "group " + group_label(group.items));
+    }
+    for (const SingleItemReport& single : result.singles) {
+      tally_schedule(single.schedule, model, 1.0, report);
+      keep_plan(report, config, make_item_flow(sequence, single.item),
+                single.schedule, item_label(single.item));
+    }
+    finalize_report(report);
+    return report;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Per-item-flow policies: greedy, chain, online break-even.  No
+// whole-sequence solve_* exists for these; the canonical composition is one
+// solve per item flow in ascending ItemId order (the loop every harness
+// wrote by hand before the engine), so that is the contract here too.
+
+template <typename SolveFn>
+RunReport run_per_item(const std::string& name,
+                       const RequestSequence& sequence,
+                       SolverWorkspace& workspace, SolveFn&& solve) {
+  RunReport report;
+  report.solver = name;
+  report.total_item_accesses = sequence.total_item_accesses();
+  Stopwatch stopwatch;
+  for (ItemId item = 0; item < sequence.item_count(); ++item) {
+    make_item_flow(sequence, item, workspace.flow);
+    solve(workspace.flow, item, report);
+  }
+  report.solve_seconds = stopwatch.elapsed_seconds();
+  finalize_report(report);
+  return report;
+}
+
+class GreedySolver final : public Solver {
+ public:
+  RunReport run(const RequestSequence& sequence, const CostModel& model,
+                const SolverConfig& config) override {
+    return run_per_item(
+        "greedy", sequence, workspace_,
+        [&](const Flow& flow, ItemId item, RunReport& report) {
+          SolveResult solved =
+              solve_greedy(flow, model, sequence.server_count());
+          report.total_cost += solved.cost;
+          report.raw_cost += solved.raw_cost;
+          tally_schedule(solved.schedule, model, 1.0, report);
+          keep_plan(report, config, flow, std::move(solved.schedule),
+                    item_label(item));
+        });
+  }
+
+ private:
+  SolverWorkspace workspace_;
+};
+
+class ChainSolver final : public Solver {
+ public:
+  RunReport run(const RequestSequence& sequence, const CostModel& model,
+                const SolverConfig& config) override {
+    return run_per_item(
+        "chain", sequence, workspace_,
+        [&](const Flow& flow, ItemId item, RunReport& report) {
+          SolveResult solved = solve_chain(flow, model);
+          report.total_cost += solved.cost;
+          report.raw_cost += solved.raw_cost;
+          tally_schedule(solved.schedule, model, 1.0, report);
+          keep_plan(report, config, flow, std::move(solved.schedule),
+                    item_label(item));
+        });
+  }
+
+ private:
+  SolverWorkspace workspace_;
+};
+
+class OnlineBreakEvenSolver final : public Solver {
+ public:
+  RunReport run(const RequestSequence& sequence, const CostModel& model,
+                const SolverConfig& config) override {
+    OnlineOptions options;
+    options.hold_factor = config.hold_factor;
+    return run_per_item(
+        "online_break_even", sequence, workspace_,
+        [&](const Flow& flow, ItemId item, RunReport& report) {
+          OnlineResult solved = solve_online_break_even(
+              flow, model, sequence.server_count(), options);
+          report.total_cost += solved.cost;
+          report.raw_cost += solved.raw_cost;
+          report.transfer_cost +=
+              model.lambda * static_cast<double>(solved.transfer_count);
+          report.transfer_events += solved.transfer_count;
+          report.cache_segments += solved.schedule.segments().size();
+          keep_plan(report, config, flow, std::move(solved.schedule),
+                    item_label(item));
+        });
+  }
+
+ private:
+  SolverWorkspace workspace_;
+};
+
+// ---------------------------------------------------------------------------
+// Online DP_Greedy (windowed packing, no lookahead).
+
+class OnlineDpGreedySolver final : public Solver {
+ public:
+  RunReport run(const RequestSequence& sequence, const CostModel& model,
+                const SolverConfig& config) override {
+    OnlineDpGreedyOptions options;
+    options.theta = config.theta;
+    options.window = config.window;
+    options.repack_interval = config.repack_interval;
+    options.hold_factor = config.hold_factor;
+
+    RunReport report;
+    report.solver = "online_dp_greedy";
+    Stopwatch stopwatch;
+    const OnlineDpGreedyResult result =
+        solve_online_dp_greedy(sequence, model, options);
+    report.solve_seconds = stopwatch.elapsed_seconds();
+
+    report.total_cost = result.total_cost;
+    report.raw_cost = result.total_cost;
+    report.total_item_accesses = result.total_item_accesses;
+    report.transfer_cost = result.transfer_cost;
+    report.package_count = result.pack_events;
+    report.unpack_events = result.unpack_events;
+    report.transfer_events = result.transfers + result.package_fetches;
+    // No reconstructed schedules: the policy's replica set is not a
+    // Schedule, so plans stay empty and cache_segments stays 0.
+    finalize_report(report);
+    return report;
+  }
+};
+
+template <typename S>
+SolverRegistry::Factory factory_of() {
+  return [] { return std::make_unique<S>(); };
+}
+
+SolverRegistry make_builtin_registry() {
+  SolverRegistry registry;
+  registry.add({"dp_greedy",
+                "two-phase DP_Greedy: Jaccard pairing, package DP at 2α + "
+                "greedy singletons",
+                "Alg. 1", /*online=*/false},
+               factory_of<DpGreedySolver>());
+  registry.add({"optimal_baseline",
+                "per-item optimal offline DP (non-packing extreme)",
+                "Sec. VI", /*online=*/false},
+               factory_of<OptimalBaselineSolver>());
+  registry.add({"package_served",
+                "always-pack extreme: union flows served at the 2α rate",
+                "Sec. VI", /*online=*/false},
+               factory_of<PackageServedSolver>());
+  registry.add({"group_dp_greedy",
+                "multi-item grouping extension of DP_Greedy",
+                "Remarks", /*online=*/false},
+               factory_of<GroupDpGreedySolver>());
+  registry.add({"greedy",
+                "per-item greedy cache-or-transfer (2-approximation)",
+                "Sec. IV-B", /*online=*/false},
+               factory_of<GreedySolver>());
+  registry.add({"chain",
+                "copy follows the request trajectory (transfer every hop)",
+                "Sec. IV-B", /*online=*/false},
+               factory_of<ChainSolver>());
+  registry.add({"online_break_even",
+                "per-item rent-or-buy with the λ/μ break-even horizon",
+                "Ref. [6]", /*online=*/true},
+               factory_of<OnlineBreakEvenSolver>());
+  registry.add({"online_dp_greedy",
+                "windowed Jaccard packing + break-even serving, no lookahead",
+                "extension", /*online=*/true},
+               factory_of<OnlineDpGreedySolver>());
+  return registry;
+}
+
+}  // namespace
+
+SolverRegistry& builtin_registry() {
+  static SolverRegistry registry = make_builtin_registry();
+  return registry;
+}
+
+}  // namespace dpg

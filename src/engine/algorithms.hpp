@@ -1,0 +1,25 @@
+// The engine's algorithm facade.
+//
+// Front ends dispatch solvers through the registry (engine/registry.hpp);
+// the harnesses that genuinely need solver *internals* — figure sweeps over
+// explicit pairs, the quickstart walkthrough, exact baselines — include
+// this one header instead of reaching into solver/ directly.  It is the
+// engine's only doorway to the concrete algorithm entry points, so the
+// dependency "front ends → engine → solver" stays one-directional.
+#pragma once
+
+#include "solver/baselines.hpp"        // IWYU pragma: export
+#include "solver/bruteforce.hpp"       // IWYU pragma: export
+#include "solver/correlation.hpp"      // IWYU pragma: export
+#include "solver/cut_operation.hpp"    // IWYU pragma: export
+#include "solver/dp_greedy.hpp"        // IWYU pragma: export
+#include "solver/greedy.hpp"           // IWYU pragma: export
+#include "solver/group_solver.hpp"     // IWYU pragma: export
+#include "solver/lower_bound.hpp"      // IWYU pragma: export
+#include "solver/online.hpp"           // IWYU pragma: export
+#include "solver/online_dp_greedy.hpp" // IWYU pragma: export
+#include "solver/optimal_offline.hpp"  // IWYU pragma: export
+#include "solver/pairing.hpp"          // IWYU pragma: export
+#include "solver/subset_exact.hpp"     // IWYU pragma: export
+#include "solver/temporal_correlation.hpp"  // IWYU pragma: export
+#include "solver/workspace.hpp"        // IWYU pragma: export

@@ -1,0 +1,94 @@
+#include "engine/registry.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace dpg {
+
+namespace {
+
+std::string joined_names(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& name : names) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
+
+}  // namespace
+
+void SolverRegistry::add(SolverInfo info, Factory factory) {
+  require(!info.name.empty(), "SolverRegistry: empty solver name");
+  require(factory != nullptr, "SolverRegistry: null factory");
+  if (contains(info.name)) {
+    throw InvalidArgument("SolverRegistry: duplicate solver name '" +
+                          info.name + "'");
+  }
+  Entry entry{std::move(info), std::move(factory)};
+  const auto at = std::lower_bound(
+      entries_.begin(), entries_.end(), entry.info.name,
+      [](const Entry& e, const std::string& name) { return e.info.name < name; });
+  entries_.insert(at, std::move(entry));
+}
+
+bool SolverRegistry::contains(const std::string& name) const {
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [&](const Entry& e) { return e.info.name == name; });
+}
+
+std::vector<std::string> SolverRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.push_back(e.info.name);
+  return out;
+}
+
+std::vector<SolverInfo> SolverRegistry::list() const {
+  std::vector<SolverInfo> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.push_back(e.info);
+  return out;
+}
+
+const SolverRegistry::Entry& SolverRegistry::entry(
+    const std::string& name) const {
+  for (const Entry& e : entries_) {
+    if (e.info.name == name) return e;
+  }
+  throw InvalidArgument("unknown solver '" + name +
+                        "' (valid: " + joined_names(names()) + ")");
+}
+
+const SolverInfo& SolverRegistry::info(const std::string& name) const {
+  return entry(name).info;
+}
+
+std::unique_ptr<Solver> SolverRegistry::create(const std::string& name) const {
+  return entry(name).factory();
+}
+
+RunReport SolverRegistry::run(const std::string& name,
+                              const RequestSequence& sequence,
+                              const CostModel& model,
+                              const SolverConfig& config) const {
+  return create(name)->run(sequence, model, config);
+}
+
+std::vector<RunReport> run_solvers(const std::vector<std::string>& names,
+                                   const RequestSequence& sequence,
+                                   const CostModel& model,
+                                   const SolverConfig& config) {
+  const SolverRegistry& registry = builtin_registry();
+  std::vector<RunReport> reports;
+  reports.reserve(names.size());
+  for (const std::string& name : names) {
+    reports.push_back(registry.run(name, sequence, model, config));
+  }
+  return reports;
+}
+
+}  // namespace dpg

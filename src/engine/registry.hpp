@@ -1,0 +1,77 @@
+// SolverRegistry: stable string names → solver factories.
+//
+// The registry is the one dispatch path of the repo: the CLI's --solver
+// flag, the examples' comparison tables, the sim-replay integration tests
+// and the registry benchmarks all iterate it instead of hardcoding call
+// sites.  Built-in names (see engine/adapters.cpp):
+//
+//   dp_greedy, optimal_baseline, package_served, group_dp_greedy,
+//   online_break_even, online_dp_greedy, greedy, chain
+//
+// Future policies (sharded backends, heterogeneous costs, new papers) plug
+// in by registering a factory — no front end changes.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/solver.hpp"
+
+namespace dpg {
+
+class SolverRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Solver>()>;
+
+  /// Registers a solver under info.name; throws InvalidArgument on a
+  /// duplicate name.
+  void add(SolverInfo info, Factory factory);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+
+  /// All registered names, sorted (the stable iteration order every
+  /// front end uses).
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Metadata for every registered solver, sorted by name.
+  [[nodiscard]] std::vector<SolverInfo> list() const;
+
+  /// Metadata for one solver; throws InvalidArgument (listing the valid
+  /// names) when unknown.
+  [[nodiscard]] const SolverInfo& info(const std::string& name) const;
+
+  /// Instantiates a solver; throws InvalidArgument (listing the valid
+  /// names) when unknown.
+  [[nodiscard]] std::unique_ptr<Solver> create(const std::string& name) const;
+
+  /// One-shot convenience: create + run.  Reuses nothing across calls; for
+  /// repeated runs create() once and keep the Solver (it reuses its
+  /// workspace).
+  [[nodiscard]] RunReport run(const std::string& name,
+                              const RequestSequence& sequence,
+                              const CostModel& model,
+                              const SolverConfig& config = {}) const;
+
+ private:
+  struct Entry {
+    SolverInfo info;
+    Factory factory;
+  };
+  [[nodiscard]] const Entry& entry(const std::string& name) const;
+
+  std::vector<Entry> entries_;  // kept sorted by info.name
+};
+
+/// The process-wide registry with every built-in solver registered
+/// (constructed on first use; safe to call from static initializers).
+[[nodiscard]] SolverRegistry& builtin_registry();
+
+/// Runs each named solver in order on the same inputs (the comparison loop
+/// every front end shares).
+[[nodiscard]] std::vector<RunReport> run_solvers(
+    const std::vector<std::string>& names, const RequestSequence& sequence,
+    const CostModel& model, const SolverConfig& config = {});
+
+}  // namespace dpg

@@ -1,0 +1,98 @@
+#include "engine/render.hpp"
+
+#include <cstdio>
+
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace dpg {
+
+namespace {
+
+/// Round-trip formatting for costs (CSV/JSON must reproduce the doubles the
+/// engine_test asserts bit-exactly).
+std::string format_exact(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+std::string format_count(std::size_t value) {
+  return std::to_string(value);
+}
+
+}  // namespace
+
+std::vector<std::string> comparison_header() {
+  return {"solver",  "total",     "ave",       "cache",
+          "transfer", "packages", "transfers", "solve_s"};
+}
+
+std::vector<std::string> comparison_row(const RunReport& report) {
+  return {report.solver,
+          format_fixed(report.total_cost, 2),
+          format_fixed(report.ave_cost, 4),
+          format_fixed(report.cache_cost, 2),
+          format_fixed(report.transfer_cost, 2),
+          format_count(report.package_count),
+          format_count(report.transfer_events),
+          format_fixed(report.solve_seconds, 4)};
+}
+
+std::string render_comparison(const std::vector<RunReport>& reports) {
+  TextTable table(comparison_header());
+  for (const RunReport& report : reports) {
+    table.add_row(comparison_row(report));
+  }
+  return table.render();
+}
+
+std::vector<std::string> report_csv_header() {
+  return {"solver",          "total_cost",     "raw_cost",
+          "ave_cost",        "cache_cost",     "transfer_cost",
+          "item_accesses",   "package_count",  "unpack_events",
+          "transfer_events", "cache_segments", "phase1_seconds",
+          "solve_seconds"};
+}
+
+std::vector<std::string> report_csv_row(const RunReport& report) {
+  return {report.solver,
+          format_exact(report.total_cost),
+          format_exact(report.raw_cost),
+          format_exact(report.ave_cost),
+          format_exact(report.cache_cost),
+          format_exact(report.transfer_cost),
+          format_count(report.total_item_accesses),
+          format_count(report.package_count),
+          format_count(report.unpack_events),
+          format_count(report.transfer_events),
+          format_count(report.cache_segments),
+          format_exact(report.phase1_seconds),
+          format_exact(report.solve_seconds)};
+}
+
+std::string report_json(const RunReport& report) {
+  std::string out = "{";
+  out += "\"solver\": \"" + report.solver + "\"";
+  const auto number = [&out](const char* key, const std::string& value) {
+    out += ", \"";
+    out += key;
+    out += "\": " + value;
+  };
+  number("total_cost", format_exact(report.total_cost));
+  number("raw_cost", format_exact(report.raw_cost));
+  number("ave_cost", format_exact(report.ave_cost));
+  number("cache_cost", format_exact(report.cache_cost));
+  number("transfer_cost", format_exact(report.transfer_cost));
+  number("item_accesses", format_count(report.total_item_accesses));
+  number("package_count", format_count(report.package_count));
+  number("unpack_events", format_count(report.unpack_events));
+  number("transfer_events", format_count(report.transfer_events));
+  number("cache_segments", format_count(report.cache_segments));
+  number("phase1_seconds", format_exact(report.phase1_seconds));
+  number("solve_seconds", format_exact(report.solve_seconds));
+  out += "}";
+  return out;
+}
+
+}  // namespace dpg

@@ -1,0 +1,31 @@
+// Shared rendering of RunReports: the one place the comparison table, the
+// CSV schema and the JSON shape are defined, so the CLI, the examples and
+// the harnesses print identical rows for identical runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "engine/run_report.hpp"
+
+namespace dpg {
+
+/// Column headers matching comparison_row().
+[[nodiscard]] std::vector<std::string> comparison_header();
+
+/// One human-readable table row for a report.
+[[nodiscard]] std::vector<std::string> comparison_row(const RunReport& report);
+
+/// The full comparison table (header + one row per report, aligned).
+[[nodiscard]] std::string render_comparison(
+    const std::vector<RunReport>& reports);
+
+/// Machine-readable flat schema: header + one row per report.  Costs are
+/// printed with full round-trip precision.
+[[nodiscard]] std::vector<std::string> report_csv_header();
+[[nodiscard]] std::vector<std::string> report_csv_row(const RunReport& report);
+
+/// One report as a JSON object; keys match the CSV columns.
+[[nodiscard]] std::string report_json(const RunReport& report);
+
+}  // namespace dpg

@@ -1,0 +1,31 @@
+#include "engine/run_report.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace dpg {
+
+void finalize_report(RunReport& report) {
+  report.ave_cost =
+      report.total_item_accesses == 0
+          ? 0.0
+          : report.total_cost /
+                static_cast<double>(report.total_item_accesses);
+
+  // cache_cost is the μ-side remainder total − transfer.  The naive
+  // subtraction rounds, and `(total − transfer) + transfer` need not round
+  // back to `total`; nudge by single ulps until the identity is bit-exact
+  // (|cache| ≤ total, so each step moves the rounded sum by at most one
+  // representable value and cannot skip over `total`).
+  const Cost inf = std::numeric_limits<Cost>::infinity();
+  Cost cache = report.total_cost - report.transfer_cost;
+  while (cache + report.transfer_cost > report.total_cost) {
+    cache = std::nextafter(cache, -inf);
+  }
+  while (cache + report.transfer_cost < report.total_cost) {
+    cache = std::nextafter(cache, inf);
+  }
+  report.cache_cost = cache;
+}
+
+}  // namespace dpg

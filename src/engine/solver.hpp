@@ -1,0 +1,63 @@
+// The Solver interface of the engine layer: one signature for every
+// algorithm in the repo (RequestSequence + CostModel + SolverConfig →
+// RunReport), so front ends dispatch by registry name instead of calling
+// per-algorithm solve_* entry points with incompatible result structs.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/cost_model.hpp"
+#include "core/request.hpp"
+#include "engine/run_report.hpp"
+#include "solver/optimal_offline.hpp"
+
+namespace dpg {
+
+class ThreadPool;
+
+/// The union of every wrapped solver's knobs.  Each adapter reads only the
+/// fields its algorithm defines; the defaults match the per-solver option
+/// structs, so a default SolverConfig reproduces a default solve_* call.
+struct SolverConfig {
+  /// Correlation threshold θ (packing solvers).
+  double theta = 0.3;
+  /// Multi-item grouping bound (group_dp_greedy).
+  std::size_t max_group_size = 3;
+  /// Sliding-window length for online Jaccard estimates (online_dp_greedy).
+  std::size_t window = 200;
+  /// Online re-pairing interval in requests (online_dp_greedy).
+  std::size_t repack_interval = 50;
+  /// Multiplier on the λ/μ break-even holding horizon (online policies).
+  double hold_factor = 1.0;
+  /// Options forwarded to the inner optimal-offline DP where one runs.
+  OptimalOfflineOptions dp;
+  /// Optional pool for the solvers with a parallel fan-out path.
+  ThreadPool* pool = nullptr;
+  /// Keep the per-flow schedules as RunReport::plans (replayable).  Turning
+  /// this off skips the plan copies (costs are identical either way).
+  bool keep_schedules = true;
+};
+
+/// A runnable solver.  Instances are stateful: adapters hold a
+/// SolverWorkspace (and any other scratch) that is reused across run()
+/// calls, so repeated runs through one Solver stay allocation-lean.  A
+/// Solver must not be shared between concurrent runs.
+class Solver {
+ public:
+  virtual ~Solver() = default;
+
+  [[nodiscard]] virtual RunReport run(const RequestSequence& sequence,
+                                      const CostModel& model,
+                                      const SolverConfig& config) = 0;
+};
+
+/// Registry metadata for one solver (also the `dpgreedy list` row).
+struct SolverInfo {
+  std::string name;           // stable registry key, e.g. "dp_greedy"
+  std::string algorithm;      // one-line description
+  std::string paper_section;  // anchor into the paper, e.g. "Alg. 1"
+  bool online = false;        // processes the sequence without lookahead
+};
+
+}  // namespace dpg

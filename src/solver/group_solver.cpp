@@ -51,6 +51,8 @@ GroupReport solve_group_package(const RequestSequence& sequence,
     if (present.empty()) continue;
     if (present.size() < group.size()) {
       Cost individual_total = 0.0;
+      Cost individual_transfer = 0.0;  // λ-side of the per-item choices
+      std::size_t individual_transfer_events = 0;
       for (const std::size_t slot : present) {
         Cost cache_option = kInfiniteCost;
         if (last_on_server[slot][r.server] >= 0.0) {
@@ -59,8 +61,19 @@ GroupReport solve_group_package(const RequestSequence& sequence,
         const Cost transfer_option =
             model.mu * (r.time - prev_time[slot]) + model.lambda;
         individual_total += std::min(cache_option, transfer_option);
+        if (transfer_option < cache_option) {
+          individual_transfer += model.lambda;
+          ++individual_transfer_events;
+        }
       }
       report.partial_cost += std::min(individual_total, package_fetch);
+      if (individual_total <= package_fetch) {
+        report.partial_transfer_cost += individual_transfer;
+        report.partial_transfer_events += individual_transfer_events;
+      } else {
+        report.partial_transfer_cost += package_fetch;
+        ++report.partial_transfer_events;
+      }
     }
     for (const std::size_t slot : present) {
       prev_time[slot] = r.time;

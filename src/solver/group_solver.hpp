@@ -27,6 +27,10 @@ struct GroupReport {
   std::vector<ItemId> items;
   Cost package_cost = 0.0;   // g·α-discounted DP over full-group requests
   Cost partial_cost = 0.0;   // greedy cost of proper-subset requests
+  /// λ-side of partial_cost (individual transfers + whole-package fetches);
+  /// the μ-side is partial_cost − partial_transfer_cost.
+  Cost partial_transfer_cost = 0.0;
+  std::size_t partial_transfer_events = 0;  // λ-charges behind that cost
   std::size_t full_request_count = 0;
   std::size_t total_accesses = 0;  // Σ |d_i| over the group
   Schedule package_schedule;

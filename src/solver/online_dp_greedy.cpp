@@ -239,6 +239,7 @@ OnlineDpGreedyResult solve_online_dp_greedy(
       result.total_cost += item_flow[a].finalize(model, &result.cache_time);
       result.total_cost += item_flow[b].finalize(model, &result.cache_time);
       result.total_cost += model.lambda;  // move b to the assembly point
+      result.transfer_cost += model.lambda;
       ++result.transfers;
       partner[a] = b;
       partner[b] = a;
@@ -265,10 +266,13 @@ OnlineDpGreedyResult solve_online_dp_greedy(
       const ItemId item = r.items[x];
       const ItemId mate = partner[item];
       if (mate != kNoItem && r.contains(mate)) {
-        // Full package request.
-        result.total_cost += package_slot(item).serve(
+        // Full package request.  serve() returns only the λ part of the
+        // charge (cache accrual flows through the pending-cost sink).
+        const Cost shipped = package_slot(item).serve(
             r.server, r.time, model, horizon, never_drop, &result.transfers,
             &result.cache_time);
+        result.total_cost += shipped;
+        result.transfer_cost += shipped;
         for (std::size_t y = 0; y < r.items.size(); ++y) {
           if (r.items[y] == mate) handled[y] = true;
         }
@@ -279,6 +283,7 @@ OnlineDpGreedyResult solve_online_dp_greedy(
         FlowState& flow = package_slot(item);
         if (!flow.has_copy_at(r.server)) {
           result.total_cost += pack_rate * model.lambda;
+          result.transfer_cost += pack_rate * model.lambda;
           ++result.package_fetches;
           flow.add_copy(r.server, r.time);
         } else {
@@ -287,9 +292,11 @@ OnlineDpGreedyResult solve_online_dp_greedy(
         handled[x] = true;
       } else {
         // Unpacked item: plain break-even.
-        result.total_cost += item_flow[item].serve(
+        const Cost shipped = item_flow[item].serve(
             r.server, r.time, model, horizon, never_drop, &result.transfers,
             &result.cache_time);
+        result.total_cost += shipped;
+        result.transfer_cost += shipped;
         handled[x] = true;
       }
     }

@@ -31,6 +31,9 @@ struct OnlineDpGreedyOptions {
 
 struct OnlineDpGreedyResult {
   Cost total_cost = 0.0;
+  /// λ-side of total_cost: wire transfers, package assembly moves and
+  /// package fetches (the μ-side is total_cost − transfer_cost).
+  Cost transfer_cost = 0.0;
   double ave_cost = 0.0;
   std::size_t total_item_accesses = 0;
   std::size_t pack_events = 0;    // pair formations over the run

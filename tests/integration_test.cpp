@@ -3,6 +3,7 @@
 // harnesses rely on.
 #include <gtest/gtest.h>
 
+#include "engine/registry.hpp"
 #include "mobility/simulator.hpp"
 #include "sim/replay.hpp"
 #include "solver/baselines.hpp"
@@ -23,25 +24,20 @@ TEST(Integration, MobilityTraceThroughDpGreedyAndReplay) {
   Rng rng(99);
   const RequestSequence seq = simulate_mobility(mobility, rng);
   const CostModel model{1.0, 2.0, 0.8};
-  DpGreedyOptions options;
-  options.theta = 0.3;
-  const DpGreedyResult result = solve_dp_greedy(seq, model, options);
 
-  // Replay every produced schedule (packages + unpacked items).
-  std::vector<FlowPlan> plans;
-  for (const PackageReport& report : result.packages) {
-    plans.push_back(FlowPlan{
-        make_package_flow(seq, report.pair.a, report.pair.b),
-        report.package_schedule,
-        "package"});
-  }
-  for (const SingleItemReport& report : result.singles) {
-    plans.push_back(
-        FlowPlan{make_item_flow(seq, report.item), report.schedule, "item"});
-  }
-  const ReplayMetrics metrics = replay_plans(plans, model, seq.server_count());
+  // The engine keeps the package + singleton schedules as replayable plans;
+  // the replay must accept every one of them.
+  const RunReport report = builtin_registry().run("dp_greedy", seq, model);
+  ASSERT_FALSE(report.plans.empty());
+  const ReplayMetrics metrics =
+      replay_plans(report.plans, model, seq.server_count());
   ASSERT_TRUE(metrics.feasible) << metrics.issue;
   EXPECT_GT(metrics.service_count, 0u);
+
+  // And the report's bits must match the wrapped solver's.
+  DpGreedyOptions options;
+  options.theta = 0.3;
+  EXPECT_EQ(report.total_cost, solve_dp_greedy(seq, model, options).total_cost);
 }
 
 TEST(Integration, AlgorithmOrderingOnCorrelatedTraces) {

@@ -1,24 +1,28 @@
-// dpgreedy — the command-line front end to the library.
+// dpgreedy — the command-line front end to the solver engine.
 //
-//   dpgreedy generate --out trace.csv [--kind taxi|paired|zipf] [--seed N]
+//   dpgreedy list     [--names]                     (registered solvers)
+//   dpgreedy generate --out trace.csv [--kind taxi|paired|zipf|...] [--seed N]
 //   dpgreedy stats    --trace trace.csv
-//   dpgreedy solve    --trace trace.csv [--theta T] [--alpha A] [--mu M]
-//                     [--lambda L] [--export-dir DIR]
-//   dpgreedy compare  --trace trace.csv ...        (three-way comparison)
-//   dpgreedy online   --trace trace.csv ...        (online DP_Greedy)
+//   dpgreedy solve    --trace trace.csv [--solver NAME] [--theta T]
+//                     [--alpha A] [--mu M] [--lambda L] [--format F]
+//                     [--export-dir DIR]
+//   dpgreedy compare  --trace trace.csv [--solvers a,b,c] [--format F]
+//   dpgreedy online   --trace trace.csv ...  (online vs offline DP_Greedy)
 //
+// Every solver runs through the SolverRegistry (engine/registry.hpp), so
+// `--solver`/`--solvers` accept exactly the names `dpgreedy list` prints.
 // Traces are the CSV format of trace/io.hpp, so generated workloads can be
 // archived, inspected and re-solved reproducibly.
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
-#include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/schedule_export.hpp"
+#include "engine/registry.hpp"
+#include "engine/render.hpp"
 #include "mobility/simulator.hpp"
-#include "solver/baselines.hpp"
-#include "solver/dp_greedy.hpp"
-#include "solver/online_dp_greedy.hpp"
 #include "trace/generators.hpp"
 #include "trace/io.hpp"
 #include "trace/stats.hpp"
@@ -30,6 +34,109 @@
 using namespace dpg;
 
 namespace {
+
+// ---------------------------------------------------------------------------
+// Shared per-subcommand plumbing: every solving subcommand registers the
+// same trace/model/config flags once, through one helper.
+
+struct RunFlags {
+  const std::string* trace;
+  const double* theta;
+  const double* mu;
+  const double* lambda;
+  const double* alpha;
+  const std::size_t* window;
+  const std::size_t* repack;
+  const std::size_t* group_size;
+  const double* hold;
+};
+
+RunFlags add_run_flags(ArgParser& args) {
+  RunFlags flags;
+  flags.trace = args.add_string("trace", "trace CSV path", "trace.csv");
+  flags.theta = args.add_double("theta", "correlation threshold", 0.3);
+  flags.mu = args.add_double("mu", "cache cost rate", 1.0);
+  flags.lambda = args.add_double("lambda", "transfer cost", 1.0);
+  flags.alpha = args.add_double("alpha", "package discount", 0.8);
+  flags.window = args.add_size("window", "online Jaccard window", 200);
+  flags.repack = args.add_size("repack", "online re-pairing interval", 50);
+  flags.group_size = args.add_size("group-size", "max group size", 3);
+  flags.hold = args.add_double("hold", "break-even hold factor", 1.0);
+  return flags;
+}
+
+RequestSequence load_trace(const RunFlags& flags) {
+  return read_trace_file(*flags.trace);
+}
+
+CostModel model_of(const RunFlags& flags) {
+  CostModel model;
+  model.mu = *flags.mu;
+  model.lambda = *flags.lambda;
+  model.alpha = *flags.alpha;
+  model.validate();
+  return model;
+}
+
+SolverConfig config_of(const RunFlags& flags) {
+  SolverConfig config;
+  config.theta = *flags.theta;
+  config.max_group_size = *flags.group_size;
+  config.window = *flags.window;
+  config.repack_interval = *flags.repack;
+  config.hold_factor = *flags.hold;
+  return config;
+}
+
+void print_reports(const std::vector<RunReport>& reports,
+                   const std::string& format) {
+  if (format == "table") {
+    std::printf("%s", render_comparison(reports).c_str());
+    return;
+  }
+  if (format == "csv") {
+    std::printf("%s\n", join(report_csv_header(), ",").c_str());
+    for (const RunReport& report : reports) {
+      std::printf("%s\n", join(report_csv_row(report), ",").c_str());
+    }
+    return;
+  }
+  if (format == "json") {
+    std::printf("[");
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      std::printf("%s%s", i == 0 ? "" : ",\n ",
+                  report_json(reports[i]).c_str());
+    }
+    std::printf("]\n");
+    return;
+  }
+  throw InvalidArgument("unknown --format '" + format +
+                        "' (valid: table, csv, json)");
+}
+
+// ---------------------------------------------------------------------------
+// Subcommands.
+
+int cmd_list(int argc, const char* const* argv) {
+  ArgParser args("dpgreedy list", "list the registered solvers");
+  const bool* names_only =
+      args.add_flag("names", "print bare names only (one per line)");
+  args.parse(argc, argv);
+
+  if (*names_only) {
+    for (const std::string& name : builtin_registry().names()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
+  TextTable table({"solver", "algorithm", "paper", "setting"});
+  for (const SolverInfo& info : builtin_registry().list()) {
+    table.add_row({info.name, info.algorithm, info.paper_section,
+                   info.online ? "online" : "offline"});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
 
 int cmd_generate(int argc, const char* const* argv) {
   ArgParser args("dpgreedy generate", "generate a workload trace CSV");
@@ -86,7 +193,8 @@ int cmd_generate(int argc, const char* const* argv) {
       config.burst_count = std::max<std::size_t>(1, *requests / 25);
       return generate_bursty_trace(config, rng);
     }
-    throw InvalidArgument("unknown --kind: " + *kind);
+    throw InvalidArgument("unknown --kind '" + *kind +
+                          "' (valid: taxi, paired, zipf, uniform, bursty)");
   }();
 
   write_trace_file(*out, trace);
@@ -111,131 +219,120 @@ int cmd_stats(int argc, const char* const* argv) {
   return 0;
 }
 
-CostModel model_from(const double* mu, const double* lambda, const double* alpha) {
-  CostModel model;
-  model.mu = *mu;
-  model.lambda = *lambda;
-  model.alpha = *alpha;
-  model.validate();
-  return model;
+/// Turns a plan label ("package {1,2}") into a filename stem.
+std::string plan_stem(const std::string& label) {
+  std::string stem;
+  for (const char c : label) {
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0) {
+      stem += c;
+    } else if (!stem.empty() && stem.back() != '_') {
+      stem += '_';
+    }
+  }
+  while (!stem.empty() && stem.back() == '_') stem.pop_back();
+  return stem.empty() ? "plan" : stem;
+}
+
+void export_plans(const std::vector<FlowPlan>& plans,
+                  const std::string& export_dir) {
+  for (const FlowPlan& plan : plans) {
+    if (plan.schedule.segments().empty() && plan.schedule.transfers().empty()) {
+      continue;  // nothing scheduled (e.g. an item with no requests)
+    }
+    const std::string base = export_dir + "/" + plan_stem(plan.label);
+    std::FILE* csv = std::fopen((base + ".csv").c_str(), "w");
+    std::FILE* dot = std::fopen((base + ".dot").c_str(), "w");
+    if (csv == nullptr || dot == nullptr) {
+      if (csv != nullptr) std::fclose(csv);
+      if (dot != nullptr) std::fclose(dot);
+      throw IoError("cannot write exports under " + export_dir);
+    }
+    std::fputs(schedule_to_csv(plan.schedule).c_str(), csv);
+    std::fputs(schedule_to_dot(plan.schedule, plan.flow).c_str(), dot);
+    std::fclose(csv);
+    std::fclose(dot);
+    std::printf("exported %s.{csv,dot}\n", base.c_str());
+  }
 }
 
 int cmd_solve(int argc, const char* const* argv) {
-  ArgParser args("dpgreedy solve", "run DP_Greedy on a trace");
-  const std::string* path = args.add_string("trace", "trace CSV path", "trace.csv");
-  const double* theta = args.add_double("theta", "correlation threshold", 0.3);
-  const double* mu = args.add_double("mu", "cache cost rate", 1.0);
-  const double* lambda = args.add_double("lambda", "transfer cost", 1.0);
-  const double* alpha = args.add_double("alpha", "package discount", 0.8);
+  ArgParser args("dpgreedy solve", "run one registered solver on a trace");
+  const RunFlags flags = add_run_flags(args);
+  const std::string* solver =
+      args.add_string("solver", "registry name (see `dpgreedy list`)",
+                      "dp_greedy");
+  const std::string* format =
+      args.add_string("format", "table | csv | json", "table");
   const std::string* export_dir =
-      args.add_string("export-dir", "write package schedules (CSV+DOT) here", "");
+      args.add_string("export-dir", "write plan schedules (CSV+DOT) here", "");
   args.parse(argc, argv);
 
-  const RequestSequence trace = read_trace_file(*path);
-  const CostModel model = model_from(mu, lambda, alpha);
-  DpGreedyOptions options;
-  options.theta = *theta;
-  const DpGreedyResult result = solve_dp_greedy(trace, model, options);
+  const RequestSequence trace = load_trace(flags);
+  const CostModel model = model_of(flags);
+  const RunReport report =
+      builtin_registry().run(*solver, trace, model, config_of(flags));
 
-  TextTable table({"package/item", "J", "cost", "ave"});
-  for (const PackageReport& report : result.packages) {
-    table.add_row({"{d" + std::to_string(report.pair.a) + ",d" +
-                       std::to_string(report.pair.b) + "}",
-                   format_fixed(report.pair.jaccard, 3),
-                   format_fixed(report.total_cost(), 2),
-                   format_fixed(report.ave_cost(), 4)});
-  }
-  for (const SingleItemReport& report : result.singles) {
-    table.add_row({"d" + std::to_string(report.item), "-",
-                   format_fixed(report.cost, 2),
-                   format_fixed(report.accesses == 0
-                                    ? 0.0
-                                    : report.cost /
-                                          static_cast<double>(report.accesses),
-                                4)});
-  }
-  std::printf("%s\n", table.render().c_str());
-  std::printf("total %s over %zu item accesses — ave_cost %s\n",
-              format_fixed(result.total_cost, 2).c_str(),
-              result.total_item_accesses,
-              format_fixed(result.ave_cost, 4).c_str());
-
-  if (!export_dir->empty()) {
-    for (const PackageReport& report : result.packages) {
-      const std::string base = *export_dir + "/package_" +
-                               std::to_string(report.pair.a) + "_" +
-                               std::to_string(report.pair.b);
-      const Flow flow = make_package_flow(trace, report.pair.a, report.pair.b);
-      std::FILE* csv = std::fopen((base + ".csv").c_str(), "w");
-      std::FILE* dot = std::fopen((base + ".dot").c_str(), "w");
-      if (csv == nullptr || dot == nullptr) {
-        if (csv != nullptr) std::fclose(csv);
-        if (dot != nullptr) std::fclose(dot);
-        throw IoError("cannot write exports under " + *export_dir);
-      }
-      std::fputs(schedule_to_csv(report.package_schedule).c_str(), csv);
-      std::fputs(schedule_to_dot(report.package_schedule, flow).c_str(), dot);
-      std::fclose(csv);
-      std::fclose(dot);
-      std::printf("exported %s.{csv,dot}\n", base.c_str());
+  if (!report.plans.empty()) {
+    TextTable table({"plan", "cost", "segments", "transfers"});
+    for (const FlowPlan& plan : report.plans) {
+      table.add_row({plan.label, format_fixed(plan.schedule.cost(model), 2),
+                     std::to_string(plan.schedule.segments().size()),
+                     std::to_string(plan.schedule.transfers().size())});
     }
+    std::printf("%s\n", table.render().c_str());
   }
+  print_reports({report}, *format);
+  std::printf("total %s over %zu item accesses — ave_cost %s\n",
+              format_fixed(report.total_cost, 2).c_str(),
+              report.total_item_accesses,
+              format_fixed(report.ave_cost, 4).c_str());
+
+  if (!export_dir->empty()) export_plans(report.plans, *export_dir);
   return 0;
 }
 
 int cmd_compare(int argc, const char* const* argv) {
-  ArgParser args("dpgreedy compare", "DP_Greedy vs Optimal vs Package_Served");
-  const std::string* path = args.add_string("trace", "trace CSV path", "trace.csv");
-  const double* theta = args.add_double("theta", "correlation threshold", 0.3);
-  const double* mu = args.add_double("mu", "cache cost rate", 1.0);
-  const double* lambda = args.add_double("lambda", "transfer cost", 1.0);
-  const double* alpha = args.add_double("alpha", "package discount", 0.8);
+  ArgParser args("dpgreedy compare", "run several solvers on one trace");
+  const RunFlags flags = add_run_flags(args);
+  const std::string* solvers = args.add_string(
+      "solvers", "comma-separated registry names (default: all)", "");
+  const std::string* format =
+      args.add_string("format", "table | csv | json", "table");
   args.parse(argc, argv);
 
-  const RequestSequence trace = read_trace_file(*path);
-  const CostModel model = model_from(mu, lambda, alpha);
-  DpGreedyOptions options;
-  options.theta = *theta;
-  const DpGreedyResult dpg = solve_dp_greedy(trace, model, options);
-  const OptimalBaselineResult optimal = solve_optimal_baseline(trace, model);
-  const PackageServedResult packaged = solve_package_served(trace, model, *theta);
-
-  TextTable table({"algorithm", "total", "ave"});
-  table.add_row({"Optimal", format_fixed(optimal.total_cost, 2),
-                 format_fixed(optimal.ave_cost, 4)});
-  table.add_row({"Package_Served", format_fixed(packaged.total_cost, 2),
-                 format_fixed(packaged.ave_cost, 4)});
-  table.add_row({"DP_Greedy", format_fixed(dpg.total_cost, 2),
-                 format_fixed(dpg.ave_cost, 4)});
-  std::printf("%s", table.render().c_str());
+  std::vector<std::string> names;
+  if (solvers->empty()) {
+    names = builtin_registry().names();
+  } else {
+    for (const std::string& name : split(*solvers, ',')) {
+      names.push_back(std::string(trim(name)));
+    }
+  }
+  const RequestSequence trace = load_trace(flags);
+  const std::vector<RunReport> reports =
+      run_solvers(names, trace, model_of(flags), config_of(flags));
+  print_reports(reports, *format);
   return 0;
 }
 
 int cmd_online(int argc, const char* const* argv) {
-  ArgParser args("dpgreedy online", "online DP_Greedy (no lookahead)");
-  const std::string* path = args.add_string("trace", "trace CSV path", "trace.csv");
-  const double* theta = args.add_double("theta", "correlation threshold", 0.3);
-  const double* mu = args.add_double("mu", "cache cost rate", 1.0);
-  const double* lambda = args.add_double("lambda", "transfer cost", 1.0);
-  const double* alpha = args.add_double("alpha", "package discount", 0.8);
-  const std::size_t* window = args.add_size("window", "Jaccard window", 200);
+  ArgParser args("dpgreedy online", "online DP_Greedy vs the offline solve");
+  const RunFlags flags = add_run_flags(args);
   args.parse(argc, argv);
 
-  const RequestSequence trace = read_trace_file(*path);
-  const CostModel model = model_from(mu, lambda, alpha);
-  OnlineDpGreedyOptions options;
-  options.theta = *theta;
-  options.window = *window;
-  const OnlineDpGreedyResult online = solve_online_dp_greedy(trace, model, options);
-  DpGreedyOptions offline_options;
-  offline_options.theta = *theta;
-  const DpGreedyResult offline = solve_dp_greedy(trace, model, offline_options);
+  const RequestSequence trace = load_trace(flags);
+  const CostModel model = model_of(flags);
+  const SolverConfig config = config_of(flags);
+  const RunReport online =
+      builtin_registry().run("online_dp_greedy", trace, model, config);
+  const RunReport offline =
+      builtin_registry().run("dp_greedy", trace, model, config);
 
   std::printf("online : total %s, ave %s (%zu packs, %zu unpacks, "
-              "%zu package fetches, %zu transfers)\n",
+              "%zu λ-charges)\n",
               format_fixed(online.total_cost, 2).c_str(),
-              format_fixed(online.ave_cost, 4).c_str(), online.pack_events,
-              online.unpack_events, online.package_fetches, online.transfers);
+              format_fixed(online.ave_cost, 4).c_str(), online.package_count,
+              online.unpack_events, online.transfer_events);
   std::printf("offline: total %s, ave %s\n",
               format_fixed(offline.total_cost, 2).c_str(),
               format_fixed(offline.ave_cost, 4).c_str());
@@ -248,7 +345,7 @@ int cmd_online(int argc, const char* const* argv) {
 
 void usage() {
   std::fputs(
-      "usage: dpgreedy <generate|stats|solve|compare|online> [options]\n"
+      "usage: dpgreedy <list|generate|stats|solve|compare|online> [options]\n"
       "       dpgreedy <command> --help for per-command options\n",
       stderr);
 }
@@ -265,6 +362,7 @@ int main(int argc, char** argv) {
   const int sub_argc = argc - 1;
   const char* const* sub_argv = argv + 1;
   try {
+    if (command == "list") return cmd_list(sub_argc, sub_argv);
     if (command == "generate") return cmd_generate(sub_argc, sub_argv);
     if (command == "stats") return cmd_stats(sub_argc, sub_argv);
     if (command == "solve") return cmd_solve(sub_argc, sub_argv);
