@@ -19,6 +19,9 @@
 
 #include "engine/algorithms.hpp"
 #include "engine/registry.hpp"
+#include "harness_common.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "trace/generators.hpp"
 #include "util/stopwatch.hpp"
@@ -279,16 +282,59 @@ std::vector<RegistryRow> run_registry() {
   return rows;
 }
 
+/// Telemetry cost on the end-to-end dp_greedy solve: the same run timed
+/// with recording off and on, plus the counters the enabled run produced.
+/// Runs last so enabling telemetry cannot perturb the alloc counts above.
+struct TelemetryReport {
+  double off_ms = 0.0;
+  double on_ms = 0.0;
+  std::string counters_json = "{}";
+  std::uint64_t trace_events = 0;
+};
+
+TelemetryReport run_telemetry() {
+  PairedTraceConfig config;
+  config.server_count = 50;
+  config.requests_per_pair = 200;
+  Rng rng(7);
+  const RequestSequence seq = generate_paired_trace(config, rng);
+  const CostModel model{1.0, 2.0, 0.8};
+  SolverConfig solver_config;
+  solver_config.theta = 0.3;
+  solver_config.keep_schedules = false;
+
+  TelemetryReport report;
+  const auto solve = [&] {
+    (void)builtin_registry().run("dp_greedy", seq, model, solver_config);
+  };
+  solve();  // warm-up
+  report.off_ms = time_best_ms(solve);
+
+  obs::set_enabled(true);
+  obs::reset_metrics();
+  obs::reset_trace();
+  report.on_ms = time_best_ms(solve);
+  report.counters_json = harness::metrics_counters_json();
+  report.trace_events = obs::snapshot_trace().size();
+  obs::set_enabled(false);
+  return report;
+}
+
 int run(const std::string& out_path) {
   std::vector<Phase1Row> phase1;
   for (const std::size_t k : {512u, 1024u, 2048u}) {
     std::printf("phase1 k=%zu ...\n", k);
     phase1.push_back(run_phase1(k, 20000));
   }
+  const std::uint64_t rss_after_phase1 = harness::peak_rss_bytes();
   std::printf("phase2 ...\n");
   const Phase2Report phase2 = run_phase2();
+  const std::uint64_t rss_after_phase2 = harness::peak_rss_bytes();
   std::printf("registry solvers ...\n");
   const std::vector<RegistryRow> registry_rows = run_registry();
+  const std::uint64_t rss_after_registry = harness::peak_rss_bytes();
+  std::printf("telemetry overhead ...\n");
+  const TelemetryReport telemetry = run_telemetry();
 
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (out == nullptr) {
@@ -316,6 +362,8 @@ int run(const std::string& out_path) {
         i + 1 < phase1.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"phase1_peak_rss_bytes\": %llu,\n",
+               static_cast<unsigned long long>(rss_after_phase1));
   std::fprintf(out, "  \"phase2_fresh_vs_workspace\": {\n");
   std::fprintf(out, "    \"solves\": %zu, \"pairs\": %zu, \"singles\": %zu,\n",
                phase2.solves, phase2.pairs, phase2.singles);
@@ -329,8 +377,10 @@ int run(const std::string& out_path) {
                "\"workspace_allocs_per_solve\": %.1f,\n",
                phase2.fresh_allocs_per_solve,
                phase2.workspace_allocs_per_solve);
-  std::fprintf(out, "    \"costs_identical\": %s\n",
+  std::fprintf(out, "    \"costs_identical\": %s,\n",
                phase2.costs_identical ? "true" : "false");
+  std::fprintf(out, "    \"peak_rss_bytes\": %llu\n",
+               static_cast<unsigned long long>(rss_after_phase2));
   std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"registry_solvers\": [\n");
   for (std::size_t i = 0; i < registry_rows.size(); ++i) {
@@ -342,7 +392,24 @@ int run(const std::string& out_path) {
                  static_cast<unsigned long long>(r.allocs),
                  i + 1 < registry_rows.size() ? "," : "");
   }
-  std::fprintf(out, "  ]\n");
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"registry_peak_rss_bytes\": %llu,\n",
+               static_cast<unsigned long long>(rss_after_registry));
+  std::fprintf(out, "  \"telemetry\": {\n");
+  std::fprintf(out,
+               "    \"dp_greedy_off_ms\": %.3f, \"dp_greedy_on_ms\": %.3f, "
+               "\"overhead_pct\": %.1f,\n",
+               telemetry.off_ms, telemetry.on_ms,
+               telemetry.off_ms > 0.0
+                   ? (telemetry.on_ms / telemetry.off_ms - 1.0) * 100.0
+                   : 0.0);
+  std::fprintf(out, "    \"trace_events\": %llu,\n",
+               static_cast<unsigned long long>(telemetry.trace_events));
+  std::fprintf(out, "    \"counters\": %s,\n",
+               telemetry.counters_json.c_str());
+  std::fprintf(out, "    \"peak_rss_bytes\": %llu\n",
+               static_cast<unsigned long long>(harness::peak_rss_bytes()));
+  std::fprintf(out, "  }\n");
   std::fprintf(out, "}\n");
   std::fclose(out);
   std::printf("wrote %s\n", out_path.c_str());
@@ -367,6 +434,15 @@ int run(const std::string& out_path) {
                 r.name.c_str(), r.total_cost, r.solve_ms,
                 static_cast<unsigned long long>(r.allocs));
   }
+  std::printf(
+      "telemetry dp_greedy: off %.3f ms, on %.3f ms (%+.1f%%), "
+      "%llu trace events, peak rss %.1f MiB\n",
+      telemetry.off_ms, telemetry.on_ms,
+      telemetry.off_ms > 0.0
+          ? (telemetry.on_ms / telemetry.off_ms - 1.0) * 100.0
+          : 0.0,
+      static_cast<unsigned long long>(telemetry.trace_events),
+      static_cast<double>(harness::peak_rss_bytes()) / (1024.0 * 1024.0));
   return 0;
 }
 

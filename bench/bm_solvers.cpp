@@ -9,6 +9,8 @@
 #include "core/request_index.hpp"
 #include "engine/algorithms.hpp"
 #include "engine/registry.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "trace/generators.hpp"
 
@@ -230,6 +232,44 @@ void BM_RegistrySolver(benchmark::State& state, const std::string& name) {
     benchmark::RegisterBenchmark(("BM_RegistrySolver/" + name).c_str(),
                                  BM_RegistrySolver, name);
   }
+  return 0;
+}();
+
+/// The same end-to-end dp_greedy run with telemetry recording on vs off —
+/// the measured bound behind the "≤2% disabled, single-digit % enabled"
+/// overhead note in docs/observability.md.
+void BM_DpGreedyTelemetry(benchmark::State& state, bool telemetry_on) {
+  PairedTraceConfig config;
+  config.server_count = 50;
+  config.requests_per_pair = 400;
+  Rng rng(5);
+  const RequestSequence seq = generate_paired_trace(config, rng);
+  const CostModel model{1.0, 2.0, 0.8};
+  SolverConfig solver_config;
+  solver_config.theta = 0.3;
+  solver_config.keep_schedules = false;
+  obs::set_enabled(telemetry_on);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        builtin_registry().run("dp_greedy", seq, model, solver_config)
+            .total_cost);
+    // Reset between iterations so the trace rings never saturate (dropped
+    // events would make later iterations artificially cheap).
+    if (telemetry_on) {
+      state.PauseTiming();
+      obs::reset_metrics();
+      obs::reset_trace();
+      state.ResumeTiming();
+    }
+  }
+  obs::set_enabled(false);
+}
+
+[[maybe_unused]] const int kTelemetryBenchmarks = [] {
+  benchmark::RegisterBenchmark("BM_DpGreedyTelemetry/off",
+                               BM_DpGreedyTelemetry, false);
+  benchmark::RegisterBenchmark("BM_DpGreedyTelemetry/on",
+                               BM_DpGreedyTelemetry, true);
   return 0;
 }();
 

@@ -3,9 +3,16 @@
 // with a spread of pair similarities, regenerated deterministically.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
+#include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "mobility/simulator.hpp"
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace dpg::harness {
@@ -29,6 +36,37 @@ inline void print_header(const char* figure, const char* claim) {
   std::printf("%s\n", figure);
   std::printf("paper's qualitative claim: %s\n", claim);
   std::printf("============================================================\n");
+}
+
+/// Peak resident set size of this process in bytes (0 where unsupported).
+/// Monotone over the process lifetime; harnesses record it per section so a
+/// baseline diff localizes memory growth to the section that caused it.
+inline std::uint64_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+/// The current merged counters as one flat JSON object fragment
+/// (`{"a": 1, "b": 2}`) for embedding into a benchmark's JSON section.
+inline std::string metrics_counters_json() {
+  std::string out = "{";
+  const obs::MetricsSnapshot snapshot = obs::snapshot_metrics();
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += "\"" + snapshot.counters[i].first +
+           "\": " + std::to_string(snapshot.counters[i].second);
+  }
+  out += "}";
+  return out;
 }
 
 }  // namespace dpg::harness

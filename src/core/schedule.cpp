@@ -5,21 +5,31 @@
 #include <map>
 
 #include "core/interval_set.hpp"
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
 namespace dpg {
 
+namespace {
+
+const obs::Counter g_segments_emitted = obs::counter("schedule.segments_emitted");
+const obs::Counter g_transfers_emitted = obs::counter("schedule.transfers_emitted");
+
+}  // namespace
+
 void Schedule::add_segment(ServerId server, Time begin, Time end) {
   require(end >= begin, "Schedule: segment end before begin");
   require(begin >= 0.0, "Schedule: negative segment time");
   if (end == begin) return;  // zero-length segments carry no information
+  g_segments_emitted.add();
   segments_.push_back(CacheSegment{server, begin, end});
 }
 
 void Schedule::add_transfer(ServerId from, ServerId to, Time time) {
   require(time >= 0.0, "Schedule: negative transfer time");
   require(from != to, "Schedule: transfer to the same server");
+  g_transfers_emitted.add();
   transfers_.push_back(TransferEdge{from, to, time});
 }
 

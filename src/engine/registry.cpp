@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
+#include "util/log.hpp"
 #include "util/strings.hpp"
 
 namespace dpg {
@@ -75,7 +78,16 @@ RunReport SolverRegistry::run(const std::string& name,
                               const RequestSequence& sequence,
                               const CostModel& model,
                               const SolverConfig& config) const {
-  return create(name)->run(sequence, model, config);
+  DPG_DEBUG << "dispatch " << name << " on " << sequence.size()
+            << " requests (theta=" << config.theta << ")";
+  if (!obs::enabled()) return create(name)->run(sequence, model, config);
+  const obs::TraceSpan root("run/", name);
+  const obs::MetricsSnapshot before = obs::snapshot_metrics();
+  RunReport report = create(name)->run(sequence, model, config);
+  report.metrics = obs::metrics_delta(before, obs::snapshot_metrics());
+  DPG_DEBUG << name << " done: total " << report.total_cost << ", "
+            << report.metrics.counters.size() << " counters bumped";
+  return report;
 }
 
 std::vector<RunReport> run_solvers(const std::vector<std::string>& names,

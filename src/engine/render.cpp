@@ -91,8 +91,55 @@ std::string report_json(const RunReport& report) {
   number("cache_segments", format_count(report.cache_segments));
   number("phase1_seconds", format_exact(report.phase1_seconds));
   number("solve_seconds", format_exact(report.solve_seconds));
+  if (!report.metrics.counters.empty() || !report.metrics.histograms.empty()) {
+    out += ", \"metrics\": {\"counters\": {";
+    for (std::size_t i = 0; i < report.metrics.counters.size(); ++i) {
+      const auto& [name, value] = report.metrics.counters[i];
+      if (i != 0) out += ", ";
+      out += "\"" + name + "\": " + format_count(value);
+    }
+    out += "}, \"histograms\": {";
+    for (std::size_t i = 0; i < report.metrics.histograms.size(); ++i) {
+      const auto& [name, data] = report.metrics.histograms[i];
+      if (i != 0) out += ", ";
+      out += "\"" + name + "\": {\"count\": " + format_count(data.count) +
+             ", \"sum\": " + format_count(data.sum) + "}";
+    }
+    out += "}}";
+  }
   out += "}";
   return out;
+}
+
+std::string render_metrics(const RunReport& report) {
+  TextTable table({"metric", "kind", "value"});
+  for (const auto& [name, value] : report.metrics.counters) {
+    table.add_row({name, "counter", format_count(value)});
+  }
+  for (const auto& [name, data] : report.metrics.histograms) {
+    table.add_row({name, "histogram",
+                   "count=" + format_count(data.count) +
+                       " sum=" + format_count(data.sum) +
+                       " mean=" + format_fixed(data.count == 0
+                                                   ? 0.0
+                                                   : static_cast<double>(data.sum) /
+                                                         static_cast<double>(data.count),
+                                               1)});
+  }
+  return table.render();
+}
+
+std::vector<std::string> metrics_csv_rows(const RunReport& report) {
+  std::vector<std::string> rows;
+  for (const auto& [name, value] : report.metrics.counters) {
+    rows.push_back(report.solver + ",counter," + name + "," +
+                   format_count(value));
+  }
+  for (const auto& [name, data] : report.metrics.histograms) {
+    rows.push_back(report.solver + ",histogram," + name + "," +
+                   format_count(data.count) + "," + format_count(data.sum));
+  }
+  return rows;
 }
 
 }  // namespace dpg

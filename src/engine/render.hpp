@@ -25,7 +25,17 @@ namespace dpg {
 [[nodiscard]] std::vector<std::string> report_csv_header();
 [[nodiscard]] std::vector<std::string> report_csv_row(const RunReport& report);
 
-/// One report as a JSON object; keys match the CSV columns.
+/// One report as a JSON object; keys match the CSV columns.  When the run
+/// recorded telemetry (RunReport::metrics non-empty) the object gains a
+/// trailing "metrics" member with counter values and histogram summaries.
 [[nodiscard]] std::string report_json(const RunReport& report);
+
+/// Human-readable table of the report's telemetry delta (one row per
+/// counter/histogram); empty-bodied when the run recorded no telemetry.
+[[nodiscard]] std::string render_metrics(const RunReport& report);
+
+/// The telemetry delta as CSV rows `solver,kind,metric,value[,sum]` —
+/// variable-length by design (the flat report_csv schema stays fixed).
+[[nodiscard]] std::vector<std::string> metrics_csv_rows(const RunReport& report);
 
 }  // namespace dpg

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "obs/metrics.hpp"
 #include "sim/replay.hpp"
 
 namespace dpg {
@@ -56,6 +57,12 @@ struct RunReport {
   /// solver does not emit schedules (online_dp_greedy) or when
   /// SolverConfig::keep_schedules is off.
   std::vector<FlowPlan> plans;
+
+  /// Telemetry delta for this run (counters/histograms bumped between the
+  /// solver's start and finish).  Empty unless obs::set_enabled(true) was in
+  /// effect when SolverRegistry::run dispatched the solver.  Purely
+  /// observational: totals above are bit-identical with telemetry on or off.
+  obs::MetricsSnapshot metrics;
 };
 
 /// Sets ave_cost from total_cost / total_item_accesses and renormalizes

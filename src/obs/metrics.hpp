@@ -1,0 +1,115 @@
+// Process-wide metrics: named monotonic counters and fixed-bucket
+// power-of-two histograms.
+//
+// Hot-path contract: when telemetry is disabled (the default) every
+// Counter::add / Histogram::record is one relaxed atomic load and a
+// predictable branch — nothing else.  When enabled, updates go to
+// per-thread shards (each slot written only by its owner thread, read
+// concurrently by snapshots through relaxed atomics), so there is no
+// cross-thread contention and no allocation on the hot path; a thread's
+// shard is allocated once, on its first enabled update.
+//
+// Handles are registered once (file-scope `obs::counter("name")` globals in
+// the instrumented translation units) and are trivially copyable ids, so an
+// update never performs a name lookup.  snapshot_metrics() merges every
+// shard; reset_metrics() zeroes them.  Both expect traced work to be
+// quiescent (joined/awaited), which every harness and test here guarantees.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dpg::obs {
+
+/// Hard caps on distinct metric names (asserted in registration; the name
+/// catalogue lives in docs/observability.md and is far below these).
+inline constexpr std::size_t kMaxCounters = 128;
+inline constexpr std::size_t kMaxHistograms = 32;
+
+/// Histogram bucket b >= 1 holds values in [2^(b-1), 2^b); bucket 0 holds 0.
+inline constexpr std::size_t kHistogramBuckets = 40;
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+void counter_add(std::uint32_t id, std::uint64_t delta) noexcept;
+void histogram_record(std::uint32_t id, std::uint64_t value) noexcept;
+}  // namespace detail
+
+/// True when telemetry (metrics + tracing) is recording.
+[[nodiscard]] inline bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Flips recording on or off process-wide (off by default).
+void set_enabled(bool on) noexcept;
+
+/// Handle to one named monotonic counter (trivially copyable id).
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) const noexcept {
+    if (!enabled()) return;
+    detail::counter_add(id_, delta);
+  }
+
+ private:
+  friend Counter counter(std::string_view name);
+  explicit Counter(std::uint32_t id) noexcept : id_(id) {}
+  std::uint32_t id_;
+};
+
+/// Handle to one named histogram (trivially copyable id).
+class Histogram {
+ public:
+  void record(std::uint64_t value) const noexcept {
+    if (!enabled()) return;
+    detail::histogram_record(id_, value);
+  }
+
+ private:
+  friend Histogram histogram(std::string_view name);
+  explicit Histogram(std::uint32_t id) noexcept : id_(id) {}
+  std::uint32_t id_;
+};
+
+/// Registers (or finds) the counter/histogram named `name` and returns its
+/// handle.  Intended for file-scope handle globals; takes a registry mutex.
+[[nodiscard]] Counter counter(std::string_view name);
+[[nodiscard]] Histogram histogram(std::string_view name);
+
+struct HistogramData {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+};
+
+/// A merged view over every thread shard, names sorted ascending.  Counters
+/// with value 0 and histograms with count 0 are omitted.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, HistogramData>> histograms;
+};
+
+[[nodiscard]] MetricsSnapshot snapshot_metrics();
+
+/// Zeroes every shard.  Caller must guarantee no concurrent updates.
+void reset_metrics() noexcept;
+
+/// Per-run deltas `after − before` over counters and histograms (names
+/// sorted, zero deltas dropped) — what the engine attaches to a RunReport.
+[[nodiscard]] MetricsSnapshot metrics_delta(const MetricsSnapshot& before,
+                                            const MetricsSnapshot& after);
+
+/// The counter's merged value in a snapshot; 0 when absent.
+[[nodiscard]] std::uint64_t counter_value(const MetricsSnapshot& snapshot,
+                                          std::string_view name) noexcept;
+
+/// The whole snapshot as one JSON object (schema dpgreedy-metrics-v1).
+[[nodiscard]] std::string metrics_json(const MetricsSnapshot& snapshot);
+
+}  // namespace dpg::obs

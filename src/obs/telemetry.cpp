@@ -1,0 +1,408 @@
+// Shared implementation of the metrics and tracing halves of src/obs.
+//
+// One ThreadState per thread holds both the counter/histogram shard and the
+// trace-event ring; the registry keeps every state alive via shared_ptr so
+// snapshots can merge shards of threads that have already exited (ThreadPool
+// workers joined mid-session).  States are created lazily, on a thread's
+// first *enabled* update, so a process that never turns telemetry on
+// allocates nothing here.
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+namespace dpg::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct TraceEvent {
+  std::uint64_t ts_ns = 0;
+  std::uint64_t dur_ns = 0;
+  char name[kTraceNameCapacity] = {};
+};
+
+struct HistogramShard {
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> sum{0};
+  std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets{};
+};
+
+/// All of one thread's telemetry.  Counter/histogram slots are written only
+/// by the owner thread and read by snapshots — relaxed atomics make that
+/// race-free without contention.  The event ring is append-only between
+/// resets: the owner publishes each slot with a release store of the count,
+/// readers acquire the count and read only below it.
+struct ThreadState {
+  std::uint32_t tid = 0;
+
+  std::array<std::atomic<std::uint64_t>, kMaxCounters> counters{};
+  std::array<HistogramShard, kMaxHistograms> histograms{};
+
+  std::unique_ptr<TraceEvent[]> events =
+      std::make_unique<TraceEvent[]>(kTraceRingCapacity);
+  std::atomic<std::uint32_t> event_count{0};
+  std::atomic<std::uint64_t> dropped{0};
+
+  void zero() noexcept {
+    for (auto& c : counters) c.store(0, std::memory_order_relaxed);
+    for (auto& h : histograms) {
+      h.count.store(0, std::memory_order_relaxed);
+      h.sum.store(0, std::memory_order_relaxed);
+      for (auto& b : h.buckets) b.store(0, std::memory_order_relaxed);
+    }
+  }
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::string> counter_names;
+  std::vector<std::string> histogram_names;
+  std::vector<std::shared_ptr<ThreadState>> states;
+  Clock::time_point epoch = Clock::now();
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: outlives thread_local dtors
+  return *r;
+}
+
+thread_local ThreadState* t_state = nullptr;
+thread_local std::shared_ptr<ThreadState> t_state_owner;
+
+ThreadState& local_state() {
+  if (t_state == nullptr) {
+    auto state = std::make_shared<ThreadState>();
+    Registry& reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    state->tid = static_cast<std::uint32_t>(reg.states.size());
+    reg.states.push_back(state);
+    t_state_owner = std::move(state);
+    t_state = t_state_owner.get();
+  }
+  return *t_state;
+}
+
+std::size_t bucket_of(std::uint64_t value) noexcept {
+  return std::min<std::size_t>(static_cast<std::size_t>(std::bit_width(value)),
+                               kHistogramBuckets - 1);
+}
+
+std::uint32_t register_name(std::vector<std::string>& names,
+                            std::string_view name, std::size_t cap) {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return static_cast<std::uint32_t>(i);
+  }
+  assert(names.size() < cap && "metric name cap exceeded");
+  if (names.size() >= cap) return static_cast<std::uint32_t>(cap - 1);
+  names.emplace_back(name);
+  return static_cast<std::uint32_t>(names.size() - 1);
+}
+
+void copy_name(char (&dst)[kTraceNameCapacity], const char* prefix,
+               std::string_view suffix) noexcept {
+  std::size_t at = 0;
+  for (const char* p = prefix; *p != '\0' && at + 1 < kTraceNameCapacity; ++p) {
+    dst[at++] = *p;
+  }
+  for (const char c : suffix) {
+    if (at + 1 >= kTraceNameCapacity) break;
+    dst[at++] = c;
+  }
+  dst[at] = '\0';
+}
+
+/// Escapes a metric/span name for JSON (names are plain identifiers in
+/// practice; this keeps the exporters safe regardless).
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out += buffer;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+namespace detail {
+
+void counter_add(std::uint32_t id, std::uint64_t delta) noexcept {
+  ThreadState& state = local_state();
+  state.counters[id].fetch_add(delta, std::memory_order_relaxed);
+}
+
+void histogram_record(std::uint32_t id, std::uint64_t value) noexcept {
+  HistogramShard& shard = local_state().histograms[id];
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(value, std::memory_order_relaxed);
+  shard.buckets[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+void set_enabled(bool on) noexcept {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+Counter counter(std::string_view name) {
+  return Counter(register_name(registry().counter_names, name, kMaxCounters));
+}
+
+Histogram histogram(std::string_view name) {
+  return Histogram(
+      register_name(registry().histogram_names, name, kMaxHistograms));
+}
+
+MetricsSnapshot snapshot_metrics() {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+
+  std::vector<std::uint64_t> counters(reg.counter_names.size(), 0);
+  std::vector<HistogramData> histograms(reg.histogram_names.size());
+  for (const auto& state : reg.states) {
+    for (std::size_t i = 0; i < counters.size(); ++i) {
+      counters[i] += state->counters[i].load(std::memory_order_relaxed);
+    }
+    for (std::size_t i = 0; i < histograms.size(); ++i) {
+      const HistogramShard& shard = state->histograms[i];
+      histograms[i].count += shard.count.load(std::memory_order_relaxed);
+      histograms[i].sum += shard.sum.load(std::memory_order_relaxed);
+      for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+        histograms[i].buckets[b] +=
+            shard.buckets[b].load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  MetricsSnapshot snapshot;
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    if (counters[i] != 0) {
+      snapshot.counters.emplace_back(reg.counter_names[i], counters[i]);
+    }
+  }
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    if (histograms[i].count != 0) {
+      snapshot.histograms.emplace_back(reg.histogram_names[i], histograms[i]);
+    }
+  }
+  const auto by_name = [](const auto& x, const auto& y) {
+    return x.first < y.first;
+  };
+  std::sort(snapshot.counters.begin(), snapshot.counters.end(), by_name);
+  std::sort(snapshot.histograms.begin(), snapshot.histograms.end(), by_name);
+  return snapshot;
+}
+
+void reset_metrics() noexcept {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  for (const auto& state : reg.states) state->zero();
+}
+
+MetricsSnapshot metrics_delta(const MetricsSnapshot& before,
+                              const MetricsSnapshot& after) {
+  MetricsSnapshot delta;
+  for (const auto& [name, value] : after.counters) {
+    const std::uint64_t base = counter_value(before, name);
+    if (value > base) delta.counters.emplace_back(name, value - base);
+  }
+  for (const auto& [name, data] : after.histograms) {
+    const HistogramData* base = nullptr;
+    for (const auto& [base_name, base_data] : before.histograms) {
+      if (base_name == name) {
+        base = &base_data;
+        break;
+      }
+    }
+    if (base == nullptr) {
+      delta.histograms.emplace_back(name, data);
+      continue;
+    }
+    if (data.count <= base->count) continue;
+    HistogramData diff;
+    diff.count = data.count - base->count;
+    diff.sum = data.sum - base->sum;
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      diff.buckets[b] = data.buckets[b] - base->buckets[b];
+    }
+    delta.histograms.emplace_back(name, diff);
+  }
+  return delta;
+}
+
+std::uint64_t counter_value(const MetricsSnapshot& snapshot,
+                            std::string_view name) noexcept {
+  for (const auto& [counter_name, value] : snapshot.counters) {
+    if (counter_name == name) return value;
+  }
+  return 0;
+}
+
+std::string metrics_json(const MetricsSnapshot& snapshot) {
+  std::string out = "{\n  \"schema\": \"dpgreedy-metrics-v1\",\n";
+  out += "  \"counters\": {";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    const auto& [name, value] = snapshot.counters[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"" + json_escape(name) + "\": " + std::to_string(value);
+  }
+  out += snapshot.counters.empty() ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const auto& [name, data] = snapshot.histograms[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"" + json_escape(name) +
+           "\": {\"count\": " + std::to_string(data.count) +
+           ", \"sum\": " + std::to_string(data.sum) + ", \"buckets\": [";
+    // Trailing empty buckets are trimmed; indices are log2 bucket bounds.
+    std::size_t last = 0;
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      if (data.buckets[b] != 0) last = b;
+    }
+    for (std::size_t b = 0; b <= last; ++b) {
+      if (b > 0) out += ", ";
+      out += std::to_string(data.buckets[b]);
+    }
+    out += "]}";
+  }
+  out += snapshot.histograms.empty() ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Tracing.
+
+TraceSpan::TraceSpan(const char* name) noexcept {
+  if (!enabled()) return;
+  copy_name(name_, name, {});
+  start_ns_ = trace_now_ns();
+  active_ = true;
+}
+
+TraceSpan::TraceSpan(const char* prefix, std::string_view suffix) noexcept {
+  if (!enabled()) return;
+  copy_name(name_, prefix, suffix);
+  start_ns_ = trace_now_ns();
+  active_ = true;
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_ || !enabled()) return;
+  const std::uint64_t end_ns = trace_now_ns();
+  ThreadState& state = local_state();
+  const std::uint32_t at = state.event_count.load(std::memory_order_relaxed);
+  if (at >= kTraceRingCapacity) {
+    state.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  TraceEvent& event = state.events[at];
+  event.ts_ns = start_ns_;
+  event.dur_ns = end_ns - start_ns_;
+  std::memcpy(event.name, name_, kTraceNameCapacity);
+  state.event_count.store(at + 1, std::memory_order_release);
+}
+
+std::uint64_t trace_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           registry().epoch)
+          .count());
+}
+
+std::vector<TraceEventView> snapshot_trace() {
+  Registry& reg = registry();
+  std::vector<TraceEventView> out;
+  {
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    for (const auto& state : reg.states) {
+      const std::uint32_t n = state->event_count.load(std::memory_order_acquire);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const TraceEvent& event = state->events[i];
+        TraceEventView view;
+        view.name = event.name;
+        view.tid = state->tid;
+        view.ts_ns = event.ts_ns;
+        view.dur_ns = event.dur_ns;
+        out.push_back(std::move(view));
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEventView& x, const TraceEventView& y) {
+              if (x.ts_ns != y.ts_ns) return x.ts_ns < y.ts_ns;
+              if (x.tid != y.tid) return x.tid < y.tid;
+              return x.dur_ns > y.dur_ns;  // parents before children
+            });
+  return out;
+}
+
+std::uint64_t trace_dropped_events() noexcept {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  std::uint64_t dropped = 0;
+  for (const auto& state : reg.states) {
+    dropped += state->dropped.load(std::memory_order_relaxed);
+  }
+  return dropped;
+}
+
+void reset_trace() noexcept {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  for (const auto& state : reg.states) {
+    state->event_count.store(0, std::memory_order_relaxed);
+    state->dropped.store(0, std::memory_order_relaxed);
+  }
+  reg.epoch = Clock::now();
+}
+
+std::string trace_json() {
+  const std::vector<TraceEventView> events = snapshot_trace();
+  std::string out = "{\"traceEvents\": [\n";
+  out +=
+      "{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": 1, "
+      "\"args\": {\"name\": \"dpgreedy\"}}";
+  char buffer[96];
+  for (const TraceEventView& event : events) {
+    // Chrome timestamps are microseconds; keep ns precision as fractions.
+    std::snprintf(buffer, sizeof(buffer),
+                  "\"ts\": %llu.%03u, \"dur\": %llu.%03u",
+                  static_cast<unsigned long long>(event.ts_ns / 1000),
+                  static_cast<unsigned>(event.ts_ns % 1000),
+                  static_cast<unsigned long long>(event.dur_ns / 1000),
+                  static_cast<unsigned>(event.dur_ns % 1000));
+    out += ",\n{\"name\": \"" + json_escape(event.name) +
+           "\", \"cat\": \"dpg\", \"ph\": \"X\", \"pid\": 1, \"tid\": " +
+           std::to_string(event.tid) + ", " + buffer + "}";
+  }
+  out += "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return out;
+}
+
+}  // namespace dpg::obs

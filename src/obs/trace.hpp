@@ -1,0 +1,83 @@
+// RAII trace spans with Chrome trace_event JSON export.
+//
+// A TraceSpan records one complete ("ph": "X") event — begin timestamp and
+// duration on the constructing thread — into that thread's fixed-capacity
+// ring of trace events.  Buffers are append-only between resets: when a
+// thread's ring fills, further events are dropped and counted, so recording
+// never allocates, blocks or overwrites while a reader is merging.  Spans
+// nest naturally in the Chrome model (same-tid events whose [ts, ts+dur]
+// ranges contain each other render as a stack in Perfetto and
+// chrome://tracing).
+//
+// Like the metrics side, everything is compiled in but off by default: a
+// disabled TraceSpan costs one relaxed atomic load and a branch at
+// construction and destruction.  trace_json() / snapshot_trace() /
+// reset_trace() expect traced work to be quiescent.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"  // enabled()
+
+namespace dpg::obs {
+
+/// Per-thread event capacity between resets; overflow is dropped + counted.
+inline constexpr std::size_t kTraceRingCapacity = std::size_t{1} << 14;
+
+/// Span names are copied inline into the event (no heap, no dangling);
+/// longer names are truncated.
+inline constexpr std::size_t kTraceNameCapacity = 48;
+
+class TraceSpan {
+ public:
+  /// Begins a span named `name` (typically a string literal).
+  explicit TraceSpan(const char* name) noexcept;
+
+  /// Begins a span named `prefix + suffix` — for per-solver root spans
+  /// ("run/" + registry name) without building a std::string.
+  TraceSpan(const char* prefix, std::string_view suffix) noexcept;
+
+  /// Ends the span: records the complete event into the thread's ring.
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  char name_[kTraceNameCapacity];
+  std::uint64_t start_ns_ = 0;
+  bool active_ = false;
+};
+
+/// One recorded span, for tests and the JSON exporter.
+struct TraceEventView {
+  std::string name;
+  std::uint32_t tid = 0;        // small sequential thread id
+  std::uint64_t ts_ns = 0;      // begin, ns since the trace epoch
+  std::uint64_t dur_ns = 0;
+};
+
+/// Nanoseconds since the trace epoch (process start, or the last
+/// reset_trace()).
+[[nodiscard]] std::uint64_t trace_now_ns() noexcept;
+
+/// Every recorded span across all threads, sorted by (ts_ns, tid).
+[[nodiscard]] std::vector<TraceEventView> snapshot_trace();
+
+/// Spans dropped because a thread ring was full.
+[[nodiscard]] std::uint64_t trace_dropped_events() noexcept;
+
+/// Clears every ring and rebases the trace epoch to now.  Caller must
+/// guarantee no span is being recorded concurrently.
+void reset_trace() noexcept;
+
+/// The whole trace as Chrome trace_event JSON ({"traceEvents": [...]}),
+/// loadable in Perfetto / chrome://tracing.  Timestamps are microseconds
+/// with ns precision.
+[[nodiscard]] std::string trace_json();
+
+}  // namespace dpg::obs

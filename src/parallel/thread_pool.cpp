@@ -3,7 +3,19 @@
 #include <algorithm>
 #include <exception>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace dpg {
+
+namespace {
+
+const obs::Counter g_tasks_submitted = obs::counter("pool.tasks_submitted");
+const obs::Counter g_tasks_completed = obs::counter("pool.tasks_completed");
+const obs::Histogram g_queue_depth = obs::histogram("pool.queue_depth");
+const obs::Histogram g_task_ns = obs::histogram("pool.task_ns");
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t worker_count) {
   std::size_t n = worker_count;
@@ -25,17 +37,35 @@ ThreadPool::~ThreadPool() {
   for (auto& worker : workers_) worker.join();
 }
 
+void ThreadPool::note_submit(std::size_t queue_depth) noexcept {
+  if (!obs::enabled()) return;
+  g_tasks_submitted.add();
+  g_queue_depth.record(queue_depth);
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
+      // The wait is the worker's idle time; the span makes gaps between
+      // busy spans attributable in the trace view.
+      const obs::TraceSpan idle("pool/idle");
       std::unique_lock<std::mutex> lock(mutex_);
       wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    {
+      const obs::TraceSpan busy("pool/task");
+      const std::uint64_t start_ns =
+          obs::enabled() ? obs::trace_now_ns() : 0;
+      task();
+      if (obs::enabled()) {
+        g_tasks_completed.add();
+        g_task_ns.record(obs::trace_now_ns() - start_ns);
+      }
+    }
   }
 }
 

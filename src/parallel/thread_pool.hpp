@@ -45,6 +45,7 @@ class ThreadPool {
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       queue_.emplace_back([packaged] { (*packaged)(); });
+      note_submit(queue_.size());
     }
     wake_.notify_one();
     return result;
@@ -52,6 +53,10 @@ class ThreadPool {
 
  private:
   void worker_loop();
+
+  /// Telemetry hook: counts the submission and samples the queue depth
+  /// (called under mutex_; a no-op unless telemetry is enabled).
+  static void note_submit(std::size_t queue_depth) noexcept;
 
   std::mutex mutex_;
   std::condition_variable wake_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -10,6 +12,13 @@
 namespace dpg {
 
 namespace {
+
+const obs::Counter g_requests_scanned = obs::counter("phase1.requests_scanned");
+const obs::Counter g_observed_pairs = obs::counter("phase1.observed_pairs");
+const obs::Counter g_map_probes = obs::counter("phase1.map_probes");
+const obs::Counter g_map_resizes = obs::counter("phase1.map_resizes");
+const obs::Counter g_shards_merged = obs::counter("phase1.shards_merged");
+const obs::Histogram g_shard_pairs = obs::histogram("phase1.shard_pairs");
 
 /// Fibonacci-style mix of the packed pair key into a table slot seed.
 std::uint64_t mix_key(std::uint64_t key) noexcept {
@@ -53,9 +62,12 @@ PairCountMap::PairCountMap(std::size_t expected_pairs) {
 std::size_t PairCountMap::slot_of(std::uint64_t key) const noexcept {
   const std::size_t mask = keys_.size() - 1;
   std::size_t slot = static_cast<std::size_t>(mix_key(key)) & mask;
+  std::size_t probes = 1;
   while (keys_[slot] != kEmptyKey && keys_[slot] != key) {
     slot = (slot + 1) & mask;
+    ++probes;
   }
+  g_map_probes.add(probes);
   return slot;
 }
 
@@ -83,6 +95,7 @@ void PairCountMap::merge(const PairCountMap& other) {
 }
 
 void PairCountMap::grow() {
+  g_map_resizes.add();
   std::vector<std::uint64_t> old_keys = std::move(keys_);
   std::vector<std::size_t> old_counts = std::move(counts_);
   keys_.assign(old_keys.size() * 2, kEmptyKey);
@@ -98,6 +111,7 @@ void PairCountMap::grow() {
 CorrelationAnalysis::CorrelationAnalysis(const RequestSequence& sequence,
                                          const CorrelationOptions& options)
     : k_(sequence.item_count()), frequency_(k_, 0) {
+  const obs::TraceSpan span("phase1/correlation");
   for (ItemId item = 0; item < k_; ++item) {
     frequency_[item] = sequence.item_frequency(item);
   }
@@ -117,7 +131,12 @@ CorrelationAnalysis::CorrelationAnalysis(const RequestSequence& sequence,
   } else {
     count_dense(sequence);
   }
-  std::sort(sorted_pairs_.begin(), sorted_pairs_.end(), pair_before);
+  g_requests_scanned.add(sequence.size());
+  g_observed_pairs.add(observed_pair_count_);
+  {
+    const obs::TraceSpan sort_span("phase1/sort");
+    std::sort(sorted_pairs_.begin(), sorted_pairs_.end(), pair_before);
+  }
 }
 
 PairCorrelation CorrelationAnalysis::make_pair(ItemId a, ItemId b,
@@ -133,6 +152,7 @@ PairCorrelation CorrelationAnalysis::make_pair(ItemId a, ItemId b,
 }
 
 void CorrelationAnalysis::count_dense(const RequestSequence& sequence) {
+  const obs::TraceSpan span("phase1/count_dense");
   co_frequency_.assign(k_ * (k_ - 1) / 2, 0);
   // One pass over requests: bump the counter of every co-requested pair.
   // tri_index is assert-checked only — it runs per pair per request.
@@ -155,6 +175,7 @@ void CorrelationAnalysis::count_dense(const RequestSequence& sequence) {
 
 void CorrelationAnalysis::count_sparse(const RequestSequence& sequence,
                                        ThreadPool* pool) {
+  const obs::TraceSpan span("phase1/count_sparse");
   const auto count_range = [&sequence](std::size_t begin, std::size_t end,
                                        PairCountMap& into) {
     for (std::size_t i = begin; i < end; ++i) {
@@ -175,11 +196,15 @@ void CorrelationAnalysis::count_sparse(const RequestSequence& sequence,
     parallel_for_chunks(*pool, sequence.size(),
                         [&](std::size_t shard, std::size_t begin,
                             std::size_t end) {
+                          const obs::TraceSpan shard_span("phase1/shard");
                           count_range(begin, end, shards[shard]);
+                          g_shard_pairs.record(shards[shard].size());
                         },
                         [&shards](std::size_t shard_count) {
                           shards.resize(shard_count);
                         });
+    const obs::TraceSpan merge_span("phase1/merge");
+    g_shards_merged.add(shards.size());
     for (const PairCountMap& shard : shards) co_counts_.merge(shard);
   } else {
     count_range(0, sequence.size(), co_counts_);

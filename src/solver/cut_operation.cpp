@@ -3,14 +3,26 @@
 #include <algorithm>
 
 #include "core/request_index.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace dpg {
+
+namespace {
+
+const obs::Counter g_cut_ops = obs::counter("solver.cut_ops");
+const obs::Counter g_cut_removed = obs::counter("solver.cut_removed");
+const obs::Counter g_cut_trimmed = obs::counter("solver.cut_trimmed");
+const obs::Counter g_cut_untouched = obs::counter("solver.cut_untouched");
+
+}  // namespace
 
 CutAnalysis cut_operation(const Flow& flow, const CostModel& model,
                           std::size_t server_count) {
   model.validate();
   validate_flow(flow);
+  const obs::TraceSpan span("solver/cut_operation");
   CutAnalysis analysis;
   analysis.per_request_optimal_floor = model.lambda;
   analysis.per_request_greedy_ceiling = 2.0 * model.lambda;
@@ -63,6 +75,18 @@ CutAnalysis cut_operation(const Flow& flow, const CostModel& model,
     }
     analysis.trimmed_greedy_cost += entry.trimmed_greedy_step;
     analysis.entries.push_back(entry);
+  }
+  if (obs::enabled()) {
+    g_cut_ops.add(analysis.entries.size());
+    std::size_t removed = 0;
+    std::size_t trimmed = 0;
+    for (const CutEntry& entry : analysis.entries) {
+      removed += entry.cut == CutClass::kRemoved ? 1 : 0;
+      trimmed += entry.cut == CutClass::kTrimmed ? 1 : 0;
+    }
+    g_cut_removed.add(removed);
+    g_cut_trimmed.add(trimmed);
+    g_cut_untouched.add(analysis.entries.size() - removed - trimmed);
   }
   return analysis;
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "solver/correlation.hpp"
 #include "solver/workspace.hpp"
@@ -10,6 +12,11 @@
 namespace dpg {
 
 namespace {
+
+const obs::Counter g_packages_solved = obs::counter("phase2.packages_solved");
+const obs::Counter g_singles_solved = obs::counter("phase2.singles_solved");
+const obs::Counter g_singleton_services =
+    obs::counter("phase2.singleton_services");
 
 /// Greedy service of the requests that touch exactly one item of a pair.
 /// Events of `item` (origin, single-item requests, package requests) are
@@ -75,6 +82,7 @@ PackageReport solve_pair_package_ws(const RequestSequence& sequence,
 
   serve_singletons(sequence, model, pair.a, pair.b, report, ws);
   serve_singletons(sequence, model, pair.b, pair.a, report, ws);
+  g_singleton_services.add(report.services.size());
   return report;
 }
 
@@ -115,13 +123,18 @@ DpGreedyResult solve_dp_greedy(const RequestSequence& sequence,
   DpGreedyResult result;
   result.total_item_accesses = sequence.total_item_accesses();
 
+  const obs::TraceSpan solve_span("solve/dp_greedy");
+
   // Phase 1: correlation analysis and greedy packing.  The counting pass
   // shards over the Phase-2 pool unless the caller pinned its own.
-  CorrelationOptions correlation = options.correlation;
-  if (correlation.pool == nullptr) correlation.pool = options.pool;
-  const CorrelationAnalysis analysis(sequence, correlation);
-  result.packing =
-      greedy_pairing(analysis, options.theta, options.inclusive_threshold);
+  {
+    const obs::TraceSpan phase1_span("dp_greedy/phase1");
+    CorrelationOptions correlation = options.correlation;
+    if (correlation.pool == nullptr) correlation.pool = options.pool;
+    const CorrelationAnalysis analysis(sequence, correlation);
+    result.packing =
+        greedy_pairing(analysis, options.theta, options.inclusive_threshold);
+  }
 
   // Phase 2: independent per-package and per-single solves.  Each worker
   // chunk (or the serial path) reuses one SolverWorkspace across its solves,
@@ -143,6 +156,9 @@ DpGreedyResult solve_dp_greedy(const RequestSequence& sequence,
   result.packages.resize(pair_count);
   result.singles.resize(single_count);
   const std::size_t total = pair_count + single_count;
+  const obs::TraceSpan phase2_span("dp_greedy/phase2");
+  g_packages_solved.add(pair_count);
+  g_singles_solved.add(single_count);
   if (options.pool != nullptr && total > 1) {
     parallel_for_chunks(*options.pool, total,
                         [&](std::size_t, std::size_t begin, std::size_t end) {

@@ -2,16 +2,27 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "solver/correlation.hpp"
 #include "util/error.hpp"
 
 namespace dpg {
+
+namespace {
+
+const obs::Counter g_group_packages = obs::counter("group.packages_solved");
+const obs::Counter g_group_partials = obs::counter("group.partial_requests");
+
+}  // namespace
 
 GroupReport solve_group_package(const RequestSequence& sequence,
                                 const CostModel& model,
                                 const std::vector<ItemId>& group,
                                 const OptimalOfflineOptions& dp) {
   model.validate();
+  const obs::TraceSpan span("group/package");
+  g_group_packages.add();
   require(group.size() >= 2, "solve_group_package: group must have >= 2 items");
   GroupReport report;
   report.items = group;
@@ -50,6 +61,7 @@ GroupReport solve_group_package(const RequestSequence& sequence,
     }
     if (present.empty()) continue;
     if (present.size() < group.size()) {
+      g_group_partials.add();
       Cost individual_total = 0.0;
       Cost individual_transfer = 0.0;  // λ-side of the per-item choices
       std::size_t individual_transfer_events = 0;
@@ -92,6 +104,7 @@ GroupDpGreedyResult solve_group_dp_greedy(const RequestSequence& sequence,
   GroupDpGreedyResult result;
   result.total_item_accesses = sequence.total_item_accesses();
 
+  const obs::TraceSpan solve_span("solve/group_dp_greedy");
   const CorrelationAnalysis analysis(sequence);
   result.packing =
       greedy_grouping(analysis, options.theta, options.max_group_size);

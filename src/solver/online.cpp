@@ -3,11 +3,16 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace dpg {
 
 namespace {
+
+const obs::Counter g_break_even_solves = obs::counter("online.break_even_solves");
+const obs::Counter g_break_even_drops = obs::counter("online.break_even_drops");
 
 /// One live replica.
 struct Copy {
@@ -23,6 +28,8 @@ OnlineResult solve_online_break_even(const Flow& flow, const CostModel& model,
                                      const OnlineOptions& options) {
   model.validate();
   validate_flow(flow);
+  const obs::TraceSpan span("online/break_even");
+  g_break_even_solves.add();
   require(options.hold_factor >= 0.0,
           "solve_online_break_even: hold_factor must be >= 0");
   OnlineResult result;
@@ -56,6 +63,7 @@ OnlineResult solve_online_break_even(const Flow& flow, const CostModel& model,
         if (c.last_use < newest && drop_time < point.time) {
           result.cache_time += drop_time - c.since;
           result.schedule.add_segment(c.server, c.since, drop_time);
+          g_break_even_drops.add();
           copies[i] = copies.back();
           copies.pop_back();
         } else {

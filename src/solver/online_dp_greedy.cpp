@@ -5,12 +5,21 @@
 #include <vector>
 
 #include "core/flow.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "solver/correlation.hpp"
 #include "util/error.hpp"
 
 namespace dpg {
 
 namespace {
+
+const obs::Counter g_online_repacks = obs::counter("online.repack_rounds");
+const obs::Counter g_online_packs = obs::counter("online.pack_events");
+const obs::Counter g_online_unpacks = obs::counter("online.unpack_events");
+const obs::Counter g_online_transfers = obs::counter("online.transfers");
+const obs::Counter g_online_package_fetches =
+    obs::counter("online.package_fetches");
 
 /// One live replica of a flow.
 struct Copy {
@@ -202,6 +211,8 @@ OnlineDpGreedyResult solve_online_dp_greedy(
   const double pack_rate = model.flow_multiplier(2);
 
   const auto repack = [&](Time now) {
+    const obs::TraceSpan repack_span("online/repack");
+    g_online_repacks.add();
     // Dissolve pairs whose windowed similarity decayed below θ/2.
     for (ItemId a = 0; a < k; ++a) {
       const ItemId b = partner[a];
@@ -251,6 +262,7 @@ OnlineDpGreedyResult solve_online_dp_greedy(
     }
   };
 
+  const obs::TraceSpan solve_span("online/dp_greedy");
   std::size_t since_repack = 0;
   for (const Request& r : sequence.requests()) {
     stats.add(r.items);
@@ -315,6 +327,10 @@ OnlineDpGreedyResult solve_online_dp_greedy(
       result.total_item_accesses == 0
           ? 0.0
           : result.total_cost / static_cast<double>(result.total_item_accesses);
+  g_online_packs.add(result.pack_events);
+  g_online_unpacks.add(result.unpack_events);
+  g_online_transfers.add(result.transfers);
+  g_online_package_fetches.add(result.package_fetches);
   return result;
 }
 

@@ -3,10 +3,22 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "solver/workspace.hpp"
 #include "util/error.hpp"
 
 namespace dpg {
+
+namespace {
+
+const obs::Counter g_dp_solves = obs::counter("phase2.dp_solves");
+const obs::Counter g_dp_cells = obs::counter("phase2.dp_cells");
+const obs::Counter g_workspace_hits = obs::counter("phase2.workspace_reuse_hits");
+const obs::Counter g_workspace_local = obs::counter("phase2.workspace_local");
+const obs::Histogram g_flow_nodes = obs::histogram("phase2.flow_nodes");
+
+}  // namespace
 
 SolveResult solve_optimal_offline(const Flow& flow, const CostModel& model,
                                   std::size_t server_count,
@@ -14,6 +26,9 @@ SolveResult solve_optimal_offline(const Flow& flow, const CostModel& model,
                                   SolverWorkspace* workspace) {
   model.validate();
   validate_flow(flow);
+  const obs::TraceSpan span("phase2/dp_solve");
+  g_dp_solves.add();
+  (workspace != nullptr ? g_workspace_hits : g_workspace_local).add();
   SolveResult result;
   result.schedule = Schedule(flow.group_size);
   if (flow.empty()) {
@@ -30,6 +45,8 @@ SolveResult solve_optimal_offline(const Flow& flow, const CostModel& model,
   ws.index.rebuild(flow, server_count);
   const RequestIndex& index = ws.index;
   const std::size_t n = index.node_count();  // origin + services
+  g_dp_cells.add(n - 1);
+  g_flow_nodes.record(n);
   const double mu = model.mu;
   const double lambda = model.lambda;
 

@@ -3,12 +3,22 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace dpg {
 
+namespace {
+
+const obs::Counter g_pairs_packed = obs::counter("phase1.pairs_packed");
+const obs::Counter g_groups_packed = obs::counter("phase1.groups_packed");
+
+}  // namespace
+
 Packing greedy_pairing(const CorrelationAnalysis& analysis, double theta,
                        bool inclusive) {
+  const obs::TraceSpan span("phase1/pairing");
   const std::size_t k = analysis.item_count();
   std::vector<bool> packed(k, false);
   Packing packing;
@@ -24,11 +34,13 @@ Packing greedy_pairing(const CorrelationAnalysis& analysis, double theta,
   for (ItemId item = 0; item < k; ++item) {
     if (!packed[item]) packing.singles.push_back(item);
   }
+  g_pairs_packed.add(packing.pairs.size());
   return packing;
 }
 
 GroupPacking greedy_grouping(const CorrelationAnalysis& analysis, double theta,
                              std::size_t max_group_size) {
+  const obs::TraceSpan span("phase1/grouping");
   require(max_group_size >= 2, "greedy_grouping: max_group_size must be >= 2");
   const std::size_t k = analysis.item_count();
   // Union-find style group membership, merged pair-by-pair.
@@ -70,6 +82,7 @@ GroupPacking greedy_grouping(const CorrelationAnalysis& analysis, double theta,
       out.singles.push_back(members[g].front());
     }
   }
+  g_groups_packed.add(out.groups.size());
   return out;
 }
 

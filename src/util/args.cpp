@@ -50,10 +50,15 @@ const std::string* ArgParser::add_string(std::string name, std::string help,
 }
 
 const bool* ArgParser::add_flag(std::string name, std::string help) {
+  return add_flag(std::move(name), std::move(help), '\0');
+}
+
+const bool* ArgParser::add_flag(std::string name, std::string help, char alias) {
   auto opt = std::make_unique<Option>();
   opt->name = std::move(name);
   opt->help = std::move(help);
   opt->kind = Kind::kFlag;
+  opt->alias = alias;
   opt->default_text = "false";
   opt->as_flag = std::make_unique<bool>(false);
   const bool* out = opt->as_flag.get();
@@ -76,6 +81,20 @@ void ArgParser::parse(int argc, const char* const* argv) {
       std::exit(0);
     }
     if (!starts_with(token, "--")) {
+      // A lone `-x` may be a registered one-letter flag alias.
+      if (token.size() == 2 && token[0] == '-') {
+        Option* aliased = nullptr;
+        for (auto& opt : options_) {
+          if (opt->alias == token[1]) {
+            aliased = opt.get();
+            break;
+          }
+        }
+        if (aliased != nullptr && aliased->kind == Kind::kFlag) {
+          *aliased->as_flag = true;
+          continue;
+        }
+      }
       throw InvalidArgument(program_ + ": unexpected positional argument '" +
                             token + "'");
     }
@@ -122,6 +141,7 @@ std::string ArgParser::usage() const {
   std::string out = program_ + " — " + description_ + "\n\noptions:\n";
   for (const auto& opt : options_) {
     out += "  --" + opt->name;
+    if (opt->alias != '\0') out += std::string(", -") + opt->alias;
     if (opt->kind != Kind::kFlag) out += " <value>";
     out += "\n      " + opt->help + " (default: " + opt->default_text + ")\n";
   }

@@ -26,6 +26,8 @@ class ArgParser {
   const std::size_t* add_size(std::string name, std::string help, std::size_t def);
   const std::string* add_string(std::string name, std::string help, std::string def);
   const bool* add_flag(std::string name, std::string help);
+  /// Flag with a one-letter short alias (`--verbose` / `-v`).
+  const bool* add_flag(std::string name, std::string help, char alias);
 
   /// Parses argv. Throws InvalidArgument on unknown/malformed options.
   void parse(int argc, const char* const* argv);
@@ -39,6 +41,7 @@ class ArgParser {
     std::string name;
     std::string help;
     Kind kind;
+    char alias = '\0';  // one-letter short form; '\0' = none
     std::string default_text;
     std::unique_ptr<double> as_double;
     std::unique_ptr<std::size_t> as_size;

@@ -1,14 +1,20 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <mutex>
+#include <utility>
 
 namespace dpg {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 std::mutex g_write_mutex;
+
+// Sink state, guarded by g_write_mutex (set_log_sink and every write take
+// it, so a sink swap never races an in-flight message).
+LogSink g_sink;  // empty -> stderr
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -20,15 +26,45 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+std::chrono::steady_clock::time_point log_epoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+/// Small dense per-process thread ids (stable, unlike std::thread::id's
+/// opaque hash) so interleaved lines are attributable at a glance.
+unsigned local_thread_id() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned id = next.fetch_add(1);
+  return id;
+}
+
 }  // namespace
 
 void set_log_level(LogLevel level) noexcept { g_level.store(level); }
 LogLevel log_level() noexcept { return g_level.load(); }
 
+void set_log_sink(LogSink sink) {
+  const std::lock_guard<std::mutex> lock(g_write_mutex);
+  g_sink = std::move(sink);
+}
+
 void log_message(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - log_epoch());
+  char prefix[64];
+  std::snprintf(prefix, sizeof(prefix), "[%9.3f] [t%02u] [%s] ",
+                static_cast<double>(elapsed.count()) / 1000.0,
+                local_thread_id(), level_name(level));
   const std::lock_guard<std::mutex> lock(g_write_mutex);
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+  if (g_sink) {
+    g_sink(level, prefix + message);
+  } else {
+    std::fprintf(stderr, "%s%s\n", prefix, message.c_str());
+  }
 }
 
 }  // namespace dpg

@@ -2,9 +2,12 @@
 //
 // The library itself logs nothing at Info by default; harnesses raise the
 // level with --verbose. Thread-safe: each message is formatted into a local
-// buffer and written with a single mutex-guarded call.
+// buffer and written with a single mutex-guarded call.  Lines carry an
+// elapsed-seconds-since-first-log prefix and a small dense per-process
+// thread id, e.g. `[    1.042] [t03] [INFO] ...`.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -15,6 +18,15 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 /// Sets the global threshold; messages below it are dropped.
 void set_log_level(LogLevel level) noexcept;
 [[nodiscard]] LogLevel log_level() noexcept;
+
+/// Where formatted lines go.  The string is the full prefixed line without
+/// a trailing newline.  Called under the logger's write mutex, so sinks
+/// need no locking of their own but must not log re-entrantly.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+/// Replaces the output sink (default: stderr).  Pass an empty function to
+/// restore stderr.  Tests use this to capture log output.
+void set_log_sink(LogSink sink);
 
 /// Writes one formatted line (used by the LOG macro; callable directly).
 void log_message(LogLevel level, const std::string& message);

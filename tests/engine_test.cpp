@@ -11,6 +11,8 @@
 
 #include "engine/registry.hpp"
 #include "engine/render.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/replay.hpp"
 #include "solver/baselines.hpp"
 #include "solver/dp_greedy.hpp"
@@ -130,6 +132,49 @@ void expect_bit_identical(const RequestSequence& seq, const CostModel& model) {
 TEST(Engine, BitIdenticalOnRunningExample) {
   expect_bit_identical(testing::running_example_sequence(),
                        testing::running_example_model());
+}
+
+/// Telemetry is purely observational: with recording on, every registry
+/// solver must return bit-identical totals to the telemetry-off run on the
+/// paper's running example, and each enabled RunReport must carry a
+/// non-empty metrics delta plus a root span in the trace.
+TEST(Engine, TelemetryOnIsBitIdenticalToTelemetryOff) {
+  const RequestSequence seq = testing::running_example_sequence();
+  const CostModel model = testing::running_example_model();
+  SolverConfig config;
+  config.theta = 0.4;
+  const SolverRegistry& registry = builtin_registry();
+
+  for (const std::string& name : registry.names()) {
+    obs::set_enabled(false);
+    const RunReport off = registry.run(name, seq, model, config);
+
+    obs::set_enabled(true);
+    obs::reset_metrics();
+    obs::reset_trace();
+    const RunReport on = registry.run(name, seq, model, config);
+    const std::vector<obs::TraceEventView> spans = obs::snapshot_trace();
+    obs::set_enabled(false);
+    obs::reset_metrics();
+    obs::reset_trace();
+
+    EXPECT_EQ(on.total_cost, off.total_cost) << name;
+    EXPECT_EQ(on.raw_cost, off.raw_cost) << name;
+    EXPECT_EQ(on.cache_cost, off.cache_cost) << name;
+    EXPECT_EQ(on.transfer_cost, off.transfer_cost) << name;
+    EXPECT_EQ(on.ave_cost, off.ave_cost) << name;
+    EXPECT_EQ(on.package_count, off.package_count) << name;
+    EXPECT_EQ(on.transfer_events, off.transfer_events) << name;
+    EXPECT_EQ(on.cache_segments, off.cache_segments) << name;
+
+    EXPECT_TRUE(off.metrics.counters.empty()) << name;
+    EXPECT_FALSE(on.metrics.counters.empty()) << name;
+    bool has_root_span = false;
+    for (const obs::TraceEventView& span : spans) {
+      if (span.name == "run/" + name) has_root_span = true;
+    }
+    EXPECT_TRUE(has_root_span) << name;
+  }
 }
 
 TEST(Engine, BitIdenticalOnGeneratedTrace) {

@@ -1,0 +1,313 @@
+// The telemetry substrate: per-thread counter/histogram shards merged by
+// snapshots, RAII trace spans with ring-buffer recording, and the Chrome
+// trace_event JSON export.  Everything runs with recording explicitly
+// enabled and restores the disabled default on teardown, so these tests
+// cannot perturb the rest of the suite (telemetry is off elsewhere).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace dpg {
+namespace {
+
+/// Enables recording over clean state; disables and clears on exit.
+class TelemetryGuard {
+ public:
+  TelemetryGuard() {
+    obs::set_enabled(true);
+    obs::reset_metrics();
+    obs::reset_trace();
+  }
+  ~TelemetryGuard() {
+    obs::set_enabled(false);
+    obs::reset_metrics();
+    obs::reset_trace();
+  }
+};
+
+std::uint64_t counter_of(const obs::MetricsSnapshot& snapshot,
+                         const std::string& name) {
+  return obs::counter_value(snapshot, name);
+}
+
+const obs::HistogramData* histogram_of(const obs::MetricsSnapshot& snapshot,
+                                       const std::string& name) {
+  for (const auto& [histogram_name, data] : snapshot.histograms) {
+    if (histogram_name == name) return &data;
+  }
+  return nullptr;
+}
+
+TEST(Metrics, DisabledUpdatesAreDropped) {
+  obs::set_enabled(false);
+  obs::reset_metrics();
+  const obs::Counter c = obs::counter("test.disabled_counter");
+  const obs::Histogram h = obs::histogram("test.disabled_histogram");
+  c.add(5);
+  h.record(7);
+  const obs::MetricsSnapshot snapshot = obs::snapshot_metrics();
+  EXPECT_EQ(counter_of(snapshot, "test.disabled_counter"), 0u);
+  EXPECT_EQ(histogram_of(snapshot, "test.disabled_histogram"), nullptr);
+}
+
+TEST(Metrics, CounterAccumulatesAndResets) {
+  const TelemetryGuard guard;
+  const obs::Counter c = obs::counter("test.basic_counter");
+  c.add();
+  c.add(41);
+  EXPECT_EQ(counter_of(obs::snapshot_metrics(), "test.basic_counter"), 42u);
+  obs::reset_metrics();
+  EXPECT_EQ(counter_of(obs::snapshot_metrics(), "test.basic_counter"), 0u);
+}
+
+TEST(Metrics, RegistrationIsIdempotent) {
+  const TelemetryGuard guard;
+  const obs::Counter first = obs::counter("test.same_counter");
+  const obs::Counter second = obs::counter("test.same_counter");
+  first.add(1);
+  second.add(2);
+  EXPECT_EQ(counter_of(obs::snapshot_metrics(), "test.same_counter"), 3u);
+}
+
+TEST(Metrics, HistogramBucketizesByPowersOfTwo) {
+  const TelemetryGuard guard;
+  const obs::Histogram h = obs::histogram("test.bucket_histogram");
+  h.record(0);   // bucket 0
+  h.record(1);   // bucket 1: [1, 2)
+  h.record(2);   // bucket 2: [2, 4)
+  h.record(3);   // bucket 2
+  h.record(4);   // bucket 3: [4, 8)
+  h.record(1024);  // bucket 11: [1024, 2048)
+
+  const obs::MetricsSnapshot snapshot = obs::snapshot_metrics();
+  const obs::HistogramData* data =
+      histogram_of(snapshot, "test.bucket_histogram");
+  ASSERT_NE(data, nullptr);
+  EXPECT_EQ(data->count, 6u);
+  EXPECT_EQ(data->sum, 0u + 1 + 2 + 3 + 4 + 1024);
+  EXPECT_EQ(data->buckets[0], 1u);
+  EXPECT_EQ(data->buckets[1], 1u);
+  EXPECT_EQ(data->buckets[2], 2u);
+  EXPECT_EQ(data->buckets[3], 1u);
+  EXPECT_EQ(data->buckets[11], 1u);
+}
+
+TEST(Metrics, ShardsMergeExactlyUnderThreadPoolContention) {
+  const TelemetryGuard guard;
+  const obs::Counter c = obs::counter("test.contended_counter");
+  const obs::Histogram h = obs::histogram("test.contended_histogram");
+
+  constexpr std::size_t kTasks = 64;
+  constexpr std::size_t kAddsPerTask = 1000;
+  {
+    ThreadPool pool(4);
+    std::vector<std::future<void>> futures;
+    futures.reserve(kTasks);
+    for (std::size_t t = 0; t < kTasks; ++t) {
+      futures.push_back(pool.submit([&c, &h] {
+        for (std::size_t i = 0; i < kAddsPerTask; ++i) {
+          c.add();
+          h.record(i);
+        }
+      }));
+    }
+    for (auto& future : futures) future.get();
+  }
+
+  const obs::MetricsSnapshot snapshot = obs::snapshot_metrics();
+  EXPECT_EQ(counter_of(snapshot, "test.contended_counter"),
+            kTasks * kAddsPerTask);
+  const obs::HistogramData* data =
+      histogram_of(snapshot, "test.contended_histogram");
+  ASSERT_NE(data, nullptr);
+  EXPECT_EQ(data->count, kTasks * kAddsPerTask);
+  // Σ 0..999 per task.
+  EXPECT_EQ(data->sum, kTasks * (kAddsPerTask * (kAddsPerTask - 1) / 2));
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t bucket : data->buckets) bucket_total += bucket;
+  EXPECT_EQ(bucket_total, data->count);
+}
+
+TEST(Metrics, DeltaSubtractsCountersAndHistograms) {
+  const TelemetryGuard guard;
+  const obs::Counter c = obs::counter("test.delta_counter");
+  const obs::Histogram h = obs::histogram("test.delta_histogram");
+  c.add(10);
+  h.record(4);
+  const obs::MetricsSnapshot before = obs::snapshot_metrics();
+  c.add(32);
+  h.record(4);
+  h.record(5);
+  const obs::MetricsSnapshot after = obs::snapshot_metrics();
+
+  const obs::MetricsSnapshot delta = obs::metrics_delta(before, after);
+  EXPECT_EQ(counter_of(delta, "test.delta_counter"), 32u);
+  const obs::HistogramData* data = histogram_of(delta, "test.delta_histogram");
+  ASSERT_NE(data, nullptr);
+  EXPECT_EQ(data->count, 2u);
+  EXPECT_EQ(data->sum, 9u);
+  EXPECT_EQ(data->buckets[3], 2u);  // 4 and 5 both land in [4, 8)
+
+  // No activity between two snapshots -> empty delta.
+  const obs::MetricsSnapshot quiet = obs::metrics_delta(after, after);
+  EXPECT_TRUE(quiet.counters.empty());
+  EXPECT_TRUE(quiet.histograms.empty());
+}
+
+TEST(Metrics, JsonIsWellFormedAndCarriesSchema) {
+  const TelemetryGuard guard;
+  obs::counter("test.json_counter").add(3);
+  obs::histogram("test.json_histogram").record(16);
+  const std::string json = obs::metrics_json(obs::snapshot_metrics());
+  EXPECT_NE(json.find("\"schema\": \"dpgreedy-metrics-v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"test.json_counter\": 3"), std::string::npos);
+  EXPECT_NE(json.find("test.json_histogram"), std::string::npos);
+  std::ptrdiff_t depth = 0;
+  for (const char ch : json) {
+    if (ch == '{' || ch == '[') ++depth;
+    if (ch == '}' || ch == ']') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(Trace, SpansNestOnOneThread) {
+  const TelemetryGuard guard;
+  {
+    const obs::TraceSpan outer("test/outer");
+    { const obs::TraceSpan inner("test/inner"); }
+  }
+  const std::vector<obs::TraceEventView> events = obs::snapshot_trace();
+  ASSERT_EQ(events.size(), 2u);
+  // Sorted by begin time: the outer span begins first but ends last, so the
+  // Chrome containment invariant holds on the same tid.
+  EXPECT_EQ(events[0].name, "test/outer");
+  EXPECT_EQ(events[1].name, "test/inner");
+  EXPECT_EQ(events[0].tid, events[1].tid);
+  EXPECT_LE(events[0].ts_ns, events[1].ts_ns);
+  EXPECT_GE(events[0].ts_ns + events[0].dur_ns,
+            events[1].ts_ns + events[1].dur_ns);
+}
+
+TEST(Trace, PrefixSuffixNamesConcatenateAndTruncate) {
+  const TelemetryGuard guard;
+  { const obs::TraceSpan span("run/", std::string_view("dp_greedy")); }
+  {
+    const std::string long_suffix(2 * obs::kTraceNameCapacity, 'x');
+    const obs::TraceSpan span("run/", long_suffix);
+  }
+  const std::vector<obs::TraceEventView> events = obs::snapshot_trace();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "run/dp_greedy");
+  EXPECT_LT(events[1].name.size(), obs::kTraceNameCapacity);
+  EXPECT_EQ(events[1].name.rfind("run/", 0), 0u);
+}
+
+TEST(Trace, TimestampsAreMonotoneInSnapshotOrder) {
+  const TelemetryGuard guard;
+  for (int i = 0; i < 100; ++i) {
+    const obs::TraceSpan span("test/tick");
+  }
+  const std::vector<obs::TraceEventView> events = obs::snapshot_trace();
+  ASSERT_EQ(events.size(), 100u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].ts_ns, events[i].ts_ns);
+  }
+}
+
+TEST(Trace, OverflowDropsAndCountsInsteadOfOverwriting) {
+  const TelemetryGuard guard;
+  const std::size_t attempts = obs::kTraceRingCapacity + 100;
+  for (std::size_t i = 0; i < attempts; ++i) {
+    const obs::TraceSpan span("test/flood");
+  }
+  EXPECT_EQ(obs::snapshot_trace().size(), obs::kTraceRingCapacity);
+  EXPECT_GE(obs::trace_dropped_events(), 100u);
+  obs::reset_trace();
+  EXPECT_TRUE(obs::snapshot_trace().empty());
+  EXPECT_EQ(obs::trace_dropped_events(), 0u);
+}
+
+TEST(Trace, DisabledSpansRecordNothing) {
+  obs::set_enabled(false);
+  obs::reset_trace();
+  { const obs::TraceSpan span("test/ghost"); }
+  EXPECT_TRUE(obs::snapshot_trace().empty());
+}
+
+TEST(Trace, PoolWorkersRecordOffTheMainThread) {
+  const TelemetryGuard guard;
+  std::uint32_t main_tid = 0;
+  {
+    const obs::TraceSpan span("test/main");
+  }
+  {
+    ThreadPool pool(3);
+    std::vector<std::future<void>> futures;
+    for (int t = 0; t < 12; ++t) {
+      futures.push_back(
+          pool.submit([] { const obs::TraceSpan span("test/worker"); }));
+    }
+    for (auto& future : futures) future.get();
+  }
+  std::size_t worker_spans = 0;
+  for (const obs::TraceEventView& event : obs::snapshot_trace()) {
+    if (event.name == "test/main") main_tid = event.tid;
+  }
+  for (const obs::TraceEventView& event : obs::snapshot_trace()) {
+    if (event.name != "test/worker") continue;  // pool/idle etc. ride along
+    ++worker_spans;
+    EXPECT_NE(event.tid, main_tid);
+  }
+  EXPECT_EQ(worker_spans, 12u);
+}
+
+TEST(Trace, JsonIsChromeLoadable) {
+  const TelemetryGuard guard;
+  {
+    const obs::TraceSpan outer("test/json \"quoted\"");
+    const obs::TraceSpan inner("test/json-inner");
+  }
+  const std::string json = obs::trace_json();
+  EXPECT_EQ(json.rfind("{", 0), 0u);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+  std::ptrdiff_t depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (const char ch : json) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (ch == '\\') {
+      escaped = true;
+      continue;
+    }
+    if (ch == '"') {
+      in_string = !in_string;
+      continue;
+    }
+    if (in_string) continue;
+    if (ch == '{' || ch == '[') ++depth;
+    if (ch == '}' || ch == ']') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_FALSE(in_string);
+  EXPECT_EQ(depth, 0);
+}
+
+}  // namespace
+}  // namespace dpg

@@ -64,6 +64,35 @@ TEST(Args, PositionalArgumentsRejected) {
   EXPECT_THROW(args.parse(2, argv), InvalidArgument);
 }
 
+TEST(Args, ShortAliasSetsTheFlag) {
+  ArgParser args("prog", "test");
+  const bool* verbose = args.add_flag("verbose", "more logs", 'v');
+  const char* argv[] = {"prog", "-v"};
+  args.parse(2, argv);
+  EXPECT_TRUE(*verbose);
+}
+
+TEST(Args, LongFormOfAliasedFlagStillWorks) {
+  ArgParser args("prog", "test");
+  const bool* verbose = args.add_flag("verbose", "more logs", 'v');
+  const char* argv[] = {"prog", "--verbose"};
+  args.parse(2, argv);
+  EXPECT_TRUE(*verbose);
+}
+
+TEST(Args, UnknownShortTokenStillRejected) {
+  ArgParser args("prog", "test");
+  args.add_flag("verbose", "more logs", 'v');
+  const char* argv[] = {"prog", "-x"};
+  EXPECT_THROW(args.parse(2, argv), InvalidArgument);
+}
+
+TEST(Args, AliasAppearsInUsage) {
+  ArgParser args("prog", "test");
+  args.add_flag("verbose", "more logs", 'v');
+  EXPECT_NE(args.usage().find("--verbose, -v"), std::string::npos);
+}
+
 TEST(Args, UsageListsOptionsWithDefaults) {
   ArgParser args("prog", "does things");
   args.add_double("alpha", "discount factor", 0.8);

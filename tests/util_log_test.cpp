@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "util/log.hpp"
 
 namespace dpg {
@@ -46,6 +50,63 @@ TEST(Log, DirectCallRespectsThreshold) {
   // but it exercises the early-return path).
   log_message(LogLevel::kError, "should be dropped");
   SUCCEED();
+}
+
+/// Restores the stderr sink on scope exit.
+class LogSinkGuard {
+ public:
+  LogSinkGuard() = default;
+  ~LogSinkGuard() { set_log_sink({}); }
+};
+
+TEST(Log, SinkCapturesFormattedLines) {
+  const LogLevelGuard level_guard;
+  const LogSinkGuard sink_guard;
+  set_log_level(LogLevel::kInfo);
+  std::vector<std::pair<LogLevel, std::string>> captured;
+  set_log_sink([&captured](LogLevel level, const std::string& line) {
+    captured.emplace_back(level, line);
+  });
+
+  DPG_INFO << "hello " << 42;
+  log_message(LogLevel::kWarn, "direct");
+  log_message(LogLevel::kDebug, "below threshold");
+
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0].first, LogLevel::kInfo);
+  EXPECT_NE(captured[0].second.find("[INFO] hello 42"), std::string::npos);
+  EXPECT_EQ(captured[1].first, LogLevel::kWarn);
+  EXPECT_NE(captured[1].second.find("[WARN] direct"), std::string::npos);
+}
+
+TEST(Log, LinesCarryElapsedAndThreadPrefixes) {
+  const LogLevelGuard level_guard;
+  const LogSinkGuard sink_guard;
+  set_log_level(LogLevel::kInfo);
+  std::string line;
+  set_log_sink(
+      [&line](LogLevel, const std::string& text) { line = text; });
+  log_message(LogLevel::kInfo, "probe");
+
+  // `[  elapsed] [tNN] [LEVEL] message` — elapsed is a fixed-width seconds
+  // field, the thread id is small and dense.
+  ASSERT_FALSE(line.empty());
+  EXPECT_EQ(line.front(), '[');
+  EXPECT_NE(line.find("] [t"), std::string::npos);
+  EXPECT_NE(line.find("[INFO] probe"), std::string::npos);
+  const std::size_t dot = line.find('.');
+  ASSERT_NE(dot, std::string::npos);
+  EXPECT_LT(dot, line.find(']'));  // elapsed-seconds field has a decimal point
+}
+
+TEST(Log, EmptySinkRestoresStderr) {
+  const LogLevelGuard level_guard;
+  set_log_level(LogLevel::kOff);
+  bool called = false;
+  set_log_sink([&called](LogLevel, const std::string&) { called = true; });
+  set_log_sink({});
+  log_message(LogLevel::kError, "dropped by level anyway");
+  EXPECT_FALSE(called);
 }
 
 }  // namespace

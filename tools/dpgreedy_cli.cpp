@@ -15,6 +15,7 @@
 // archived, inspected and re-solved reproducibly.
 #include <algorithm>
 #include <cctype>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -23,6 +24,9 @@
 #include "engine/registry.hpp"
 #include "engine/render.hpp"
 #include "mobility/simulator.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/log.hpp"
 #include "trace/generators.hpp"
 #include "trace/io.hpp"
 #include "trace/stats.hpp"
@@ -49,6 +53,9 @@ struct RunFlags {
   const std::size_t* repack;
   const std::size_t* group_size;
   const double* hold;
+  const bool* verbose;
+  const std::string* metrics_out;
+  const std::string* trace_out;
 };
 
 RunFlags add_run_flags(ArgParser& args) {
@@ -62,11 +69,58 @@ RunFlags add_run_flags(ArgParser& args) {
   flags.repack = args.add_size("repack", "online re-pairing interval", 50);
   flags.group_size = args.add_size("group-size", "max group size", 3);
   flags.hold = args.add_double("hold", "break-even hold factor", 1.0);
+  flags.verbose = args.add_flag("verbose", "log at DEBUG level", 'v');
+  flags.metrics_out = args.add_string(
+      "metrics-out", "write a metrics snapshot JSON here (enables telemetry)",
+      "");
+  flags.trace_out = args.add_string(
+      "trace-out",
+      "write a Perfetto-loadable trace_event JSON here (enables telemetry)",
+      "");
   return flags;
 }
 
+/// Applies the cross-cutting run flags: log level and telemetry recording.
+/// Call after parse(), before solving.
+void begin_telemetry(const RunFlags& flags) {
+  if (*flags.verbose) set_log_level(LogLevel::kDebug);
+  if (!flags.metrics_out->empty() || !flags.trace_out->empty()) {
+    obs::set_enabled(true);
+    DPG_DEBUG << "telemetry recording enabled";
+  }
+}
+
+void write_text_file(const std::string& path, const std::string& text) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) throw IoError("cannot write " + path);
+  std::fputs(text.c_str(), file);
+  std::fclose(file);
+}
+
+/// Dumps --metrics-out / --trace-out files after the solves finished.
+void finish_telemetry(const RunFlags& flags) {
+  if (!flags.metrics_out->empty()) {
+    write_text_file(*flags.metrics_out,
+                    obs::metrics_json(obs::snapshot_metrics()) + "\n");
+    std::printf("wrote metrics to %s\n", flags.metrics_out->c_str());
+  }
+  if (!flags.trace_out->empty()) {
+    write_text_file(*flags.trace_out, obs::trace_json() + "\n");
+    const std::uint64_t dropped = obs::trace_dropped_events();
+    if (dropped > 0) {
+      std::fprintf(stderr, "warning: %llu trace events dropped (ring full)\n",
+                   static_cast<unsigned long long>(dropped));
+    }
+    std::printf("wrote trace to %s\n", flags.trace_out->c_str());
+  }
+}
+
 RequestSequence load_trace(const RunFlags& flags) {
-  return read_trace_file(*flags.trace);
+  RequestSequence trace = read_trace_file(*flags.trace);
+  DPG_INFO << "loaded " << trace.size() << " requests (m="
+           << trace.server_count() << ", k=" << trace.item_count()
+           << ") from " << *flags.trace;
+  return trace;
 }
 
 CostModel model_of(const RunFlags& flags) {
@@ -266,6 +320,7 @@ int cmd_solve(int argc, const char* const* argv) {
   const std::string* export_dir =
       args.add_string("export-dir", "write plan schedules (CSV+DOT) here", "");
   args.parse(argc, argv);
+  begin_telemetry(flags);
 
   const RequestSequence trace = load_trace(flags);
   const CostModel model = model_of(flags);
@@ -286,8 +341,12 @@ int cmd_solve(int argc, const char* const* argv) {
               format_fixed(report.total_cost, 2).c_str(),
               report.total_item_accesses,
               format_fixed(report.ave_cost, 4).c_str());
+  if (*format == "table" && !report.metrics.counters.empty()) {
+    std::printf("\n%s", render_metrics(report).c_str());
+  }
 
   if (!export_dir->empty()) export_plans(report.plans, *export_dir);
+  finish_telemetry(flags);
   return 0;
 }
 
@@ -299,6 +358,7 @@ int cmd_compare(int argc, const char* const* argv) {
   const std::string* format =
       args.add_string("format", "table | csv | json", "table");
   args.parse(argc, argv);
+  begin_telemetry(flags);
 
   std::vector<std::string> names;
   if (solvers->empty()) {
@@ -312,6 +372,7 @@ int cmd_compare(int argc, const char* const* argv) {
   const std::vector<RunReport> reports =
       run_solvers(names, trace, model_of(flags), config_of(flags));
   print_reports(reports, *format);
+  finish_telemetry(flags);
   return 0;
 }
 
@@ -319,6 +380,7 @@ int cmd_online(int argc, const char* const* argv) {
   ArgParser args("dpgreedy online", "online DP_Greedy vs the offline solve");
   const RunFlags flags = add_run_flags(args);
   args.parse(argc, argv);
+  begin_telemetry(flags);
 
   const RequestSequence trace = load_trace(flags);
   const CostModel model = model_of(flags);
@@ -340,6 +402,7 @@ int cmd_online(int argc, const char* const* argv) {
     std::printf("online/offline ratio: %s\n",
                 format_fixed(online.total_cost / offline.total_cost, 3).c_str());
   }
+  finish_telemetry(flags);
   return 0;
 }
 
