@@ -1,76 +1,396 @@
-// Microbenchmarks for the workload substrate: generators, trace I/O,
-// correlation windows and the replay engine.
-#include <benchmark/benchmark.h>
+// Trace-I/O perf harness: streaming CSV parser vs the legacy CsvTable path,
+// allocation counts for CSR sequence builds, buffered file write/read
+// throughput, and a million-request end-to-end dp_greedy run.  Splices its
+// results as the "trace_io" section of BENCH_solvers.json (written by
+// bm_phase1) so the committed baseline stays one file.
+//
+// Usage: bm_trace [BENCH_solvers.json]   (default: BENCH_solvers.json in the
+// CWD; run from the repo root, after bm_phase1, to refresh the baseline)
+//
+// Allocation counts come from a global operator new/delete override local to
+// this binary (same scheme as bm_phase1): exact counts, not estimates.
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <new>
+#include <sstream>
+#include <string>
+#include <vector>
 
-#include "mobility/simulator.hpp"
-#include "sim/replay.hpp"
-#include "engine/algorithms.hpp"
+#include "engine/registry.hpp"
+#include "harness_common.hpp"
 #include "trace/generators.hpp"
 #include "trace/io.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+
+void* counted_alloc(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size > 0 ? size : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t alignment) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, alignment, size > 0 ? size : alignment) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 namespace dpg {
 namespace {
 
-void BM_MobilitySimulation(benchmark::State& state) {
-  MobilityConfig config;
-  config.duration = static_cast<double>(state.range(0));
-  for (auto _ : state) {
-    Rng rng(7);
-    benchmark::DoNotOptimize(simulate_mobility(config, rng).size());
-  }
-}
-BENCHMARK(BM_MobilitySimulation)->Arg(50)->Arg(200)->Arg(800);
+constexpr int kRepetitions = 5;
 
-void BM_PairedGenerator(benchmark::State& state) {
-  PairedTraceConfig config;
-  config.requests_per_pair = static_cast<std::size_t>(state.range(0));
-  for (auto _ : state) {
-    Rng rng(3);
-    benchmark::DoNotOptimize(generate_paired_trace(config, rng).size());
-  }
+std::uint64_t allocations_now() {
+  return g_allocations.load(std::memory_order_relaxed);
 }
-BENCHMARK(BM_PairedGenerator)->Arg(200)->Arg(2000);
 
-void BM_TraceCsvRoundTrip(benchmark::State& state) {
+/// Best-of-N wall time of `fn`, in milliseconds.
+template <typename Fn>
+double time_best_ms(Fn&& fn, int repetitions = kRepetitions) {
+  double best = 1e300;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    Stopwatch watch;
+    fn();
+    best = std::min(best, watch.elapsed_seconds() * 1e3);
+  }
+  return best;
+}
+
+bool same_sequence(const RequestSequence& a, const RequestSequence& b) {
+  if (a.server_count() != b.server_count() ||
+      a.item_count() != b.item_count() || a.size() != b.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].server != b[i].server || a[i].time != b[i].time ||
+        !std::equal(a[i].items.begin(), a[i].items.end(), b[i].items.begin(),
+                    b[i].items.end())) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Streaming vs legacy parser on one serialized Zipf trace.
+struct ParseReport {
+  std::size_t requests = 0;
+  std::size_t bytes = 0;
+  double legacy_ms = 0.0;
+  double streaming_ms = 0.0;
+  double legacy_mib_s = 0.0;
+  double streaming_mib_s = 0.0;
+  std::uint64_t legacy_allocs = 0;
+  std::uint64_t streaming_allocs = 0;
+  bool sequences_identical = false;
+};
+
+ParseReport run_parse(std::size_t requests) {
   ZipfTraceConfig config;
-  config.request_count = static_cast<std::size_t>(state.range(0));
-  Rng rng(5);
-  const RequestSequence trace = generate_zipf_trace(config, rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(trace_from_csv(trace_to_csv(trace)).size());
-  }
-}
-BENCHMARK(BM_TraceCsvRoundTrip)->Arg(1000)->Arg(8000);
-
-void BM_WindowedJaccard(benchmark::State& state) {
-  ZipfTraceConfig config;
-  config.request_count = static_cast<std::size_t>(state.range(0));
+  config.server_count = 50;
+  config.item_count = 2000;
+  config.request_count = requests;
   config.co_access = 0.5;
-  Rng rng(9);
-  const RequestSequence trace = generate_zipf_trace(config, rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        windowed_jaccard_series(trace, 0, 1, 100, 10).size());
-  }
-}
-BENCHMARK(BM_WindowedJaccard)->Arg(2000)->Arg(16000);
+  Rng rng(21);
+  const std::string csv = trace_to_csv(generate_zipf_trace(config, rng));
 
-void BM_ReplayPlans(benchmark::State& state) {
-  UniformTraceConfig config;
-  config.item_count = 1;
-  config.request_count = static_cast<std::size_t>(state.range(0));
-  config.server_count = 16;
-  Rng rng(11);
-  const RequestSequence trace = generate_uniform_trace(config, rng);
-  const Flow flow = make_item_flow(trace, 0);
-  const CostModel model{1.0, 1.0, 0.8};
-  const SolveResult solved = solve_optimal_offline(flow, model, 16);
-  const std::vector<FlowPlan> plans{FlowPlan{flow, solved.schedule, "bench"}};
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(replay_plans(plans, model, 16).total_cost);
-  }
+  ParseReport report;
+  report.requests = requests;
+  report.bytes = csv.size();
+  report.legacy_ms = time_best_ms([&] {
+    if (trace_from_csv_legacy(csv).size() != requests) std::abort();
+  });
+  report.streaming_ms = time_best_ms([&] {
+    if (trace_from_csv(csv).size() != requests) std::abort();
+  });
+  const double mib = static_cast<double>(csv.size()) / (1024.0 * 1024.0);
+  report.legacy_mib_s = mib / (report.legacy_ms / 1e3);
+  report.streaming_mib_s = mib / (report.streaming_ms / 1e3);
+
+  std::uint64_t before = allocations_now();
+  const RequestSequence legacy = trace_from_csv_legacy(csv);
+  report.legacy_allocs = allocations_now() - before;
+  before = allocations_now();
+  const RequestSequence streamed = trace_from_csv(csv);
+  report.streaming_allocs = allocations_now() - before;
+  report.sequences_identical = same_sequence(legacy, streamed);
+  return report;
 }
-BENCHMARK(BM_ReplayPlans)->Arg(500)->Arg(4000);
+
+/// Allocation count of one pre-reserved CSR build at size n — constant in n
+/// (the build permutes into place and rebuilds four flat arrays), which the
+/// baseline demonstrates by recording the count at n and 2n.
+struct BuildReport {
+  std::size_t requests = 0;
+  std::uint64_t reserve_allocs = 0;  // growing the builder's six flat arrays
+  std::uint64_t build_allocs = 0;    // everything after reserve, incl. build()
+};
+
+BuildReport run_build(std::size_t requests) {
+  const std::size_t servers = 50, items = 2000;
+  Rng rng(33);
+  BuildReport report;
+  report.requests = requests;
+  SequenceBuilder builder(servers, items);
+  std::uint64_t before = allocations_now();
+  builder.reserve(requests, 2 * requests);
+  report.reserve_allocs = allocations_now() - before;
+  before = allocations_now();
+  for (std::size_t i = 0; i < requests; ++i) {
+    builder.begin_request(static_cast<ServerId>(rng.next_below(servers)),
+                          static_cast<Time>(i + 1));
+    builder.push_item(static_cast<ItemId>(rng.next_below(items)));
+    builder.push_item(static_cast<ItemId>(rng.next_below(items)));
+    builder.end_request();
+  }
+  const RequestSequence seq = std::move(builder).build();
+  report.build_allocs = allocations_now() - before;
+  if (seq.size() != requests) std::abort();
+  return report;
+}
+
+/// Buffered file write + sized-read round trip on a large trace.
+struct FileReport {
+  std::size_t requests = 0;
+  std::size_t bytes = 0;
+  double write_ms = 0.0;
+  double read_ms = 0.0;
+  double write_mib_s = 0.0;
+  double read_mib_s = 0.0;
+};
+
+FileReport run_file(std::size_t requests) {
+  ZipfTraceConfig config;
+  config.server_count = 50;
+  config.item_count = 2000;
+  config.request_count = requests;
+  Rng rng(44);
+  const RequestSequence seq = generate_zipf_trace(config, rng);
+  const std::string path = "/tmp/dpg_bm_trace.csv";
+
+  FileReport report;
+  report.requests = requests;
+  report.write_ms = time_best_ms([&] { write_trace_file(path, seq); });
+  report.read_ms = time_best_ms([&] {
+    if (read_trace_file(path).size() != requests) std::abort();
+  });
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  report.bytes = in ? static_cast<std::size_t>(in.tellg()) : 0;
+  const double mib = static_cast<double>(report.bytes) / (1024.0 * 1024.0);
+  report.write_mib_s = mib / (report.write_ms / 1e3);
+  report.read_mib_s = mib / (report.read_ms / 1e3);
+  std::remove(path.c_str());
+  return report;
+}
+
+/// Million-request end to end: generate, file round trip, dp_greedy through
+/// the registry.  Uniform workload over 200k items keeps every per-item flow
+/// short, so the quadratic DP stays linear overall — the regime the CSR
+/// data plane is built for.
+struct MillionReport {
+  std::size_t requests = 0;
+  std::size_t items = 0;
+  std::size_t file_bytes = 0;
+  double generate_s = 0.0;
+  double write_s = 0.0;
+  double read_s = 0.0;
+  double solve_s = 0.0;
+  Cost total_cost = 0.0;
+  bool roundtrip_identical = false;
+};
+
+MillionReport run_million() {
+  UniformTraceConfig config;
+  config.server_count = 50;
+  config.item_count = 200000;
+  config.request_count = 1000000;
+  config.mean_gap = 0.05;
+
+  MillionReport report;
+  report.requests = config.request_count;
+  report.items = config.item_count;
+
+  Rng rng(55);
+  Stopwatch watch;
+  const RequestSequence seq = generate_uniform_trace(config, rng);
+  report.generate_s = watch.elapsed_seconds();
+
+  const std::string path = "/tmp/dpg_bm_trace_1m.csv";
+  watch = Stopwatch();
+  write_trace_file(path, seq);
+  report.write_s = watch.elapsed_seconds();
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  report.file_bytes = in ? static_cast<std::size_t>(in.tellg()) : 0;
+
+  watch = Stopwatch();
+  const RequestSequence restored =
+      read_trace_file(path, seq.server_count(), seq.item_count());
+  report.read_s = watch.elapsed_seconds();
+  std::remove(path.c_str());
+  report.roundtrip_identical = same_sequence(seq, restored);
+
+  SolverConfig solver_config;
+  solver_config.keep_schedules = false;
+  watch = Stopwatch();
+  const RunReport run =
+      builtin_registry().run("dp_greedy", restored, CostModel{1.0, 2.0, 0.8},
+                             solver_config);
+  report.solve_s = watch.elapsed_seconds();
+  report.total_cost = run.total_cost;
+  return report;
+}
+
+/// Replaces (or inserts) the one-line `"trace_io"` section right after the
+/// opening brace of the bm_phase1-written baseline, preserving the rest.
+int splice_into_baseline(const std::string& path, const std::string& section) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s (run bm_phase1 first)\n",
+                 path.c_str());
+    return 1;
+  }
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) {
+    if (line.rfind("  \"trace_io\":", 0) == 0) continue;  // replace old
+    lines.push_back(line);
+  }
+  in.close();
+  if (lines.empty() || lines.front() != "{") {
+    std::fprintf(stderr, "%s does not look like the bench baseline\n",
+                 path.c_str());
+    return 1;
+  }
+  std::ofstream out(path, std::ios::trunc);
+  out << lines.front() << "\n" << section << "\n";
+  for (std::size_t i = 1; i < lines.size(); ++i) out << lines[i] << "\n";
+  return out ? 0 : 1;
+}
+
+int run(const std::string& baseline_path) {
+  std::printf("csv parse (legacy vs streaming) ...\n");
+  const ParseReport parse = run_parse(200000);
+  std::printf("csr build allocations ...\n");
+  const BuildReport build_n = run_build(100000);
+  const BuildReport build_2n = run_build(200000);
+  std::printf("file write/read ...\n");
+  const FileReport file = run_file(200000);
+  std::printf("million-request end to end ...\n");
+  const MillionReport million = run_million();
+
+  std::ostringstream section;
+  section.setf(std::ios::fixed);
+  section.precision(3);
+  section << "  \"trace_io\": {\"binary\": \"bm_trace\", \"repetitions\": "
+          << kRepetitions << ", \"csv_parse\": {\"requests\": "
+          << parse.requests << ", \"bytes\": " << parse.bytes
+          << ", \"legacy_ms\": " << parse.legacy_ms
+          << ", \"streaming_ms\": " << parse.streaming_ms
+          << ", \"legacy_mib_s\": " << parse.legacy_mib_s
+          << ", \"streaming_mib_s\": " << parse.streaming_mib_s
+          << ", \"speedup\": " << parse.legacy_ms / parse.streaming_ms
+          << ", \"legacy_allocs\": " << parse.legacy_allocs
+          << ", \"streaming_allocs\": " << parse.streaming_allocs
+          << ", \"sequences_identical\": "
+          << (parse.sequences_identical ? "true" : "false")
+          << "}, \"csr_build\": [{\"requests\": " << build_n.requests
+          << ", \"reserve_allocs\": " << build_n.reserve_allocs
+          << ", \"build_allocs\": " << build_n.build_allocs
+          << "}, {\"requests\": " << build_2n.requests
+          << ", \"reserve_allocs\": " << build_2n.reserve_allocs
+          << ", \"build_allocs\": " << build_2n.build_allocs
+          << "}], \"file_io\": {\"requests\": " << file.requests
+          << ", \"bytes\": " << file.bytes
+          << ", \"write_ms\": " << file.write_ms
+          << ", \"read_ms\": " << file.read_ms
+          << ", \"write_mib_s\": " << file.write_mib_s
+          << ", \"read_mib_s\": " << file.read_mib_s
+          << "}, \"million_request_e2e\": {\"requests\": " << million.requests
+          << ", \"items\": " << million.items
+          << ", \"file_bytes\": " << million.file_bytes
+          << ", \"generate_s\": " << million.generate_s
+          << ", \"write_s\": " << million.write_s
+          << ", \"read_s\": " << million.read_s
+          << ", \"dp_greedy_solve_s\": " << million.solve_s
+          << ", \"total_cost\": " << million.total_cost
+          << ", \"roundtrip_identical\": "
+          << (million.roundtrip_identical ? "true" : "false")
+          << "}, \"peak_rss_bytes\": " << harness::peak_rss_bytes() << "},";
+
+  const int status = splice_into_baseline(baseline_path, section.str());
+  if (status == 0) std::printf("updated %s\n", baseline_path.c_str());
+
+  std::printf(
+      "parse %zu rows (%.1f MiB): legacy %.2f ms (%.0f MiB/s, %llu allocs)  "
+      "streaming %.2f ms (%.0f MiB/s, %llu allocs)  speedup %.2fx  %s\n",
+      parse.requests, static_cast<double>(parse.bytes) / (1024.0 * 1024.0),
+      parse.legacy_ms, parse.legacy_mib_s,
+      static_cast<unsigned long long>(parse.legacy_allocs), parse.streaming_ms,
+      parse.streaming_mib_s,
+      static_cast<unsigned long long>(parse.streaming_allocs),
+      parse.legacy_ms / parse.streaming_ms,
+      parse.sequences_identical ? "identical" : "DIFFERS");
+  std::printf(
+      "csr build: n=%zu -> %llu allocs after reserve, n=%zu -> %llu "
+      "(constant, not per-request)\n",
+      build_n.requests, static_cast<unsigned long long>(build_n.build_allocs),
+      build_2n.requests,
+      static_cast<unsigned long long>(build_2n.build_allocs));
+  std::printf(
+      "file io %zu rows: write %.2f ms (%.0f MiB/s)  read %.2f ms "
+      "(%.0f MiB/s)\n",
+      file.requests, file.write_ms, file.write_mib_s, file.read_ms,
+      file.read_mib_s);
+  std::printf(
+      "1M e2e: generate %.2fs  write %.2fs (%.1f MiB)  read %.2fs  "
+      "dp_greedy %.2fs  cost %.2f  roundtrip %s\n",
+      million.generate_s, million.write_s,
+      static_cast<double>(million.file_bytes) / (1024.0 * 1024.0),
+      million.read_s, million.solve_s, million.total_cost,
+      million.roundtrip_identical ? "identical" : "DIFFERS");
+
+  const bool pass = parse.sequences_identical && million.roundtrip_identical &&
+                    parse.legacy_ms / parse.streaming_ms >= 5.0 &&
+                    build_n.build_allocs == build_2n.build_allocs;
+  std::printf("trace_io acceptance: %s\n", pass ? "PASS" : "FAIL");
+  return status != 0 ? status : (pass ? 0 : 2);
+}
 
 }  // namespace
 }  // namespace dpg
+
+int main(int argc, char** argv) {
+  const std::string baseline = argc > 1 ? argv[1] : "BENCH_solvers.json";
+  return dpg::run(baseline);
+}

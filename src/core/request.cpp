@@ -1,11 +1,20 @@
 #include "core/request.hpp"
 
 #include <algorithm>
+#include <numeric>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
 namespace dpg {
+
+namespace {
+
+const obs::Counter g_build_allocs = obs::counter("trace.build_allocs");
+const obs::Counter g_sequences_built = obs::counter("trace.sequences_built");
+
+}  // namespace
 
 bool Request::contains(ItemId item) const noexcept {
   return std::binary_search(items.begin(), items.end(), item);
@@ -13,49 +22,122 @@ bool Request::contains(ItemId item) const noexcept {
 
 RequestSequence::RequestSequence(std::size_t server_count,
                                  std::size_t item_count,
-                                 std::vector<Request> requests)
+                                 std::vector<RequestDraft> requests)
+    : server_count_(server_count), item_count_(item_count) {
+  std::size_t accesses = 0;
+  for (const RequestDraft& r : requests) accesses += r.items.size();
+  servers_.reserve(requests.size());
+  times_.reserve(requests.size());
+  items_pool_.reserve(accesses);
+  item_offsets_.reserve(requests.size() + 1);
+  item_offsets_.push_back(0);
+  for (const RequestDraft& r : requests) {
+    servers_.push_back(r.server);
+    times_.push_back(r.time);
+    items_pool_.insert(items_pool_.end(), r.items.begin(), r.items.end());
+    item_offsets_.push_back(items_pool_.size());
+  }
+  validate_and_index(/*rows_normalized=*/false);
+}
+
+RequestSequence::RequestSequence(std::size_t server_count,
+                                 std::size_t item_count,
+                                 std::vector<ServerId> servers,
+                                 std::vector<Time> times,
+                                 std::vector<ItemId> items_pool,
+                                 std::vector<std::size_t> item_offsets,
+                                 bool rows_normalized)
     : server_count_(server_count),
       item_count_(item_count),
-      requests_(std::move(requests)),
-      per_item_indices_(item_count) {
+      servers_(std::move(servers)),
+      times_(std::move(times)),
+      items_pool_(std::move(items_pool)),
+      item_offsets_(std::move(item_offsets)) {
+  validate_and_index(rows_normalized);
+}
+
+void RequestSequence::validate_and_index(bool rows_normalized) {
   require(server_count_ > 0, "RequestSequence: need >= 1 server");
   require(item_count_ > 0, "RequestSequence: need >= 1 item");
-  Time previous = 0.0;
-  for (std::size_t i = 0; i < requests_.size(); ++i) {
-    const Request& r = requests_[i];
-    require(r.server < server_count_,
-            "RequestSequence: server id out of range at request " +
-                std::to_string(i));
-    require(r.time > previous,
-            "RequestSequence: times must be strictly increasing and > 0 "
-            "(violated at request " + std::to_string(i) + ")");
-    previous = r.time;
-    require(!r.items.empty(),
-            "RequestSequence: empty item set at request " + std::to_string(i));
-    require(std::is_sorted(r.items.begin(), r.items.end()) &&
-                std::adjacent_find(r.items.begin(), r.items.end()) ==
-                    r.items.end(),
-            "RequestSequence: item set must be sorted and duplicate-free at "
-            "request " + std::to_string(i));
-    require(r.items.back() < item_count_,
-            "RequestSequence: item id out of range at request " +
-                std::to_string(i));
-    for (const ItemId item : r.items) {
-      per_item_indices_[item].push_back(i);
-      ++total_item_accesses_;
+  // One tight pass per flat array (not one combined per-row loop): each
+  // check vectorizes, and failure messages are built only on the throw path
+  // ("+ std::to_string(i)" eagerly would heap-allocate per request).
+  const std::size_t n = servers_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (servers_[i] >= server_count_) {
+      throw InvalidArgument("RequestSequence: server id out of range at "
+                            "request " + std::to_string(i));
     }
   }
+  Time previous = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(times_[i] > previous)) {
+      throw InvalidArgument(
+          "RequestSequence: times must be strictly increasing and > 0 "
+          "(violated at request " + std::to_string(i) + ")");
+    }
+    previous = times_[i];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (item_offsets_[i + 1] == item_offsets_[i]) {
+      throw InvalidArgument("RequestSequence: empty item set at request " +
+                            std::to_string(i));
+    }
+  }
+  if (!rows_normalized) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::span<const ItemId> items = items_of(i);
+      if (!std::is_sorted(items.begin(), items.end()) ||
+          std::adjacent_find(items.begin(), items.end()) != items.end()) {
+        throw InvalidArgument(
+            "RequestSequence: item set must be sorted and duplicate-free at "
+            "request " + std::to_string(i));
+      }
+    }
+  }
+  // Per-item inverted index as one flat pool + offsets: counting pass over
+  // the items pool, prefix sum, then a scatter pass.  The scatter advances
+  // per_item_offsets_[item] to the end of item's range, so a final shift
+  // restores the offsets — no per-item vectors, no cursor copy.  The item
+  // range check rides on the counting pass (one pool scan, not two).
+  per_item_offsets_.assign(item_count_ + 1, 0);
+  for (const ItemId item : items_pool_) {
+    if (item >= item_count_) {
+      // Recover the offending row for the message (cold path only).
+      const std::size_t at = static_cast<std::size_t>(
+          &item - items_pool_.data());
+      const std::size_t row = static_cast<std::size_t>(
+          std::upper_bound(item_offsets_.begin(), item_offsets_.end(), at) -
+          item_offsets_.begin()) - 1;
+      throw InvalidArgument("RequestSequence: item id out of range at "
+                            "request " + std::to_string(row));
+    }
+    ++per_item_offsets_[item + 1];
+  }
+  std::partial_sum(per_item_offsets_.begin(), per_item_offsets_.end(),
+                   per_item_offsets_.begin());
+  per_item_pool_.resize(items_pool_.size());
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    for (const ItemId item : items_of(i)) {
+      per_item_pool_[per_item_offsets_[item]++] = i;
+    }
+  }
+  for (std::size_t item = item_count_; item > 0; --item) {
+    per_item_offsets_[item] = per_item_offsets_[item - 1];
+  }
+  per_item_offsets_[0] = 0;
+  g_sequences_built.add();
 }
 
 std::size_t RequestSequence::item_frequency(ItemId item) const {
   require(item < item_count_, "item_frequency: item out of range");
-  return per_item_indices_[item].size();
+  return per_item_offsets_[item + 1] - per_item_offsets_[item];
 }
 
 std::size_t RequestSequence::pair_frequency(ItemId a, ItemId b) const {
   require(a < item_count_ && b < item_count_, "pair_frequency: item out of range");
-  const auto& ia = per_item_indices_[a];
-  const auto& ib = per_item_indices_[b];
+  const std::span<const std::size_t> ia = indices_for_item(a);
+  const std::span<const std::size_t> ib = indices_for_item(b);
   std::size_t count = 0;
   std::size_t x = 0, y = 0;
   while (x < ia.size() && y < ib.size()) {
@@ -72,22 +154,24 @@ std::size_t RequestSequence::pair_frequency(ItemId a, ItemId b) const {
   return count;
 }
 
-const std::vector<std::size_t>& RequestSequence::indices_for_item(
+std::span<const std::size_t> RequestSequence::indices_for_item(
     ItemId item) const {
   require(item < item_count_, "indices_for_item: item out of range");
-  return per_item_indices_[item];
+  return {per_item_pool_.data() + per_item_offsets_[item],
+          per_item_offsets_[item + 1] - per_item_offsets_[item]};
 }
 
 std::string RequestSequence::to_string() const {
   std::string out = "RequestSequence(m=" + std::to_string(server_count_) +
                     ", k=" + std::to_string(item_count_) +
-                    ", n=" + std::to_string(requests_.size()) + ")\n";
-  for (const Request& r : requests_) {
-    out += "  t=" + format_fixed(r.time, 3) + " s=" + std::to_string(r.server) +
-           " items={";
-    for (std::size_t j = 0; j < r.items.size(); ++j) {
+                    ", n=" + std::to_string(size()) + ")\n";
+  for (std::size_t i = 0; i < size(); ++i) {
+    out += "  t=" + format_fixed(times_[i], 3) +
+           " s=" + std::to_string(servers_[i]) + " items={";
+    const std::span<const ItemId> items = items_of(i);
+    for (std::size_t j = 0; j < items.size(); ++j) {
       if (j > 0) out += ",";
-      out += std::to_string(r.items[j]);
+      out += std::to_string(items[j]);
     }
     out += "}\n";
   }
@@ -96,22 +180,71 @@ std::string RequestSequence::to_string() const {
 
 SequenceBuilder::SequenceBuilder(std::size_t server_count,
                                  std::size_t item_count)
-    : server_count_(server_count), item_count_(item_count) {}
+    : server_count_(server_count), item_count_(item_count) {
+  item_offsets_.push_back(0);
+}
 
-SequenceBuilder& SequenceBuilder::add(ServerId server, Time time,
-                                      std::vector<ItemId> items) {
-  std::sort(items.begin(), items.end());
-  items.erase(std::unique(items.begin(), items.end()), items.end());
-  requests_.push_back(Request{server, time, std::move(items)});
+SequenceBuilder& SequenceBuilder::reserve(std::size_t request_count,
+                                          std::size_t item_access_count) {
+  servers_.reserve(request_count);
+  times_.reserve(request_count);
+  item_offsets_.reserve(request_count + 1);
+  items_pool_.reserve(item_access_count);
   return *this;
 }
 
+SequenceBuilder& SequenceBuilder::add(ServerId server, Time time,
+                                      std::vector<ItemId> items) {
+  begin_request(server, time);
+  for (const ItemId item : items) push_item(item);
+  return end_request();
+}
+
 RequestSequence SequenceBuilder::build() && {
-  std::stable_sort(requests_.begin(), requests_.end(),
-                   [](const Request& a, const Request& b) {
-                     return a.time < b.time;
-                   });
-  return RequestSequence(server_count_, item_count_, std::move(requests_));
+  return std::move(*this).build_with_counts(server_count_, item_count_);
+}
+
+RequestSequence SequenceBuilder::build_with_counts(std::size_t server_count,
+                                                   std::size_t item_count) && {
+  require(!row_open_, "SequenceBuilder: build with a row still open");
+  if (!std::is_sorted(times_.begin(), times_.end())) {
+    // Stable permutation sort by time, then rebuild every array in permuted
+    // order (the CSR pool cannot be permuted in place row-wise).
+    std::vector<std::uint32_t> order(servers_.size());
+    std::iota(order.begin(), order.end(), 0u);
+    std::stable_sort(order.begin(), order.end(),
+                     [this](std::uint32_t a, std::uint32_t b) {
+                       return times_[a] < times_[b];
+                     });
+    std::vector<ServerId> servers;
+    std::vector<Time> times;
+    std::vector<ItemId> pool;
+    std::vector<std::size_t> offsets;
+    servers.reserve(servers_.size());
+    times.reserve(times_.size());
+    pool.reserve(items_pool_.size());
+    offsets.reserve(item_offsets_.size());
+    offsets.push_back(0);
+    grow_events_ += 4;
+    for (const std::uint32_t row : order) {
+      servers.push_back(servers_[row]);
+      times.push_back(times_[row]);
+      pool.insert(pool.end(),
+                  items_pool_.begin() +
+                      static_cast<std::ptrdiff_t>(item_offsets_[row]),
+                  items_pool_.begin() +
+                      static_cast<std::ptrdiff_t>(item_offsets_[row + 1]));
+      offsets.push_back(pool.size());
+    }
+    servers_ = std::move(servers);
+    times_ = std::move(times);
+    items_pool_ = std::move(pool);
+    item_offsets_ = std::move(offsets);
+  }
+  g_build_allocs.add(grow_events_);
+  return RequestSequence(server_count, item_count, std::move(servers_),
+                         std::move(times_), std::move(items_pool_),
+                         std::move(item_offsets_), /*rows_normalized=*/true);
 }
 
 }  // namespace dpg

@@ -4,45 +4,135 @@
 // at time t_i.  A RequestSequence is the offline input of the problem: the
 // full spatio-temporal trajectory, strictly ordered by time (the paper
 // assumes at most one request per time instance).
+//
+// Storage is a flat CSR (structure-of-arrays) layout: one servers_[] array,
+// one times_[] array, and a single items pool indexed by item_offsets_[]
+// (n + 1 entries), so walking a sequence touches contiguous memory and a
+// sequence of n requests costs O(1) owning arrays instead of n item vectors.
+// The per-item inverted index is the same shape — one flat pool of request
+// indices plus per_item_offsets_[] (k + 1 entries), built with a counting
+// pass.  `Request` is a lightweight non-owning view into those arrays.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "core/types.hpp"
+#include "util/error.hpp"
 
 namespace dpg {
 
-/// One timed request for a subset of items at one server.
+/// One timed request for a subset of items at one server — a non-owning view
+/// into a RequestSequence's CSR arrays (32 bytes, pass by value).
 struct Request {
   ServerId server = 0;
   Time time = 0.0;
-  std::vector<ItemId> items;  // sorted, unique
+  std::span<const ItemId> items;  // sorted, unique
 
   [[nodiscard]] bool contains(ItemId item) const noexcept;
+};
+
+/// Build-side owning request used to construct sequences item-vector-first
+/// (tests, small fixtures).  Bulk producers should prefer SequenceBuilder's
+/// streaming API, which never materializes per-request vectors.
+struct RequestDraft {
+  ServerId server = 0;
+  Time time = 0.0;
+  std::vector<ItemId> items;
 };
 
 /// The validated offline input: m servers, k items, n requests in strictly
 /// increasing time order.  Item 0..k-1 all start on server 0 at time 0.
 class RequestSequence {
  public:
-  /// Validates and takes ownership.  Requirements: strictly increasing
-  /// times > 0, server ids < server_count, item ids < item_count, item sets
-  /// non-empty / sorted / duplicate-free.  Throws InvalidArgument.
+  /// Validates and flattens into the CSR layout.  Requirements: strictly
+  /// increasing times > 0, server ids < server_count, item ids < item_count,
+  /// item sets non-empty / sorted / duplicate-free.  Throws InvalidArgument.
   RequestSequence(std::size_t server_count, std::size_t item_count,
-                  std::vector<Request> requests);
+                  std::vector<RequestDraft> requests);
 
   [[nodiscard]] std::size_t server_count() const noexcept { return server_count_; }
   [[nodiscard]] std::size_t item_count() const noexcept { return item_count_; }
-  [[nodiscard]] std::size_t size() const noexcept { return requests_.size(); }
-  [[nodiscard]] bool empty() const noexcept { return requests_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return servers_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return servers_.empty(); }
 
-  [[nodiscard]] const Request& operator[](std::size_t i) const noexcept {
-    return requests_[i];
+  [[nodiscard]] Request operator[](std::size_t i) const noexcept {
+    return Request{servers_[i], times_[i], items_of(i)};
   }
-  [[nodiscard]] std::span<const Request> requests() const noexcept {
-    return requests_;
+
+  /// The item set of request `i` — a view into the contiguous items pool.
+  [[nodiscard]] std::span<const ItemId> items_of(std::size_t i) const noexcept {
+    return {items_pool_.data() + item_offsets_[i],
+            item_offsets_[i + 1] - item_offsets_[i]};
+  }
+  [[nodiscard]] ServerId server_of(std::size_t i) const noexcept {
+    return servers_[i];
+  }
+  [[nodiscard]] Time time_of(std::size_t i) const noexcept { return times_[i]; }
+
+  /// The raw column arrays (for vectorized passes over the whole sequence).
+  [[nodiscard]] std::span<const ServerId> servers() const noexcept {
+    return servers_;
+  }
+  [[nodiscard]] std::span<const Time> times() const noexcept { return times_; }
+
+  /// Forward iterator yielding Request views by value.
+  class const_iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = Request;
+    using difference_type = std::ptrdiff_t;
+    using pointer = void;
+    using reference = Request;
+
+    const_iterator() = default;
+    [[nodiscard]] Request operator*() const noexcept { return (*seq_)[i_]; }
+    const_iterator& operator++() noexcept {
+      ++i_;
+      return *this;
+    }
+    const_iterator operator++(int) noexcept {
+      const_iterator copy = *this;
+      ++i_;
+      return copy;
+    }
+    [[nodiscard]] bool operator==(const const_iterator&) const noexcept =
+        default;
+
+   private:
+    friend class RequestSequence;
+    const_iterator(const RequestSequence* seq, std::size_t i) noexcept
+        : seq_(seq), i_(i) {}
+    const RequestSequence* seq_ = nullptr;
+    std::size_t i_ = 0;
+  };
+
+  /// Lightweight iterable over the sequence's Request views.
+  class RequestRange {
+   public:
+    [[nodiscard]] const_iterator begin() const noexcept {
+      return {seq_, 0};
+    }
+    [[nodiscard]] const_iterator end() const noexcept {
+      return {seq_, seq_->size()};
+    }
+    [[nodiscard]] std::size_t size() const noexcept { return seq_->size(); }
+    [[nodiscard]] bool empty() const noexcept { return seq_->empty(); }
+    [[nodiscard]] Request operator[](std::size_t i) const noexcept {
+      return (*seq_)[i];
+    }
+
+   private:
+    friend class RequestSequence;
+    explicit RequestRange(const RequestSequence* seq) noexcept : seq_(seq) {}
+    const RequestSequence* seq_;
+  };
+
+  [[nodiscard]] RequestRange requests() const noexcept {
+    return RequestRange{this};
   }
 
   /// Number of requests whose item set contains `item` (the |d_i| of Eq. 5).
@@ -53,39 +143,127 @@ class RequestSequence {
 
   /// Total item-accesses Σ_i |d_i| — the ave_cost denominator of Algorithm 1.
   [[nodiscard]] std::size_t total_item_accesses() const noexcept {
-    return total_item_accesses_;
+    return items_pool_.size();
   }
 
-  /// Indices (into the sequence) of requests containing `item`, in time order.
-  [[nodiscard]] const std::vector<std::size_t>& indices_for_item(ItemId item) const;
+  /// Indices (into the sequence) of requests containing `item`, in time
+  /// order — a view into the flat inverted-index pool.
+  [[nodiscard]] std::span<const std::size_t> indices_for_item(ItemId item) const;
 
   /// Human-readable one-line-per-request dump (debugging/tests).
   [[nodiscard]] std::string to_string() const;
 
  private:
-  std::size_t server_count_;
-  std::size_t item_count_;
-  std::vector<Request> requests_;
-  std::vector<std::vector<std::size_t>> per_item_indices_;
-  std::size_t total_item_accesses_ = 0;
+  friend class SequenceBuilder;
+
+  /// Takes ownership of pre-flattened CSR arrays, then validates and builds
+  /// the per-item inverted index (SequenceBuilder's fast path).
+  /// `rows_normalized` asserts that every row is already sorted and
+  /// duplicate-free (end_request()'s invariant), skipping that re-check.
+  RequestSequence(std::size_t server_count, std::size_t item_count,
+                  std::vector<ServerId> servers, std::vector<Time> times,
+                  std::vector<ItemId> items_pool,
+                  std::vector<std::size_t> item_offsets, bool rows_normalized);
+
+  void validate_and_index(bool rows_normalized);
+
+  std::size_t server_count_ = 0;
+  std::size_t item_count_ = 0;
+  std::vector<ServerId> servers_;            // n
+  std::vector<Time> times_;                  // n
+  std::vector<ItemId> items_pool_;           // Σ|d_i|
+  std::vector<std::size_t> item_offsets_;    // n + 1
+  std::vector<std::size_t> per_item_pool_;   // Σ|d_i| request indices
+  std::vector<std::size_t> per_item_offsets_;  // k + 1
 };
 
-/// Convenience builder used heavily by tests and generators: requests may be
-/// appended in any order and are sorted by time on build(); times must still
-/// end up unique.
+/// Convenience builder used heavily by tests, generators and the streaming
+/// CSV parser: requests may be appended in any order and are sorted by time
+/// on build(); times must still end up unique.
+///
+/// Appends go straight into the flat CSR arrays, so building an n-request
+/// sequence performs O(1) amortized allocations (array doublings), not O(n).
 class SequenceBuilder {
  public:
   SequenceBuilder(std::size_t server_count, std::size_t item_count);
 
+  /// Pre-sizes the flat arrays for `request_count` rows holding
+  /// `item_access_count` item ids in total.
+  SequenceBuilder& reserve(std::size_t request_count,
+                           std::size_t item_access_count);
+
+  /// Appends one request; items are sorted and deduplicated.
   SequenceBuilder& add(ServerId server, Time time, std::vector<ItemId> items);
+
+  /// Streaming append without a per-request vector: open a row, push its
+  /// item ids, close it.  end_request() sorts and deduplicates the row.
+  /// Defined inline — these are the per-row hot path of the CSV parser.
+  SequenceBuilder& begin_request(ServerId server, Time time) {
+    require(!row_open_, "SequenceBuilder: begin_request with a row open");
+    push(servers_, server);
+    push(times_, time);
+    row_open_ = true;
+    return *this;
+  }
+  SequenceBuilder& push_item(ItemId item) {
+    require(row_open_, "SequenceBuilder: push_item without begin_request");
+    push(items_pool_, item);
+    return *this;
+  }
+  SequenceBuilder& end_request() {
+    require(row_open_, "SequenceBuilder: end_request without begin_request");
+    row_open_ = false;
+    const std::size_t begin = item_offsets_.back();
+    const std::size_t count = items_pool_.size() - begin;
+    if (count == 2) {
+      // The overwhelmingly common row shapes (1–2 items) skip the sort call.
+      ItemId& a = items_pool_[begin];
+      ItemId& b = items_pool_[begin + 1];
+      if (a > b) std::swap(a, b);
+      if (a == b) items_pool_.pop_back();
+    } else if (count > 2) {
+      const auto first =
+          items_pool_.begin() + static_cast<std::ptrdiff_t>(begin);
+      std::sort(first, items_pool_.end());
+      items_pool_.erase(std::unique(first, items_pool_.end()),
+                        items_pool_.end());
+    }
+    push(item_offsets_, items_pool_.size());
+    return *this;
+  }
+
+  /// Requests appended so far.
+  [[nodiscard]] std::size_t size() const noexcept { return servers_.size(); }
+
+  /// Number of array-capacity growth events so far — the builder's total
+  /// allocation count (O(log n) with no reserve(), 0 after an adequate one).
+  [[nodiscard]] std::uint64_t grow_events() const noexcept {
+    return grow_events_;
+  }
 
   /// Sorts, validates and produces the immutable sequence.
   [[nodiscard]] RequestSequence build() &&;
 
+  /// build() with explicit final dimensions — used by parsers that discover
+  /// the server/item universe while streaming rows in.
+  [[nodiscard]] RequestSequence build_with_counts(std::size_t server_count,
+                                                  std::size_t item_count) &&;
+
  private:
+  template <typename Vector, typename Value>
+  void push(Vector& vector, Value value) {
+    if (vector.size() == vector.capacity()) ++grow_events_;
+    vector.push_back(value);
+  }
+
   std::size_t server_count_;
   std::size_t item_count_;
-  std::vector<Request> requests_;
+  std::vector<ServerId> servers_;
+  std::vector<Time> times_;
+  std::vector<ItemId> items_pool_;
+  std::vector<std::size_t> item_offsets_;  // always size() + 1 when closed
+  std::uint64_t grow_events_ = 0;
+  bool row_open_ = false;
 };
 
 }  // namespace dpg

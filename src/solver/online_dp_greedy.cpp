@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <span>
 #include <vector>
 
 #include "core/flow.hpp"
@@ -133,8 +134,8 @@ class WindowStats {
       : k_(item_count), window_(window), freq_(item_count, 0),
         co_(item_count * item_count, 0) {}
 
-  void add(const std::vector<ItemId>& items) {
-    history_.push_back(items);
+  void add(std::span<const ItemId> items) {
+    history_.emplace_back(items.begin(), items.end());
     bump(items, +1);
     if (history_.size() > window_) {
       bump(history_.front(), -1);
@@ -147,7 +148,7 @@ class WindowStats {
   }
 
  private:
-  void bump(const std::vector<ItemId>& items, int delta) {
+  void bump(std::span<const ItemId> items, int delta) {
     for (const ItemId item : items) {
       freq_[item] = static_cast<std::size_t>(
           static_cast<std::ptrdiff_t>(freq_[item]) + delta);

@@ -1,51 +1,262 @@
 #include "trace/io.hpp"
 
 #include <algorithm>
+#include <charconv>
+#include <cstdio>
 #include <fstream>
-#include <sstream>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
 namespace dpg {
 
-std::string trace_to_csv(const RequestSequence& sequence) {
-  std::ostringstream out;
-  CsvWriter writer(out);
-  writer.write_row({"server", "time", "items"});
-  for (const Request& r : sequence.requests()) {
-    std::vector<std::string> item_text;
-    item_text.reserve(r.items.size());
-    for (const ItemId item : r.items) item_text.push_back(std::to_string(item));
-    char time_buffer[32];
-    // %.17g round-trips every IEEE-754 double exactly.
-    std::snprintf(time_buffer, sizeof time_buffer, "%.17g", r.time);
-    writer.write_row(
-        {std::to_string(r.server), time_buffer, join(item_text, ";")});
+namespace {
+
+const obs::Counter g_rows_parsed = obs::counter("trace.rows_parsed");
+const obs::Counter g_bytes_parsed = obs::counter("trace.bytes_parsed");
+const obs::Counter g_rows_written = obs::counter("trace.rows_written");
+const obs::Counter g_bytes_written = obs::counter("trace.bytes_written");
+
+constexpr std::string_view kHeader = "server,time,items\n";
+constexpr std::size_t kWriteBufferBytes = 1u << 20;
+
+/// Appends one request as a `server,time,items` row.  Everything goes
+/// through to_chars; for the time, to_chars' shortest form round-trips
+/// every IEEE-754 double exactly in about half the bytes of "%.17g".
+void append_request_row(std::string& out, const Request& r) {
+  char buffer[32];
+  auto* end = std::to_chars(buffer, buffer + sizeof buffer, r.server).ptr;
+  out.append(buffer, end);
+  out.push_back(',');
+  end = std::to_chars(buffer, buffer + sizeof buffer, r.time).ptr;
+  out.append(buffer, end);
+  out.push_back(',');
+  for (std::size_t j = 0; j < r.items.size(); ++j) {
+    if (j > 0) out.push_back(';');
+    end = std::to_chars(buffer, buffer + sizeof buffer, r.items[j]).ptr;
+    out.append(buffer, end);
   }
-  return out.str();
+  out.push_back('\n');
 }
 
-RequestSequence trace_from_csv(const std::string& text,
+/// Splits the next line off `rest` (without the trailing '\n' / "\r\n").
+std::string_view next_line(std::string_view& rest) {
+  const std::size_t newline = rest.find('\n');
+  std::string_view line;
+  if (newline == std::string_view::npos) {
+    line = rest;
+    rest = {};
+  } else {
+    line = rest.substr(0, newline);
+    rest.remove_prefix(newline + 1);
+  }
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  return line;
+}
+
+/// Strips one layer of plain surrounding double quotes.
+std::string_view strip_quotes(std::string_view field) noexcept {
+  if (field.size() >= 2 && field.front() == '"' && field.back() == '"') {
+    return field.substr(1, field.size() - 2);
+  }
+  return field;
+}
+
+/// Positions of the server/time/items columns in the header row.
+struct ColumnLayout {
+  std::size_t server = 0;
+  std::size_t time = 0;
+  std::size_t items = 0;
+  std::size_t column_count = 0;
+};
+
+/// Hot-path numeric parsing: straight from_chars, falling back to the
+/// shared parse_size/parse_double (which trim, then throw IoError with the
+/// offending text) only when the fast path does not consume the field.
+std::size_t fast_parse_size(std::string_view field) {
+  std::size_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec == std::errc{} && ptr == field.data() + field.size()) return value;
+  return parse_size(field);
+}
+
+double fast_parse_double(std::string_view field) {
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec == std::errc{} && ptr == field.data() + field.size()) return value;
+  return parse_double(field);
+}
+
+ColumnLayout parse_header(std::string_view header_line) {
+  ColumnLayout layout;
+  bool have_server = false, have_time = false, have_items = false;
+  std::size_t column = 0;
+  std::string_view rest = header_line;
+  while (true) {
+    const std::size_t comma = rest.find(',');
+    const std::string_view name = strip_quotes(
+        comma == std::string_view::npos ? rest : rest.substr(0, comma));
+    if (name == "server") {
+      layout.server = column;
+      have_server = true;
+    } else if (name == "time") {
+      layout.time = column;
+      have_time = true;
+    } else if (name == "items") {
+      layout.items = column;
+      have_items = true;
+    }
+    ++column;
+    if (comma == std::string_view::npos) break;
+    rest.remove_prefix(comma + 1);
+  }
+  layout.column_count = column;
+  if (!have_server) throw IoError("CSV: no column named 'server'");
+  if (!have_time) throw IoError("CSV: no column named 'time'");
+  if (!have_items) throw IoError("CSV: no column named 'items'");
+  return layout;
+}
+
+}  // namespace
+
+std::string trace_to_csv(const RequestSequence& sequence) {
+  const obs::TraceSpan span("trace/to_csv");
+  std::string out;
+  // ~26 bytes of server+time framing per row, ~8 per item id: one upfront
+  // reservation makes serialization allocation-free in the common case.
+  out.reserve(kHeader.size() + sequence.size() * 26 +
+              sequence.total_item_accesses() * 8);
+  out += kHeader;
+  for (const Request& r : sequence.requests()) append_request_row(out, r);
+  g_rows_written.add(sequence.size());
+  g_bytes_written.add(out.size());
+  return out;
+}
+
+RequestSequence trace_from_csv(std::string_view text,
                                std::size_t min_server_count,
                                std::size_t min_item_count) {
+  const obs::TraceSpan span("trace/from_csv");
+  std::string_view rest = text;
+  const ColumnLayout layout = parse_header(next_line(rest));
+
+  // Size the flat arrays from two vectorized pre-count sweeps: rows from
+  // newlines, item ids from ';' separators (each row holds separators + 1).
+  const std::size_t newline_count =
+      static_cast<std::size_t>(std::count(rest.begin(), rest.end(), '\n'));
+  const std::size_t row_estimate =
+      newline_count + (rest.empty() || rest.back() == '\n' ? 0 : 1);
+  const std::size_t item_estimate =
+      static_cast<std::size_t>(std::count(rest.begin(), rest.end(), ';')) +
+      row_estimate;
+
+  SequenceBuilder builder(1, 1);
+  builder.reserve(row_estimate, item_estimate);
+  std::size_t server_count = std::max<std::size_t>(min_server_count, 1);
+  std::size_t item_count = std::max<std::size_t>(min_item_count, 1);
+  std::size_t rows = 0;
+
+  // The canonical layout (what trace_to_csv writes) gets a two-find fast
+  // path; any other column order takes the generic field walk below.
+  const bool canonical = layout.server == 0 && layout.time == 1 &&
+                         layout.items == 2 && layout.column_count == 3;
+
+  while (!rest.empty()) {
+    const std::string_view line = next_line(rest);
+    if (line.empty()) continue;
+
+    std::string_view server_field, time_field, items_field;
+    if (canonical) {
+      const std::size_t c1 = line.find(',');
+      const std::size_t c2 =
+          c1 == std::string_view::npos ? c1 : line.find(',', c1 + 1);
+      if (c2 == std::string_view::npos ||
+          line.find(',', c2 + 1) != std::string_view::npos) {
+        throw IoError("CSV: row " + std::to_string(rows + 1) +
+                      " does not have 3 fields");
+      }
+      server_field = line.substr(0, c1);
+      time_field = line.substr(c1 + 1, c2 - c1 - 1);
+      items_field = line.substr(c2 + 1);
+    } else {
+      // Walk the row's fields once, capturing the three interesting slices.
+      std::size_t column = 0;
+      std::string_view row_rest = line;
+      while (true) {
+        const std::size_t comma = row_rest.find(',');
+        const std::string_view field = comma == std::string_view::npos
+                                           ? row_rest
+                                           : row_rest.substr(0, comma);
+        if (column == layout.server) {
+          server_field = field;
+        } else if (column == layout.time) {
+          time_field = field;
+        } else if (column == layout.items) {
+          items_field = field;
+        }
+        ++column;
+        if (comma == std::string_view::npos) break;
+        row_rest.remove_prefix(comma + 1);
+      }
+      if (column != layout.column_count) {
+        throw IoError("CSV: row " + std::to_string(rows + 1) + " has " +
+                      std::to_string(column) + " fields, header has " +
+                      std::to_string(layout.column_count));
+      }
+    }
+
+    const auto server =
+        static_cast<ServerId>(fast_parse_size(strip_quotes(server_field)));
+    const Time time = fast_parse_double(strip_quotes(time_field));
+    server_count = std::max<std::size_t>(server_count, server + 1);
+    builder.begin_request(server, time);
+    std::string_view items_rest = strip_quotes(items_field);
+    while (!items_rest.empty()) {
+      const std::size_t semicolon = items_rest.find(';');
+      const std::string_view field = semicolon == std::string_view::npos
+                                         ? items_rest
+                                         : items_rest.substr(0, semicolon);
+      const auto item = static_cast<ItemId>(fast_parse_size(field));
+      item_count = std::max<std::size_t>(item_count, item + 1);
+      builder.push_item(item);
+      if (semicolon == std::string_view::npos) break;
+      items_rest.remove_prefix(semicolon + 1);
+    }
+    builder.end_request();  // sorts + deduplicates the row's item ids
+    ++rows;
+  }
+
+  g_rows_parsed.add(rows);
+  g_bytes_parsed.add(text.size());
+  return std::move(builder).build_with_counts(server_count, item_count);
+}
+
+RequestSequence trace_from_csv_legacy(const std::string& text,
+                                      std::size_t min_server_count,
+                                      std::size_t min_item_count) {
   const CsvTable table = parse_csv(text);
   const std::size_t server_col = table.column_index("server");
   const std::size_t time_col = table.column_index("time");
   const std::size_t items_col = table.column_index("items");
 
-  std::vector<Request> requests;
+  std::vector<RequestDraft> requests;
+  requests.reserve(table.rows.size());
   std::size_t server_count = std::max<std::size_t>(min_server_count, 1);
   std::size_t item_count = std::max<std::size_t>(min_item_count, 1);
   for (const auto& row : table.rows) {
-    Request r;
+    RequestDraft r;
     r.server = static_cast<ServerId>(parse_size(row[server_col]));
     r.time = parse_double(row[time_col]);
     for (const std::string& field : split(row[items_col], ';')) {
       r.items.push_back(static_cast<ItemId>(parse_size(field)));
     }
     std::sort(r.items.begin(), r.items.end());
+    r.items.erase(std::unique(r.items.begin(), r.items.end()), r.items.end());
     server_count = std::max<std::size_t>(server_count, r.server + 1);
     if (!r.items.empty()) {
       item_count = std::max<std::size_t>(item_count, r.items.back() + 1);
@@ -56,20 +267,46 @@ RequestSequence trace_from_csv(const std::string& text,
 }
 
 void write_trace_file(const std::string& path, const RequestSequence& sequence) {
+  const obs::TraceSpan span("trace/write_file");
   std::ofstream out(path, std::ios::binary);
   if (!out) throw IoError("cannot write trace file: " + path);
-  out << trace_to_csv(sequence);
+  std::string buffer;
+  buffer.reserve(kWriteBufferBytes);
+  buffer += kHeader;
+  std::size_t bytes = 0;
+  for (const Request& r : sequence.requests()) {
+    append_request_row(buffer, r);
+    if (buffer.size() >= kWriteBufferBytes - 512) {
+      out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+      bytes += buffer.size();
+      buffer.clear();
+    }
+  }
+  out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+  bytes += buffer.size();
   if (!out) throw IoError("error while writing trace file: " + path);
+  g_rows_written.add(sequence.size());
+  g_bytes_written.add(bytes);
 }
 
 RequestSequence read_trace_file(const std::string& path,
                                 std::size_t min_server_count,
                                 std::size_t min_item_count) {
+  const obs::TraceSpan span("trace/read_file");
   std::ifstream in(path, std::ios::binary);
   if (!in) throw IoError("cannot open trace file: " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return trace_from_csv(buffer.str(), min_server_count, min_item_count);
+  // One sized read into the parse buffer — no stream-buffer double copy.
+  in.seekg(0, std::ios::end);
+  const std::streampos size = in.tellg();
+  if (size < 0) throw IoError("cannot size trace file: " + path);
+  in.seekg(0, std::ios::beg);
+  std::string text;
+  text.resize(static_cast<std::size_t>(size));
+  in.read(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!in && !text.empty()) {
+    throw IoError("error while reading trace file: " + path);
+  }
+  return trace_from_csv(text, min_server_count, min_item_count);
 }
 
 }  // namespace dpg

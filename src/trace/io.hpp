@@ -1,9 +1,18 @@
 // Trace persistence: request sequences as CSV files with columns
 // `server,time,items`, where items are ';'-separated item ids.  The format
 // is stable so experiment inputs can be archived and replayed.
+//
+// Parsing is a single zero-copy pass: fields are std::string_view slices of
+// the input decoded with std::from_chars and streamed straight into a
+// SequenceBuilder, so a trace of n requests costs O(1) allocations, not
+// O(n·fields).  Writing streams through a fixed-size buffer.  The dialect
+// matches what trace_to_csv emits plus minimal robustness: any column
+// order, CRLF line endings, blank lines, and fields wrapped in plain
+// double quotes (no embedded separators or escaped quotes).
 #pragma once
 
 #include <string>
+#include <string_view>
 
 #include "core/request.hpp"
 
@@ -14,11 +23,18 @@ namespace dpg {
 
 /// Parses CSV text back to a sequence.  `server_count`/`item_count` are
 /// inferred as max id + 1 unless explicit larger bounds are given.
-[[nodiscard]] RequestSequence trace_from_csv(const std::string& text,
+[[nodiscard]] RequestSequence trace_from_csv(std::string_view text,
                                              std::size_t min_server_count = 0,
                                              std::size_t min_item_count = 0);
 
-/// File variants. Throw IoError on filesystem problems.
+/// The pre-streaming CsvTable-based parser, kept as the independent
+/// cross-check oracle for tests and the bm_trace throughput baseline.
+[[nodiscard]] RequestSequence trace_from_csv_legacy(
+    const std::string& text, std::size_t min_server_count = 0,
+    std::size_t min_item_count = 0);
+
+/// File variants. Throw IoError on filesystem problems.  Writing streams
+/// row-by-row through a buffer; reading loads the file in one sized read.
 void write_trace_file(const std::string& path, const RequestSequence& sequence);
 [[nodiscard]] RequestSequence read_trace_file(const std::string& path,
                                               std::size_t min_server_count = 0,

@@ -9,16 +9,15 @@ namespace dpg {
 RequestSequence slice_time_window(const RequestSequence& sequence, Time begin,
                                   Time end) {
   require(end > begin, "slice_time_window: end must exceed begin");
-  std::vector<Request> requests;
+  SequenceBuilder builder(sequence.server_count(), sequence.item_count());
   for (const Request& r : sequence.requests()) {
     if (r.time > begin && r.time <= end) {
-      Request shifted = r;
-      shifted.time = r.time - begin;
-      requests.push_back(std::move(shifted));
+      builder.begin_request(r.server, r.time - begin);
+      for (const ItemId item : r.items) builder.push_item(item);
+      builder.end_request();
     }
   }
-  return RequestSequence(sequence.server_count(), sequence.item_count(),
-                         std::move(requests));
+  return std::move(builder).build();
 }
 
 RequestSequence filter_items(const RequestSequence& sequence,
@@ -30,21 +29,18 @@ RequestSequence filter_items(const RequestSequence& sequence,
     require(remap[items[i]] == kNoItem, "filter_items: duplicate item");
     remap[items[i]] = static_cast<ItemId>(i);
   }
-  std::vector<Request> requests;
+  SequenceBuilder builder(sequence.server_count(), items.size());
   for (const Request& r : sequence.requests()) {
-    Request kept;
-    kept.server = r.server;
-    kept.time = r.time;
+    bool any = false;
     for (const ItemId item : r.items) {
-      if (remap[item] != kNoItem) kept.items.push_back(remap[item]);
+      if (remap[item] == kNoItem) continue;
+      if (!any) builder.begin_request(r.server, r.time);
+      any = true;
+      builder.push_item(remap[item]);
     }
-    if (!kept.items.empty()) {
-      std::sort(kept.items.begin(), kept.items.end());
-      requests.push_back(std::move(kept));
-    }
+    if (any) builder.end_request();
   }
-  return RequestSequence(sequence.server_count(), items.size(),
-                         std::move(requests));
+  return std::move(builder).build();
 }
 
 RequestSequence merge_sequences(const RequestSequence& a,
@@ -54,30 +50,31 @@ RequestSequence merge_sequences(const RequestSequence& a,
       std::max(a.server_count(), b.server_count());
   const auto item_offset = static_cast<ItemId>(a.item_count());
 
-  std::vector<Request> merged;
-  merged.reserve(a.size() + b.size());
+  SequenceBuilder builder(server_count, a.item_count() + b.item_count());
+  builder.reserve(a.size() + b.size(),
+                  a.total_item_accesses() + b.total_item_accesses());
   std::size_t ia = 0, ib = 0;
   Time last = 0.0;
-  const auto emit = [&merged, &last, epsilon](Request r) {
-    if (r.time <= last) r.time = last + epsilon;
-    last = r.time;
-    merged.push_back(std::move(r));
+  const auto emit = [&builder, &last, epsilon](const Request& r,
+                                               ItemId offset) {
+    const Time time = r.time <= last ? last + epsilon : r.time;
+    last = time;
+    builder.begin_request(r.server, time);
+    for (const ItemId item : r.items) {
+      builder.push_item(static_cast<ItemId>(item + offset));
+    }
+    builder.end_request();
   };
   while (ia < a.size() || ib < b.size()) {
     const bool take_a =
         ib >= b.size() || (ia < a.size() && a[ia].time <= b[ib].time);
     if (take_a) {
-      emit(a[ia++]);
+      emit(a[ia++], 0);
     } else {
-      Request r = b[ib++];
-      for (ItemId& item : r.items) {
-        item = static_cast<ItemId>(item + item_offset);
-      }
-      emit(std::move(r));
+      emit(b[ib++], item_offset);
     }
   }
-  return RequestSequence(server_count, a.item_count() + b.item_count(),
-                         std::move(merged));
+  return std::move(builder).build();
 }
 
 RequestSequence remap_servers(const RequestSequence& sequence,
@@ -86,15 +83,15 @@ RequestSequence remap_servers(const RequestSequence& sequence,
           "remap_servers: mapping must cover every server");
   ServerId max_server = 0;
   for (const ServerId s : mapping) max_server = std::max(max_server, s);
-  std::vector<Request> requests;
-  requests.reserve(sequence.size());
+  SequenceBuilder builder(static_cast<std::size_t>(max_server) + 1,
+                          sequence.item_count());
+  builder.reserve(sequence.size(), sequence.total_item_accesses());
   for (const Request& r : sequence.requests()) {
-    Request moved = r;
-    moved.server = mapping[r.server];
-    requests.push_back(std::move(moved));
+    builder.begin_request(mapping[r.server], r.time);
+    for (const ItemId item : r.items) builder.push_item(item);
+    builder.end_request();
   }
-  return RequestSequence(static_cast<std::size_t>(max_server) + 1,
-                         sequence.item_count(), std::move(requests));
+  return std::move(builder).build();
 }
 
 }  // namespace dpg

@@ -10,8 +10,8 @@ namespace {
 RequestSequence sample() {
   return RequestSequence(
       3, 3,
-      {Request{0, 1.0, {0, 1}}, Request{1, 2.0, {1}}, Request{2, 3.0, {0, 1}},
-       Request{1, 4.0, {2}}, Request{0, 5.0, {0, 1, 2}}});
+      {RequestDraft{0, 1.0, {0, 1}}, RequestDraft{1, 2.0, {1}}, RequestDraft{2, 3.0, {0, 1}},
+       RequestDraft{1, 4.0, {2}}, RequestDraft{0, 5.0, {0, 1, 2}}});
 }
 
 TEST(Flow, ItemFlowPicksContainingRequests) {

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "test_support.hpp"
+
 #include <algorithm>
 #include <cmath>
 
@@ -71,7 +73,7 @@ TEST(Mobility, ProducesValidDeterministicTrace) {
   ASSERT_EQ(s1.size(), s2.size());
   for (std::size_t i = 0; i < s1.size(); ++i) {
     ASSERT_EQ(s1[i].server, s2[i].server);
-    ASSERT_EQ(s1[i].items, s2[i].items);
+    ASSERT_EQ(testing::items_of(s1[i]), testing::items_of(s2[i]));
   }
   EXPECT_EQ(s1.server_count(), 50u);
   EXPECT_EQ(s1.item_count(), 10u);

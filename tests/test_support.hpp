@@ -1,6 +1,7 @@
 // Shared fixtures for the test suites.
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 #include "core/cost_model.hpp"
@@ -9,6 +10,27 @@
 #include "util/rng.hpp"
 
 namespace dpg::testing {
+
+/// Materializes a Request view's item span for gtest container matchers.
+inline std::vector<ItemId> items_of(const Request& r) {
+  return {r.items.begin(), r.items.end()};
+}
+
+/// Exact structural equality of two sequences (dims, servers, times, items).
+inline bool same_sequence(const RequestSequence& a, const RequestSequence& b) {
+  if (a.server_count() != b.server_count() ||
+      a.item_count() != b.item_count() || a.size() != b.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].server != b[i].server || a[i].time != b[i].time ||
+        !std::equal(a[i].items.begin(), a[i].items.end(), b[i].items.begin(),
+                    b[i].items.end())) {
+      return false;
+    }
+  }
+  return true;
+}
 
 /// The running example of Section V-C (Figs. 2 and 7): two items over four
 /// servers; server 0 is the origin s_1.

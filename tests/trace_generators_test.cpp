@@ -1,6 +1,8 @@
 // Tests for the synthetic trace generators.
 #include <gtest/gtest.h>
 
+#include "test_support.hpp"
+
 #include "solver/correlation.hpp"
 #include "trace/generators.hpp"
 #include "util/error.hpp"
@@ -18,7 +20,7 @@ TEST(PairedTrace, IsDeterministicPerSeed) {
   for (std::size_t i = 0; i < s1.size(); ++i) {
     ASSERT_EQ(s1[i].server, s2[i].server);
     ASSERT_EQ(s1[i].time, s2[i].time);
-    ASSERT_EQ(s1[i].items, s2[i].items);
+    ASSERT_EQ(testing::items_of(s1[i]), testing::items_of(s2[i]));
   }
 }
 

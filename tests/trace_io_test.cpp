@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "test_support.hpp"
+
 #include <cstdio>
 
 #include "trace/generators.hpp"
@@ -20,7 +22,7 @@ TEST(TraceIo, CsvRoundTripPreservesEverything) {
   for (std::size_t i = 0; i < original.size(); ++i) {
     ASSERT_EQ(restored[i].server, original[i].server);
     ASSERT_DOUBLE_EQ(restored[i].time, original[i].time);
-    ASSERT_EQ(restored[i].items, original[i].items);
+    ASSERT_EQ(testing::items_of(restored[i]), testing::items_of(original[i]));
   }
 }
 

@@ -8,8 +8,8 @@ namespace {
 
 TEST(TraceStats, CountsMatchSequence) {
   RequestSequence seq(3, 2,
-                      {Request{0, 1.0, {0}}, Request{2, 2.0, {0, 1}},
-                       Request{2, 4.0, {1}}});
+                      {RequestDraft{0, 1.0, {0}}, RequestDraft{2, 2.0, {0, 1}},
+                       RequestDraft{2, 4.0, {1}}});
   const TraceStats stats = compute_trace_stats(seq);
   EXPECT_EQ(stats.request_count, 3u);
   EXPECT_EQ(stats.per_server, (std::vector<std::size_t>{1, 0, 2}));

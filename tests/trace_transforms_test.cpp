@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "test_support.hpp"
+
 #include "trace/generators.hpp"
 #include "trace/transforms.hpp"
 #include "util/error.hpp"
@@ -10,8 +12,8 @@ namespace {
 RequestSequence sample() {
   return RequestSequence(
       3, 3,
-      {Request{0, 1.0, {0}}, Request{1, 2.0, {0, 1}}, Request{2, 3.0, {2}},
-       Request{1, 4.0, {1, 2}}, Request{0, 5.0, {0}}});
+      {RequestDraft{0, 1.0, {0}}, RequestDraft{1, 2.0, {0, 1}}, RequestDraft{2, 3.0, {2}},
+       RequestDraft{1, 4.0, {1, 2}}, RequestDraft{0, 5.0, {0}}});
 }
 
 TEST(SliceTimeWindow, KeepsHalfOpenWindowAndShiftsTimes) {
@@ -19,7 +21,7 @@ TEST(SliceTimeWindow, KeepsHalfOpenWindowAndShiftsTimes) {
   ASSERT_EQ(sliced.size(), 3u);  // times 2, 3, 4 -> shifted 1, 2, 3
   EXPECT_DOUBLE_EQ(sliced[0].time, 1.0);
   EXPECT_DOUBLE_EQ(sliced[2].time, 3.0);
-  EXPECT_EQ(sliced[0].items, (std::vector<ItemId>{0, 1}));
+  EXPECT_EQ(testing::items_of(sliced[0]), (std::vector<ItemId>{0, 1}));
 }
 
 TEST(SliceTimeWindow, EmptyWindowYieldsEmptySequence) {
@@ -33,9 +35,9 @@ TEST(FilterItems, DropsOtherItemsAndRemapsDensely) {
   // Requests containing neither 0 nor 2 disappear; 2 -> 0, 0 -> 1.
   ASSERT_EQ(filtered.item_count(), 2u);
   ASSERT_EQ(filtered.size(), 5u);  // every request touches 0 or 2 here
-  EXPECT_EQ(filtered[0].items, (std::vector<ItemId>{1}));   // was {0}
-  EXPECT_EQ(filtered[2].items, (std::vector<ItemId>{0}));   // was {2}
-  EXPECT_EQ(filtered[3].items, (std::vector<ItemId>{0}));   // was {1,2}
+  EXPECT_EQ(testing::items_of(filtered[0]), (std::vector<ItemId>{1}));   // was {0}
+  EXPECT_EQ(testing::items_of(filtered[2]), (std::vector<ItemId>{0}));   // was {2}
+  EXPECT_EQ(testing::items_of(filtered[3]), (std::vector<ItemId>{0}));   // was {1,2}
 }
 
 TEST(FilterItems, RemovesEmptiedRequests) {
@@ -51,18 +53,18 @@ TEST(FilterItems, Validates) {
 }
 
 TEST(MergeSequences, InterleavesAndRenumbersItems) {
-  const RequestSequence a(2, 1, {Request{0, 1.0, {0}}, Request{1, 3.0, {0}}});
-  const RequestSequence b(3, 2, {Request{2, 2.0, {0, 1}}});
+  const RequestSequence a(2, 1, {RequestDraft{0, 1.0, {0}}, RequestDraft{1, 3.0, {0}}});
+  const RequestSequence b(3, 2, {RequestDraft{2, 2.0, {0, 1}}});
   const RequestSequence merged = merge_sequences(a, b);
   ASSERT_EQ(merged.size(), 3u);
   EXPECT_EQ(merged.server_count(), 3u);
   EXPECT_EQ(merged.item_count(), 3u);
-  EXPECT_EQ(merged[1].items, (std::vector<ItemId>{1, 2}));  // b's items + 1
+  EXPECT_EQ(testing::items_of(merged[1]), (std::vector<ItemId>{1, 2}));  // b's items + 1
 }
 
 TEST(MergeSequences, NudgesDuplicateTimestamps) {
-  const RequestSequence a(2, 1, {Request{0, 1.0, {0}}});
-  const RequestSequence b(2, 1, {Request{1, 1.0, {0}}});
+  const RequestSequence a(2, 1, {RequestDraft{0, 1.0, {0}}});
+  const RequestSequence b(2, 1, {RequestDraft{1, 1.0, {0}}});
   const RequestSequence merged = merge_sequences(a, b);
   ASSERT_EQ(merged.size(), 2u);
   EXPECT_GT(merged[1].time, merged[0].time);
