@@ -17,7 +17,7 @@
 #include <string>
 #include <vector>
 
-#include "engine/algorithms.hpp"
+#include "harness_solvers.hpp"
 #include "engine/registry.hpp"
 #include "harness_common.hpp"
 #include "obs/metrics.hpp"

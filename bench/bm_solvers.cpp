@@ -7,7 +7,7 @@
 #include <string>
 
 #include "core/request_index.hpp"
-#include "engine/algorithms.hpp"
+#include "harness_solvers.hpp"
 #include "engine/registry.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -234,6 +234,29 @@ void BM_RegistrySolver(benchmark::State& state, const std::string& name) {
   }
   return 0;
 }();
+
+/// Phase-2 sharding sweep: the same end-to-end dp_greedy solve at a given
+/// SolverConfig::threads, so `bm_solvers --benchmark_filter=Threads` prints
+/// the serial-vs-pooled solve times side by side.  On a single-core host the
+/// pooled rows mostly measure the sharding overhead (the interesting bound
+/// there: how little determinism costs).
+void BM_DpGreedyThreads(benchmark::State& state) {
+  PairedTraceConfig config;
+  config.server_count = 50;
+  config.requests_per_pair = 400;
+  Rng rng(5);
+  const RequestSequence seq = generate_paired_trace(config, rng);
+  const CostModel model{1.0, 2.0, 0.8};
+  SolverConfig solver_config;
+  solver_config.theta = 0.3;
+  solver_config.keep_schedules = false;
+  solver_config.threads(static_cast<std::size_t>(state.range(0)));
+  const std::unique_ptr<Solver> solver = builtin_registry().create("dp_greedy");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver->run(seq, model, solver_config).total_cost);
+  }
+}
+BENCHMARK(BM_DpGreedyThreads)->Arg(0)->Arg(2)->Arg(4)->Arg(8);
 
 /// The same end-to-end dp_greedy run with telemetry recording on vs off —
 /// the measured bound behind the "≤2% disabled, single-digit % enabled"

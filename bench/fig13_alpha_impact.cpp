@@ -9,7 +9,7 @@
 #include <cstdio>
 
 #include "harness_common.hpp"
-#include "engine/algorithms.hpp"
+#include "harness_solvers.hpp"
 #include "trace/generators.hpp"
 #include "util/strings.hpp"
 #include "util/svg_chart.hpp"

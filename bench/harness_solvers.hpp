@@ -1,11 +1,11 @@
-// The engine's algorithm facade.
+// Solver internals for the figure/table harnesses — NOT part of the public
+// API.
 //
-// Front ends dispatch solvers through the registry (engine/registry.hpp);
-// the harnesses that genuinely need solver *internals* — figure sweeps over
-// explicit pairs, the quickstart walkthrough, exact baselines — include
-// this one header instead of reaching into solver/ directly.  It is the
-// engine's only doorway to the concrete algorithm entry points, so the
-// dependency "front ends → engine → solver" stays one-directional.
+// Applications include src/dpgreedy.hpp and dispatch through the registry;
+// the reproduction harnesses in this directory genuinely sweep algorithm
+// internals (explicit pairs, DP options, correlation structures), so they —
+// and only they — pull the concrete solver headers, through this one
+// bench-local include.
 #pragma once
 
 #include "solver/baselines.hpp"        // IWYU pragma: export
@@ -20,6 +20,7 @@
 #include "solver/online_dp_greedy.hpp" // IWYU pragma: export
 #include "solver/optimal_offline.hpp"  // IWYU pragma: export
 #include "solver/pairing.hpp"          // IWYU pragma: export
+#include "solver/phase2_shard.hpp"     // IWYU pragma: export
 #include "solver/subset_exact.hpp"     // IWYU pragma: export
 #include "solver/temporal_correlation.hpp"  // IWYU pragma: export
 #include "solver/workspace.hpp"        // IWYU pragma: export

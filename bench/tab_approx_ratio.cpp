@@ -9,7 +9,7 @@
 #include <algorithm>
 #include <cstdio>
 
-#include "engine/algorithms.hpp"
+#include "harness_solvers.hpp"
 #include "trace/generators.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"

@@ -8,7 +8,7 @@
 // detector IS windowed) recovering it.
 #include <cstdio>
 
-#include "engine/algorithms.hpp"
+#include "harness_solvers.hpp"
 #include "trace/generators.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"

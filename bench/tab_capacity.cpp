@@ -7,7 +7,7 @@
 
 #include "harness_common.hpp"
 #include "sim/replay.hpp"
-#include "engine/algorithms.hpp"
+#include "harness_solvers.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 

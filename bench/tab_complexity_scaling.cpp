@@ -7,7 +7,7 @@
 #include <vector>
 
 #include "core/request_index.hpp"
-#include "engine/algorithms.hpp"
+#include "harness_solvers.hpp"
 #include "trace/generators.hpp"
 #include "util/stats.hpp"
 #include "util/stopwatch.hpp"

@@ -8,7 +8,7 @@
 #include <cstdio>
 
 #include "harness_common.hpp"
-#include "engine/algorithms.hpp"
+#include "harness_solvers.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"

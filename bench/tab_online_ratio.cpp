@@ -6,7 +6,7 @@
 #include <cstdio>
 
 #include "harness_common.hpp"
-#include "engine/algorithms.hpp"
+#include "harness_solvers.hpp"
 #include "util/stats.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"

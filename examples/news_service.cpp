@@ -7,12 +7,7 @@
 //   $ news_service --articles 4 --requests 2000 --alpha 0.6
 #include <cstdio>
 
-#include "engine/registry.hpp"
-#include "engine/render.hpp"
-#include "trace/generators.hpp"
-#include "trace/stats.hpp"
-#include "util/args.hpp"
-#include "util/strings.hpp"
+#include "dpgreedy.hpp"
 
 using namespace dpg;
 

@@ -2,21 +2,32 @@
 // offline algorithm with a constant-competitive online policy.  This
 // example measures the empirical competitive ratio of the break-even
 // (rent-or-buy) online rule against the offline DP across a taxi trace,
-// plus an ablation of the holding-horizon factor.
+// plus an ablation of the holding-horizon factor — all through the
+// registry: both policies run as solvers, and the per-item numbers come
+// from the reports' plans (one plan per item flow).
 //
 //   $ online_vs_offline --duration 300 --lambda 2
 #include <cstdio>
 
-#include "engine/algorithms.hpp"
-#include "engine/registry.hpp"
-#include "engine/render.hpp"
-#include "mobility/simulator.hpp"
-#include "util/args.hpp"
-#include "util/stats.hpp"
-#include "util/strings.hpp"
-#include "util/table.hpp"
+#include "dpgreedy.hpp"
 
 using namespace dpg;
+
+namespace {
+
+/// Per-item costs of one registry run: plans arrive in ascending item
+/// order, one per item, so the slot index is the ItemId.
+std::vector<Cost> per_item_costs(const RunReport& report,
+                                 const CostModel& model) {
+  std::vector<Cost> costs;
+  costs.reserve(report.plans.size());
+  for (const FlowPlan& plan : report.plans) {
+    costs.push_back(plan.schedule.cost(model));
+  }
+  return costs;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   ArgParser args("online_vs_offline",
@@ -37,20 +48,24 @@ int main(int argc, char** argv) {
   model.lambda = *lambda;
   model.alpha = 0.8;
 
+  const SolverRegistry& registry = builtin_registry();
+  const RunReport offline_report =
+      registry.run("optimal_baseline", trace, model, SolverConfig{});
+  const std::vector<Cost> offline = per_item_costs(offline_report, model);
+
   std::printf("== per-item competitive ratio (hold factor 1.0) ==\n");
+  const RunReport online_report =
+      registry.run("online_break_even", trace, model, SolverConfig{});
   TextTable table({"item", "requests", "offline DP", "online", "ratio"});
   std::vector<double> ratios;
-  for (ItemId item = 0; item < trace.item_count(); ++item) {
-    const Flow flow = make_item_flow(trace, item);
-    if (flow.empty()) continue;
-    const Cost offline =
-        solve_optimal_offline(flow, model, trace.server_count()).raw_cost;
-    const Cost online =
-        solve_online_break_even(flow, model, trace.server_count()).raw_cost;
-    const double ratio = offline > 0.0 ? online / offline : 1.0;
+  for (std::size_t item = 0; item < online_report.plans.size(); ++item) {
+    const FlowPlan& plan = online_report.plans[item];
+    if (plan.flow.empty()) continue;
+    const Cost online = plan.schedule.cost(model);
+    const double ratio = offline[item] > 0.0 ? online / offline[item] : 1.0;
     ratios.push_back(ratio);
-    table.add_row({"d" + std::to_string(item), std::to_string(flow.size()),
-                   format_fixed(offline, 1), format_fixed(online, 1),
+    table.add_row({"d" + std::to_string(item), std::to_string(plan.flow.size()),
+                   format_fixed(offline[item], 1), format_fixed(online, 1),
                    format_fixed(ratio, 3)});
   }
   std::printf("%s\n", table.render().c_str());
@@ -62,18 +77,16 @@ int main(int argc, char** argv) {
   std::printf("== holding-horizon ablation (mean ratio across items) ==\n");
   TextTable ablation({"hold factor", "mean ratio", "worst ratio"});
   for (const double factor : {0.0, 0.25, 0.5, 1.0, 2.0, 4.0}) {
-    OnlineOptions options;
-    options.hold_factor = factor;
+    SolverConfig config;
+    config.hold_factor = factor;
+    const RunReport swept =
+        registry.run("online_break_even", trace, model, config);
     std::vector<double> r;
-    for (ItemId item = 0; item < trace.item_count(); ++item) {
-      const Flow flow = make_item_flow(trace, item);
-      if (flow.empty()) continue;
-      const Cost offline =
-          solve_optimal_offline(flow, model, trace.server_count()).raw_cost;
-      const Cost online =
-          solve_online_break_even(flow, model, trace.server_count(), options)
-              .raw_cost;
-      if (offline > 0.0) r.push_back(online / offline);
+    for (std::size_t item = 0; item < swept.plans.size(); ++item) {
+      if (swept.plans[item].flow.empty()) continue;
+      if (offline[item] > 0.0) {
+        r.push_back(swept.plans[item].schedule.cost(model) / offline[item]);
+      }
     }
     const Summary s = summarize(r);
     ablation.add_row({format_fixed(factor, 2), format_fixed(s.mean, 3),

@@ -1,16 +1,15 @@
-// Quickstart: the paper's running example (Section V-C, Fig. 7), end to end.
+// Quickstart: the paper's running example (Section V-C, Fig. 7), end to end
+// through the public API — one include, one registry dispatch.
 //
 //   $ quickstart
 //
-// Builds the 7-request trace over 4 servers, runs both DP_Greedy phases,
-// prints every intermediate number of the paper's walkthrough, and renders
-// the resulting space-time schedule.  Expected total: 14.96.
+// Builds the 7-request trace over 4 servers, solves it with DP_Greedy
+// through the SolverRegistry, and walks the canonical RunReport: totals,
+// the cache/transfer breakdown, the per-flow plans and the rendered
+// space-time schedule.  Expected total: 14.96.
 #include <cstdio>
 
-#include "engine/algorithms.hpp"
-#include "engine/registry.hpp"
-#include "engine/render.hpp"
-#include "util/strings.hpp"
+#include "dpgreedy.hpp"
 
 using namespace dpg;
 
@@ -33,52 +32,47 @@ int main() {
 
   std::printf("== trace ==\n%s\n", sequence.to_string().c_str());
 
-  // Phase 1: correlation analysis.
-  const CorrelationAnalysis analysis(sequence);
-  std::printf("== phase 1: Jaccard similarity ==\n");
-  std::printf("J(d1, d2) = %zu / (%zu + %zu - %zu) = %s  (paper: 3/7)\n\n",
-              analysis.co_frequency(0, 1), analysis.frequency(0),
-              analysis.frequency(1), analysis.co_frequency(0, 1),
-              format_fixed(analysis.jaccard(0, 1), 4).c_str());
+  // Phase 1's view of the trace: co-occurrence frequencies and Jaccard
+  // similarities (J(d1, d2) = 3/7 in the paper's walkthrough).
+  std::printf("== phase 1: most correlated pairs ==\n%s\n",
+              render_frequent_pairs(sequence, 5).c_str());
 
-  // Phase 2 with the paper's threshold θ = 0.4.
-  DpGreedyOptions options;
-  options.theta = 0.4;
-  const DpGreedyResult result = solve_dp_greedy(sequence, model, options);
+  // Both phases through the engine, at the paper's threshold θ = 0.4.  The
+  // fluent SolverConfig builder is the canonical way to set knobs.
+  const SolverConfig config = SolverConfig{}.with("theta", "0.4");
+  const RunReport report =
+      builtin_registry().run("dp_greedy", sequence, model, config);
 
-  std::printf("== phase 2: serving ==\n");
-  for (const PackageReport& report : result.packages) {
-    std::printf("package {d%u, d%u} (J = %s)\n", report.pair.a + 1,
-                report.pair.b + 1, format_fixed(report.pair.jaccard, 4).c_str());
-    std::printf("  co-requests served by the 2α-discounted DP: %s  (paper: 8.96)\n",
-                format_fixed(report.package_cost, 4).c_str());
-    for (const SingletonService& s : report.services) {
-      const char* how = s.choice == ServeChoice::kCacheSameServer
-                            ? "cache on same server"
-                        : s.choice == ServeChoice::kTransferFromPrev
-                            ? "transfer from previous event"
-                            : "package fetch (2αλ)";
-      std::printf("  t=%s d%u served by %-28s cost %s\n",
-                  format_fixed(sequence[s.request_index].time, 1).c_str(),
-                  s.item + 1, how, format_fixed(s.cost, 4).c_str());
+  std::printf("== phase 2: the DP_Greedy plan ==\n");
+  for (const FlowPlan& plan : report.plans) {
+    std::printf("%s: cost %s, %zu cache segments, %zu transfers\n",
+                plan.label.c_str(),
+                format_fixed(plan.schedule.cost(model), 4).c_str(),
+                plan.schedule.segments().size(),
+                plan.schedule.transfers().size());
+    if (!plan.schedule.segments().empty()) {
+      std::printf("  (lanes are servers, '=' cache, '*' arrival)\n%s",
+                  plan.schedule.render(4).c_str());
     }
-    std::printf("  package schedule (lanes are servers, '=' cache, '*' arrival):\n%s",
-                report.package_schedule.render(4).c_str());
   }
 
   std::printf("\n== totals ==\n");
   std::printf("total cost     : %s  (paper: 14.96)\n",
-              format_fixed(result.total_cost, 4).c_str());
-  std::printf("item accesses  : %zu\n", result.total_item_accesses);
+              format_fixed(report.total_cost, 4).c_str());
+  std::printf("  cache side   : %s\n",
+              format_fixed(report.cache_cost, 4).c_str());
+  std::printf("  transfer side: %s (%zu λ-charges)\n",
+              format_fixed(report.transfer_cost, 4).c_str(),
+              report.transfer_events);
+  std::printf("packages formed: %zu\n", report.package_count);
+  std::printf("item accesses  : %zu\n", report.total_item_accesses);
   std::printf("average cost   : %s  (paper: 1.496)\n",
-              format_fixed(result.ave_cost, 4).c_str());
+              format_fixed(report.ave_cost, 4).c_str());
   std::printf("2/α guarantee  : DP_Greedy is within %.2fx of optimal\n",
               model.approximation_bound());
 
   // The same trace through every registered solver (the engine's one
   // dispatch path — `dpgreedy compare` prints this very table).
-  SolverConfig config;
-  config.theta = 0.4;
   std::printf("\n== every registered solver on this trace ==\n%s",
               render_comparison(run_solvers(builtin_registry().names(),
                                             sequence, model, config))

@@ -7,15 +7,7 @@
 //   $ taxi_fleet --duration 300 --alpha 0.8 --theta 0.3 --seed 42
 #include <cstdio>
 
-#include "engine/algorithms.hpp"
-#include "engine/registry.hpp"
-#include "engine/render.hpp"
-#include "mobility/simulator.hpp"
-#include "sim/replay.hpp"
-#include "trace/stats.hpp"
-#include "util/args.hpp"
-#include "util/strings.hpp"
-#include "util/table.hpp"
+#include "dpgreedy.hpp"
 
 using namespace dpg;
 
@@ -28,6 +20,8 @@ int main(int argc, char** argv) {
   const double* mu = args.add_double("mu", "cache cost μ per item-hour", 1.0);
   const double* lambda = args.add_double("lambda", "transfer cost λ per item", 2.0);
   const std::size_t* taxis = args.add_size("taxis", "fleet size (= item count)", 10);
+  const std::size_t* threads = args.add_size(
+      "threads", "Phase-2 worker threads (0 = serial)", 0);
   args.parse(argc, argv);
 
   MobilityConfig mobility;
@@ -51,6 +45,7 @@ int main(int argc, char** argv) {
 
   SolverConfig config;
   config.theta = *theta;
+  config.threads(*threads);
   const std::vector<RunReport> reports = run_solvers(
       {"optimal_baseline", "package_served", "dp_greedy"}, trace, model,
       config);
@@ -59,24 +54,19 @@ int main(int argc, char** argv) {
               *theta, *alpha, *mu, *lambda);
   std::printf("%s\n", render_comparison(reports).c_str());
 
-  // Per-package detail needs DP_Greedy internals (Jaccard, co-requests, the
-  // Phase-2 split); that goes through the engine's algorithm facade.
-  DpGreedyOptions options;
-  options.theta = *theta;
-  const DpGreedyResult dpg = solve_dp_greedy(trace, model, options);
-  std::printf("per-package breakdown (DP_Greedy):\n");
-  TextTable pairs({"pair", "J", "co-req", "package cost", "singleton cost",
-                   "pair ave"});
-  for (const PackageReport& report : dpg.packages) {
-    pairs.add_row({"(d" + std::to_string(report.pair.a) + ",d" +
-                       std::to_string(report.pair.b) + ")",
-                   format_fixed(report.pair.jaccard, 3),
-                   std::to_string(report.co_request_count),
-                   format_fixed(report.package_cost, 2),
-                   format_fixed(report.singleton_cost, 2),
-                   format_fixed(report.ave_cost(), 4)});
+  // Per-plan detail straight from the DP_Greedy report: every package the
+  // pairing phase formed (served at the discounted 2α rate) and every
+  // singleton, with their schedule-derived numbers.
+  std::printf("per-plan breakdown (DP_Greedy):\n");
+  TextTable plans({"plan", "requests", "segments", "transfers", "cost"});
+  for (const FlowPlan& plan : reports[2].plans) {
+    if (plan.flow.empty()) continue;
+    plans.add_row({plan.label, std::to_string(plan.flow.size()),
+                   std::to_string(plan.schedule.segments().size()),
+                   std::to_string(plan.schedule.transfers().size()),
+                   format_fixed(plan.schedule.cost(model), 2)});
   }
-  std::printf("%s\n", pairs.render().c_str());
+  std::printf("%s\n", plans.render().c_str());
 
   // Operational replay of the DP_Greedy plan, straight from the report's
   // schedule handles.

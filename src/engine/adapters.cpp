@@ -12,18 +12,42 @@
 
 #include "core/flow.hpp"
 #include "engine/registry.hpp"
+#include "parallel/thread_pool.hpp"
 #include "solver/baselines.hpp"
 #include "solver/dp_greedy.hpp"
 #include "solver/greedy.hpp"
 #include "solver/group_solver.hpp"
 #include "solver/online.hpp"
 #include "solver/online_dp_greedy.hpp"
+#include "solver/phase2_shard.hpp"
 #include "solver/workspace.hpp"
 #include "util/stopwatch.hpp"
 
 namespace dpg {
 
 namespace {
+
+/// Resolves SolverConfig's two parallelism knobs into one pool pointer: an
+/// externally owned `config.pool` wins (its width fixes the shard layout);
+/// otherwise `threads(N)` leases an N-worker pool for this run.  Null means
+/// the serial path.
+class PoolLease {
+ public:
+  explicit PoolLease(const SolverConfig& config) {
+    if (config.pool != nullptr) {
+      pool_ = config.pool;
+    } else if (config.thread_count > 0) {
+      owned_ = std::make_unique<ThreadPool>(config.thread_count);
+      pool_ = owned_.get();
+    }
+  }
+
+  [[nodiscard]] ThreadPool* pool() const noexcept { return pool_; }
+
+ private:
+  ThreadPool* pool_ = nullptr;
+  std::unique_ptr<ThreadPool> owned_;
+};
 
 std::string item_label(ItemId item) {
   return "item " + std::to_string(item);
@@ -60,10 +84,10 @@ void keep_plan(RunReport& report, const SolverConfig& config, Flow flow,
 /// Phase 1 inside solve_seconds; this is an independent re-measurement, not
 /// a component of it.
 template <typename PackFn>
-double measure_phase1(const RequestSequence& sequence,
-                      const SolverConfig& config, PackFn&& pack) {
+double measure_phase1(const RequestSequence& sequence, ThreadPool* pool,
+                      PackFn&& pack) {
   CorrelationOptions correlation;
-  correlation.pool = config.pool;
+  correlation.pool = pool;
   Stopwatch stopwatch;
   const CorrelationAnalysis analysis(sequence, correlation);
   pack(analysis);
@@ -77,18 +101,19 @@ class DpGreedySolver final : public Solver {
  public:
   RunReport run(const RequestSequence& sequence, const CostModel& model,
                 const SolverConfig& config) override {
+    const PoolLease lease(config);
     DpGreedyOptions options;
     options.theta = config.theta;
     options.dp = config.dp;
-    options.pool = config.pool;
+    options.pool = lease.pool();
 
     RunReport report;
     report.solver = "dp_greedy";
     Stopwatch stopwatch;
     const DpGreedyResult result = solve_dp_greedy(sequence, model, options);
     report.solve_seconds = stopwatch.elapsed_seconds();
-    report.phase1_seconds =
-        measure_phase1(sequence, config, [&](const CorrelationAnalysis& a) {
+    report.phase1_seconds = measure_phase1(
+        sequence, lease.pool(), [&](const CorrelationAnalysis& a) {
           return greedy_pairing(a, config.theta);
         });
 
@@ -136,11 +161,12 @@ class OptimalBaselineSolver final : public Solver {
  public:
   RunReport run(const RequestSequence& sequence, const CostModel& model,
                 const SolverConfig& config) override {
+    const PoolLease lease(config);
     RunReport report;
     report.solver = "optimal_baseline";
     Stopwatch stopwatch;
     const OptimalBaselineResult result =
-        solve_optimal_baseline(sequence, model, config.dp, config.pool);
+        solve_optimal_baseline(sequence, model, config.dp, lease.pool());
     report.solve_seconds = stopwatch.elapsed_seconds();
 
     report.total_cost = result.total_cost;
@@ -163,14 +189,15 @@ class PackageServedSolver final : public Solver {
  public:
   RunReport run(const RequestSequence& sequence, const CostModel& model,
                 const SolverConfig& config) override {
+    const PoolLease lease(config);
     RunReport report;
     report.solver = "package_served";
     Stopwatch stopwatch;
     const PackageServedResult result = solve_package_served(
-        sequence, model, config.theta, config.dp, config.pool);
+        sequence, model, config.theta, config.dp, lease.pool());
     report.solve_seconds = stopwatch.elapsed_seconds();
-    report.phase1_seconds =
-        measure_phase1(sequence, config, [&](const CorrelationAnalysis& a) {
+    report.phase1_seconds = measure_phase1(
+        sequence, lease.pool(), [&](const CorrelationAnalysis& a) {
           return greedy_pairing(a, config.theta, /*inclusive=*/true);
         });
 
@@ -204,10 +231,12 @@ class GroupDpGreedySolver final : public Solver {
  public:
   RunReport run(const RequestSequence& sequence, const CostModel& model,
                 const SolverConfig& config) override {
+    const PoolLease lease(config);
     GroupDpGreedyOptions options;
     options.theta = config.theta;
     options.max_group_size = config.max_group_size;
     options.dp = config.dp;
+    options.pool = lease.pool();
 
     RunReport report;
     report.solver = "group_dp_greedy";
@@ -215,8 +244,8 @@ class GroupDpGreedySolver final : public Solver {
     const GroupDpGreedyResult result =
         solve_group_dp_greedy(sequence, model, options);
     report.solve_seconds = stopwatch.elapsed_seconds();
-    report.phase1_seconds =
-        measure_phase1(sequence, config, [&](const CorrelationAnalysis& a) {
+    report.phase1_seconds = measure_phase1(
+        sequence, lease.pool(), [&](const CorrelationAnalysis& a) {
           return greedy_grouping(a, config.theta, config.max_group_size);
         });
 
@@ -248,19 +277,50 @@ class GroupDpGreedySolver final : public Solver {
 // Per-item-flow policies: greedy, chain, online break-even.  No
 // whole-sequence solve_* exists for these; the canonical composition is one
 // solve per item flow in ascending ItemId order (the loop every harness
-// wrote by hand before the engine), so that is the contract here too.
+// wrote by hand before the engine), so that is the contract here too.  The
+// solves shard over the leased pool into per-item slots; the merge below
+// runs in item order, so the FP accumulation matches the serial path bit
+// for bit at any thread count.
+
+/// One item's solve outcome, merged serially into the RunReport.
+struct ItemOutcome {
+  Cost cost = 0.0;
+  Cost raw_cost = 0.0;
+  Cost transfer_cost = 0.0;         // λ-side of this item's choices
+  std::size_t transfer_events = 0;  // λ-charges behind that cost
+  Schedule schedule;
+};
 
 template <typename SolveFn>
 RunReport run_per_item(const std::string& name,
                        const RequestSequence& sequence,
-                       SolverWorkspace& workspace, SolveFn&& solve) {
+                       const SolverConfig& config, SolverWorkspace& workspace,
+                       SolveFn&& solve) {
+  const PoolLease lease(config);
   RunReport report;
   report.solver = name;
   report.total_item_accesses = sequence.total_item_accesses();
   Stopwatch stopwatch;
-  for (ItemId item = 0; item < sequence.item_count(); ++item) {
-    make_item_flow(sequence, item, workspace.flow);
-    solve(workspace.flow, item, report);
+
+  const std::size_t item_count = sequence.item_count();
+  std::vector<ItemOutcome> outcomes(item_count);
+  for_each_flow_sharded(
+      lease.pool(), item_count,
+      [&](std::size_t i, SolverWorkspace& ws) {
+        make_item_flow(sequence, static_cast<ItemId>(i), ws.flow);
+        outcomes[i] = solve(ws.flow, ws);
+      },
+      &workspace);
+
+  for (ItemId item = 0; item < item_count; ++item) {
+    ItemOutcome& outcome = outcomes[item];
+    report.total_cost += outcome.cost;
+    report.raw_cost += outcome.raw_cost;
+    report.transfer_cost += outcome.transfer_cost;
+    report.transfer_events += outcome.transfer_events;
+    report.cache_segments += outcome.schedule.segments().size();
+    keep_plan(report, config, make_item_flow(sequence, item),
+              std::move(outcome.schedule), item_label(item));
   }
   report.solve_seconds = stopwatch.elapsed_seconds();
   finalize_report(report);
@@ -272,15 +332,19 @@ class GreedySolver final : public Solver {
   RunReport run(const RequestSequence& sequence, const CostModel& model,
                 const SolverConfig& config) override {
     return run_per_item(
-        "greedy", sequence, workspace_,
-        [&](const Flow& flow, ItemId item, RunReport& report) {
+        "greedy", sequence, config, workspace_,
+        [&](const Flow& flow, SolverWorkspace&) {
           SolveResult solved =
               solve_greedy(flow, model, sequence.server_count());
-          report.total_cost += solved.cost;
-          report.raw_cost += solved.raw_cost;
-          tally_schedule(solved.schedule, model, 1.0, report);
-          keep_plan(report, config, flow, std::move(solved.schedule),
-                    item_label(item));
+          ItemOutcome outcome;
+          outcome.cost = solved.cost;
+          outcome.raw_cost = solved.raw_cost;
+          outcome.transfer_cost =
+              model.lambda *
+              static_cast<double>(solved.schedule.transfers().size());
+          outcome.transfer_events = solved.schedule.transfers().size();
+          outcome.schedule = std::move(solved.schedule);
+          return outcome;
         });
   }
 
@@ -293,14 +357,18 @@ class ChainSolver final : public Solver {
   RunReport run(const RequestSequence& sequence, const CostModel& model,
                 const SolverConfig& config) override {
     return run_per_item(
-        "chain", sequence, workspace_,
-        [&](const Flow& flow, ItemId item, RunReport& report) {
+        "chain", sequence, config, workspace_,
+        [&](const Flow& flow, SolverWorkspace&) {
           SolveResult solved = solve_chain(flow, model);
-          report.total_cost += solved.cost;
-          report.raw_cost += solved.raw_cost;
-          tally_schedule(solved.schedule, model, 1.0, report);
-          keep_plan(report, config, flow, std::move(solved.schedule),
-                    item_label(item));
+          ItemOutcome outcome;
+          outcome.cost = solved.cost;
+          outcome.raw_cost = solved.raw_cost;
+          outcome.transfer_cost =
+              model.lambda *
+              static_cast<double>(solved.schedule.transfers().size());
+          outcome.transfer_events = solved.schedule.transfers().size();
+          outcome.schedule = std::move(solved.schedule);
+          return outcome;
         });
   }
 
@@ -315,18 +383,18 @@ class OnlineBreakEvenSolver final : public Solver {
     OnlineOptions options;
     options.hold_factor = config.hold_factor;
     return run_per_item(
-        "online_break_even", sequence, workspace_,
-        [&](const Flow& flow, ItemId item, RunReport& report) {
+        "online_break_even", sequence, config, workspace_,
+        [&](const Flow& flow, SolverWorkspace&) {
           OnlineResult solved = solve_online_break_even(
               flow, model, sequence.server_count(), options);
-          report.total_cost += solved.cost;
-          report.raw_cost += solved.raw_cost;
-          report.transfer_cost +=
+          ItemOutcome outcome;
+          outcome.cost = solved.cost;
+          outcome.raw_cost = solved.raw_cost;
+          outcome.transfer_cost =
               model.lambda * static_cast<double>(solved.transfer_count);
-          report.transfer_events += solved.transfer_count;
-          report.cache_segments += solved.schedule.segments().size();
-          keep_plan(report, config, flow, std::move(solved.schedule),
-                    item_label(item));
+          outcome.transfer_events = solved.transfer_count;
+          outcome.schedule = std::move(solved.schedule);
+          return outcome;
         });
   }
 

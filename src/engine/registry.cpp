@@ -22,6 +22,24 @@ std::string joined_names(const std::vector<std::string>& names) {
   return out;
 }
 
+/// Turns the obs layer on for one run when SolverConfig::telemetry asked for
+/// it and the process-wide switch is off; restores the switch on scope exit
+/// (exceptions included) so per-run telemetry never leaks into later runs.
+class ScopedTelemetry {
+ public:
+  explicit ScopedTelemetry(bool wanted) : owns_(wanted && !obs::enabled()) {
+    if (owns_) obs::set_enabled(true);
+  }
+  ~ScopedTelemetry() {
+    if (owns_) obs::set_enabled(false);
+  }
+  ScopedTelemetry(const ScopedTelemetry&) = delete;
+  ScopedTelemetry& operator=(const ScopedTelemetry&) = delete;
+
+ private:
+  bool owns_;
+};
+
 }  // namespace
 
 void SolverRegistry::add(SolverInfo info, Factory factory) {
@@ -78,8 +96,11 @@ RunReport SolverRegistry::run(const std::string& name,
                               const RequestSequence& sequence,
                               const CostModel& model,
                               const SolverConfig& config) const {
+  config.validate();  // eager: reject a bad config before any work
   DPG_DEBUG << "dispatch " << name << " on " << sequence.size()
-            << " requests (theta=" << config.theta << ")";
+            << " requests (theta=" << config.theta
+            << ", threads=" << config.thread_count << ")";
+  const ScopedTelemetry telemetry(config.telemetry_enabled);
   if (!obs::enabled()) return create(name)->run(sequence, model, config);
   const obs::TraceSpan root("run/", name);
   const obs::MetricsSnapshot before = obs::snapshot_metrics();

@@ -5,7 +5,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "core/cost_model.hpp"
 #include "core/request.hpp"
@@ -19,6 +21,16 @@ class ThreadPool;
 /// The union of every wrapped solver's knobs.  Each adapter reads only the
 /// fields its algorithm defines; the defaults match the per-solver option
 /// structs, so a default SolverConfig reproduces a default solve_* call.
+///
+/// SolverConfig stays an aggregate (designated/member initialization keeps
+/// working) but also offers a fluent builder surface:
+///
+///   auto config = SolverConfig{}.threads(8).telemetry(true).seed(42);
+///
+/// plus a string-keyed setter for front ends
+/// (`config.with("theta", "0.4")`).  Both validate eagerly: a bad value or
+/// an unknown field name throws InvalidArgument naming the valid fields, at
+/// the call site rather than deep inside a solve.
 struct SolverConfig {
   /// Correlation threshold θ (packing solvers).
   double theta = 0.3;
@@ -32,11 +44,49 @@ struct SolverConfig {
   double hold_factor = 1.0;
   /// Options forwarded to the inner optimal-offline DP where one runs.
   OptimalOfflineOptions dp;
-  /// Optional pool for the solvers with a parallel fan-out path.
+  /// Optional externally owned pool for the solvers with a parallel fan-out
+  /// path.  When set it wins over `thread_count` (the pool's width also
+  /// fixes the deterministic Phase-2 shard layout).
   ThreadPool* pool = nullptr;
   /// Keep the per-flow schedules as RunReport::plans (replayable).  Turning
   /// this off skips the plan copies (costs are identical either way).
   bool keep_schedules = true;
+  /// Phase-2 fan-out width: 0 = serial, N = shard the per-flow solves over
+  /// an N-worker pool owned for the duration of the run.  Results are
+  /// bit-identical at every value (see solver/phase2_shard.hpp).
+  std::size_t thread_count = 0;
+  /// Record telemetry (metrics delta + trace spans) for this run even when
+  /// the process-wide obs switch is off.  Purely observational.
+  bool telemetry_enabled = false;
+  /// Seed for solvers with randomized tie-breaks.  Every built-in solver is
+  /// deterministic, so today this only pins future stochastic policies.
+  std::uint64_t rng_seed = 0;
+
+  // Fluent builder surface (aggregates may have member functions).
+  SolverConfig& threads(std::size_t n) noexcept {
+    thread_count = n;
+    return *this;
+  }
+  SolverConfig& telemetry(bool on) noexcept {
+    telemetry_enabled = on;
+    return *this;
+  }
+  SolverConfig& seed(std::uint64_t value) noexcept {
+    rng_seed = value;
+    return *this;
+  }
+
+  /// Sets one field by name from a string value ("theta", "max_group_size",
+  /// "window", "repack_interval", "hold_factor", "keep_schedules",
+  /// "threads", "telemetry", "seed").  Throws InvalidArgument immediately on
+  /// an unknown field (the message lists the valid ones), an unparsable
+  /// value, or a value outside the field's range.
+  SolverConfig& with(std::string_view field, std::string_view value);
+
+  /// Range-checks every field (θ ∈ [0, 1], hold_factor ≥ 0, window ≥ 1,
+  /// repack_interval ≥ 1, max_group_size ≥ 2); throws InvalidArgument naming
+  /// the offending field.  SolverRegistry::run calls this before dispatch.
+  void validate() const;
 };
 
 /// A runnable solver.  Instances are stateful: adapters hold a

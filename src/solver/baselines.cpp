@@ -1,10 +1,49 @@
 #include "solver/baselines.hpp"
 
-#include "parallel/thread_pool.hpp"
 #include "solver/correlation.hpp"
+#include "solver/phase2_shard.hpp"
+#include "solver/workspace.hpp"
 #include "util/error.hpp"
 
 namespace dpg {
+
+namespace {
+
+/// One per-item DP solve into the shard's workspace (flow build + DP arrays
+/// all reused, see solver/workspace.hpp).
+OptimalItemReport solve_item_ws(const RequestSequence& sequence,
+                                const CostModel& model, ItemId item,
+                                const OptimalOfflineOptions& dp,
+                                SolverWorkspace& ws) {
+  OptimalItemReport report;
+  report.item = item;
+  report.accesses = sequence.item_frequency(item);
+  make_item_flow(sequence, item, ws.flow);
+  SolveResult solved =
+      solve_optimal_offline(ws.flow, model, sequence.server_count(), dp, &ws);
+  report.cost = solved.cost;
+  report.schedule = std::move(solved.schedule);
+  return report;
+}
+
+PackageServedPair solve_pair_package_served_ws(const RequestSequence& sequence,
+                                               const CostModel& model,
+                                               ItemPair pair,
+                                               const OptimalOfflineOptions& dp,
+                                               SolverWorkspace& ws) {
+  PackageServedPair out;
+  out.pair = pair;
+  out.total_accesses =
+      sequence.item_frequency(pair.a) + sequence.item_frequency(pair.b);
+  const Flow union_flow = make_union_flow(sequence, {pair.a, pair.b});
+  SolveResult solved =
+      solve_optimal_offline(union_flow, model, sequence.server_count(), dp, &ws);
+  out.cost = solved.cost;  // priced at the 2α package rate
+  out.schedule = std::move(solved.schedule);
+  return out;
+}
+
+}  // namespace
 
 double OptimalBaselineResult::pair_ave_cost(ItemId a, ItemId b) const {
   Cost cost = 0.0;
@@ -27,22 +66,11 @@ OptimalBaselineResult solve_optimal_baseline(const RequestSequence& sequence,
   result.total_item_accesses = sequence.total_item_accesses();
   result.items.resize(sequence.item_count());
 
-  const auto solve_item = [&](std::size_t i) {
-    const auto item = static_cast<ItemId>(i);
-    OptimalItemReport report;
-    report.item = item;
-    report.accesses = sequence.item_frequency(item);
-    SolveResult solved = solve_optimal_offline(
-        make_item_flow(sequence, item), model, sequence.server_count(), dp);
-    report.cost = solved.cost;
-    report.schedule = std::move(solved.schedule);
-    result.items[i] = std::move(report);
-  };
-  if (pool != nullptr && sequence.item_count() > 1) {
-    parallel_for(*pool, sequence.item_count(), solve_item);
-  } else {
-    for (std::size_t i = 0; i < sequence.item_count(); ++i) solve_item(i);
-  }
+  for_each_flow_sharded(pool, sequence.item_count(),
+                        [&](std::size_t i, SolverWorkspace& ws) {
+                          result.items[i] = solve_item_ws(
+                              sequence, model, static_cast<ItemId>(i), dp, ws);
+                        });
 
   for (const OptimalItemReport& report : result.items) {
     result.total_cost += report.cost;
@@ -59,16 +87,8 @@ PackageServedPair solve_pair_package_served(const RequestSequence& sequence,
                                             ItemPair pair,
                                             const OptimalOfflineOptions& dp) {
   model.validate();
-  PackageServedPair out;
-  out.pair = pair;
-  out.total_accesses =
-      sequence.item_frequency(pair.a) + sequence.item_frequency(pair.b);
-  const Flow union_flow = make_union_flow(sequence, {pair.a, pair.b});
-  SolveResult solved =
-      solve_optimal_offline(union_flow, model, sequence.server_count(), dp);
-  out.cost = solved.cost;  // priced at the 2α package rate
-  out.schedule = std::move(solved.schedule);
-  return out;
+  SolverWorkspace ws;
+  return solve_pair_package_served_ws(sequence, model, pair, dp, ws);
 }
 
 PackageServedResult solve_package_served(const RequestSequence& sequence,
@@ -89,27 +109,18 @@ PackageServedResult solve_package_served(const RequestSequence& sequence,
   result.pairs.resize(pair_count);
   result.singles.resize(single_count);
 
-  const auto solve_one = [&](std::size_t i) {
-    if (i < pair_count) {
-      result.pairs[i] = solve_pair_package_served(
-          sequence, model, result.packing.pairs[i], dp);
-    } else {
-      const ItemId item = result.packing.singles[i - pair_count];
-      OptimalItemReport report;
-      report.item = item;
-      report.accesses = sequence.item_frequency(item);
-      SolveResult solved = solve_optimal_offline(
-          make_item_flow(sequence, item), model, sequence.server_count(), dp);
-      report.cost = solved.cost;
-      report.schedule = std::move(solved.schedule);
-      result.singles[i - pair_count] = std::move(report);
-    }
-  };
-  if (pool != nullptr && pair_count + single_count > 1) {
-    parallel_for(*pool, pair_count + single_count, solve_one);
-  } else {
-    for (std::size_t i = 0; i < pair_count + single_count; ++i) solve_one(i);
-  }
+  for_each_flow_sharded(
+      pool, pair_count + single_count,
+      [&](std::size_t i, SolverWorkspace& ws) {
+        if (i < pair_count) {
+          result.pairs[i] = solve_pair_package_served_ws(
+              sequence, model, result.packing.pairs[i], dp, ws);
+        } else {
+          result.singles[i - pair_count] =
+              solve_item_ws(sequence, model,
+                            result.packing.singles[i - pair_count], dp, ws);
+        }
+      });
 
   for (const PackageServedPair& p : result.pairs) result.total_cost += p.cost;
   for (const OptimalItemReport& s : result.singles) result.total_cost += s.cost;

@@ -6,6 +6,7 @@
 #include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "solver/correlation.hpp"
+#include "solver/phase2_shard.hpp"
 #include "solver/workspace.hpp"
 #include "util/error.hpp"
 
@@ -136,41 +137,30 @@ DpGreedyResult solve_dp_greedy(const RequestSequence& sequence,
         greedy_pairing(analysis, options.theta, options.inclusive_threshold);
   }
 
-  // Phase 2: independent per-package and per-single solves.  Each worker
-  // chunk (or the serial path) reuses one SolverWorkspace across its solves,
-  // so the steady state allocates only for the returned reports.
-  const auto solve_one = [&](std::size_t i, SolverWorkspace& ws) {
-    const std::size_t pair_count = result.packing.pairs.size();
-    if (i < pair_count) {
-      result.packages[i] = solve_pair_package_ws(
-          sequence, model, result.packing.pairs[i], options.dp, ws);
-    } else {
-      result.singles[i - pair_count] = solve_single_ws(
-          sequence, model, result.packing.singles[i - pair_count], options.dp,
-          ws);
-    }
-  };
-
+  // Phase 2: independent per-package and per-single solves, sharded through
+  // the one shared fan-out path (solver/phase2_shard.hpp).  Every solve
+  // writes its pre-sized slot; the reductions below run serially in flow
+  // order, so totals are bit-identical at every pool width.
   const std::size_t pair_count = result.packing.pairs.size();
   const std::size_t single_count = result.packing.singles.size();
   result.packages.resize(pair_count);
   result.singles.resize(single_count);
-  const std::size_t total = pair_count + single_count;
   const obs::TraceSpan phase2_span("dp_greedy/phase2");
   g_packages_solved.add(pair_count);
   g_singles_solved.add(single_count);
-  if (options.pool != nullptr && total > 1) {
-    parallel_for_chunks(*options.pool, total,
-                        [&](std::size_t, std::size_t begin, std::size_t end) {
-                          SolverWorkspace ws;
-                          for (std::size_t i = begin; i < end; ++i) {
-                            solve_one(i, ws);
-                          }
-                        });
-  } else {
-    SolverWorkspace ws;
-    for (std::size_t i = 0; i < total; ++i) solve_one(i, ws);
-  }
+  for_each_flow_sharded(
+      options.pool, pair_count + single_count,
+      [&](std::size_t i, SolverWorkspace& ws) {
+        if (i < pair_count) {
+          result.packages[i] = solve_pair_package_ws(
+              sequence, model, result.packing.pairs[i], options.dp, ws);
+        } else {
+          result.singles[i - pair_count] =
+              solve_single_ws(sequence, model,
+                              result.packing.singles[i - pair_count],
+                              options.dp, ws);
+        }
+      });
 
   for (const PackageReport& report : result.packages) {
     result.total_cost += report.total_cost();

@@ -5,6 +5,8 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "solver/correlation.hpp"
+#include "solver/phase2_shard.hpp"
+#include "solver/workspace.hpp"
 #include "util/error.hpp"
 
 namespace dpg {
@@ -14,13 +16,11 @@ namespace {
 const obs::Counter g_group_packages = obs::counter("group.packages_solved");
 const obs::Counter g_group_partials = obs::counter("group.partial_requests");
 
-}  // namespace
-
-GroupReport solve_group_package(const RequestSequence& sequence,
-                                const CostModel& model,
-                                const std::vector<ItemId>& group,
-                                const OptimalOfflineOptions& dp) {
-  model.validate();
+GroupReport solve_group_package_ws(const RequestSequence& sequence,
+                                   const CostModel& model,
+                                   const std::vector<ItemId>& group,
+                                   const OptimalOfflineOptions& dp,
+                                   SolverWorkspace& ws) {
   const obs::TraceSpan span("group/package");
   g_group_packages.add();
   require(group.size() >= 2, "solve_group_package: group must have >= 2 items");
@@ -33,7 +33,8 @@ GroupReport solve_group_package(const RequestSequence& sequence,
   const Flow group_flow = make_group_flow(sequence, group);
   report.full_request_count = group_flow.size();
   SolveResult solved =
-      solve_optimal_offline(group_flow, model, sequence.server_count(), dp);
+      solve_optimal_offline(group_flow, model, sequence.server_count(), dp,
+                            &ws);
   report.package_cost = solved.cost;  // g·α-discounted
   report.package_schedule = std::move(solved.schedule);
 
@@ -95,6 +96,32 @@ GroupReport solve_group_package(const RequestSequence& sequence,
   return report;
 }
 
+SingleItemReport solve_group_single_ws(const RequestSequence& sequence,
+                                       const CostModel& model, ItemId item,
+                                       const OptimalOfflineOptions& dp,
+                                       SolverWorkspace& ws) {
+  SingleItemReport report;
+  report.item = item;
+  report.accesses = sequence.item_frequency(item);
+  make_item_flow(sequence, item, ws.flow);
+  SolveResult solved =
+      solve_optimal_offline(ws.flow, model, sequence.server_count(), dp, &ws);
+  report.cost = solved.cost;
+  report.schedule = std::move(solved.schedule);
+  return report;
+}
+
+}  // namespace
+
+GroupReport solve_group_package(const RequestSequence& sequence,
+                                const CostModel& model,
+                                const std::vector<ItemId>& group,
+                                const OptimalOfflineOptions& dp) {
+  model.validate();
+  SolverWorkspace ws;
+  return solve_group_package_ws(sequence, model, group, dp, ws);
+}
+
 GroupDpGreedyResult solve_group_dp_greedy(const RequestSequence& sequence,
                                           const CostModel& model,
                                           const GroupDpGreedyOptions& options) {
@@ -109,21 +136,26 @@ GroupDpGreedyResult solve_group_dp_greedy(const RequestSequence& sequence,
   result.packing =
       greedy_grouping(analysis, options.theta, options.max_group_size);
 
-  for (const auto& group : result.packing.groups) {
-    result.groups.push_back(
-        solve_group_package(sequence, model, group, options.dp));
-  }
-  for (const ItemId item : result.packing.singles) {
-    SingleItemReport report;
-    report.item = item;
-    report.accesses = sequence.item_frequency(item);
-    SolveResult solved = solve_optimal_offline(
-        make_item_flow(sequence, item), model, sequence.server_count(),
-        options.dp);
-    report.cost = solved.cost;
-    report.schedule = std::move(solved.schedule);
-    result.singles.push_back(std::move(report));
-  }
+  // Phase 2: independent per-group and per-single solves, sharded through
+  // solver/phase2_shard.hpp into pre-sized slots (bit-identical reductions
+  // below, any pool width).
+  const std::size_t group_count = result.packing.groups.size();
+  const std::size_t single_count = result.packing.singles.size();
+  result.groups.resize(group_count);
+  result.singles.resize(single_count);
+  for_each_flow_sharded(
+      options.pool, group_count + single_count,
+      [&](std::size_t i, SolverWorkspace& ws) {
+        if (i < group_count) {
+          result.groups[i] = solve_group_package_ws(
+              sequence, model, result.packing.groups[i], options.dp, ws);
+        } else {
+          result.singles[i - group_count] =
+              solve_group_single_ws(sequence, model,
+                                    result.packing.singles[i - group_count],
+                                    options.dp, ws);
+        }
+      });
 
   for (const GroupReport& report : result.groups) {
     result.total_cost += report.total_cost();

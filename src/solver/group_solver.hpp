@@ -23,6 +23,8 @@
 
 namespace dpg {
 
+class ThreadPool;
+
 struct GroupReport {
   std::vector<ItemId> items;
   Cost package_cost = 0.0;   // g·α-discounted DP over full-group requests
@@ -53,6 +55,9 @@ struct GroupDpGreedyOptions {
   double theta = 0.3;
   std::size_t max_group_size = 3;
   OptimalOfflineOptions dp;
+  /// When set, the per-group/per-single Phase-2 solves shard over this pool
+  /// (results are bit-identical to the serial path).
+  ThreadPool* pool = nullptr;
 };
 
 [[nodiscard]] GroupDpGreedyResult solve_group_dp_greedy(

@@ -1,0 +1,53 @@
+#include "solver/phase2_shard.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "parallel/thread_pool.hpp"
+#include "solver/workspace.hpp"
+
+namespace dpg {
+
+namespace {
+
+const obs::Counter g_flows_sharded = obs::counter("phase2.flows_sharded");
+const obs::Counter g_ws_reused = obs::counter("phase2.ws_reused");
+
+void solve_range(std::size_t begin, std::size_t end, const FlowSolveFn& solve,
+                 SolverWorkspace& ws) {
+  for (std::size_t i = begin; i < end; ++i) solve(i, ws);
+  if (end - begin > 1) g_ws_reused.add(end - begin - 1);
+}
+
+}  // namespace
+
+std::size_t phase2_shard_count(std::size_t flow_count,
+                               std::size_t worker_count) noexcept {
+  // Mirrors parallel_for_chunks: 4 shards per worker for load balance, never
+  // more shards than flows.  A pure function of its arguments, so the flow →
+  // shard assignment is deterministic for a given pool width.
+  if (flow_count < 2 || worker_count == 0) return flow_count == 0 ? 0 : 1;
+  return std::min(flow_count, worker_count * 4);
+}
+
+void for_each_flow_sharded(ThreadPool* pool, std::size_t flow_count,
+                           const FlowSolveFn& solve,
+                           SolverWorkspace* serial_workspace) {
+  if (flow_count == 0) return;
+  if (pool == nullptr || flow_count < 2) {
+    SolverWorkspace local;
+    solve_range(0, flow_count, solve,
+                serial_workspace != nullptr ? *serial_workspace : local);
+    return;
+  }
+  g_flows_sharded.add(flow_count);
+  parallel_for_chunks(*pool, flow_count,
+                      [&](std::size_t, std::size_t begin, std::size_t end) {
+                        const obs::TraceSpan span("phase2/shard");
+                        SolverWorkspace ws;
+                        solve_range(begin, end, solve, ws);
+                      });
+}
+
+}  // namespace dpg

@@ -1,0 +1,52 @@
+// Deterministic sharded execution of Phase-2 flow solves.
+//
+// After Phase 1 fixes the flow set (packages + unpacked singles), every flow
+// is an independent DP/greedy solve.  This helper is the one fan-out path all
+// Phase-2 solvers share: it runs `solve(flow_index, workspace)` for every
+// flow in [0, flow_count), either serially (pool == nullptr) or sharded over
+// a ThreadPool with one SolverWorkspace per shard.
+//
+// Determinism contract:
+//   * The flow → shard assignment is a pure function of (flow_count,
+//     pool->worker_count()): contiguous ranges, the same arithmetic as
+//     parallel_for_chunks.  No work stealing, no dependence on scheduling.
+//   * Each shard owns its workspace exclusively; `solve` must write its
+//     result into a pre-sized slot indexed by flow_index and must not touch
+//     shared accumulators.  Callers then reduce the slots serially in flow
+//     order, so totals see the exact FP addition order of the serial path —
+//     results are bit-identical at every thread count.
+//
+// Telemetry: each shard runs under a `phase2/shard` span;
+// `phase2.flows_sharded` counts flows dispatched through a pool and
+// `phase2.ws_reused` counts solves that reused an already-warm workspace
+// (serial or sharded — the zero-alloc steady state of PR 1).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace dpg {
+
+class ThreadPool;
+struct SolverWorkspace;
+
+/// Solves one flow into its slot; must be safe to call concurrently for
+/// distinct flow indices (with distinct workspaces).
+using FlowSolveFn = std::function<void(std::size_t, SolverWorkspace&)>;
+
+/// Runs `solve(i, ws)` for every i in [0, flow_count).  Serial when `pool`
+/// is null or there is at most one flow; otherwise one task per shard over
+/// the pool.  Blocks until every flow is solved; the first exception (if
+/// any) is rethrown on the calling thread.  When `serial_workspace` is
+/// non-null the serial path reuses it instead of a local one (adapters keep
+/// a member workspace warm across runs).
+void for_each_flow_sharded(ThreadPool* pool, std::size_t flow_count,
+                           const FlowSolveFn& solve,
+                           SolverWorkspace* serial_workspace = nullptr);
+
+/// The shard count `for_each_flow_sharded` uses for a given pool width —
+/// exposed so tests can pin the deterministic assignment.
+[[nodiscard]] std::size_t phase2_shard_count(std::size_t flow_count,
+                                             std::size_t worker_count) noexcept;
+
+}  // namespace dpg

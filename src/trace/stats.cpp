@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "solver/correlation.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 

@@ -7,7 +7,6 @@
 #include <vector>
 
 #include "core/request.hpp"
-#include "solver/correlation.hpp"
 
 namespace dpg {
 

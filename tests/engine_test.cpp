@@ -230,6 +230,97 @@ TEST(Engine, SolverInstanceIsReusableAcrossRuns) {
   }
 }
 
+TEST(SolverConfigBuilder, FluentChainSetsFields) {
+  const SolverConfig config =
+      SolverConfig{}.threads(8).telemetry(true).seed(42);
+  EXPECT_EQ(config.thread_count, 8u);
+  EXPECT_TRUE(config.telemetry_enabled);
+  EXPECT_EQ(config.rng_seed, 42u);
+  // Aggregate initialization keeps working alongside the builder.
+  SolverConfig aggregate;
+  aggregate.theta = 0.5;
+  EXPECT_EQ(aggregate.thread_count, 0u);
+  EXPECT_FALSE(aggregate.telemetry_enabled);
+}
+
+TEST(SolverConfigBuilder, WithSetsEveryNamedField) {
+  SolverConfig config;
+  config.with("theta", "0.4")
+      .with("max_group_size", "4")
+      .with("window", "100")
+      .with("repack_interval", "25")
+      .with("hold_factor", "2.0")
+      .with("keep_schedules", "false")
+      .with("threads", "8")
+      .with("telemetry", "on")
+      .with("seed", "7");
+  EXPECT_EQ(config.theta, 0.4);
+  EXPECT_EQ(config.max_group_size, 4u);
+  EXPECT_EQ(config.window, 100u);
+  EXPECT_EQ(config.repack_interval, 25u);
+  EXPECT_EQ(config.hold_factor, 2.0);
+  EXPECT_FALSE(config.keep_schedules);
+  EXPECT_EQ(config.thread_count, 8u);
+  EXPECT_TRUE(config.telemetry_enabled);
+  EXPECT_EQ(config.rng_seed, 7u);
+}
+
+TEST(SolverConfigBuilder, UnknownFieldThrowsListingValidFields) {
+  try {
+    SolverConfig{}.with("thredas", "8");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("thredas"), std::string::npos) << message;
+    for (const char* field : {"theta", "max_group_size", "window",
+                              "repack_interval", "hold_factor",
+                              "keep_schedules", "threads", "telemetry",
+                              "seed"}) {
+      EXPECT_NE(message.find(field), std::string::npos) << message;
+    }
+  }
+}
+
+TEST(SolverConfigBuilder, ValidatesEagerly) {
+  EXPECT_THROW(SolverConfig{}.with("theta", "1.5"), InvalidArgument);
+  EXPECT_THROW(SolverConfig{}.with("theta", "-0.1"), InvalidArgument);
+  EXPECT_THROW(SolverConfig{}.with("theta", "nan"), InvalidArgument);
+  EXPECT_THROW(SolverConfig{}.with("hold_factor", "-1"), InvalidArgument);
+  EXPECT_THROW(SolverConfig{}.with("window", "0"), InvalidArgument);
+  EXPECT_THROW(SolverConfig{}.with("repack_interval", "0"), InvalidArgument);
+  EXPECT_THROW(SolverConfig{}.with("max_group_size", "1"), InvalidArgument);
+  EXPECT_THROW(SolverConfig{}.with("telemetry", "maybe"), InvalidArgument);
+}
+
+TEST(SolverConfigBuilder, RegistryRejectsInvalidConfigBeforeDispatch) {
+  SolverConfig bad;
+  bad.theta = 1.5;  // bypasses the eager setter on purpose
+  EXPECT_THROW(builtin_registry().run("dp_greedy",
+                                      testing::running_example_sequence(),
+                                      testing::running_example_model(), bad),
+               InvalidArgument);
+}
+
+/// config.telemetry(true) records per-run metrics without flipping the
+/// process-wide switch for later runs.
+TEST(SolverConfigBuilder, PerRunTelemetryAttachesMetricsAndRestoresSwitch) {
+  const RequestSequence seq = testing::running_example_sequence();
+  const CostModel model = testing::running_example_model();
+  ASSERT_FALSE(obs::enabled());
+
+  const RunReport plain = builtin_registry().run("dp_greedy", seq, model);
+  EXPECT_TRUE(plain.metrics.counters.empty());
+
+  const RunReport recorded = builtin_registry().run(
+      "dp_greedy", seq, model, SolverConfig{}.telemetry(true));
+  EXPECT_FALSE(recorded.metrics.counters.empty());
+  EXPECT_FALSE(obs::enabled());  // restored after the run
+  EXPECT_EQ(recorded.total_cost, plain.total_cost);  // observational only
+
+  obs::reset_metrics();
+  obs::reset_trace();
+}
+
 TEST(Engine, RenderingCoversEveryReportField) {
   const RequestSequence seq = testing::running_example_sequence();
   const CostModel model = testing::running_example_model();

@@ -4,8 +4,8 @@
 //   dpgreedy generate --out trace.csv [--kind taxi|paired|zipf|...] [--seed N]
 //   dpgreedy stats    --trace trace.csv
 //   dpgreedy solve    --trace trace.csv [--solver NAME] [--theta T]
-//                     [--alpha A] [--mu M] [--lambda L] [--format F]
-//                     [--export-dir DIR]
+//                     [--alpha A] [--mu M] [--lambda L] [--threads N]
+//                     [--format F] [--export-dir DIR]
 //   dpgreedy compare  --trace trace.csv [--solvers a,b,c] [--format F]
 //   dpgreedy online   --trace trace.csv ...  (online vs offline DP_Greedy)
 //
@@ -20,20 +20,7 @@
 #include <string>
 #include <vector>
 
-#include "core/schedule_export.hpp"
-#include "engine/registry.hpp"
-#include "engine/render.hpp"
-#include "mobility/simulator.hpp"
-#include "obs/metrics.hpp"
-#include "obs/trace.hpp"
-#include "util/log.hpp"
-#include "trace/generators.hpp"
-#include "trace/io.hpp"
-#include "trace/stats.hpp"
-#include "util/args.hpp"
-#include "util/error.hpp"
-#include "util/strings.hpp"
-#include "util/table.hpp"
+#include "dpgreedy.hpp"
 
 using namespace dpg;
 
@@ -53,6 +40,7 @@ struct RunFlags {
   const std::size_t* repack;
   const std::size_t* group_size;
   const double* hold;
+  const std::size_t* threads;
   const bool* verbose;
   const std::string* metrics_out;
   const std::string* trace_out;
@@ -69,6 +57,8 @@ RunFlags add_run_flags(ArgParser& args) {
   flags.repack = args.add_size("repack", "online re-pairing interval", 50);
   flags.group_size = args.add_size("group-size", "max group size", 3);
   flags.hold = args.add_double("hold", "break-even hold factor", 1.0);
+  flags.threads =
+      args.add_size("threads", "Phase-2 worker threads (0 = serial)", 0);
   flags.verbose = args.add_flag("verbose", "log at DEBUG level", 'v');
   flags.metrics_out = args.add_string(
       "metrics-out", "write a metrics snapshot JSON here (enables telemetry)",
@@ -139,6 +129,7 @@ SolverConfig config_of(const RunFlags& flags) {
   config.window = *flags.window;
   config.repack_interval = *flags.repack;
   config.hold_factor = *flags.hold;
+  config.threads(*flags.threads);
   return config;
 }
 
