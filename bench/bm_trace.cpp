@@ -1,11 +1,17 @@
 // Trace-I/O perf harness: streaming CSV parser vs the legacy CsvTable path,
 // allocation counts for CSR sequence builds, buffered file write/read
-// throughput, and a million-request end-to-end dp_greedy run.  Splices its
-// results as the "trace_io" section of BENCH_solvers.json (written by
-// bm_phase1) so the committed baseline stays one file.
+// throughput, a million-request end-to-end dp_greedy run, and the `.dpt`
+// binary format (mmap open latency, mmap-vs-read, convert throughput).
+// Splices its results as the "trace_io" and "binary_io" sections of
+// BENCH_solvers.json (written by bm_phase1) so the committed baseline stays
+// one file; with --hundred-million it additionally runs the 100M-request
+// end-to-end pipeline (generate -> CSV write -> convert -> mmap open ->
+// dp_greedy solve) and records it as "hundred_million_e2e".
 //
-// Usage: bm_trace [BENCH_solvers.json]   (default: BENCH_solvers.json in the
-// CWD; run from the repo root, after bm_phase1, to refresh the baseline)
+// Usage: bm_trace [BENCH_solvers.json] [--hundred-million]
+// (default: BENCH_solvers.json in the CWD; run from the repo root, after
+// bm_phase1, to refresh the baseline.  The 100M run needs ~10 GB of RAM,
+// ~8 GB of /tmp and several minutes, so it is opt-in.)
 //
 // Allocation counts come from a global operator new/delete override local to
 // this binary (same scheme as bm_phase1): exact counts, not estimates.
@@ -22,6 +28,7 @@
 
 #include "engine/registry.hpp"
 #include "harness_common.hpp"
+#include "trace/dpt.hpp"
 #include "trace/generators.hpp"
 #include "trace/io.hpp"
 #include "util/stopwatch.hpp"
@@ -290,33 +297,166 @@ MillionReport run_million() {
   return report;
 }
 
-/// Replaces (or inserts) the one-line `"trace_io"` section right after the
-/// opening brace of the bm_phase1-written baseline, preserving the rest.
-int splice_into_baseline(const std::string& path, const std::string& section) {
-  std::ifstream in(path);
-  if (!in) {
-    std::fprintf(stderr, "cannot open %s (run bm_phase1 first)\n",
-                 path.c_str());
-    return 1;
-  }
-  std::vector<std::string> lines;
-  for (std::string line; std::getline(in, line);) {
-    if (line.rfind("  \"trace_io\":", 0) == 0) continue;  // replace old
-    lines.push_back(line);
-  }
-  in.close();
-  if (lines.empty() || lines.front() != "{") {
-    std::fprintf(stderr, "%s does not look like the bench baseline\n",
-                 path.c_str());
-    return 1;
-  }
-  std::ofstream out(path, std::ios::trunc);
-  out << lines.front() << "\n" << section << "\n";
-  for (std::size_t i = 1; i < lines.size(); ++i) out << lines[i] << "\n";
-  return out ? 0 : 1;
+std::size_t file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  return in ? static_cast<std::size_t>(in.tellg()) : 0;
 }
 
-int run(const std::string& baseline_path) {
+/// `.dpt` binary format on a 1M-request trace: write + open latency in both
+/// modes (mmap borrow vs untrusting read-copy), the CSV parse of the same
+/// trace for scale, and convert throughput both directions.  The mmap open
+/// is the acceptance-gated number: < 10 ms with checksum verification on.
+struct BinaryIoReport {
+  std::size_t requests = 0;
+  std::size_t csv_bytes = 0;
+  std::size_t dpt_bytes = 0;
+  double csv_write_ms = 0.0;
+  double dpt_write_ms = 0.0;
+  double open_map_ms = 0.0;          // kMap, checksums verified (default)
+  double open_map_nocheck_ms = 0.0;  // kMap, verify_checksums = false
+  double open_read_ms = 0.0;         // kRead: buffered read + rebuild
+  double csv_parse_ms = 0.0;         // read_trace_file on the same trace
+  double convert_csv_to_dpt_ms = 0.0;
+  double convert_dpt_to_csv_ms = 0.0;
+  bool map_borrows = false;
+  bool roundtrip_identical = false;
+};
+
+BinaryIoReport run_binary_io() {
+  UniformTraceConfig config;
+  config.server_count = 50;
+  config.item_count = 200000;
+  config.request_count = 1000000;
+  config.mean_gap = 0.05;
+  Rng rng(66);
+  const RequestSequence seq = generate_uniform_trace(config, rng);
+
+  const std::string csv_path = "/tmp/dpg_bm_binary_io.csv";
+  const std::string dpt_path = "/tmp/dpg_bm_binary_io.dpt";
+  const std::string csv_out = "/tmp/dpg_bm_binary_io_out.csv";
+
+  BinaryIoReport report;
+  report.requests = config.request_count;
+  report.csv_write_ms = time_best_ms([&] { write_trace_file(csv_path, seq); });
+  report.dpt_write_ms = time_best_ms([&] { write_trace_dpt(dpt_path, seq); });
+  report.csv_bytes = file_bytes(csv_path);
+  report.dpt_bytes = file_bytes(dpt_path);
+
+  report.open_map_ms = time_best_ms([&] {
+    if (read_trace_dpt(dpt_path).size() != report.requests) std::abort();
+  });
+  DptReadOptions nocheck;
+  nocheck.verify_checksums = false;
+  report.open_map_nocheck_ms = time_best_ms([&] {
+    if (read_trace_dpt(dpt_path, nocheck).size() != report.requests) {
+      std::abort();
+    }
+  });
+  DptReadOptions copy;
+  copy.mode = DptOpenMode::kRead;
+  report.open_read_ms = time_best_ms([&] {
+    if (read_trace_dpt(dpt_path, copy).size() != report.requests) {
+      std::abort();
+    }
+  });
+  report.csv_parse_ms = time_best_ms([&] {
+    if (read_trace_file(csv_path).size() != report.requests) std::abort();
+  });
+
+  // Convert throughput: exactly what `dpgreedy convert` does per direction.
+  report.convert_csv_to_dpt_ms = time_best_ms(
+      [&] { write_trace_dpt(dpt_path, read_trace_file(csv_path)); }, 3);
+  report.convert_dpt_to_csv_ms = time_best_ms(
+      [&] { write_trace_file(csv_out, read_trace_dpt(dpt_path)); }, 3);
+
+  const RequestSequence mapped = read_trace_dpt(dpt_path);
+  report.map_borrows = mapped.borrows_storage();
+  report.roundtrip_identical = same_sequence(seq, mapped);
+
+  std::remove(csv_path.c_str());
+  std::remove(csv_out.c_str());
+  std::remove(dpt_path.c_str());
+  return report;
+}
+
+/// 100M-request end to end, staged so only one trace-sized object is alive
+/// at a time: generate -> CSV write -> (free) -> CSV parse + `.dpt` write
+/// (= convert) -> (free) -> mmap open -> dp_greedy solve on the borrowed
+/// sequence.  Same workload shape as the 1M run, scaled 100x.
+struct HundredMillionReport {
+  std::size_t requests = 0;
+  std::size_t items = 0;
+  std::size_t csv_bytes = 0;
+  std::size_t dpt_bytes = 0;
+  double generate_s = 0.0;
+  double csv_write_s = 0.0;
+  double convert_s = 0.0;
+  double open_ms = 0.0;          // checksum-verified mmap open
+  double open_nocheck_ms = 0.0;  // mmap open, verify_checksums = false
+  double solve_s = 0.0;
+  Cost total_cost = 0.0;
+  bool map_borrows = false;
+};
+
+HundredMillionReport run_hundred_million() {
+  UniformTraceConfig config;
+  config.server_count = 50;
+  config.item_count = 20000000;
+  config.request_count = 100000000;
+  config.mean_gap = 0.05;
+
+  HundredMillionReport report;
+  report.requests = config.request_count;
+  report.items = config.item_count;
+
+  const std::string csv_path = "/tmp/dpg_bm_trace_100m.csv";
+  const std::string dpt_path = "/tmp/dpg_bm_trace_100m.dpt";
+
+  {
+    Rng rng(77);
+    Stopwatch watch;
+    const RequestSequence seq = generate_uniform_trace(config, rng);
+    report.generate_s = watch.elapsed_seconds();
+    watch = Stopwatch();
+    write_trace_file(csv_path, seq);
+    report.csv_write_s = watch.elapsed_seconds();
+  }
+  report.csv_bytes = file_bytes(csv_path);
+
+  {
+    Stopwatch watch;
+    const RequestSequence parsed = read_trace_file(csv_path);
+    write_trace_dpt(dpt_path, parsed);
+    report.convert_s = watch.elapsed_seconds();
+  }
+  std::remove(csv_path.c_str());
+  report.dpt_bytes = file_bytes(dpt_path);
+
+  {
+    DptReadOptions nocheck;
+    nocheck.verify_checksums = false;
+    Stopwatch nocheck_watch;
+    const RequestSequence structural = read_trace_dpt(dpt_path, nocheck);
+    report.open_nocheck_ms = nocheck_watch.elapsed_seconds() * 1e3;
+    if (structural.size() != report.requests) std::abort();
+  }
+  Stopwatch watch;
+  const RequestSequence mapped = read_trace_dpt(dpt_path);
+  report.open_ms = watch.elapsed_seconds() * 1e3;
+  report.map_borrows = mapped.borrows_storage();
+
+  SolverConfig solver_config;
+  solver_config.keep_schedules = false;
+  watch = Stopwatch();
+  const RunReport run = builtin_registry().run(
+      "dp_greedy", mapped, CostModel{1.0, 2.0, 0.8}, solver_config);
+  report.solve_s = watch.elapsed_seconds();
+  report.total_cost = run.total_cost;
+  std::remove(dpt_path.c_str());
+  return report;
+}
+
+int run(const std::string& baseline_path, bool with_hundred_million) {
   std::printf("csv parse (legacy vs streaming) ...\n");
   const ParseReport parse = run_parse(200000);
   std::printf("csr build allocations ...\n");
@@ -326,6 +466,8 @@ int run(const std::string& baseline_path) {
   const FileReport file = run_file(200000);
   std::printf("million-request end to end ...\n");
   const MillionReport million = run_million();
+  std::printf("binary .dpt format ...\n");
+  const BinaryIoReport binary = run_binary_io();
 
   std::ostringstream section;
   section.setf(std::ios::fixed);
@@ -370,7 +512,76 @@ int run(const std::string& baseline_path) {
           << (million.roundtrip_identical ? "true" : "false")
           << "}, \"peak_rss_bytes\": " << harness::peak_rss_bytes() << "},";
 
-  const int status = splice_into_baseline(baseline_path, section.str());
+  std::ostringstream binary_section;
+  binary_section.setf(std::ios::fixed);
+  binary_section.precision(3);
+  binary_section
+      << "  \"binary_io\": {\"binary\": \"bm_trace\", \"repetitions\": "
+      << kRepetitions << ", \"requests\": " << binary.requests
+      << ", \"csv_bytes\": " << binary.csv_bytes
+      << ", \"dpt_bytes\": " << binary.dpt_bytes
+      << ", \"csv_write_ms\": " << binary.csv_write_ms
+      << ", \"dpt_write_ms\": " << binary.dpt_write_ms
+      << ", \"open_map_ms\": " << binary.open_map_ms
+      << ", \"open_map_nocheck_ms\": " << binary.open_map_nocheck_ms
+      << ", \"open_read_ms\": " << binary.open_read_ms
+      << ", \"csv_parse_ms\": " << binary.csv_parse_ms
+      << ", \"map_vs_read_speedup\": "
+      << binary.open_read_ms / binary.open_map_ms
+      << ", \"map_vs_csv_speedup\": "
+      << binary.csv_parse_ms / binary.open_map_ms
+      << ", \"convert_csv_to_dpt_ms\": " << binary.convert_csv_to_dpt_ms
+      << ", \"convert_dpt_to_csv_ms\": " << binary.convert_dpt_to_csv_ms
+      << ", \"convert_csv_to_dpt_mib_s\": "
+      << static_cast<double>(binary.csv_bytes) / (1024.0 * 1024.0) /
+             (binary.convert_csv_to_dpt_ms / 1e3)
+      << ", \"convert_dpt_to_csv_mib_s\": "
+      << static_cast<double>(binary.dpt_bytes) / (1024.0 * 1024.0) /
+             (binary.convert_dpt_to_csv_ms / 1e3)
+      << ", \"map_borrows\": " << (binary.map_borrows ? "true" : "false")
+      << ", \"roundtrip_identical\": "
+      << (binary.roundtrip_identical ? "true" : "false") << "},";
+
+  int status = harness::splice_section(baseline_path, "trace_io",
+                                       section.str());
+  if (status == 0) {
+    status = harness::splice_section(baseline_path, "binary_io",
+                                     binary_section.str());
+  }
+  if (status == 0 && with_hundred_million) {
+    std::printf("100M-request end to end (this takes minutes) ...\n");
+    const HundredMillionReport hundred = run_hundred_million();
+    std::ostringstream hundred_section;
+    hundred_section.setf(std::ios::fixed);
+    hundred_section.precision(3);
+    hundred_section
+        << "  \"hundred_million_e2e\": {\"binary\": \"bm_trace\", "
+        << "\"requests\": " << hundred.requests
+        << ", \"items\": " << hundred.items
+        << ", \"csv_bytes\": " << hundred.csv_bytes
+        << ", \"dpt_bytes\": " << hundred.dpt_bytes
+        << ", \"generate_s\": " << hundred.generate_s
+        << ", \"csv_write_s\": " << hundred.csv_write_s
+        << ", \"convert_s\": " << hundred.convert_s
+        << ", \"open_map_ms\": " << hundred.open_ms
+        << ", \"open_map_nocheck_ms\": " << hundred.open_nocheck_ms
+        << ", \"dp_greedy_solve_s\": " << hundred.solve_s
+        << ", \"total_cost\": " << hundred.total_cost
+        << ", \"map_borrows\": " << (hundred.map_borrows ? "true" : "false")
+        << ", \"peak_rss_bytes\": " << harness::peak_rss_bytes() << "},";
+    status = harness::splice_section(baseline_path, "hundred_million_e2e",
+                                     hundred_section.str());
+    std::printf(
+        "100M e2e: generate %.1fs  csv write %.1fs (%.1f GiB)  convert %.1fs "
+        "(%.1f GiB .dpt)  mmap open %.2f ms (nocheck %.2f ms)  dp_greedy "
+        "%.1fs  cost %.2f  %s\n",
+        hundred.generate_s, hundred.csv_write_s,
+        static_cast<double>(hundred.csv_bytes) / (1024.0 * 1024.0 * 1024.0),
+        hundred.convert_s,
+        static_cast<double>(hundred.dpt_bytes) / (1024.0 * 1024.0 * 1024.0),
+        hundred.open_ms, hundred.open_nocheck_ms, hundred.solve_s,
+        hundred.total_cost, hundred.map_borrows ? "borrowed" : "OWNED?");
+  }
   if (status == 0) std::printf("updated %s\n", baseline_path.c_str());
 
   std::printf(
@@ -410,6 +621,21 @@ int run(const std::string& baseline_path) {
           : 0.0,
       million.cores, million.threads_identical ? "identical" : "DIFFERS");
 
+  std::printf(
+      "binary io 1M rows: dpt write %.2f ms (%.1f MiB vs %.1f MiB csv)  "
+      "mmap open %.2f ms (nocheck %.3f ms)  kRead %.2f ms  csv parse "
+      "%.2f ms\n",
+      binary.dpt_write_ms,
+      static_cast<double>(binary.dpt_bytes) / (1024.0 * 1024.0),
+      static_cast<double>(binary.csv_bytes) / (1024.0 * 1024.0),
+      binary.open_map_ms, binary.open_map_nocheck_ms, binary.open_read_ms,
+      binary.csv_parse_ms);
+  std::printf(
+      "binary io convert: csv->dpt %.2f ms  dpt->csv %.2f ms  %s, %s\n",
+      binary.convert_csv_to_dpt_ms, binary.convert_dpt_to_csv_ms,
+      binary.map_borrows ? "borrowed" : "OWNED?",
+      binary.roundtrip_identical ? "identical" : "DIFFERS");
+
   // The ≥3x speedup target only means anything with ≥8 hardware threads to
   // shard over; on smaller hosts the gate is bit-identity alone and the
   // recorded cores field says why.
@@ -425,13 +651,29 @@ int run(const std::string& baseline_path) {
                     parse.legacy_ms / parse.streaming_ms >= 5.0 &&
                     build_n.build_allocs == build_2n.build_allocs;
   std::printf("trace_io acceptance: %s\n", pass ? "PASS" : "FAIL");
-  return status != 0 ? status : (pass ? 0 : 2);
+  // The binary gate: the zero-copy open of a 1M-request trace stays under
+  // 10 ms with checksum verification on, borrows the mapping, and is
+  // bit-exact against the in-memory source.
+  const bool binary_pass = binary.open_map_ms < 10.0 && binary.map_borrows &&
+                           binary.roundtrip_identical;
+  std::printf("binary_io acceptance (mmap open %.2f ms < 10 ms): %s\n",
+              binary.open_map_ms, binary_pass ? "PASS" : "FAIL");
+  return status != 0 ? status : (pass && binary_pass ? 0 : 2);
 }
 
 }  // namespace
 }  // namespace dpg
 
 int main(int argc, char** argv) {
-  const std::string baseline = argc > 1 ? argv[1] : "BENCH_solvers.json";
-  return dpg::run(baseline);
+  std::string baseline = "BENCH_solvers.json";
+  bool hundred_million = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--hundred-million") {
+      hundred_million = true;
+    } else {
+      baseline = arg;
+    }
+  }
+  return dpg::run(baseline, hundred_million);
 }

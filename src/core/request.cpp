@@ -37,7 +37,10 @@ RequestSequence::RequestSequence(std::size_t server_count,
     items_pool_.insert(items_pool_.end(), r.items.begin(), r.items.end());
     item_offsets_.push_back(items_pool_.size());
   }
-  validate_and_index(/*rows_normalized=*/false);
+  bind_owned_primary();
+  validate_columns(/*rows_normalized=*/false);
+  build_item_index();
+  g_sequences_built.add();
 }
 
 RequestSequence::RequestSequence(std::size_t server_count,
@@ -53,33 +56,213 @@ RequestSequence::RequestSequence(std::size_t server_count,
       times_(std::move(times)),
       items_pool_(std::move(items_pool)),
       item_offsets_(std::move(item_offsets)) {
-  validate_and_index(rows_normalized);
+  bind_owned_primary();
+  validate_columns(rows_normalized);
+  build_item_index();
+  g_sequences_built.add();
 }
 
-void RequestSequence::validate_and_index(bool rows_normalized) {
+void RequestSequence::bind_owned_primary() noexcept {
+  servers_v_ = servers_;
+  times_v_ = times_;
+  items_pool_v_ = items_pool_;
+  item_offsets_v_ = item_offsets_;
+}
+
+void RequestSequence::bind_owned_all() noexcept {
+  bind_owned_primary();
+  per_item_pool_v_ = per_item_pool_;
+  per_item_offsets_v_ = per_item_offsets_;
+}
+
+RequestSequence::RequestSequence(const RequestSequence& other)
+    : server_count_(other.server_count_),
+      item_count_(other.item_count_),
+      servers_(other.servers_),
+      times_(other.times_),
+      items_pool_(other.items_pool_),
+      item_offsets_(other.item_offsets_),
+      per_item_pool_(other.per_item_pool_),
+      per_item_offsets_(other.per_item_offsets_),
+      servers_v_(other.servers_v_),
+      times_v_(other.times_v_),
+      items_pool_v_(other.items_pool_v_),
+      item_offsets_v_(other.item_offsets_v_),
+      per_item_pool_v_(other.per_item_pool_v_),
+      per_item_offsets_v_(other.per_item_offsets_v_),
+      keeper_(other.keeper_) {
+  // A borrowed copy shares the external buffer (keeper_ keeps it alive); an
+  // owning copy got fresh vectors and must re-point its views at them.
+  if (keeper_ == nullptr) bind_owned_all();
+}
+
+RequestSequence::RequestSequence(RequestSequence&& other) noexcept
+    : server_count_(other.server_count_),
+      item_count_(other.item_count_),
+      servers_(std::move(other.servers_)),
+      times_(std::move(other.times_)),
+      items_pool_(std::move(other.items_pool_)),
+      item_offsets_(std::move(other.item_offsets_)),
+      per_item_pool_(std::move(other.per_item_pool_)),
+      per_item_offsets_(std::move(other.per_item_offsets_)),
+      servers_v_(other.servers_v_),
+      times_v_(other.times_v_),
+      items_pool_v_(other.items_pool_v_),
+      item_offsets_v_(other.item_offsets_v_),
+      per_item_pool_v_(other.per_item_pool_v_),
+      per_item_offsets_v_(other.per_item_offsets_v_),
+      keeper_(std::move(other.keeper_)) {
+  // Moved vectors keep their heap buffers, so the copied views stay valid;
+  // rebind anyway so the invariant "views alias *this* object's storage or
+  // keeper_'s buffer" holds even for empty short vectors.
+  if (keeper_ == nullptr) bind_owned_all();
+  other.servers_v_ = {};
+  other.times_v_ = {};
+  other.items_pool_v_ = {};
+  other.item_offsets_v_ = {};
+  other.per_item_pool_v_ = {};
+  other.per_item_offsets_v_ = {};
+}
+
+RequestSequence& RequestSequence::operator=(const RequestSequence& other) {
+  if (this != &other) {
+    RequestSequence copy(other);
+    *this = std::move(copy);
+  }
+  return *this;
+}
+
+RequestSequence& RequestSequence::operator=(RequestSequence&& other) noexcept {
+  if (this != &other) {
+    server_count_ = other.server_count_;
+    item_count_ = other.item_count_;
+    servers_ = std::move(other.servers_);
+    times_ = std::move(other.times_);
+    items_pool_ = std::move(other.items_pool_);
+    item_offsets_ = std::move(other.item_offsets_);
+    per_item_pool_ = std::move(other.per_item_pool_);
+    per_item_offsets_ = std::move(other.per_item_offsets_);
+    servers_v_ = other.servers_v_;
+    times_v_ = other.times_v_;
+    items_pool_v_ = other.items_pool_v_;
+    item_offsets_v_ = other.item_offsets_v_;
+    per_item_pool_v_ = other.per_item_pool_v_;
+    per_item_offsets_v_ = other.per_item_offsets_v_;
+    keeper_ = std::move(other.keeper_);
+    if (keeper_ == nullptr) bind_owned_all();
+    other.servers_v_ = {};
+    other.times_v_ = {};
+    other.items_pool_v_ = {};
+    other.item_offsets_v_ = {};
+    other.per_item_pool_v_ = {};
+    other.per_item_offsets_v_ = {};
+  }
+  return *this;
+}
+
+RequestSequence RequestSequence::adopt_columns(
+    std::size_t server_count, std::size_t item_count,
+    const SequenceColumns& columns, std::shared_ptr<const void> keeper,
+    bool verify_columns) {
+  RequestSequence seq;
+  seq.server_count_ = server_count;
+  seq.item_count_ = item_count;
+  seq.servers_v_ = columns.servers;
+  seq.times_v_ = columns.times;
+  seq.items_pool_v_ = columns.items_pool;
+  seq.item_offsets_v_ = columns.item_offsets;
+  seq.per_item_pool_v_ = columns.per_item_pool;
+  seq.per_item_offsets_v_ = columns.per_item_offsets;
+  seq.keeper_ = std::move(keeper);
+  require(seq.keeper_ != nullptr,
+          "adopt_columns: a keeper must own the column storage");
+
+  // Structural consistency is always enforced — accessors index these
+  // arrays against each other, so mismatched sizes would be UB, not just a
+  // wrong answer.
+  const std::size_t n = columns.servers.size();
+  require(columns.times.size() == n, "adopt_columns: times size mismatch");
+  require(columns.item_offsets.size() == n + 1,
+          "adopt_columns: item_offsets must have n + 1 entries");
+  require(columns.item_offsets.front() == 0,
+          "adopt_columns: item_offsets must start at 0");
+  require(columns.item_offsets.back() == columns.items_pool.size(),
+          "adopt_columns: item_offsets must end at the pool size");
+  require(std::is_sorted(columns.item_offsets.begin(),
+                         columns.item_offsets.end()),
+          "adopt_columns: item_offsets must be non-decreasing");
+  require(columns.per_item_offsets.size() == item_count + 1,
+          "adopt_columns: per_item_offsets must have k + 1 entries");
+  require(columns.per_item_offsets.front() == 0,
+          "adopt_columns: per_item_offsets must start at 0");
+  require(columns.per_item_offsets.back() == columns.per_item_pool.size(),
+          "adopt_columns: per_item_offsets must end at its pool size");
+  require(std::is_sorted(columns.per_item_offsets.begin(),
+                         columns.per_item_offsets.end()),
+          "adopt_columns: per_item_offsets must be non-decreasing");
+  require(columns.per_item_pool.size() == columns.items_pool.size(),
+          "adopt_columns: inverted-index pool size mismatch");
+
+  if (verify_columns) {
+    seq.validate_columns(/*rows_normalized=*/false);
+    // Cross-check the stored inverted index against a rebuild: the borrowed
+    // views stay in place, the rebuilt owned vectors are just compared and
+    // discarded (vectors stay small-but-allocated only on this slow path).
+    RequestSequence rebuilt;
+    rebuilt.server_count_ = server_count;
+    rebuilt.item_count_ = item_count;
+    rebuilt.servers_v_ = columns.servers;
+    rebuilt.times_v_ = columns.times;
+    rebuilt.items_pool_v_ = columns.items_pool;
+    rebuilt.item_offsets_v_ = columns.item_offsets;
+    rebuilt.build_item_index();
+    require(std::equal(rebuilt.per_item_pool_.begin(),
+                       rebuilt.per_item_pool_.end(),
+                       columns.per_item_pool.begin(),
+                       columns.per_item_pool.end()) &&
+                std::equal(rebuilt.per_item_offsets_.begin(),
+                           rebuilt.per_item_offsets_.end(),
+                           columns.per_item_offsets.begin(),
+                           columns.per_item_offsets.end()),
+            "adopt_columns: stored inverted index does not match the items");
+  } else {
+    // Even the trusting path range-checks item ids: an out-of-range id would
+    // index per_item_offsets_ out of bounds later.
+    for (const ItemId item : columns.items_pool) {
+      require(item < item_count, "adopt_columns: item id out of range");
+    }
+    for (const std::size_t row : columns.per_item_pool) {
+      require(row < n, "adopt_columns: inverted index row out of range");
+    }
+  }
+  g_sequences_built.add();
+  return seq;
+}
+
+void RequestSequence::validate_columns(bool rows_normalized) const {
   require(server_count_ > 0, "RequestSequence: need >= 1 server");
   require(item_count_ > 0, "RequestSequence: need >= 1 item");
   // One tight pass per flat array (not one combined per-row loop): each
   // check vectorizes, and failure messages are built only on the throw path
   // ("+ std::to_string(i)" eagerly would heap-allocate per request).
-  const std::size_t n = servers_.size();
+  const std::size_t n = servers_v_.size();
   for (std::size_t i = 0; i < n; ++i) {
-    if (servers_[i] >= server_count_) {
+    if (servers_v_[i] >= server_count_) {
       throw InvalidArgument("RequestSequence: server id out of range at "
                             "request " + std::to_string(i));
     }
   }
   Time previous = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
-    if (!(times_[i] > previous)) {
+    if (!(times_v_[i] > previous)) {
       throw InvalidArgument(
           "RequestSequence: times must be strictly increasing and > 0 "
           "(violated at request " + std::to_string(i) + ")");
     }
-    previous = times_[i];
+    previous = times_v_[i];
   }
   for (std::size_t i = 0; i < n; ++i) {
-    if (item_offsets_[i + 1] == item_offsets_[i]) {
+    if (item_offsets_v_[i + 1] == item_offsets_v_[i]) {
       throw InvalidArgument("RequestSequence: empty item set at request " +
                             std::to_string(i));
     }
@@ -95,20 +278,24 @@ void RequestSequence::validate_and_index(bool rows_normalized) {
       }
     }
   }
+}
+
+void RequestSequence::build_item_index() {
   // Per-item inverted index as one flat pool + offsets: counting pass over
   // the items pool, prefix sum, then a scatter pass.  The scatter advances
   // per_item_offsets_[item] to the end of item's range, so a final shift
   // restores the offsets — no per-item vectors, no cursor copy.  The item
   // range check rides on the counting pass (one pool scan, not two).
   per_item_offsets_.assign(item_count_ + 1, 0);
-  for (const ItemId item : items_pool_) {
+  for (const ItemId item : items_pool_v_) {
     if (item >= item_count_) {
       // Recover the offending row for the message (cold path only).
       const std::size_t at = static_cast<std::size_t>(
-          &item - items_pool_.data());
+          &item - items_pool_v_.data());
       const std::size_t row = static_cast<std::size_t>(
-          std::upper_bound(item_offsets_.begin(), item_offsets_.end(), at) -
-          item_offsets_.begin()) - 1;
+          std::upper_bound(item_offsets_v_.begin(), item_offsets_v_.end(),
+                           at) -
+          item_offsets_v_.begin()) - 1;
       throw InvalidArgument("RequestSequence: item id out of range at "
                             "request " + std::to_string(row));
     }
@@ -116,8 +303,8 @@ void RequestSequence::validate_and_index(bool rows_normalized) {
   }
   std::partial_sum(per_item_offsets_.begin(), per_item_offsets_.end(),
                    per_item_offsets_.begin());
-  per_item_pool_.resize(items_pool_.size());
-  for (std::size_t i = 0; i < servers_.size(); ++i) {
+  per_item_pool_.resize(items_pool_v_.size());
+  for (std::size_t i = 0; i < servers_v_.size(); ++i) {
     for (const ItemId item : items_of(i)) {
       per_item_pool_[per_item_offsets_[item]++] = i;
     }
@@ -126,12 +313,13 @@ void RequestSequence::validate_and_index(bool rows_normalized) {
     per_item_offsets_[item] = per_item_offsets_[item - 1];
   }
   per_item_offsets_[0] = 0;
-  g_sequences_built.add();
+  per_item_pool_v_ = per_item_pool_;
+  per_item_offsets_v_ = per_item_offsets_;
 }
 
 std::size_t RequestSequence::item_frequency(ItemId item) const {
   require(item < item_count_, "item_frequency: item out of range");
-  return per_item_offsets_[item + 1] - per_item_offsets_[item];
+  return per_item_offsets_v_[item + 1] - per_item_offsets_v_[item];
 }
 
 std::size_t RequestSequence::pair_frequency(ItemId a, ItemId b) const {
@@ -157,8 +345,8 @@ std::size_t RequestSequence::pair_frequency(ItemId a, ItemId b) const {
 std::span<const std::size_t> RequestSequence::indices_for_item(
     ItemId item) const {
   require(item < item_count_, "indices_for_item: item out of range");
-  return {per_item_pool_.data() + per_item_offsets_[item],
-          per_item_offsets_[item + 1] - per_item_offsets_[item]};
+  return {per_item_pool_v_.data() + per_item_offsets_v_[item],
+          per_item_offsets_v_[item + 1] - per_item_offsets_v_[item]};
 }
 
 std::string RequestSequence::to_string() const {
@@ -166,8 +354,8 @@ std::string RequestSequence::to_string() const {
                     ", k=" + std::to_string(item_count_) +
                     ", n=" + std::to_string(size()) + ")\n";
   for (std::size_t i = 0; i < size(); ++i) {
-    out += "  t=" + format_fixed(times_[i], 3) +
-           " s=" + std::to_string(servers_[i]) + " items={";
+    out += "  t=" + format_fixed(times_v_[i], 3) +
+           " s=" + std::to_string(servers_v_[i]) + " items={";
     const std::span<const ItemId> items = items_of(i);
     for (std::size_t j = 0; j < items.size(); ++j) {
       if (j > 0) out += ",";

@@ -16,6 +16,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -44,8 +45,26 @@ struct RequestDraft {
   std::vector<ItemId> items;
 };
 
+/// The six CSR columns of a RequestSequence, as non-owning views.  Used by
+/// the binary trace reader (trace/dpt.cpp) to hand a sequence columns that
+/// live in an mmap'ed file, and by callers that want the raw arrays.
+struct SequenceColumns {
+  std::span<const ServerId> servers;               // n
+  std::span<const Time> times;                     // n
+  std::span<const ItemId> items_pool;              // Σ|d_i|
+  std::span<const std::size_t> item_offsets;       // n + 1
+  std::span<const std::size_t> per_item_pool;      // Σ|d_i|
+  std::span<const std::size_t> per_item_offsets;   // k + 1
+};
+
 /// The validated offline input: m servers, k items, n requests in strictly
 /// increasing time order.  Item 0..k-1 all start on server 0 at time 0.
+///
+/// Storage is either *owned* (the usual constructors and SequenceBuilder) or
+/// *borrowed* (adopt_columns): every accessor reads through span views that
+/// point at the owned vectors or at an external buffer kept alive by a
+/// type-erased keeper.  Borrowed sequences are what the `.dpt` mmap path
+/// produces — opening a multi-GB trace touches no column bytes at all.
 class RequestSequence {
  public:
   /// Validates and flattens into the CSR layout.  Requirements: strictly
@@ -54,30 +73,66 @@ class RequestSequence {
   RequestSequence(std::size_t server_count, std::size_t item_count,
                   std::vector<RequestDraft> requests);
 
+  // Views must be re-pointed at the owned vectors whenever those move, so
+  // copies/moves are explicit (all O(1) except the owning copy).
+  RequestSequence(const RequestSequence& other);
+  RequestSequence(RequestSequence&& other) noexcept;
+  RequestSequence& operator=(const RequestSequence& other);
+  RequestSequence& operator=(RequestSequence&& other) noexcept;
+  ~RequestSequence() = default;
+
+  /// Adopts externally stored CSR columns without copying them.  `keeper`
+  /// owns the storage (e.g. an mmap'ed file) and is held until every copy of
+  /// the sequence is gone.  Structural consistency (sizes, offset bounds) is
+  /// always checked; `verify_columns` additionally re-runs the full logical
+  /// validation and cross-checks the provided inverted index against a
+  /// rebuild — callers normally rely on the file checksums instead.
+  /// Throws InvalidArgument on any inconsistency.
+  [[nodiscard]] static RequestSequence adopt_columns(
+      std::size_t server_count, std::size_t item_count,
+      const SequenceColumns& columns, std::shared_ptr<const void> keeper,
+      bool verify_columns = false);
+
   [[nodiscard]] std::size_t server_count() const noexcept { return server_count_; }
   [[nodiscard]] std::size_t item_count() const noexcept { return item_count_; }
-  [[nodiscard]] std::size_t size() const noexcept { return servers_.size(); }
-  [[nodiscard]] bool empty() const noexcept { return servers_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return servers_v_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return servers_v_.empty(); }
+
+  /// True when the columns are views into an external buffer (mmap path).
+  [[nodiscard]] bool borrows_storage() const noexcept {
+    return keeper_ != nullptr;
+  }
 
   [[nodiscard]] Request operator[](std::size_t i) const noexcept {
-    return Request{servers_[i], times_[i], items_of(i)};
+    return Request{servers_v_[i], times_v_[i], items_of(i)};
   }
 
   /// The item set of request `i` — a view into the contiguous items pool.
   [[nodiscard]] std::span<const ItemId> items_of(std::size_t i) const noexcept {
-    return {items_pool_.data() + item_offsets_[i],
-            item_offsets_[i + 1] - item_offsets_[i]};
+    return {items_pool_v_.data() + item_offsets_v_[i],
+            item_offsets_v_[i + 1] - item_offsets_v_[i]};
   }
   [[nodiscard]] ServerId server_of(std::size_t i) const noexcept {
-    return servers_[i];
+    return servers_v_[i];
   }
-  [[nodiscard]] Time time_of(std::size_t i) const noexcept { return times_[i]; }
+  [[nodiscard]] Time time_of(std::size_t i) const noexcept {
+    return times_v_[i];
+  }
 
   /// The raw column arrays (for vectorized passes over the whole sequence).
   [[nodiscard]] std::span<const ServerId> servers() const noexcept {
-    return servers_;
+    return servers_v_;
   }
-  [[nodiscard]] std::span<const Time> times() const noexcept { return times_; }
+  [[nodiscard]] std::span<const Time> times() const noexcept {
+    return times_v_;
+  }
+
+  /// All six CSR columns at once (what the `.dpt` writer serializes).
+  [[nodiscard]] SequenceColumns columns() const noexcept {
+    return SequenceColumns{servers_v_,        times_v_,
+                           items_pool_v_,     item_offsets_v_,
+                           per_item_pool_v_,  per_item_offsets_v_};
+  }
 
   /// Forward iterator yielding Request views by value.
   class const_iterator {
@@ -143,7 +198,7 @@ class RequestSequence {
 
   /// Total item-accesses Σ_i |d_i| — the ave_cost denominator of Algorithm 1.
   [[nodiscard]] std::size_t total_item_accesses() const noexcept {
-    return items_pool_.size();
+    return items_pool_v_.size();
   }
 
   /// Indices (into the sequence) of requests containing `item`, in time
@@ -156,6 +211,8 @@ class RequestSequence {
  private:
   friend class SequenceBuilder;
 
+  RequestSequence() = default;  // adopt_columns' blank slate
+
   /// Takes ownership of pre-flattened CSR arrays, then validates and builds
   /// the per-item inverted index (SequenceBuilder's fast path).
   /// `rows_normalized` asserts that every row is already sorted and
@@ -165,16 +222,36 @@ class RequestSequence {
                   std::vector<ItemId> items_pool,
                   std::vector<std::size_t> item_offsets, bool rows_normalized);
 
-  void validate_and_index(bool rows_normalized);
+  /// Points the primary-column views at the owned vectors.
+  void bind_owned_primary() noexcept;
+  /// Points all six views at the owned vectors (owning sequences only).
+  void bind_owned_all() noexcept;
+  /// Checks the row invariants through the views (throws InvalidArgument).
+  void validate_columns(bool rows_normalized) const;
+  /// Builds the owned inverted index from the primary views and binds its
+  /// views; also range-checks item ids (rides on the counting pass).
+  void build_item_index();
 
   std::size_t server_count_ = 0;
   std::size_t item_count_ = 0;
+
+  // Owned storage — empty when the sequence borrows (keeper_ != nullptr).
   std::vector<ServerId> servers_;            // n
   std::vector<Time> times_;                  // n
   std::vector<ItemId> items_pool_;           // Σ|d_i|
   std::vector<std::size_t> item_offsets_;    // n + 1
   std::vector<std::size_t> per_item_pool_;   // Σ|d_i| request indices
   std::vector<std::size_t> per_item_offsets_;  // k + 1
+
+  // Every accessor reads these views; they alias the vectors above or an
+  // external buffer whose lifetime keeper_ pins.
+  std::span<const ServerId> servers_v_;
+  std::span<const Time> times_v_;
+  std::span<const ItemId> items_pool_v_;
+  std::span<const std::size_t> item_offsets_v_;
+  std::span<const std::size_t> per_item_pool_v_;
+  std::span<const std::size_t> per_item_offsets_v_;
+  std::shared_ptr<const void> keeper_;
 };
 
 /// Convenience builder used heavily by tests, generators and the streaming

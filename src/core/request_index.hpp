@@ -49,6 +49,12 @@ class RequestIndex {
     return servers_[node];
   }
 
+  /// The flat node columns (for the SoA kernel passes in solver/kernels.hpp).
+  [[nodiscard]] std::span<const Time> times() const noexcept { return times_; }
+  [[nodiscard]] std::span<const ServerId> servers() const noexcept {
+    return servers_;
+  }
+
   /// Most recent node on `server` strictly before `node` (the r_{p(i)} /
   /// pLast snapshot of the paper); kNone if the flow never visited it.
   [[nodiscard]] std::int32_t recent_on_server(std::size_t node,

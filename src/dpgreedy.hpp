@@ -42,6 +42,7 @@
 #include "obs/metrics.hpp"           // IWYU pragma: export
 #include "obs/trace.hpp"             // IWYU pragma: export
 #include "sim/replay.hpp"            // IWYU pragma: export
+#include "trace/dpt.hpp"             // IWYU pragma: export
 #include "trace/generators.hpp"      // IWYU pragma: export
 #include "trace/io.hpp"              // IWYU pragma: export
 #include "trace/stats.hpp"           // IWYU pragma: export

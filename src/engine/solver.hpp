@@ -75,12 +75,20 @@ struct SolverConfig {
     rng_seed = value;
     return *this;
   }
+  /// Toggle the branch-light SIMD DP kernels (solver/kernels.hpp).  On by
+  /// default; off runs the scalar reference loops.  Results are
+  /// bit-identical either way — the switch exists for cross-checking and
+  /// micro-benchmark baselines.
+  SolverConfig& kernels(bool on) noexcept {
+    dp.use_kernels = on;
+    return *this;
+  }
 
   /// Sets one field by name from a string value ("theta", "max_group_size",
   /// "window", "repack_interval", "hold_factor", "keep_schedules",
-  /// "threads", "telemetry", "seed").  Throws InvalidArgument immediately on
-  /// an unknown field (the message lists the valid ones), an unparsable
-  /// value, or a value outside the field's range.
+  /// "threads", "telemetry", "seed", "kernels").  Throws InvalidArgument
+  /// immediately on an unknown field (the message lists the valid ones), an
+  /// unparsable value, or a value outside the field's range.
   SolverConfig& with(std::string_view field, std::string_view value);
 
   /// Range-checks every field (θ ∈ [0, 1], hold_factor ≥ 0, window ≥ 1,

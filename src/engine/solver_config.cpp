@@ -14,7 +14,7 @@ namespace {
 
 constexpr const char* kValidFields =
     "theta, max_group_size, window, repack_interval, hold_factor, "
-    "keep_schedules, threads, telemetry, seed";
+    "keep_schedules, threads, telemetry, seed, kernels";
 
 bool parse_flag(std::string_view field, std::string_view value) {
   if (value == "true" || value == "1" || value == "on") return true;
@@ -46,6 +46,8 @@ SolverConfig& SolverConfig::with(std::string_view field,
     telemetry_enabled = parse_flag(field, value);
   } else if (field == "seed") {
     rng_seed = parse_size(value);
+  } else if (field == "kernels") {
+    dp.use_kernels = parse_flag(field, value);
   } else {
     throw InvalidArgument("SolverConfig: unknown field '" +
                           std::string(field) + "' (valid: " + kValidFields +

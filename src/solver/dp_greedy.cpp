@@ -6,6 +6,7 @@
 #include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "solver/correlation.hpp"
+#include "solver/kernels.hpp"
 #include "solver/phase2_shard.hpp"
 #include "solver/workspace.hpp"
 #include "util/error.hpp"
@@ -24,9 +25,15 @@ const obs::Counter g_singleton_services =
 /// walked in time order; package events cost nothing here (the package DP
 /// already paid for them) but do update the recency state the greedy
 /// options consult, because serving a request leaves a copy behind.
-void serve_singletons(const RequestSequence& sequence, const CostModel& model,
-                      ItemId item, ItemId partner, PackageReport& report,
-                      SolverWorkspace& ws) {
+///
+/// The reference is one fused stateful loop; the kernel variant below
+/// splits it into SoA column passes.  Both orders of accumulation are the
+/// event order, so the two are bit-identical (cross-checked in
+/// tests/kernel_equivalence_test.cpp).
+void serve_singletons_scalar(const RequestSequence& sequence,
+                             const CostModel& model, ItemId item,
+                             ItemId partner, PackageReport& report,
+                             SolverWorkspace& ws) {
   // Recency state over this item's event history (workspace scratch).
   Time prev_time = 0.0;
   ws.server_times.assign(sequence.server_count(), -1.0);
@@ -65,6 +72,87 @@ void serve_singletons(const RequestSequence& sequence, const CostModel& model,
   }
 }
 
+/// Kernelized serve_singletons: three column passes over the item's events.
+/// Pass 1 (scalar, stateful) gathers each event's recency inputs; pass 2 is
+/// the branch-light cost/choice math over flat columns; pass 3 accumulates
+/// serially in event order, so the report is bit-identical to the fused
+/// reference above.
+void serve_singletons_kernel(const RequestSequence& sequence,
+                             const CostModel& model, ItemId item,
+                             ItemId partner, PackageReport& report,
+                             SolverWorkspace& ws) {
+  const std::span<const std::size_t> events = sequence.indices_for_item(item);
+  const std::size_t e_count = events.size();
+  SingletonScratch& sc = ws.singles;
+  sc.time.resize(e_count);
+  sc.prev_time.resize(e_count);
+  sc.same_time.resize(e_count);
+  sc.cost.resize(e_count);
+  sc.choice.resize(e_count);
+  sc.is_package.resize(e_count);
+
+  // Pass 1: recency gather (inherently serial — each event updates state).
+  Time prev_time = 0.0;
+  ws.server_times.assign(sequence.server_count(), -1.0);
+  std::vector<Time>& last_on_server = ws.server_times;
+  last_on_server[kOriginServer] = 0.0;  // the origin copy
+  for (std::size_t e = 0; e < e_count; ++e) {
+    const std::size_t index = events[e];
+    const ServerId server = sequence.server_of(index);
+    const Time time = sequence.time_of(index);
+    sc.time[e] = time;
+    sc.prev_time[e] = prev_time;
+    sc.same_time[e] = last_on_server[server];
+    sc.is_package[e] = sequence[index].contains(partner) ? 1 : 0;
+    prev_time = time;
+    last_on_server[server] = time;
+  }
+
+  // Pass 2: cost + choice as straight-line column math.
+  const double mu = model.mu;
+  const Cost lambda = model.lambda;
+  const Cost package_option = model.package_fetch_cost();
+  for (std::size_t e = 0; e < e_count; ++e) {
+    const Cost cache_option = sc.same_time[e] >= 0.0
+                                  ? mu * (sc.time[e] - sc.same_time[e])
+                                  : kInfiniteCost;
+    const Cost transfer_option = mu * (sc.time[e] - sc.prev_time[e]) + lambda;
+    Cost cost;
+    sc.choice[e] = static_cast<std::uint8_t>(kernels::serve_choice3(
+        cache_option, transfer_option, package_option, &cost));
+    sc.cost[e] = cost;
+  }
+
+  // Pass 3: serial accumulation in event order.
+  static_assert(static_cast<int>(ServeChoice::kCacheSameServer) ==
+                    kernels::kChoiceCache &&
+                static_cast<int>(ServeChoice::kTransferFromPrev) ==
+                    kernels::kChoiceTransfer &&
+                static_cast<int>(ServeChoice::kPackageFetch) ==
+                    kernels::kChoicePackage,
+                "serve choice encodings must line up");
+  for (std::size_t e = 0; e < e_count; ++e) {
+    if (sc.is_package[e] != 0) continue;
+    SingletonService service;
+    service.request_index = events[e];
+    service.item = item;
+    service.choice = static_cast<ServeChoice>(sc.choice[e]);
+    service.cost = sc.cost[e];
+    report.singleton_cost += service.cost;
+    report.services.push_back(service);
+  }
+}
+
+void serve_singletons(const RequestSequence& sequence, const CostModel& model,
+                      ItemId item, ItemId partner, PackageReport& report,
+                      const OptimalOfflineOptions& dp, SolverWorkspace& ws) {
+  if (dp.use_kernels) {
+    serve_singletons_kernel(sequence, model, item, partner, report, ws);
+  } else {
+    serve_singletons_scalar(sequence, model, item, partner, report, ws);
+  }
+}
+
 PackageReport solve_pair_package_ws(const RequestSequence& sequence,
                                     const CostModel& model, ItemPair pair,
                                     const OptimalOfflineOptions& dp,
@@ -81,8 +169,8 @@ PackageReport solve_pair_package_ws(const RequestSequence& sequence,
   report.package_cost = package.cost;  // already 2α-discounted
   report.package_schedule = std::move(package.schedule);
 
-  serve_singletons(sequence, model, pair.a, pair.b, report, ws);
-  serve_singletons(sequence, model, pair.b, pair.a, report, ws);
+  serve_singletons(sequence, model, pair.a, pair.b, report, dp, ws);
+  serve_singletons(sequence, model, pair.b, pair.a, report, dp, ws);
   g_singleton_services.add(report.services.size());
   return report;
 }

@@ -5,6 +5,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "solver/correlation.hpp"
+#include "solver/kernels.hpp"
 #include "solver/phase2_shard.hpp"
 #include "solver/workspace.hpp"
 #include "util/error.hpp"
@@ -67,17 +68,19 @@ GroupReport solve_group_package_ws(const RequestSequence& sequence,
       Cost individual_transfer = 0.0;  // λ-side of the per-item choices
       std::size_t individual_transfer_events = 0;
       for (const std::size_t slot : present) {
-        Cost cache_option = kInfiniteCost;
-        if (last_on_server[slot][r.server] >= 0.0) {
-          cache_option = model.mu * (r.time - last_on_server[slot][r.server]);
-        }
+        // Branch-light two-way choice (solver/kernels.hpp) — the ∞ sentinel
+        // goes in directly rather than via a μ·∞ product, same bits as the
+        // original if/else accounting.
+        const Time last = last_on_server[slot][r.server];
+        const Cost cache_option =
+            last >= 0.0 ? model.mu * (r.time - last) : kInfiniteCost;
         const Cost transfer_option =
             model.mu * (r.time - prev_time[slot]) + model.lambda;
-        individual_total += std::min(cache_option, transfer_option);
-        if (transfer_option < cache_option) {
-          individual_transfer += model.lambda;
-          ++individual_transfer_events;
-        }
+        bool took_transfer = false;
+        individual_total += kernels::min_cache_transfer(
+            cache_option, transfer_option, &took_transfer);
+        individual_transfer += took_transfer ? model.lambda : 0.0;
+        individual_transfer_events += took_transfer ? 1 : 0;
       }
       report.partial_cost += std::min(individual_total, package_fetch);
       if (individual_total <= package_fetch) {

@@ -1,0 +1,234 @@
+// Branch-light structure-of-arrays kernels for the Phase-2 DP hot loops.
+//
+// solve_optimal_offline spends its time in two places: the w_j =
+// min(λ, μ·Δt) / prefix-sum pass and the window minimum over v_k =
+// C(k) − W(k) inside D(i).  Both are rewritten here as flat column passes —
+// a precomputed same-server link column instead of a per-node branch on
+// p(j), a saturating min instead of an if, and a blocked min-reduction for
+// the window scan.  The SSE2 variants are hand-written intrinsics (SSE2 is
+// the x86-64 baseline, so no runtime dispatch is needed); every kernel has
+// a scalar fallback compiled on other ISAs, and both variants are
+// bit-identical to the reference loops they replace:
+//
+//   * min over finite doubles is exact in IEEE-754, so a blocked
+//     _mm_min_pd reduction returns the same bits as a serial scan;
+//   * argmin ties resolve to the LATEST index in the window, matching the
+//     SuffixMin monotonic stack (push pops `>=`, keeping the newest of any
+//     equal run) — the scalar reference scans backward with a strict `<`
+//     for the same reason;
+//   * the link column stores the ∞ "no previous visit" sentinel directly
+//     instead of multiplying μ into an ∞ Δt, which would manufacture NaNs
+//     at μ = 0.
+//
+// The kernels are cross-checked bit-identical against the scalar reference
+// in tests/kernels_test.cpp and against the full solver paths in
+// tests/kernel_equivalence_test.cpp; the ≥2x single-thread speedup gate
+// lives in bench/bm_solvers.cpp (`dp_kernel` section of BENCH_solvers.json).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+
+#include "core/types.hpp"
+
+#if defined(__SSE2__) || defined(_M_X64) || \
+    (defined(_M_IX86_FP) && _M_IX86_FP >= 2)
+#define DPG_KERNELS_SSE2 1
+#include <emmintrin.h>
+#else
+#define DPG_KERNELS_SSE2 0
+#endif
+
+namespace dpg::kernels {
+
+/// Name of the instruction set the kernels compile to (for telemetry and
+/// bench provenance).
+[[nodiscard]] inline const char* active_isa() noexcept {
+#if DPG_KERNELS_SSE2
+  return "sse2";
+#else
+  return "scalar";
+#endif
+}
+
+/// D(i) windows no wider than this take the blocked scan over the dense v
+/// column; wider windows fall back to the SuffixMin stack, which answers in
+/// O(log) regardless of width.  Windows are ~n/m nodes on average, so the
+/// scan path covers everything up to ~96-server-spread flows; 96 · 8 bytes
+/// is 12 cache lines, well under the crossover measured in bm_solvers.
+inline constexpr std::size_t kWindowScanThreshold = 96;
+
+// ---------------------------------------------------------------------------
+// Link column: link[j] = μ·(t_j − t_{p(j)}), or ∞ when p(j) does not exist.
+
+/// Scalar reference.  The gather through prev[] dominates; there is no
+/// profitable SSE2 variant (no 64-bit gather below AVX2), so the dispatching
+/// name forwards here on every ISA.
+inline void link_costs_scalar(const Time* times, const std::int32_t* prev,
+                              double mu, std::size_t n, Cost* link) {
+  link[0] = kInfiniteCost;  // node 0 is the origin; never read
+  for (std::size_t j = 1; j < n; ++j) {
+    const std::int32_t p = prev[j];
+    link[j] = p >= 0
+                  ? mu * (times[j] - times[static_cast<std::size_t>(p)])
+                  : kInfiniteCost;
+  }
+}
+
+inline void link_costs(const Time* times, const std::int32_t* prev, double mu,
+                       std::size_t n, Cost* link) {
+  link_costs_scalar(times, prev, mu, n, link);
+}
+
+// ---------------------------------------------------------------------------
+// w / W pass: w[j] = min(λ, link[j]), w_prefix[j] = w_prefix[j-1] + w[j].
+
+/// Scalar reference for the fused pass (indices 1..n-1; slot 0 is zeroed).
+inline void w_and_prefix_scalar(const Cost* link, double lambda,
+                                std::size_t n, Cost* w, Cost* w_prefix) {
+  w[0] = 0.0;
+  w_prefix[0] = 0.0;
+  for (std::size_t j = 1; j < n; ++j) {
+    w[j] = std::min(lambda, link[j]);
+    w_prefix[j] = w_prefix[j - 1] + w[j];
+  }
+}
+
+/// The min pass vectorizes (MINPD has exactly std::min's semantics for the
+/// finite-vs-∞ inputs here); the prefix sum stays serial — its loop-carried
+/// dependency is the definition of W.  Same bits as the fused scalar pass.
+inline void w_and_prefix(const Cost* link, double lambda, std::size_t n,
+                         Cost* w, Cost* w_prefix) {
+#if DPG_KERNELS_SSE2
+  w[0] = 0.0;
+  w_prefix[0] = 0.0;
+  const __m128d lam = _mm_set1_pd(lambda);
+  std::size_t j = 1;
+  for (; j + 2 <= n; j += 2) {
+    _mm_storeu_pd(w + j, _mm_min_pd(_mm_loadu_pd(link + j), lam));
+  }
+  for (; j < n; ++j) w[j] = std::min(lambda, link[j]);
+  for (j = 1; j < n; ++j) w_prefix[j] = w_prefix[j - 1] + w[j];
+#else
+  w_and_prefix_scalar(link, lambda, n, w, w_prefix);
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Window minimum over v[lo..hi): value and LATEST argmin among ties.
+
+/// Scalar reference: backward scan with a strict `<`, so the latest index of
+/// any equal run wins — the tie rule SuffixMin implements via its `>=` pop.
+[[nodiscard]] inline std::pair<std::int32_t, double> window_min_scalar(
+    const double* v, std::size_t lo, std::size_t hi) {
+  std::size_t arg = hi - 1;
+  double best = v[arg];
+  for (std::size_t k = hi - 1; k-- > lo;) {
+    if (v[k] < best) {
+      best = v[k];
+      arg = k;
+    }
+  }
+  return {static_cast<std::int32_t>(arg), best};
+}
+
+/// Blocked SSE2 min-reduction (two accumulators, so the 4-cycle MINPD
+/// latency chain splits in half), then a vectorized backward equality scan
+/// to the latest exact match.  Matches the scalar reference bit for bit:
+/// min over finite doubles is exact, so the reduction returns the same bits
+/// as a serial scan, and taking the higher-index lane of the first matching
+/// pair yields the latest argmin among ties.
+[[nodiscard]] inline std::pair<std::int32_t, double> window_min(
+    const double* v, std::size_t lo, std::size_t hi) {
+#if DPG_KERNELS_SSE2
+  __m128d acc0 = _mm_set1_pd(v[hi - 1]);
+  __m128d acc1 = acc0;
+  std::size_t k = lo;
+  for (; k + 4 <= hi; k += 4) {
+    acc0 = _mm_min_pd(acc0, _mm_loadu_pd(v + k));
+    acc1 = _mm_min_pd(acc1, _mm_loadu_pd(v + k + 2));
+  }
+  __m128d acc = _mm_min_pd(acc0, acc1);
+  for (; k + 2 <= hi; k += 2) {
+    acc = _mm_min_pd(acc, _mm_loadu_pd(v + k));
+  }
+  double best =
+      _mm_cvtsd_f64(_mm_min_sd(acc, _mm_unpackhi_pd(acc, acc)));
+  if (k < hi && v[k] < best) best = v[k];
+  // Backward locate, two lanes at a time.  CMPEQPD + MOVMSKPD flags both
+  // lanes of a pair; bit 1 is the higher index, so it wins a within-pair
+  // tie.  If no pair matched, only v[lo] can be left (an equal element must
+  // exist — `best` is the min over [lo, hi)).
+  const __m128d vb = _mm_set1_pd(best);
+  std::size_t e = hi;
+  std::size_t arg = lo;
+  while (e - lo >= 2) {
+    const int mask =
+        _mm_movemask_pd(_mm_cmpeq_pd(_mm_loadu_pd(v + e - 2), vb));
+    if (mask != 0) {
+      arg = e - 2 + ((mask & 2) != 0 ? 1 : 0);
+      break;
+    }
+    e -= 2;
+  }
+  return {static_cast<std::int32_t>(arg), best};
+#else
+  return window_min_scalar(v, lo, hi);
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Greedy serve choices (Phase-2 singleton / partial-request passes).
+
+/// Indices into the three-way serve choice, in reference tie order:
+/// cache wins any tie, then transfer over package.
+enum ServeChoiceIndex : std::uint8_t {
+  kChoiceCache = 0,
+  kChoiceTransfer = 1,
+  kChoicePackage = 2,
+};
+
+/// The dp_greedy singleton decision as straight-line selects: cache if it
+/// ties-or-beats both, else transfer if it ties-or-beats package, else
+/// package.  Identical to the reference if/else chain.
+[[nodiscard]] inline ServeChoiceIndex serve_choice3(Cost cache, Cost transfer,
+                                                    Cost package,
+                                                    Cost* cost) noexcept {
+  const bool take_cache = cache <= transfer && cache <= package;
+  const bool take_transfer = !take_cache && transfer <= package;
+  *cost = take_cache ? cache : (take_transfer ? transfer : package);
+  return take_cache ? kChoiceCache
+                    : (take_transfer ? kChoiceTransfer : kChoicePackage);
+}
+
+/// The group-solver per-slot decision: cheaper of cache/transfer, flagging
+/// a strict transfer win (the reference charges λ only on `transfer <
+/// cache`, so a tie counts as cache).
+[[nodiscard]] inline Cost min_cache_transfer(Cost cache, Cost transfer,
+                                             bool* took_transfer) noexcept {
+  *took_transfer = transfer < cache;
+  return std::min(cache, transfer);
+}
+
+// ---------------------------------------------------------------------------
+// Jaccard row (online repack candidate scan).
+
+/// out[b] = |a ∩ b| / |a ∪ b| over windowed counts for b in [b_begin, k):
+/// one dense row pass with the division blended against the empty-union
+/// case, replacing the per-pair function call + branch of the reference
+/// (jaccard_similarity in solver/correlation.cpp — same expression, same
+/// bits).
+inline void jaccard_row(const std::size_t* freq, const std::size_t* co_row,
+                        std::size_t freq_a, std::size_t b_begin,
+                        std::size_t k, double* out) {
+  for (std::size_t b = b_begin; b < k; ++b) {
+    const std::size_t co = co_row[b];
+    const std::size_t union_size = freq_a + freq[b] - co;
+    out[b] = union_size == 0 ? 0.0
+                             : static_cast<double>(co) /
+                                   static_cast<double>(union_size);
+  }
+}
+
+}  // namespace dpg::kernels

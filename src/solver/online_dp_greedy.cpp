@@ -9,6 +9,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "solver/correlation.hpp"
+#include "solver/kernels.hpp"
 #include "util/error.hpp"
 
 namespace dpg {
@@ -147,6 +148,14 @@ class WindowStats {
     return jaccard_similarity(freq_[a], freq_[b], co_[a * k_ + b]);
   }
 
+  /// Fills out[b] = jaccard(a, b) for b in [b_begin, k) in one branch-light
+  /// row pass over the dense co-occurrence matrix (solver/kernels.hpp) —
+  /// same expression and bits as jaccard(), minus the per-pair call.
+  void jaccard_row(ItemId a, std::size_t b_begin, double* out) const {
+    kernels::jaccard_row(freq_.data(), co_.data() + a * k_, freq_[a], b_begin,
+                         k_, out);
+  }
+
  private:
   void bump(std::span<const ItemId> items, int delta) {
     for (const ItemId item : items) {
@@ -193,6 +202,7 @@ OnlineDpGreedyResult solve_online_dp_greedy(
 
   WindowStats stats(k, options.window);
   std::vector<ItemId> partner(k, kNoItem);
+  std::vector<double> sim_row(k, 0.0);  // repack's per-row jaccard buffer
 
   // Flow states: one per unpacked item, one per package keyed by the lower
   // item id of the pair.
@@ -231,13 +241,17 @@ OnlineDpGreedyResult solve_online_dp_greedy(
         ++result.unpack_events;
       }
     }
-    // Form new pairs greedily by descending windowed similarity.
+    // Form new pairs greedily by descending windowed similarity.  Each row
+    // of the co-occurrence matrix is scanned as a flat kernel pass into
+    // sim_row, then filtered — same candidates in the same order as the
+    // per-pair loop this replaces.
     std::vector<std::pair<double, std::pair<ItemId, ItemId>>> candidates;
     for (ItemId a = 0; a < k; ++a) {
       if (partner[a] != kNoItem) continue;
+      stats.jaccard_row(a, a + 1, sim_row.data());
       for (ItemId b = a + 1; b < k; ++b) {
         if (partner[b] != kNoItem) continue;
-        const double j = stats.jaccard(a, b);
+        const double j = sim_row[b];
         if (j > options.theta) candidates.emplace_back(j, std::make_pair(a, b));
       }
     }

@@ -42,8 +42,17 @@ struct OptimalOfflineOptions {
   /// Use the monotonic-stack suffix-min structure for the inner minimum of
   /// D(i) (O(n log n) overall) instead of the literal O(n) scan per node
   /// (O(n²) overall, the paper's Section-V bound). Results are identical;
-  /// tests cross-check both paths.
+  /// tests cross-check both paths.  Only consulted when `use_kernels` is
+  /// off — the kernel path embeds the suffix-min as its wide-window
+  /// backstop.
   bool fast_range_min = true;
+
+  /// Run the DP through the branch-light SoA kernels (solver/kernels.hpp):
+  /// precomputed link column, vectorized w pass, blocked window-min with
+  /// the SuffixMin stack as the asymptotic backstop.  Bit-identical to the
+  /// scalar reference on every input (tests/kernel_equivalence_test.cpp);
+  /// off = the reference loops, kept as the cross-check oracle.
+  bool use_kernels = true;
 
   /// Reconstruct the schedule (backtracking). Costs are computed either way.
   bool build_schedule = true;

@@ -61,6 +61,19 @@ class SuffixMin {
   std::vector<std::pair<std::int32_t, double>> entries_;
 };
 
+/// Per-event columns of the kernelized singleton pass (solver/dp_greedy.cpp):
+/// a scalar recency pass fills the gather columns, a branch-light pass turns
+/// them into costs and choices, and a serial pass accumulates — same order,
+/// same bits as the fused reference loop.
+struct SingletonScratch {
+  std::vector<Time> time;        // event time t_e
+  std::vector<Time> prev_time;   // previous event of the item (any server)
+  std::vector<Time> same_time;   // last event on this server, -1 if none
+  std::vector<Cost> cost;        // chosen serve cost
+  std::vector<std::uint8_t> choice;      // kernels::ServeChoiceIndex
+  std::vector<std::uint8_t> is_package;  // event already paid by the package DP
+};
+
 /// The reusable scratch of one solver "lane".
 struct SolverWorkspace {
   /// Flow-build buffer: make_item_flow / make_package_flow write here.
@@ -76,8 +89,17 @@ struct SolverWorkspace {
   std::vector<DpChoice> choice;
   SuffixMin suffix;
 
+  // Kernel-path columns (solver/kernels.hpp): same-server predecessor,
+  // link costs μ·Δt, and the dense v_k = C(k) − W(k) the window scan reads.
+  std::vector<std::int32_t> prev;
+  std::vector<Cost> link;
+  std::vector<Cost> v;
+
   /// Per-server recency scratch for the Phase-2 greedy singleton pass.
   std::vector<Time> server_times;
+
+  /// Event columns for the kernelized singleton pass.
+  SingletonScratch singles;
 };
 
 }  // namespace dpg

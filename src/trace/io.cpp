@@ -140,20 +140,32 @@ std::string trace_to_csv(const RequestSequence& sequence) {
 
 RequestSequence trace_from_csv(std::string_view text,
                                std::size_t min_server_count,
-                               std::size_t min_item_count) {
+                               std::size_t min_item_count,
+                               const TraceParseHints& hints,
+                               std::string_view source) {
   const obs::TraceSpan span("trace/from_csv");
+  const auto label = [&source]() {
+    return source.empty() ? std::string("CSV") : std::string(source);
+  };
   std::string_view rest = text;
   const ColumnLayout layout = parse_header(next_line(rest));
 
-  // Size the flat arrays from two vectorized pre-count sweeps: rows from
-  // newlines, item ids from ';' separators (each row holds separators + 1).
-  const std::size_t newline_count =
-      static_cast<std::size_t>(std::count(rest.begin(), rest.end(), '\n'));
-  const std::size_t row_estimate =
-      newline_count + (rest.empty() || rest.back() == '\n' ? 0 : 1);
-  const std::size_t item_estimate =
-      static_cast<std::size_t>(std::count(rest.begin(), rest.end(), ';')) +
-      row_estimate;
+  // Size the flat arrays from the caller's hints when given, else from two
+  // vectorized pre-count sweeps: rows from newlines, item ids from ';'
+  // separators (each row holds separators + 1).
+  std::size_t row_estimate = hints.request_count;
+  if (row_estimate == 0) {
+    const std::size_t newline_count =
+        static_cast<std::size_t>(std::count(rest.begin(), rest.end(), '\n'));
+    row_estimate =
+        newline_count + (rest.empty() || rest.back() == '\n' ? 0 : 1);
+  }
+  std::size_t item_estimate = hints.item_access_count;
+  if (item_estimate == 0) {
+    item_estimate =
+        static_cast<std::size_t>(std::count(rest.begin(), rest.end(), ';')) +
+        row_estimate;
+  }
 
   SequenceBuilder builder(1, 1);
   builder.reserve(row_estimate, item_estimate);
@@ -169,71 +181,85 @@ RequestSequence trace_from_csv(std::string_view text,
   while (!rest.empty()) {
     const std::string_view line = next_line(rest);
     if (line.empty()) continue;
-
-    std::string_view server_field, time_field, items_field;
-    if (canonical) {
-      const std::size_t c1 = line.find(',');
-      const std::size_t c2 =
-          c1 == std::string_view::npos ? c1 : line.find(',', c1 + 1);
-      if (c2 == std::string_view::npos ||
-          line.find(',', c2 + 1) != std::string_view::npos) {
-        throw IoError("CSV: row " + std::to_string(rows + 1) +
-                      " does not have 3 fields");
-      }
-      server_field = line.substr(0, c1);
-      time_field = line.substr(c1 + 1, c2 - c1 - 1);
-      items_field = line.substr(c2 + 1);
-    } else {
-      // Walk the row's fields once, capturing the three interesting slices.
-      std::size_t column = 0;
-      std::string_view row_rest = line;
-      while (true) {
-        const std::size_t comma = row_rest.find(',');
-        const std::string_view field = comma == std::string_view::npos
-                                           ? row_rest
-                                           : row_rest.substr(0, comma);
-        if (column == layout.server) {
-          server_field = field;
-        } else if (column == layout.time) {
-          time_field = field;
-        } else if (column == layout.items) {
-          items_field = field;
+    try {
+      std::string_view server_field, time_field, items_field;
+      if (canonical) {
+        const std::size_t c1 = line.find(',');
+        const std::size_t c2 =
+            c1 == std::string_view::npos ? c1 : line.find(',', c1 + 1);
+        if (c2 == std::string_view::npos ||
+            line.find(',', c2 + 1) != std::string_view::npos) {
+          throw IoError("row does not have 3 fields");
         }
-        ++column;
-        if (comma == std::string_view::npos) break;
-        row_rest.remove_prefix(comma + 1);
+        server_field = line.substr(0, c1);
+        time_field = line.substr(c1 + 1, c2 - c1 - 1);
+        items_field = line.substr(c2 + 1);
+      } else {
+        // Walk the row's fields once, capturing the three interesting slices.
+        std::size_t column = 0;
+        std::string_view row_rest = line;
+        while (true) {
+          const std::size_t comma = row_rest.find(',');
+          const std::string_view field = comma == std::string_view::npos
+                                             ? row_rest
+                                             : row_rest.substr(0, comma);
+          if (column == layout.server) {
+            server_field = field;
+          } else if (column == layout.time) {
+            time_field = field;
+          } else if (column == layout.items) {
+            items_field = field;
+          }
+          ++column;
+          if (comma == std::string_view::npos) break;
+          row_rest.remove_prefix(comma + 1);
+        }
+        if (column != layout.column_count) {
+          throw IoError("row has " + std::to_string(column) +
+                        " fields, header has " +
+                        std::to_string(layout.column_count));
+        }
       }
-      if (column != layout.column_count) {
-        throw IoError("CSV: row " + std::to_string(rows + 1) + " has " +
-                      std::to_string(column) + " fields, header has " +
-                      std::to_string(layout.column_count));
-      }
-    }
 
-    const auto server =
-        static_cast<ServerId>(fast_parse_size(strip_quotes(server_field)));
-    const Time time = fast_parse_double(strip_quotes(time_field));
-    server_count = std::max<std::size_t>(server_count, server + 1);
-    builder.begin_request(server, time);
-    std::string_view items_rest = strip_quotes(items_field);
-    while (!items_rest.empty()) {
-      const std::size_t semicolon = items_rest.find(';');
-      const std::string_view field = semicolon == std::string_view::npos
-                                         ? items_rest
-                                         : items_rest.substr(0, semicolon);
-      const auto item = static_cast<ItemId>(fast_parse_size(field));
-      item_count = std::max<std::size_t>(item_count, item + 1);
-      builder.push_item(item);
-      if (semicolon == std::string_view::npos) break;
-      items_rest.remove_prefix(semicolon + 1);
+      const auto server =
+          static_cast<ServerId>(fast_parse_size(strip_quotes(server_field)));
+      const Time time = fast_parse_double(strip_quotes(time_field));
+      server_count = std::max<std::size_t>(server_count, server + 1);
+      builder.begin_request(server, time);
+      std::string_view items_rest = strip_quotes(items_field);
+      while (!items_rest.empty()) {
+        const std::size_t semicolon = items_rest.find(';');
+        const std::string_view field = semicolon == std::string_view::npos
+                                           ? items_rest
+                                           : items_rest.substr(0, semicolon);
+        const auto item = static_cast<ItemId>(fast_parse_size(field));
+        item_count = std::max<std::size_t>(item_count, item + 1);
+        builder.push_item(item);
+        if (semicolon == std::string_view::npos) break;
+        items_rest.remove_prefix(semicolon + 1);
+      }
+      builder.end_request();  // sorts + deduplicates the row's item ids
+    } catch (const Error& e) {
+      // Re-throw with full provenance: which file, which data row, and the
+      // byte offset of that row in the input.
+      throw IoError(label() + ": row " + std::to_string(rows + 1) +
+                    " (byte offset " +
+                    std::to_string(static_cast<std::size_t>(
+                        line.data() - text.data())) +
+                    "): " + e.what());
     }
-    builder.end_request();  // sorts + deduplicates the row's item ids
     ++rows;
   }
 
   g_rows_parsed.add(rows);
   g_bytes_parsed.add(text.size());
-  return std::move(builder).build_with_counts(server_count, item_count);
+  try {
+    return std::move(builder).build_with_counts(server_count, item_count);
+  } catch (const InvalidArgument& e) {
+    // Sequence-level validation failures (e.g. duplicate times) name the
+    // source too; the request index inside the message locates the row.
+    throw IoError(label() + ": " + e.what());
+  }
 }
 
 RequestSequence trace_from_csv_legacy(const std::string& text,
@@ -291,7 +317,8 @@ void write_trace_file(const std::string& path, const RequestSequence& sequence) 
 
 RequestSequence read_trace_file(const std::string& path,
                                 std::size_t min_server_count,
-                                std::size_t min_item_count) {
+                                std::size_t min_item_count,
+                                const TraceParseHints& hints) {
   const obs::TraceSpan span("trace/read_file");
   std::ifstream in(path, std::ios::binary);
   if (!in) throw IoError("cannot open trace file: " + path);
@@ -306,7 +333,8 @@ RequestSequence read_trace_file(const std::string& path,
   if (!in && !text.empty()) {
     throw IoError("error while reading trace file: " + path);
   }
-  return trace_from_csv(text, min_server_count, min_item_count);
+  // The path travels into the parser so its errors carry file provenance.
+  return trace_from_csv(text, min_server_count, min_item_count, hints, path);
 }
 
 }  // namespace dpg

@@ -21,11 +21,25 @@ namespace dpg {
 /// Serializes a sequence to CSV text.
 [[nodiscard]] std::string trace_to_csv(const RequestSequence& sequence);
 
+/// Caller-known sizes that let the parser skip its pre-count sweeps and let
+/// SequenceBuilder reserve exactly once (e.g. from a `.dpt` header when
+/// re-importing, or from a previous parse of the same file).  Zero fields
+/// fall back to counting.  Hints are reserve sizing only — a mismatch costs
+/// reallocations, never correctness.
+struct TraceParseHints {
+  std::size_t request_count = 0;
+  std::size_t item_access_count = 0;
+};
+
 /// Parses CSV text back to a sequence.  `server_count`/`item_count` are
 /// inferred as max id + 1 unless explicit larger bounds are given.
+/// `source` labels parse/validation errors (typically the file path); row
+/// errors report the 1-based data row and the byte offset into `text`.
 [[nodiscard]] RequestSequence trace_from_csv(std::string_view text,
                                              std::size_t min_server_count = 0,
-                                             std::size_t min_item_count = 0);
+                                             std::size_t min_item_count = 0,
+                                             const TraceParseHints& hints = {},
+                                             std::string_view source = {});
 
 /// The pre-streaming CsvTable-based parser, kept as the independent
 /// cross-check oracle for tests and the bm_trace throughput baseline.
@@ -34,10 +48,11 @@ namespace dpg {
     std::size_t min_item_count = 0);
 
 /// File variants. Throw IoError on filesystem problems.  Writing streams
-/// row-by-row through a buffer; reading loads the file in one sized read.
+/// row-by-row through a buffer; reading loads the file in one sized read
+/// and labels any parse/validation error with the path and byte offset.
 void write_trace_file(const std::string& path, const RequestSequence& sequence);
-[[nodiscard]] RequestSequence read_trace_file(const std::string& path,
-                                              std::size_t min_server_count = 0,
-                                              std::size_t min_item_count = 0);
+[[nodiscard]] RequestSequence read_trace_file(
+    const std::string& path, std::size_t min_server_count = 0,
+    std::size_t min_item_count = 0, const TraceParseHints& hints = {});
 
 }  // namespace dpg

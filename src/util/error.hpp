@@ -29,6 +29,15 @@ class IoError : public Error {
   explicit IoError(const std::string& what) : Error(what) {}
 };
 
+/// Thrown when a binary trace file (.dpt) is malformed: truncated, wrong
+/// magic, unsupported version, checksum mismatch, or inconsistent column
+/// table.  A subclass of IoError so callers that only distinguish "file
+/// problem" keep working; corruption-aware callers can catch this type.
+class FormatError : public IoError {
+ public:
+  explicit FormatError(const std::string& what) : IoError(what) {}
+};
+
 /// Precondition check that survives NDEBUG builds: throws InvalidArgument.
 /// The literal overload is allocation-free on success — hot-path callers
 /// (flow validation, index rebuilds) check per point, so a by-value

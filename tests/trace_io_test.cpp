@@ -50,10 +50,17 @@ TEST(TraceIo, RejectsMalformedFields) {
 }
 
 TEST(TraceIo, InvalidSequencesStillValidated) {
-  // Duplicate timestamps are a sequence-level invariant violation.
-  EXPECT_THROW(
-      (void)trace_from_csv("server,time,items\n0,1.0,0\n1,1.0,1\n"),
-      InvalidArgument);
+  // Duplicate timestamps are a sequence-level invariant violation; the
+  // parser rethrows it as an IoError tagged with the input's label so a
+  // caller sees which file (or "CSV" for in-memory text) was bad.
+  try {
+    (void)trace_from_csv("server,time,items\n0,1.0,0\n1,1.0,1\n");
+    FAIL() << "expected IoError";
+  } catch (const IoError& error) {
+    const std::string what = error.what();
+    EXPECT_EQ(what.rfind("CSV: ", 0), 0u) << what;
+    EXPECT_NE(what.find("strictly increasing"), std::string::npos) << what;
+  }
 }
 
 TEST(TraceIo, FileRoundTrip) {
@@ -72,6 +79,58 @@ TEST(TraceIo, FileRoundTrip) {
 
 TEST(TraceIo, MissingFileRaises) {
   EXPECT_THROW((void)read_trace_file("/nope/missing.csv"), IoError);
+}
+
+TEST(TraceIo, FileParseErrorsNameThePathRowAndByteOffset) {
+  const std::string path = ::testing::TempDir() + "dpg_trace_bad.csv";
+  {
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    ASSERT_NE(file, nullptr);
+    std::fputs("server,time,items\n0,1.0,0\n1,oops,1\n", file);
+    std::fclose(file);
+  }
+  try {
+    (void)read_trace_file(path);
+    FAIL() << "expected IoError";
+  } catch (const IoError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    EXPECT_NE(what.find("row 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("byte offset 26"), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, InMemoryParseErrorsUseTheCsvLabel) {
+  try {
+    (void)trace_from_csv("server,time,items\n0,1.0\n");
+    FAIL() << "expected IoError";
+  } catch (const IoError& error) {
+    const std::string what = error.what();
+    EXPECT_EQ(what.rfind("CSV: row 1", 0), 0u) << what;
+  }
+}
+
+TEST(TraceIo, ParseHintsDoNotChangeTheResult) {
+  UniformTraceConfig config;
+  config.request_count = 60;
+  Rng rng(3);
+  const RequestSequence original = generate_uniform_trace(config, rng);
+  const std::string csv = trace_to_csv(original);
+
+  // Exact hints (what the .dpt header supplies) and wild over-estimates
+  // must both parse to the same sequence as no hints at all.
+  TraceParseHints exact;
+  exact.request_count = original.size();
+  exact.item_access_count = original.total_item_accesses();
+  TraceParseHints oversized;
+  oversized.request_count = 10 * original.size();
+  oversized.item_access_count = 10 * original.total_item_accesses();
+  for (const TraceParseHints& hints : {exact, oversized}) {
+    const RequestSequence parsed = trace_from_csv(csv, 0, 0, hints);
+    EXPECT_EQ(parsed.size(), original.size());
+    EXPECT_EQ(trace_to_csv(parsed), csv);
+  }
 }
 
 }  // namespace

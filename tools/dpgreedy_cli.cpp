@@ -3,6 +3,7 @@
 //   dpgreedy list     [--names]                     (registered solvers)
 //   dpgreedy generate --out trace.csv [--kind taxi|paired|zipf|...] [--seed N]
 //   dpgreedy stats    --trace trace.csv
+//   dpgreedy convert  <in> <out> [--format csv|dpt]
 //   dpgreedy solve    --trace trace.csv [--solver NAME] [--theta T]
 //                     [--alpha A] [--mu M] [--lambda L] [--threads N]
 //                     [--format F] [--export-dir DIR]
@@ -11,8 +12,10 @@
 //
 // Every solver runs through the SolverRegistry (engine/registry.hpp), so
 // `--solver`/`--solvers` accept exactly the names `dpgreedy list` prints.
-// Traces are the CSV format of trace/io.hpp, so generated workloads can be
-// archived, inspected and re-solved reproducibly.
+// Traces are either the CSV format of trace/io.hpp (interchange) or the
+// binary columnar `.dpt` format of trace/dpt.hpp (mmap zero-copy load);
+// every subcommand picks the reader/writer from the file extension, and
+// `convert` translates between the two losslessly.
 #include <algorithm>
 #include <cctype>
 #include <cstdint>
@@ -41,6 +44,7 @@ struct RunFlags {
   const std::size_t* group_size;
   const double* hold;
   const std::size_t* threads;
+  const bool* no_kernels;
   const bool* verbose;
   const std::string* metrics_out;
   const std::string* trace_out;
@@ -48,7 +52,7 @@ struct RunFlags {
 
 RunFlags add_run_flags(ArgParser& args) {
   RunFlags flags;
-  flags.trace = args.add_string("trace", "trace CSV path", "trace.csv");
+  flags.trace = args.add_string("trace", "trace path (.csv or .dpt)", "trace.csv");
   flags.theta = args.add_double("theta", "correlation threshold", 0.3);
   flags.mu = args.add_double("mu", "cache cost rate", 1.0);
   flags.lambda = args.add_double("lambda", "transfer cost", 1.0);
@@ -59,6 +63,9 @@ RunFlags add_run_flags(ArgParser& args) {
   flags.hold = args.add_double("hold", "break-even hold factor", 1.0);
   flags.threads =
       args.add_size("threads", "Phase-2 worker threads (0 = serial)", 0);
+  flags.no_kernels = args.add_flag(
+      "no-kernels", "run the scalar DP reference loops instead of the "
+      "SIMD kernels (results are bit-identical)");
   flags.verbose = args.add_flag("verbose", "log at DEBUG level", 'v');
   flags.metrics_out = args.add_string(
       "metrics-out", "write a metrics snapshot JSON here (enables telemetry)",
@@ -106,7 +113,7 @@ void finish_telemetry(const RunFlags& flags) {
 }
 
 RequestSequence load_trace(const RunFlags& flags) {
-  RequestSequence trace = read_trace_file(*flags.trace);
+  RequestSequence trace = read_trace_auto(*flags.trace);
   DPG_INFO << "loaded " << trace.size() << " requests (m="
            << trace.server_count() << ", k=" << trace.item_count()
            << ") from " << *flags.trace;
@@ -130,6 +137,7 @@ SolverConfig config_of(const RunFlags& flags) {
   config.repack_interval = *flags.repack;
   config.hold_factor = *flags.hold;
   config.threads(*flags.threads);
+  config.kernels(!*flags.no_kernels);
   return config;
 }
 
@@ -184,8 +192,9 @@ int cmd_list(int argc, const char* const* argv) {
 }
 
 int cmd_generate(int argc, const char* const* argv) {
-  ArgParser args("dpgreedy generate", "generate a workload trace CSV");
-  const std::string* out = args.add_string("out", "output trace path", "trace.csv");
+  ArgParser args("dpgreedy generate", "generate a workload trace");
+  const std::string* out =
+      args.add_string("out", "output trace path (.csv or .dpt)", "trace.csv");
   const std::string* kind =
       args.add_string("kind", "taxi | paired | zipf | uniform | bursty", "taxi");
   const std::size_t* seed = args.add_size("seed", "RNG seed", 42);
@@ -242,17 +251,75 @@ int cmd_generate(int argc, const char* const* argv) {
                           "' (valid: taxi, paired, zipf, uniform, bursty)");
   }();
 
-  write_trace_file(*out, trace);
+  write_trace_auto(*out, trace);
   std::printf("wrote %zu requests (m=%zu, k=%zu) to %s\n", trace.size(),
               trace.server_count(), trace.item_count(), out->c_str());
   return 0;
 }
 
+int cmd_convert(int argc, const char* const* argv) {
+  // `convert <in> <out>` takes positionals, which ArgParser doesn't do, so
+  // this one subcommand parses by hand.  The output format follows the
+  // destination extension unless --format overrides it; the input format is
+  // always sniffed from the source extension.
+  const auto convert_usage = [] {
+    std::fputs(
+        "usage: dpgreedy convert <in> <out> [--format csv|dpt]\n"
+        "  converts a trace between the CSV and binary .dpt formats\n"
+        "  (round-trips are lossless; format defaults to the <out> extension)\n",
+        stderr);
+  };
+  std::string format;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      convert_usage();
+      return 0;
+    }
+    if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+    } else if (arg == "--format") {
+      if (i + 1 >= argc) {
+        throw InvalidArgument("dpgreedy convert: --format needs a value");
+      }
+      format = argv[++i];
+    } else if (!arg.empty() && arg.front() == '-') {
+      throw InvalidArgument("dpgreedy convert: unknown option '" + arg + "'");
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 2) {
+    convert_usage();
+    return 2;
+  }
+  if (!format.empty() && format != "csv" && format != "dpt") {
+    throw InvalidArgument("dpgreedy convert: unknown --format '" + format +
+                          "' (valid: csv, dpt)");
+  }
+  const std::string& in = positional[0];
+  const std::string& out = positional[1];
+
+  const RequestSequence trace = read_trace_auto(in);
+  const bool to_dpt = format.empty() ? is_dpt_path(out) : format == "dpt";
+  if (to_dpt) {
+    write_trace_dpt(out, trace);
+  } else {
+    write_trace_file(out, trace);
+  }
+  std::printf("converted %s -> %s (%zu requests, m=%zu, k=%zu, %s)\n",
+              in.c_str(), out.c_str(), trace.size(), trace.server_count(),
+              trace.item_count(), to_dpt ? "dpt" : "csv");
+  return 0;
+}
+
 int cmd_stats(int argc, const char* const* argv) {
   ArgParser args("dpgreedy stats", "describe a trace");
-  const std::string* path = args.add_string("trace", "trace CSV path", "trace.csv");
+  const std::string* path =
+      args.add_string("trace", "trace path (.csv or .dpt)", "trace.csv");
   args.parse(argc, argv);
-  const RequestSequence trace = read_trace_file(*path);
+  const RequestSequence trace = read_trace_auto(*path);
   const TraceStats stats = compute_trace_stats(trace);
   std::printf("%s\n", render_spatial_distribution(stats).c_str());
   std::printf("%s\n", render_frequent_pairs(trace, 10).c_str());
@@ -399,7 +466,8 @@ int cmd_online(int argc, const char* const* argv) {
 
 void usage() {
   std::fputs(
-      "usage: dpgreedy <list|generate|stats|solve|compare|online> [options]\n"
+      "usage: dpgreedy <list|generate|stats|convert|solve|compare|online> "
+      "[options]\n"
       "       dpgreedy <command> --help for per-command options\n",
       stderr);
 }
@@ -419,6 +487,7 @@ int main(int argc, char** argv) {
     if (command == "list") return cmd_list(sub_argc, sub_argv);
     if (command == "generate") return cmd_generate(sub_argc, sub_argv);
     if (command == "stats") return cmd_stats(sub_argc, sub_argv);
+    if (command == "convert") return cmd_convert(sub_argc, sub_argv);
     if (command == "solve") return cmd_solve(sub_argc, sub_argv);
     if (command == "compare") return cmd_compare(sub_argc, sub_argv);
     if (command == "online") return cmd_online(sub_argc, sub_argv);
