@@ -226,8 +226,13 @@ RequestSequence RequestSequence::adopt_columns(
                            columns.per_item_offsets.end()),
             "adopt_columns: stored inverted index does not match the items");
   } else {
-    // Even the trusting path range-checks item ids: an out-of-range id would
-    // index per_item_offsets_ out of bounds later.
+    // Even the trusting path range-checks every id that is used as an index
+    // downstream: an out-of-range item id would index per_item_offsets_ out
+    // of bounds later, and an out-of-range server id would index per-server
+    // state (RequestIndex snapshots, queue tails) out of bounds.
+    for (const ServerId server : columns.servers) {
+      require(server < server_count, "adopt_columns: server id out of range");
+    }
     for (const ItemId item : columns.items_pool) {
       require(item < item_count, "adopt_columns: item id out of range");
     }

@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <bit>
 #include <cerrno>
 #include <cstring>
 #include <fstream>
@@ -195,11 +196,20 @@ inline std::size_t align_up(std::size_t v, std::size_t a) noexcept {
 }
 
 /// Owns one mmap'ed read-only file; the keeper of borrowed sequences.
+/// The mapping is sized from an fstat of the opened descriptor (no
+/// stat-then-open race), but a file truncated *while mapped* still raises
+/// SIGBUS on access — an mmap fact of life, documented in docs/FORMAT.md.
 class MappedFile {
  public:
-  MappedFile(const std::string& path, std::size_t size) : size_(size) {
+  explicit MappedFile(const std::string& path) {
     const int fd = ::open(path.c_str(), O_RDONLY);
     if (fd < 0) throw IoError("cannot open trace file: " + path);
+    struct stat st{};
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      throw IoError("cannot stat trace file: " + path);
+    }
+    size_ = static_cast<std::size_t>(st.st_size);
     if (size_ > 0) {
       data_ = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
       if (data_ == MAP_FAILED) {
@@ -277,12 +287,19 @@ Header parse_header(const std::string& path, const unsigned char* bytes,
     desc.byte_offset = get_u64(d + 16);
     desc.byte_length = get_u64(d + 24);
     desc.checksum = get_u64(d + 32);
-    if (desc.element_count * desc.element_size != desc.byte_length) {
+    // Overflow-safe shape check: a multiply here could wrap so that a huge
+    // element_count "matches" a tiny byte_length; divide instead.
+    if (desc.element_size == 0 ||
+        desc.byte_length % desc.element_size != 0 ||
+        desc.element_count != desc.byte_length / desc.element_size) {
       corrupt(path, std::string("column '") + column_name(desc.id) +
                         "': descriptor length mismatch");
     }
+    // Overflow-safe bounds check: byte_offset + byte_length could wrap past
+    // 2^64 and land back inside [0, file_bytes); subtract instead.
     if (desc.byte_offset < h.header_bytes ||
-        desc.byte_offset + desc.byte_length > file_bytes ||
+        desc.byte_length > file_bytes ||
+        desc.byte_offset > file_bytes - desc.byte_length ||
         desc.byte_offset % alignof(std::max_align_t) != 0) {
       corrupt(path, std::string("column '") + column_name(desc.id) +
                         "': data out of file bounds (truncated file?)");
@@ -353,8 +370,8 @@ std::span<const T> column_span(const unsigned char* bytes,
           static_cast<std::size_t>(desc.element_count)};
 }
 
-RequestSequence build_copy(const Header& h, const ColumnSet& set,
-                           const unsigned char* bytes,
+RequestSequence build_copy(const std::string& path, const Header& h,
+                           const ColumnSet& set, const unsigned char* bytes,
                            std::size_t min_server_count,
                            std::size_t min_item_count) {
   // The untrusting path: stream every row through SequenceBuilder, which
@@ -365,18 +382,32 @@ RequestSequence build_copy(const Header& h, const ColumnSet& set,
   const auto offsets =
       column_span<std::uint64_t>(bytes, *set.by_id[kColItemOffsets]);
   const auto pool = column_span<ItemId>(bytes, *set.by_id[kColItemsPool]);
+  // resolve_columns fixed the column *shapes*, not their contents: the
+  // offsets drive pool indexing below, so a corrupt-but-rechecksummed file
+  // must not walk past the pool (mirrors adopt_columns' structural checks).
+  if (offsets.front() != 0 || offsets.back() != pool.size() ||
+      !std::is_sorted(offsets.begin(), offsets.end())) {
+    corrupt(path, "column 'item_offsets': not a valid CSR offsets column");
+  }
   SequenceBuilder builder(1, 1);
   builder.reserve(h.request_count, h.item_access_count);
-  for (std::size_t i = 0; i < h.request_count; ++i) {
-    builder.begin_request(servers[i], times[i]);
-    for (std::uint64_t j = offsets[i]; j < offsets[i + 1]; ++j) {
-      builder.push_item(pool[j]);
+  try {
+    for (std::size_t i = 0; i < h.request_count; ++i) {
+      builder.begin_request(servers[i], times[i]);
+      for (std::uint64_t j = offsets[i]; j < offsets[i + 1]; ++j) {
+        builder.push_item(pool[j]);
+      }
+      builder.end_request();
     }
-    builder.end_request();
+    return std::move(builder).build_with_counts(
+        std::max<std::size_t>(h.server_count, min_server_count),
+        std::max<std::size_t>(h.item_count, min_item_count));
+  } catch (const InvalidArgument& e) {
+    // Rows that fail sequence validation in a well-checksummed file are
+    // file corruption from the caller's point of view (mirrors the kMap
+    // adopt_columns wrapping).
+    corrupt(path, e.what());
   }
-  return std::move(builder).build_with_counts(
-      std::max<std::size_t>(h.server_count, min_server_count),
-      std::max<std::size_t>(h.item_count, min_item_count));
 }
 
 RequestSequence read_dpt_impl(const std::string& path,
@@ -385,7 +416,6 @@ RequestSequence read_dpt_impl(const std::string& path,
                               std::size_t min_item_count) {
   const obs::TraceSpan span("trace/dpt_open");
   g_dpt_opens.add();
-  const std::size_t file_bytes = file_size_of(path);
 
   // Borrowing views into the file verbatim requires the in-memory element
   // shapes to match the on-disk ones.
@@ -396,7 +426,8 @@ RequestSequence read_dpt_impl(const std::string& path,
                 "the .dpt column shapes mirror core/types.hpp");
 
   if (options.mode == DptOpenMode::kMap) {
-    auto mapped = std::make_shared<MappedFile>(path, file_bytes);
+    auto mapped = std::make_shared<MappedFile>(path);
+    const std::size_t file_bytes = mapped->size();
     g_dpt_bytes_mapped.add(file_bytes);
     const unsigned char* bytes = mapped->data();
     const Header h = parse_header(path, bytes, file_bytes);
@@ -406,7 +437,8 @@ RequestSequence read_dpt_impl(const std::string& path,
         min_item_count > h.item_count) {
       // The borrowed per-item index is shaped by the stored item count;
       // larger universes need the owning rebuild.
-      return build_copy(h, set, bytes, min_server_count, min_item_count);
+      return build_copy(path, h, set, bytes, min_server_count,
+                        min_item_count);
     }
     SequenceColumns columns;
     columns.servers = column_span<ServerId>(bytes, *set.by_id[kColServers]);
@@ -430,7 +462,10 @@ RequestSequence read_dpt_impl(const std::string& path,
     }
   }
 
-  // kRead: one buffered read, then the builder path.
+  // kRead: one buffered read, then the builder path.  A file that shrinks
+  // between the stat and the read leaves the stream short, which throws
+  // IoError below — no unmapped-page hazard on this path.
+  const std::size_t file_bytes = file_size_of(path);
   std::ifstream in(path, std::ios::binary);
   if (!in) throw IoError("cannot open trace file: " + path);
   std::vector<unsigned char> buffer(file_bytes);
@@ -442,13 +477,19 @@ RequestSequence read_dpt_impl(const std::string& path,
   const Header h = parse_header(path, buffer.data(), file_bytes);
   const ColumnSet set = resolve_columns(path, h);
   if (options.verify_checksums) verify_checksums(path, buffer.data(), set);
-  return build_copy(h, set, buffer.data(), min_server_count, min_item_count);
+  return build_copy(path, h, set, buffer.data(), min_server_count,
+                    min_item_count);
 }
 
 }  // namespace
 
 void write_trace_dpt(const std::string& path,
                      const RequestSequence& sequence) {
+  // Columns are memcpy'd verbatim, so a big-endian host would stamp the
+  // little-endian marker onto byte-swapped data.  Readers would reject
+  // their own marker anyway; fail the build instead of writing bad files.
+  static_assert(std::endian::native == std::endian::little,
+                "write_trace_dpt stores columns verbatim little-endian");
   const obs::TraceSpan span("trace/dpt_write");
   const SequenceColumns cols = sequence.columns();
 
@@ -542,25 +583,30 @@ DptInfo probe_trace_dpt(const std::string& path) {
   const std::size_t file_bytes = file_size_of(path);
   std::ifstream in(path, std::ios::binary);
   if (!in) throw IoError("cannot open trace file: " + path);
+  // Read the fixed header first, then size the buffer from its header_bytes
+  // field — the column table has no fixed cap (future versions may append
+  // columns), so a fixed prefix could truncate a valid table.
   std::vector<unsigned char> head(
-      std::min<std::size_t>(file_bytes, 1u << 16));
+      std::min<std::size_t>(file_bytes, kFixedHeaderBytes));
   in.read(reinterpret_cast<char*>(head.data()),
           static_cast<std::streamsize>(head.size()));
   if (!in && !head.empty()) {
     throw IoError("error while reading trace file: " + path);
   }
-  // parse_header bounds-checks descriptors against the real file size; the
-  // prefix buffer only needs to hold the header itself.
   if (head.size() < kFixedHeaderBytes) {
     corrupt(path, "truncated header (" + std::to_string(head.size()) +
                       " bytes, need " + std::to_string(kFixedHeaderBytes) +
                       ")");
   }
-  {
-    const std::uint64_t header_bytes = get_u64(head.data() + 16);
-    if (header_bytes > head.size()) {
-      corrupt(path, "truncated column table");
-    }
+  const std::uint64_t header_bytes = get_u64(head.data() + 16);
+  if (header_bytes > file_bytes) {
+    corrupt(path, "truncated column table");
+  }
+  if (header_bytes > head.size()) {
+    head.resize(static_cast<std::size_t>(header_bytes));
+    in.read(reinterpret_cast<char*>(head.data() + kFixedHeaderBytes),
+            static_cast<std::streamsize>(head.size() - kFixedHeaderBytes));
+    if (!in) throw IoError("error while reading trace file: " + path);
   }
   const Header h = parse_header(path, head.data(), file_bytes);
   resolve_columns(path, h);

@@ -43,6 +43,44 @@ void write_bytes(const std::string& path, const std::string& bytes) {
   ASSERT_TRUE(out.good()) << path;
 }
 
+/// One parsed 40-byte column-table row (layout per docs/FORMAT.md).
+struct DescriptorView {
+  std::size_t row = 0;  // byte offset of the descriptor within the file
+  std::uint32_t element_size = 0;
+  std::uint64_t element_count = 0;
+  std::uint64_t byte_offset = 0;
+  std::uint64_t byte_length = 0;
+};
+
+DescriptorView find_descriptor(const std::string& bytes, std::uint32_t want) {
+  std::uint32_t count = 0;
+  std::memcpy(&count, bytes.data() + 56, sizeof count);
+  for (std::uint32_t d = 0; d < count; ++d) {
+    const std::size_t row = 64 + d * 40u;
+    std::uint32_t id = 0;
+    std::memcpy(&id, bytes.data() + row, sizeof id);
+    if (id != want) continue;
+    DescriptorView view;
+    view.row = row;
+    std::memcpy(&view.element_size, bytes.data() + row + 4, 4);
+    std::memcpy(&view.element_count, bytes.data() + row + 8, 8);
+    std::memcpy(&view.byte_offset, bytes.data() + row + 16, 8);
+    std::memcpy(&view.byte_length, bytes.data() + row + 24, 8);
+    return view;
+  }
+  ADD_FAILURE() << "descriptor with id " << want << " not found";
+  return {};
+}
+
+/// Recomputes a column's stored checksum after its payload was edited —
+/// what a hostile writer would do, so checksums alone must not be trusted.
+void reseal_column(std::string& bytes, const DescriptorView& desc) {
+  const std::uint64_t sum =
+      dpt_checksum(bytes.data() + desc.byte_offset,
+                   static_cast<std::size_t>(desc.byte_length));
+  std::memcpy(bytes.data() + desc.row + 32, &sum, sizeof sum);
+}
+
 /// Round-trips `original` through a .dpt file in both open modes and checks
 /// exact structural equality plus CSV byte-identity of the re-serialization.
 void expect_dpt_roundtrip(const RequestSequence& original,
@@ -221,6 +259,58 @@ TEST(DptAuto, ProbeReportsTheHeaderCounts) {
   std::remove(path.c_str());
 }
 
+TEST(DptAuto, ProbeAndReadHandleLargeColumnTables) {
+  // Forward compat allows arbitrarily many appended (unknown) columns, so
+  // the probe must size its header read from the header_bytes field — a
+  // fixed prefix cap would reject a valid file whose table exceeds it.
+  const RequestSequence seq = testing::running_example_sequence();
+  const std::string path = temp_path("dpt_bigtable.dpt");
+  write_trace_dpt(path, seq);
+  const std::string bytes = read_bytes(path);
+
+  constexpr std::size_t kKnown = 6;
+  constexpr std::size_t kExtra = 1700;  // table of ~68 KiB, past 64 KiB
+  std::uint64_t old_header_bytes = 0;
+  std::memcpy(&old_header_bytes, bytes.data() + 16, 8);
+  const auto align64 = [](std::uint64_t v) { return (v + 63) / 64 * 64; };
+  const std::size_t old_payload = align64(old_header_bytes);
+  const std::uint64_t new_header_bytes = 64 + (kKnown + kExtra) * 40;
+  const std::size_t new_payload = align64(new_header_bytes);
+  const std::uint64_t delta = new_payload - old_payload;
+
+  std::string out = bytes.substr(0, 64 + kKnown * 40);
+  std::memcpy(out.data() + 16, &new_header_bytes, 8);
+  const std::uint32_t column_count = kKnown + kExtra;
+  std::memcpy(out.data() + 56, &column_count, 4);
+  for (std::size_t d = 0; d < kKnown; ++d) {  // shift the payload offsets
+    std::uint64_t off = 0;
+    std::memcpy(&off, out.data() + 64 + d * 40 + 16, 8);
+    off += delta;
+    std::memcpy(out.data() + 64 + d * 40 + 16, &off, 8);
+  }
+  for (std::size_t e = 0; e < kExtra; ++e) {  // unknown, empty columns
+    char desc[40] = {};
+    const std::uint32_t id = 1000 + static_cast<std::uint32_t>(e);
+    const std::uint32_t element_size = 8;
+    const std::uint64_t payload_start = new_payload;
+    const std::uint64_t empty_sum = dpt_checksum("", 0);
+    std::memcpy(desc + 0, &id, 4);
+    std::memcpy(desc + 4, &element_size, 4);
+    std::memcpy(desc + 16, &payload_start, 8);
+    std::memcpy(desc + 32, &empty_sum, 8);
+    out.append(desc, sizeof desc);
+  }
+  out.resize(new_payload, '\0');
+  out += bytes.substr(old_payload);
+  write_bytes(path, out);
+
+  const DptInfo info = probe_trace_dpt(path);
+  EXPECT_EQ(info.request_count, seq.size());
+  EXPECT_EQ(info.column_count, kKnown + kExtra);
+  EXPECT_TRUE(same_sequence(seq, read_trace_dpt(path)));
+  std::remove(path.c_str());
+}
+
 // ---------------------------------------------------------------------------
 // A mapped sequence behaves like a value type.
 
@@ -312,6 +402,55 @@ TEST_F(DptCorruption, FlippedChecksumByte) {
   // Damage a stored checksum in the column table instead of the payload.
   std::string bytes = bytes_;
   bytes[64 + 32] = static_cast<char>(bytes[64 + 32] ^ 0x01);
+  expect_rejected(bytes);
+}
+
+TEST_F(DptCorruption, DescriptorOffsetOverflowIsRejected) {
+  // byte_offset + byte_length wrapping past 2^64 must not pass the bounds
+  // check and hand verify_checksums a wild pointer.
+  std::string bytes = bytes_;
+  const DescriptorView servers = find_descriptor(bytes, /*id=*/1);
+  const std::uint64_t wild = 0xFFFFFFFFFFFFFFC0ULL;  // 64-byte aligned
+  std::memcpy(bytes.data() + servers.row + 16, &wild, sizeof wild);
+  expect_rejected(bytes);
+}
+
+TEST_F(DptCorruption, DescriptorLengthWrapIsRejected) {
+  // element_count × element_size wraps to 0 (mod 2^64), "matching" a zero
+  // byte_length; the divide-based shape check must reject it.
+  std::string bytes = bytes_;
+  const DescriptorView servers = find_descriptor(bytes, /*id=*/1);
+  const std::uint64_t huge = 0x4000000000000000ULL;  // 2^62 × 4 ≡ 0
+  const std::uint64_t zero = 0;
+  std::memcpy(bytes.data() + servers.row + 8, &huge, sizeof huge);
+  std::memcpy(bytes.data() + servers.row + 24, &zero, sizeof zero);
+  expect_rejected(bytes);
+}
+
+TEST_F(DptCorruption, ResealedOffsetsPastThePoolAreRejected) {
+  // A hostile writer can recompute checksums, so checksum validity must
+  // not imply content validity: an item_offsets entry pointing past the
+  // items pool must be caught structurally in both open modes.
+  std::string bytes = bytes_;
+  const DescriptorView offsets = find_descriptor(bytes, /*id=*/3);
+  ASSERT_GT(offsets.element_count, 0u);
+  const std::uint64_t past = std::uint64_t{1} << 60;
+  std::memcpy(bytes.data() + offsets.byte_offset +
+                  (offsets.element_count - 1) * 8,
+              &past, sizeof past);
+  reseal_column(bytes, offsets);
+  expect_rejected(bytes);
+}
+
+TEST_F(DptCorruption, ResealedServerIdOutOfRangeIsRejected) {
+  // Server ids index per-server solver state downstream, so even the
+  // trusting adopt_columns path must range-check them.
+  std::string bytes = bytes_;
+  const DescriptorView servers = find_descriptor(bytes, /*id=*/1);
+  ASSERT_GT(servers.element_count, 0u);
+  const std::uint32_t bogus = 0xFFFFu;
+  std::memcpy(bytes.data() + servers.byte_offset, &bogus, sizeof bogus);
+  reseal_column(bytes, servers);
   expect_rejected(bytes);
 }
 
