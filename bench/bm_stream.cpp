@@ -1,0 +1,264 @@
+// Streaming-engine perf harness: sustained push ingest rate, the O(window)
+// steady-state memory ceiling, snapshot latency under load, and the running
+// online-vs-offline cost-ratio probe — spliced as the "streaming" section of
+// BENCH_solvers.json (written by bm_phase1) so the committed baseline stays
+// one file.
+//
+// The load-bearing number is the memory ceiling: a 10M-request stream must
+// hold the engine's allocation count *exactly flat* after warm-up — the
+// window ring, scratch vectors and package-slot free list are O(window + m
+// + items), never O(n).  The harness asserts it (exact engine counters, not
+// RSS sampling) and additionally records peak RSS before/after so a
+// baseline diff localizes any regression.
+//
+// Usage: bm_stream [BENCH_solvers.json] [--requests N]
+// (default: BENCH_solvers.json in the CWD, 10M requests; run from the repo
+// root, after bm_phase1, to refresh the baseline.)
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/streaming_engine.hpp"
+#include "harness_common.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace dpg {
+namespace {
+
+// The synthetic serving workload: Zipf-skewed popularity over a small item
+// universe with a fixed-partner co-access pull (the regime where epoch
+// re-pairing keeps firing), generated procedurally so the harness itself is
+// O(1) in stream length — materializing 10M requests up front would defeat
+// the point of the memory ceiling.
+struct StreamSource {
+  Rng rng{4242};
+  std::size_t server_count = 24;
+  std::size_t item_count = 64;
+  double co_access = 0.5;
+  Time t = 0.0;
+  std::vector<ItemId> items;
+
+  void next() {
+    t += 0.125 * static_cast<Time>(rng.next_int(1, 8));
+    items.clear();
+    // Crude Zipf skew: min of two uniforms biases towards small ids.
+    const ItemId a = static_cast<ItemId>(
+        std::min(rng.next_below(item_count), rng.next_below(item_count)));
+    items.push_back(a);
+    if (rng.next_bool(co_access)) {
+      const ItemId partner = a ^ 1u;
+      if (partner < item_count && partner != a) items.push_back(partner);
+    }
+  }
+
+  [[nodiscard]] ServerId server() {
+    return static_cast<ServerId>(rng.next_below(server_count));
+  }
+};
+
+StreamingOptions stream_options() {
+  StreamingOptions options;
+  options.online.theta = 0.4;
+  options.online.window = 256;
+  options.online.repack_interval = 64;
+  return options;
+}
+
+/// The main ingest run: `requests` pushes, snapshots on a fixed cadence.
+struct IngestReport {
+  std::size_t requests = 0;
+  std::size_t window = 0;
+  double ingest_s = 0.0;
+  double requests_per_s = 0.0;
+  std::size_t epochs = 0;
+  std::size_t live_packages = 0;
+  Cost total_cost = 0.0;
+  // The ceiling: engine allocation events at the warm-up mark vs the end.
+  std::uint64_t allocs_warm = 0;
+  std::uint64_t allocs_final = 0;
+  bool allocs_flat = false;
+  // Snapshot latency over the run (mean / worst, milliseconds).
+  std::size_t snapshots = 0;
+  double snapshot_mean_ms = 0.0;
+  double snapshot_max_ms = 0.0;
+  std::uint64_t rss_before = 0;
+  std::uint64_t rss_after = 0;
+};
+
+IngestReport run_ingest(std::size_t requests) {
+  const CostModel model{1.0, 1.0, 0.8};
+  StreamingOptions options = stream_options();
+  StreamSource source;
+  options.item_count_hint = source.item_count;
+  options.server_count_hint = source.server_count;
+  StreamingEngine engine(model, options);
+
+  IngestReport report;
+  report.requests = requests;
+  report.window = options.online.window;
+  report.rss_before = harness::peak_rss_bytes();
+
+  // Warm-up: several windows + repacks, enough for every scratch vector and
+  // the pair-count map to reach steady shape.
+  const std::size_t warm_mark =
+      std::min(requests / 2, 100 * options.online.window);
+  const std::size_t snapshot_every = std::max<std::size_t>(requests / 10, 1);
+
+  double snapshot_total_ms = 0.0;
+  Stopwatch ingest_watch;
+  for (std::size_t i = 1; i <= requests; ++i) {
+    source.next();
+    engine.push(source.server(), source.t, source.items);
+    if (i == warm_mark) {
+      report.allocs_warm = engine.snapshot().state_alloc_events;
+    }
+    if (i % snapshot_every == 0) {
+      Stopwatch snap_watch;
+      const StreamingSnapshot snapshot = engine.snapshot();
+      const double ms = snap_watch.elapsed_seconds() * 1e3;
+      snapshot_total_ms += ms;
+      report.snapshot_max_ms = std::max(report.snapshot_max_ms, ms);
+      ++report.snapshots;
+      report.allocs_final = snapshot.state_alloc_events;
+      report.epochs = snapshot.epoch;
+      report.live_packages = snapshot.live_packages;
+    }
+  }
+  report.ingest_s = ingest_watch.elapsed_seconds();
+  report.requests_per_s =
+      static_cast<double>(requests) / std::max(report.ingest_s, 1e-12);
+  report.snapshot_mean_ms =
+      report.snapshots > 0
+          ? snapshot_total_ms / static_cast<double>(report.snapshots)
+          : 0.0;
+  report.total_cost = engine.finish().total_cost;
+  report.allocs_flat = report.allocs_final == report.allocs_warm;
+  report.rss_after = harness::peak_rss_bytes();
+  return report;
+}
+
+/// The ratio probe at bench scale: a shorter stream with the chunked offline
+/// optimum enabled, recording the running competitive-ratio estimate and the
+/// per-epoch cadence it is refreshed at.
+struct ProbeReport {
+  std::size_t requests = 0;
+  std::size_t probe_chunk = 0;
+  std::size_t probe_chunks = 0;
+  std::size_t epochs = 0;
+  double cost_ratio = 0.0;
+  double ingest_s = 0.0;  // probe solves included — the serving-path cost
+};
+
+ProbeReport run_probe(std::size_t requests) {
+  const CostModel model{1.0, 1.0, 0.8};
+  StreamingOptions options = stream_options();
+  options.probe_chunk = 10000;
+  StreamSource source;
+  options.item_count_hint = source.item_count;
+  options.server_count_hint = source.server_count;
+  StreamingEngine engine(model, options);
+
+  ProbeReport report;
+  report.requests = requests;
+  report.probe_chunk = options.probe_chunk;
+  Stopwatch watch;
+  for (std::size_t i = 0; i < requests; ++i) {
+    source.next();
+    engine.push(source.server(), source.t, source.items);
+  }
+  (void)engine.finish();
+  report.ingest_s = watch.elapsed_seconds();
+  report.probe_chunks = engine.probe_chunks();
+  report.cost_ratio = engine.cost_ratio();
+  report.epochs = engine.epoch();
+  return report;
+}
+
+int run(const std::string& baseline_path, std::size_t requests) {
+  std::printf("streaming ingest (%zu requests) ...\n", requests);
+  const IngestReport ingest = run_ingest(requests);
+  std::printf("ratio probe ...\n");
+  const ProbeReport probe = run_probe(std::min<std::size_t>(requests, 200000));
+
+  std::ostringstream section;
+  section.setf(std::ios::fixed);
+  section.precision(3);
+  section << "  \"streaming\": {\"binary\": \"bm_stream\", \"requests\": "
+          << ingest.requests << ", \"window\": " << ingest.window
+          << ", \"ingest_s\": " << ingest.ingest_s
+          << ", \"requests_per_s\": " << ingest.requests_per_s
+          << ", \"epochs\": " << ingest.epochs
+          << ", \"live_packages\": " << ingest.live_packages
+          << ", \"total_cost\": " << ingest.total_cost
+          << ", \"allocs_warm\": " << ingest.allocs_warm
+          << ", \"allocs_final\": " << ingest.allocs_final
+          << ", \"allocs_flat\": " << (ingest.allocs_flat ? "true" : "false")
+          << ", \"snapshots\": " << ingest.snapshots
+          << ", \"snapshot_mean_ms\": " << ingest.snapshot_mean_ms
+          << ", \"snapshot_max_ms\": " << ingest.snapshot_max_ms
+          << ", \"rss_before_bytes\": " << ingest.rss_before
+          << ", \"rss_after_bytes\": " << ingest.rss_after
+          << ", \"ratio_probe\": {\"requests\": " << probe.requests
+          << ", \"probe_chunk\": " << probe.probe_chunk
+          << ", \"probe_chunks\": " << probe.probe_chunks
+          << ", \"epochs\": " << probe.epochs
+          << ", \"cost_ratio\": " << probe.cost_ratio
+          << ", \"ingest_s\": " << probe.ingest_s
+          << "}, \"peak_rss_bytes\": " << harness::peak_rss_bytes() << "},";
+
+  const int status =
+      harness::splice_section(baseline_path, "streaming", section.str());
+  if (status == 0) std::printf("updated %s\n", baseline_path.c_str());
+
+  std::printf(
+      "ingest: %zu requests in %.2fs (%.2fM req/s)  %zu epochs  "
+      "%zu packages live  cost %.2f\n",
+      ingest.requests, ingest.ingest_s, ingest.requests_per_s / 1e6,
+      ingest.epochs, ingest.live_packages, ingest.total_cost);
+  std::printf(
+      "memory ceiling: allocs warm %llu -> final %llu (%s)  rss %.1f -> "
+      "%.1f MiB\n",
+      static_cast<unsigned long long>(ingest.allocs_warm),
+      static_cast<unsigned long long>(ingest.allocs_final),
+      ingest.allocs_flat ? "FLAT" : "GREW",
+      static_cast<double>(ingest.rss_before) / (1024.0 * 1024.0),
+      static_cast<double>(ingest.rss_after) / (1024.0 * 1024.0));
+  std::printf("snapshot latency: mean %.3f ms  max %.3f ms over %zu\n",
+              ingest.snapshot_mean_ms, ingest.snapshot_max_ms,
+              ingest.snapshots);
+  std::printf(
+      "ratio probe: %zu requests, %zu chunks of %zu -> ratio %.3f "
+      "(%zu epochs, %.2fs with offline solves)\n",
+      probe.requests, probe.probe_chunks, probe.probe_chunk, probe.cost_ratio,
+      probe.epochs, probe.ingest_s);
+
+  // The acceptance gate: O(window) steady state — the engine's allocation
+  // count is bit-flat from warm-up to the end of a 10M-request stream — and
+  // the probe produced a live ratio.
+  const bool pass = ingest.allocs_flat && probe.probe_chunks > 0 &&
+                    probe.cost_ratio > 0.0;
+  std::printf("streaming acceptance: %s\n", pass ? "PASS" : "FAIL");
+  return status != 0 ? status : (pass ? 0 : 2);
+}
+
+}  // namespace
+}  // namespace dpg
+
+int main(int argc, char** argv) {
+  std::string baseline = "BENCH_solvers.json";
+  std::size_t requests = 10000000;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--requests" && i + 1 < argc) {
+      requests = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else {
+      baseline = arg;
+    }
+  }
+  return dpg::run(baseline, requests);
+}

@@ -38,6 +38,7 @@
 #include "engine/render.hpp"         // IWYU pragma: export
 #include "engine/run_report.hpp"     // IWYU pragma: export
 #include "engine/solver.hpp"         // IWYU pragma: export
+#include "engine/streaming_engine.hpp"  // IWYU pragma: export
 #include "mobility/simulator.hpp"    // IWYU pragma: export
 #include "obs/metrics.hpp"           // IWYU pragma: export
 #include "obs/trace.hpp"             // IWYU pragma: export

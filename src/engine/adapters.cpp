@@ -12,6 +12,7 @@
 
 #include "core/flow.hpp"
 #include "engine/registry.hpp"
+#include "engine/streaming_engine.hpp"
 #include "parallel/thread_pool.hpp"
 #include "solver/baselines.hpp"
 #include "solver/dp_greedy.hpp"
@@ -409,29 +410,26 @@ class OnlineDpGreedySolver final : public Solver {
  public:
   RunReport run(const RequestSequence& sequence, const CostModel& model,
                 const SolverConfig& config) override {
-    OnlineDpGreedyOptions options;
-    options.theta = config.theta;
-    options.window = config.window;
-    options.repack_interval = config.repack_interval;
-    options.hold_factor = config.hold_factor;
+    StreamingOptions options;
+    options.online.theta = config.theta;
+    options.online.window = config.window;
+    options.online.repack_interval = config.repack_interval;
+    options.online.hold_factor = config.hold_factor;
+    options.item_count_hint = sequence.item_count();
+    options.server_count_hint = sequence.server_count();
 
-    RunReport report;
-    report.solver = "online_dp_greedy";
+    // Drive the streaming engine one request at a time — the registry's
+    // online solve IS the push-based path, so the batch goldens pin the
+    // incremental engine bit for bit.  No reconstructed schedules: the
+    // policy's replica set is not a Schedule, so plans stay empty and
+    // cache_segments stays 0.
     Stopwatch stopwatch;
-    const OnlineDpGreedyResult result =
-        solve_online_dp_greedy(sequence, model, options);
+    StreamingEngine engine(model, options);
+    for (const Request& r : sequence.requests()) {
+      engine.push(r.server, r.time, r.items);
+    }
+    RunReport report = engine.finish();
     report.solve_seconds = stopwatch.elapsed_seconds();
-
-    report.total_cost = result.total_cost;
-    report.raw_cost = result.total_cost;
-    report.total_item_accesses = result.total_item_accesses;
-    report.transfer_cost = result.transfer_cost;
-    report.package_count = result.pack_events;
-    report.unpack_events = result.unpack_events;
-    report.transfer_events = result.transfers + result.package_fetches;
-    // No reconstructed schedules: the policy's replica set is not a
-    // Schedule, so plans stay empty and cache_segments stays 0.
-    finalize_report(report);
     return report;
   }
 };

@@ -91,7 +91,7 @@ struct SolverConfig {
   /// unparsable value, or a value outside the field's range.
   SolverConfig& with(std::string_view field, std::string_view value);
 
-  /// Range-checks every field (θ ∈ [0, 1], hold_factor ≥ 0, window ≥ 1,
+  /// Range-checks every field (θ ∈ [0, 1], hold_factor > 0, window ≥ 1,
   /// repack_interval ≥ 1, max_group_size ≥ 2); throws InvalidArgument naming
   /// the offending field.  SolverRegistry::run calls this before dispatch.
   void validate() const;

@@ -62,8 +62,8 @@ void SolverConfig::validate() const {
     throw InvalidArgument("SolverConfig: theta must be in [0, 1], got " +
                           std::to_string(theta));
   }
-  if (!(hold_factor >= 0.0)) {
-    throw InvalidArgument("SolverConfig: hold_factor must be >= 0, got " +
+  if (!(hold_factor > 0.0)) {
+    throw InvalidArgument("SolverConfig: hold_factor must be > 0, got " +
                           std::to_string(hold_factor));
   }
   if (window == 0) {

@@ -1,114 +1,23 @@
 #include "solver/online.hpp"
 
-#include <algorithm>
-#include <vector>
-
-#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
-#include "util/error.hpp"
+#include "solver/online_state.hpp"
 
 namespace dpg {
 
-namespace {
-
-const obs::Counter g_break_even_solves = obs::counter("online.break_even_solves");
-const obs::Counter g_break_even_drops = obs::counter("online.break_even_drops");
-
-/// One live replica.
-struct Copy {
-  ServerId server;
-  Time since;     // cache accrual counted from here
-  Time last_use;  // most recent service this copy performed
-};
-
-}  // namespace
-
+// Thin driver over OnlineBreakEvenState (solver/online_state.hpp), which
+// advances one service point at a time; feeding it a whole flow is
+// bit-identical to the monolithic loop this replaces.
 OnlineResult solve_online_break_even(const Flow& flow, const CostModel& model,
                                      std::size_t server_count,
                                      const OnlineOptions& options) {
-  model.validate();
   validate_flow(flow);
   const obs::TraceSpan span("online/break_even");
-  g_break_even_solves.add();
-  require(options.hold_factor >= 0.0,
-          "solve_online_break_even: hold_factor must be >= 0");
-  OnlineResult result;
-  result.schedule = Schedule(flow.group_size);
-
-  // With μ = 0, caching is free: the break-even horizon is infinite and no
-  // copy is ever dropped.
-  const bool never_drop = model.mu == 0.0;
-  const Time horizon =
-      never_drop ? 0.0 : options.hold_factor * model.lambda / model.mu;
-
-  std::vector<Copy> copies;
-  copies.push_back(Copy{kOriginServer, 0.0, 0.0});
-
-  const auto most_recent_use = [&copies]() {
-    Time best = -1.0;
-    for (const Copy& c : copies) best = std::max(best, c.last_use);
-    return best;
-  };
-
+  OnlineBreakEvenState state(model, server_count, flow.group_size, options);
   for (const ServicePoint& point : flow.points) {
-    require(point.server < server_count,
-            "solve_online_break_even: server out of range");
-    // 1) Retire copies whose break-even horizon expired before `point.time`,
-    //    keeping at least the most recently used copy alive.
-    if (!never_drop) {
-      const Time newest = most_recent_use();
-      for (std::size_t i = 0; i < copies.size();) {
-        Copy& c = copies[i];
-        const Time drop_time = c.last_use + horizon;
-        if (c.last_use < newest && drop_time < point.time) {
-          result.cache_time += drop_time - c.since;
-          result.schedule.add_segment(c.server, c.since, drop_time);
-          g_break_even_drops.add();
-          copies[i] = copies.back();
-          copies.pop_back();
-        } else {
-          ++i;
-        }
-      }
-    }
-
-    // 2) Serve the request: local hit extends the local copy; otherwise
-    //    transfer a replica from the most recently used live copy.
-    Copy* local = nullptr;
-    for (Copy& c : copies) {
-      if (c.server == point.server) {
-        local = &c;
-        break;
-      }
-    }
-    if (local != nullptr) {
-      local->last_use = point.time;
-    } else {
-      Copy* source = &copies.front();
-      for (Copy& c : copies) {
-        if (c.last_use > source->last_use) source = &c;
-      }
-      ++result.transfer_count;
-      // Serving as a transfer source counts as a use: the copy was in fact
-      // held until now, so its accounted segment (and horizon) extend to
-      // `point.time`, keeping the recorded schedule causally grounded.
-      result.schedule.add_transfer(source->server, point.server, point.time);
-      source->last_use = point.time;
-      copies.push_back(Copy{point.server, point.time, point.time});
-    }
+    state.advance(point);
   }
-
-  // 3) Close the books: every surviving copy is charged up to its last use
-  //    (an online run ends when the request stream ends).
-  for (const Copy& c : copies) {
-    result.cache_time += c.last_use - c.since;
-    result.schedule.add_segment(c.server, c.since, c.last_use);
-  }
-
-  result.raw_cost = model.mu * result.cache_time +
-                    model.lambda * static_cast<double>(result.transfer_count);
-  result.cost = model.flow_multiplier(flow.group_size) * result.raw_cost;
-  return result;
+  return state.finish();
 }
 
 }  // namespace dpg

@@ -35,8 +35,14 @@ struct OnlineResult {
 
 struct OnlineOptions {
   /// Multiplier on the λ/μ break-even holding horizon (1.0 = classic rule;
-  /// 0 degenerates towards the chain strategy, ∞ towards cache-everywhere).
+  /// small values degenerate towards the chain strategy, large towards
+  /// cache-everywhere).  Must be > 0: a zero horizon would drop a copy the
+  /// instant it stops being newest, which is never break-even under μ > 0.
   double hold_factor = 1.0;
+
+  /// Throws InvalidArgument naming the offending field.  Called eagerly by
+  /// every entry point (solver, state object, engine, CLI) before any work.
+  void validate() const;
 };
 
 /// Runs the break-even policy over one flow, one service point at a time

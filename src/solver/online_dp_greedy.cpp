@@ -1,352 +1,23 @@
 #include "solver/online_dp_greedy.hpp"
 
-#include <algorithm>
-#include <deque>
-#include <span>
-#include <vector>
-
-#include "core/flow.hpp"
-#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
-#include "solver/correlation.hpp"
-#include "solver/kernels.hpp"
-#include "util/error.hpp"
+#include "solver/online_state.hpp"
 
 namespace dpg {
 
-namespace {
-
-const obs::Counter g_online_repacks = obs::counter("online.repack_rounds");
-const obs::Counter g_online_packs = obs::counter("online.pack_events");
-const obs::Counter g_online_unpacks = obs::counter("online.unpack_events");
-const obs::Counter g_online_transfers = obs::counter("online.transfers");
-const obs::Counter g_online_package_fetches =
-    obs::counter("online.package_fetches");
-
-/// One live replica of a flow.
-struct Copy {
-  ServerId server;
-  Time since;
-  Time last_use;
-};
-
-/// Break-even replica management for one flow (an item or a package),
-/// identical in policy to solver/online.cpp but shared here so item flows
-/// and package flows use the same accounting.
-class FlowState {
- public:
-  FlowState(double multiplier, ServerId start_server, Time start_time)
-      : multiplier_(multiplier) {
-    copies_.push_back(Copy{start_server, start_time, start_time});
-  }
-
-  /// Retires expired copies, then serves a request at (server, t).
-  /// Returns the cost increment (multiplier applied).
-  Cost serve(ServerId server, Time t, const CostModel& model, double horizon,
-             bool never_drop, std::size_t* transfer_count, Time* cache_time) {
-    retire(t, model, horizon, never_drop, cache_time);
-    for (Copy& c : copies_) {
-      if (c.server == server) {
-        c.last_use = t;
-        return 0.0;  // cache accrual is charged at retirement/finalize
-      }
-    }
-    Copy* source = &copies_.front();
-    for (Copy& c : copies_) {
-      if (c.last_use > source->last_use) source = &c;
-    }
-    source->last_use = t;  // held until now to source the transfer
-    copies_.push_back(Copy{server, t, t});
-    ++*transfer_count;
-    return multiplier_ * model.lambda;
-  }
-
-  /// True if a copy of this flow is live at `server` right now.
-  [[nodiscard]] bool has_copy_at(ServerId server) const {
-    return std::any_of(copies_.begin(), copies_.end(),
-                       [server](const Copy& c) { return c.server == server; });
-  }
-
-  /// Adds a replica at (server, t) (used by package fetches).
-  void add_copy(ServerId server, Time t) {
-    for (Copy& c : copies_) {
-      if (c.server == server) {
-        c.last_use = t;
-        return;
-      }
-    }
-    copies_.push_back(Copy{server, t, t});
-  }
-
-  /// Most recently used copy (always exists).
-  [[nodiscard]] const Copy& most_recent() const {
-    const Copy* best = &copies_.front();
-    for (const Copy& c : copies_) {
-      if (c.last_use > best->last_use) best = &c;
-    }
-    return *best;
-  }
-
-  /// Charges all copies up to their last use and clears the flow.
-  Cost finalize(const CostModel& model, Time* cache_time) {
-    Cost cost = 0.0;
-    for (const Copy& c : copies_) {
-      cost += multiplier_ * model.mu * (c.last_use - c.since);
-      *cache_time += c.last_use - c.since;
-    }
-    copies_.clear();
-    return cost;
-  }
-
-  /// Accrued cache cost of copies dropped at their horizon.
-  void set_pending_cost(Cost* sink) { pending_sink_ = sink; }
-
- private:
-  void retire(Time now, const CostModel& model, double horizon,
-              bool never_drop, Time* cache_time) {
-    if (never_drop) return;
-    Time newest = -1.0;
-    for (const Copy& c : copies_) newest = std::max(newest, c.last_use);
-    for (std::size_t i = 0; i < copies_.size();) {
-      Copy& c = copies_[i];
-      const Time drop_time = c.last_use + horizon;
-      if (c.last_use < newest && drop_time < now) {
-        if (pending_sink_ != nullptr) {
-          *pending_sink_ += multiplier_ * model.mu * (drop_time - c.since);
-        }
-        *cache_time += drop_time - c.since;
-        copies_[i] = copies_.back();
-        copies_.pop_back();
-      } else {
-        ++i;
-      }
-    }
-  }
-
-  double multiplier_;
-  std::vector<Copy> copies_;
-  Cost* pending_sink_ = nullptr;
-};
-
-/// Sliding-window co-occurrence statistics.
-class WindowStats {
- public:
-  WindowStats(std::size_t item_count, std::size_t window)
-      : k_(item_count), window_(window), freq_(item_count, 0),
-        co_(item_count * item_count, 0) {}
-
-  void add(std::span<const ItemId> items) {
-    history_.emplace_back(items.begin(), items.end());
-    bump(items, +1);
-    if (history_.size() > window_) {
-      bump(history_.front(), -1);
-      history_.pop_front();
-    }
-  }
-
-  [[nodiscard]] double jaccard(ItemId a, ItemId b) const {
-    return jaccard_similarity(freq_[a], freq_[b], co_[a * k_ + b]);
-  }
-
-  /// Fills out[b] = jaccard(a, b) for b in [b_begin, k) in one branch-light
-  /// row pass over the dense co-occurrence matrix (solver/kernels.hpp) —
-  /// same expression and bits as jaccard(), minus the per-pair call.
-  void jaccard_row(ItemId a, std::size_t b_begin, double* out) const {
-    kernels::jaccard_row(freq_.data(), co_.data() + a * k_, freq_[a], b_begin,
-                         k_, out);
-  }
-
- private:
-  void bump(std::span<const ItemId> items, int delta) {
-    for (const ItemId item : items) {
-      freq_[item] = static_cast<std::size_t>(
-          static_cast<std::ptrdiff_t>(freq_[item]) + delta);
-    }
-    for (std::size_t x = 0; x < items.size(); ++x) {
-      for (std::size_t y = x + 1; y < items.size(); ++y) {
-        const std::size_t i = items[x] * k_ + items[y];
-        const std::size_t j = items[y] * k_ + items[x];
-        co_[i] = static_cast<std::size_t>(
-            static_cast<std::ptrdiff_t>(co_[i]) + delta);
-        co_[j] = co_[i];
-      }
-    }
-  }
-
-  std::size_t k_;
-  std::size_t window_;
-  std::vector<std::size_t> freq_;
-  std::vector<std::size_t> co_;
-  std::deque<std::vector<ItemId>> history_;
-};
-
-}  // namespace
-
+// Thin driver: the policy lives in OnlineDpGreedyState (solver/online_state.hpp),
+// which advances one request at a time so the streaming engine can share it.
+// Pushing every request of a materialized sequence and finalizing is
+// bit-identical to the monolithic loop this replaces.
 OnlineDpGreedyResult solve_online_dp_greedy(
     const RequestSequence& sequence, const CostModel& model,
     const OnlineDpGreedyOptions& options) {
-  model.validate();
-  require(options.theta >= 0.0 && options.theta <= 1.0,
-          "online dp_greedy: theta must be in [0, 1]");
-  require(options.window > 0, "online dp_greedy: window must be positive");
-  require(options.repack_interval > 0,
-          "online dp_greedy: repack_interval must be positive");
-
-  const std::size_t k = sequence.item_count();
-  const bool never_drop = model.mu == 0.0;
-  const double horizon =
-      never_drop ? 0.0 : options.hold_factor * model.lambda / model.mu;
-
-  OnlineDpGreedyResult result;
-  result.total_item_accesses = sequence.total_item_accesses();
-
-  WindowStats stats(k, options.window);
-  std::vector<ItemId> partner(k, kNoItem);
-  std::vector<double> sim_row(k, 0.0);  // repack's per-row jaccard buffer
-
-  // Flow states: one per unpacked item, one per package keyed by the lower
-  // item id of the pair.
-  std::vector<FlowState> item_flow;
-  item_flow.reserve(k);
-  for (ItemId item = 0; item < k; ++item) {
-    item_flow.emplace_back(1.0, kOriginServer, 0.0);
-    item_flow.back().set_pending_cost(&result.total_cost);
-  }
-  std::vector<FlowState> package_flow;  // indexed by pair slot
-  std::vector<ItemId> package_lo(k, kNoItem);  // item -> its package slot key
-
-  const auto package_slot = [&](ItemId item) -> FlowState& {
-    return package_flow[package_lo[item]];
-  };
-
-  const double pack_rate = model.flow_multiplier(2);
-
-  const auto repack = [&](Time now) {
-    const obs::TraceSpan repack_span("online/repack");
-    g_online_repacks.add();
-    // Dissolve pairs whose windowed similarity decayed below θ/2.
-    for (ItemId a = 0; a < k; ++a) {
-      const ItemId b = partner[a];
-      if (b == kNoItem || a > b) continue;
-      if (stats.jaccard(a, b) < options.theta / 2.0) {
-        // Split: both items get a copy where the package was last used.
-        const Copy seat = package_slot(a).most_recent();
-        result.total_cost += package_slot(a).finalize(model, &result.cache_time);
-        item_flow[a] = FlowState(1.0, seat.server, now);
-        item_flow[a].set_pending_cost(&result.total_cost);
-        item_flow[b] = FlowState(1.0, seat.server, now);
-        item_flow[b].set_pending_cost(&result.total_cost);
-        partner[a] = kNoItem;
-        partner[b] = kNoItem;
-        ++result.unpack_events;
-      }
-    }
-    // Form new pairs greedily by descending windowed similarity.  Each row
-    // of the co-occurrence matrix is scanned as a flat kernel pass into
-    // sim_row, then filtered — same candidates in the same order as the
-    // per-pair loop this replaces.
-    std::vector<std::pair<double, std::pair<ItemId, ItemId>>> candidates;
-    for (ItemId a = 0; a < k; ++a) {
-      if (partner[a] != kNoItem) continue;
-      stats.jaccard_row(a, a + 1, sim_row.data());
-      for (ItemId b = a + 1; b < k; ++b) {
-        if (partner[b] != kNoItem) continue;
-        const double j = sim_row[b];
-        if (j > options.theta) candidates.emplace_back(j, std::make_pair(a, b));
-      }
-    }
-    std::sort(candidates.rbegin(), candidates.rend());
-    for (const auto& [j, pair] : candidates) {
-      const auto [a, b] = pair;
-      if (partner[a] != kNoItem || partner[b] != kNoItem) continue;
-      // Assemble the package at a's most recent location; b's copy is
-      // shipped there at the individual rate.
-      const Copy seat = item_flow[a].most_recent();
-      result.total_cost += item_flow[a].finalize(model, &result.cache_time);
-      result.total_cost += item_flow[b].finalize(model, &result.cache_time);
-      result.total_cost += model.lambda;  // move b to the assembly point
-      result.transfer_cost += model.lambda;
-      ++result.transfers;
-      partner[a] = b;
-      partner[b] = a;
-      package_lo[a] = static_cast<ItemId>(package_flow.size());
-      package_lo[b] = package_lo[a];
-      package_flow.emplace_back(pack_rate, seat.server, now);
-      package_flow.back().set_pending_cost(&result.total_cost);
-      ++result.pack_events;
-    }
-  };
-
   const obs::TraceSpan solve_span("online/dp_greedy");
-  std::size_t since_repack = 0;
+  OnlineDpGreedyState state(model, options, sequence.item_count());
   for (const Request& r : sequence.requests()) {
-    stats.add(r.items);
-    if (++since_repack >= options.repack_interval) {
-      since_repack = 0;
-      repack(r.time);
-    }
-
-    // Serve: group the packed pairs that appear fully in this request.
-    std::vector<bool> handled(r.items.size(), false);
-    for (std::size_t x = 0; x < r.items.size(); ++x) {
-      if (handled[x]) continue;
-      const ItemId item = r.items[x];
-      const ItemId mate = partner[item];
-      if (mate != kNoItem && r.contains(mate)) {
-        // Full package request.  serve() returns only the λ part of the
-        // charge (cache accrual flows through the pending-cost sink).
-        const Cost shipped = package_slot(item).serve(
-            r.server, r.time, model, horizon, never_drop, &result.transfers,
-            &result.cache_time);
-        result.total_cost += shipped;
-        result.transfer_cost += shipped;
-        for (std::size_t y = 0; y < r.items.size(); ++y) {
-          if (r.items[y] == mate) handled[y] = true;
-        }
-        handled[x] = true;
-      } else if (mate != kNoItem) {
-        // Single item of a packed pair: free if the package is local,
-        // otherwise fetch the package for 2αλ (Observation 2).
-        FlowState& flow = package_slot(item);
-        if (!flow.has_copy_at(r.server)) {
-          result.total_cost += pack_rate * model.lambda;
-          result.transfer_cost += pack_rate * model.lambda;
-          ++result.package_fetches;
-          flow.add_copy(r.server, r.time);
-        } else {
-          flow.add_copy(r.server, r.time);  // refresh last_use
-        }
-        handled[x] = true;
-      } else {
-        // Unpacked item: plain break-even.
-        const Cost shipped = item_flow[item].serve(
-            r.server, r.time, model, horizon, never_drop, &result.transfers,
-            &result.cache_time);
-        result.total_cost += shipped;
-        result.transfer_cost += shipped;
-        handled[x] = true;
-      }
-    }
+    state.push(r.server, r.time, r.items);
   }
-
-  // Close the books on every live flow.
-  for (ItemId item = 0; item < k; ++item) {
-    if (partner[item] == kNoItem) {
-      result.total_cost += item_flow[item].finalize(model, &result.cache_time);
-    } else if (item < partner[item]) {
-      result.total_cost += package_slot(item).finalize(model, &result.cache_time);
-    }
-  }
-
-  result.ave_cost =
-      result.total_item_accesses == 0
-          ? 0.0
-          : result.total_cost / static_cast<double>(result.total_item_accesses);
-  g_online_packs.add(result.pack_events);
-  g_online_unpacks.add(result.unpack_events);
-  g_online_transfers.add(result.transfers);
-  g_online_package_fetches.add(result.package_fetches);
-  return result;
+  return state.finalize();
 }
 
 }  // namespace dpg

@@ -25,8 +25,12 @@ struct OnlineDpGreedyOptions {
   std::size_t window = 200;
   /// Re-evaluate pairings every `repack_interval` requests.
   std::size_t repack_interval = 50;
-  /// Multiplier on the λ/μ break-even holding horizon.
+  /// Multiplier on the λ/μ break-even holding horizon.  Must be > 0.
   double hold_factor = 1.0;
+
+  /// Throws InvalidArgument naming the offending field.  Called eagerly by
+  /// every entry point (solver, state object, engine, CLI) before any work.
+  void validate() const;
 };
 
 struct OnlineDpGreedyResult {

@@ -1,0 +1,45 @@
+#include "solver/windowed_correlation.hpp"
+
+#include "util/error.hpp"
+
+namespace dpg {
+
+WindowedCorrelation::WindowedCorrelation(std::size_t item_count,
+                                         std::size_t window)
+    : window_(window), ring_(window), frequency_(item_count, 0) {
+  require(window > 0, "WindowedCorrelation: window must be >= 1");
+}
+
+void WindowedCorrelation::ensure_item_count(std::size_t item_count) {
+  if (item_count > frequency_.size()) frequency_.resize(item_count, 0);
+}
+
+void WindowedCorrelation::add(std::span<const ItemId> items) {
+  std::vector<ItemId>& slot = ring_[head_];
+  if (size_ == window_) evict(slot);
+  if (items.size() > slot.capacity()) ++alloc_events_;
+  slot.assign(items.begin(), items.end());
+  bump(items);
+  if (size_ < window_) ++size_;
+  head_ = head_ + 1 == window_ ? 0 : head_ + 1;
+}
+
+void WindowedCorrelation::bump(std::span<const ItemId> items) {
+  for (const ItemId item : items) ++frequency_[item];
+  for (std::size_t x = 0; x < items.size(); ++x) {
+    for (std::size_t y = x + 1; y < items.size(); ++y) {
+      co_counts_.add(PairCountMap::pack(items[x], items[y]));
+    }
+  }
+}
+
+void WindowedCorrelation::evict(std::span<const ItemId> items) {
+  for (const ItemId item : items) --frequency_[item];
+  for (std::size_t x = 0; x < items.size(); ++x) {
+    for (std::size_t y = x + 1; y < items.size(); ++y) {
+      co_counts_.sub(PairCountMap::pack(items[x], items[y]));
+    }
+  }
+}
+
+}  // namespace dpg

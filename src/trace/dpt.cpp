@@ -10,6 +10,7 @@
 #include <cerrno>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <memory>
 #include <vector>
 
@@ -631,6 +632,10 @@ bool is_dpt_path(std::string_view path) noexcept {
 RequestSequence read_trace_auto(const std::string& path,
                                 std::size_t min_server_count,
                                 std::size_t min_item_count) {
+  if (path == "-") {
+    // stdin is always CSV: the .dpt reader needs a seekable/mappable file.
+    return read_trace_stream(std::cin, min_server_count, min_item_count);
+  }
   if (is_dpt_path(path)) {
     return read_dpt_impl(path, DptReadOptions{}, min_server_count,
                          min_item_count);

@@ -4,6 +4,8 @@
 #include <charconv>
 #include <cstdio>
 #include <fstream>
+#include <istream>
+#include <iterator>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -335,6 +337,109 @@ RequestSequence read_trace_file(const std::string& path,
   }
   // The path travels into the parser so its errors carry file provenance.
   return trace_from_csv(text, min_server_count, min_item_count, hints, path);
+}
+
+RequestSequence read_trace_stream(std::istream& in,
+                                  std::size_t min_server_count,
+                                  std::size_t min_item_count,
+                                  std::string_view source) {
+  const obs::TraceSpan span("trace/read_stream");
+  const std::string text(std::istreambuf_iterator<char>(in),
+                         std::istreambuf_iterator<char>{});
+  return trace_from_csv(text, min_server_count, min_item_count, {}, source);
+}
+
+CsvStreamReader::CsvStreamReader(std::istream& in, std::string source)
+    : in_(in), source_(std::move(source)) {}
+
+void CsvStreamReader::parse_header_line() {
+  header_parsed_ = true;
+  if (!std::getline(in_, line_)) {
+    throw IoError(source_ + ": empty input (no CSV header)");
+  }
+  std::string_view header = line_;
+  if (!header.empty() && header.back() == '\r') header.remove_suffix(1);
+  const ColumnLayout layout = parse_header(header);
+  server_col_ = layout.server;
+  time_col_ = layout.time;
+  items_col_ = layout.items;
+  column_count_ = layout.column_count;
+  canonical_ = layout.server == 0 && layout.time == 1 && layout.items == 2 &&
+               layout.column_count == 3;
+}
+
+bool CsvStreamReader::next(CsvStreamRow& row) {
+  if (!header_parsed_) parse_header_line();
+  while (std::getline(in_, line_)) {
+    std::string_view line = line_;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty()) continue;
+    try {
+      std::string_view server_field, time_field, items_field;
+      if (canonical_) {
+        const std::size_t c1 = line.find(',');
+        const std::size_t c2 =
+            c1 == std::string_view::npos ? c1 : line.find(',', c1 + 1);
+        if (c2 == std::string_view::npos ||
+            line.find(',', c2 + 1) != std::string_view::npos) {
+          throw IoError("row does not have 3 fields");
+        }
+        server_field = line.substr(0, c1);
+        time_field = line.substr(c1 + 1, c2 - c1 - 1);
+        items_field = line.substr(c2 + 1);
+      } else {
+        std::size_t column = 0;
+        std::string_view row_rest = line;
+        while (true) {
+          const std::size_t comma = row_rest.find(',');
+          const std::string_view field = comma == std::string_view::npos
+                                             ? row_rest
+                                             : row_rest.substr(0, comma);
+          if (column == server_col_) {
+            server_field = field;
+          } else if (column == time_col_) {
+            time_field = field;
+          } else if (column == items_col_) {
+            items_field = field;
+          }
+          ++column;
+          if (comma == std::string_view::npos) break;
+          row_rest.remove_prefix(comma + 1);
+        }
+        if (column != column_count_) {
+          throw IoError("row has " + std::to_string(column) +
+                        " fields, header has " +
+                        std::to_string(column_count_));
+        }
+      }
+
+      row.server =
+          static_cast<ServerId>(fast_parse_size(strip_quotes(server_field)));
+      row.time = fast_parse_double(strip_quotes(time_field));
+      row.items.clear();
+      std::string_view items_rest = strip_quotes(items_field);
+      while (!items_rest.empty()) {
+        const std::size_t semicolon = items_rest.find(';');
+        const std::string_view field = semicolon == std::string_view::npos
+                                           ? items_rest
+                                           : items_rest.substr(0, semicolon);
+        row.items.push_back(static_cast<ItemId>(fast_parse_size(field)));
+        if (semicolon == std::string_view::npos) break;
+        items_rest.remove_prefix(semicolon + 1);
+      }
+      std::sort(row.items.begin(), row.items.end());
+      row.items.erase(std::unique(row.items.begin(), row.items.end()),
+                      row.items.end());
+    } catch (const Error& e) {
+      throw IoError(source_ + ": row " + std::to_string(rows_ + 1) + ": " +
+                    e.what());
+    }
+    ++rows_;
+    g_rows_parsed.add();
+    g_bytes_parsed.add(line_.size() + 1);
+    return true;
+  }
+  return false;
 }
 
 }  // namespace dpg

@@ -11,6 +11,7 @@
 // double quotes (no embedded separators or escaped quotes).
 #pragma once
 
+#include <iosfwd>
 #include <string>
 #include <string_view>
 
@@ -54,5 +55,56 @@ void write_trace_file(const std::string& path, const RequestSequence& sequence);
 [[nodiscard]] RequestSequence read_trace_file(
     const std::string& path, std::size_t min_server_count = 0,
     std::size_t min_item_count = 0, const TraceParseHints& hints = {});
+
+/// Reads a whole CSV trace from an input stream (used for `-` trace paths:
+/// the CLI's stats/solve on a pipe).  Same dialect and validation as
+/// read_trace_file; `source` labels errors.
+[[nodiscard]] RequestSequence read_trace_stream(
+    std::istream& in, std::size_t min_server_count = 0,
+    std::size_t min_item_count = 0, std::string_view source = "<stdin>");
+
+/// One parsed `server,time,items` row of a streamed trace.
+struct CsvStreamRow {
+  ServerId server = 0;
+  Time time = 0.0;
+  std::vector<ItemId> items;  // sorted, duplicate-free
+};
+
+/// Bounded-memory, line-at-a-time CSV trace reader for unbounded inputs —
+/// what `dpgreedy serve` uses to feed the StreamingEngine from a pipe.
+/// Same dialect as trace_from_csv (any column order, CRLF, blank lines,
+/// plain quotes); holds only the current line and row, so memory is O(max
+/// row length) regardless of stream length.  Sequence-level invariants
+/// (strictly increasing times, non-empty item sets) are the *consumer's*
+/// contract: the reader reports rows as written and the engine's push
+/// validates ordering.
+class CsvStreamReader {
+ public:
+  /// The header row is consumed lazily on the first next() call.
+  explicit CsvStreamReader(std::istream& in,
+                           std::string source = "CSV stream");
+
+  /// Parses the next data row into `row`, reusing its buffers.  Returns
+  /// false at end of input.  Throws IoError (with `source` and the 1-based
+  /// data row number) on malformed input.
+  bool next(CsvStreamRow& row);
+
+  /// Data rows successfully parsed so far.
+  [[nodiscard]] std::size_t rows_read() const noexcept { return rows_; }
+
+ private:
+  void parse_header_line();
+
+  std::istream& in_;
+  std::string source_;
+  std::string line_;
+  bool header_parsed_ = false;
+  std::size_t server_col_ = 0;
+  std::size_t time_col_ = 1;
+  std::size_t items_col_ = 2;
+  std::size_t column_count_ = 3;
+  bool canonical_ = true;
+  std::size_t rows_ = 0;
+};
 
 }  // namespace dpg

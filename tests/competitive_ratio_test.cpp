@@ -1,0 +1,131 @@
+// Empirical competitive-ratio regression for the online path.
+//
+// The paper's offline setting knows the whole trajectory; the online
+// extension must stay within a small constant of it.  These tests lock the
+// measured online-vs-offline cost ratio on two seeded workloads — skewed
+// Zipf popularity and a bursty diurnal pattern — against upper bounds with
+// headroom over today's measurements (zipf: dp_greedy 0.69, break-even
+// 1.11; bursty: 1.01 / 1.03).  A policy regression that degrades serving
+// quality trips the bound long before it would show up in a golden diff.
+//
+// The offline divisor is solve_optimal_baseline: the per-item offline DP
+// optimum, no packaging.  The online DP_Greedy ratio can therefore dip
+// below 1 — its α-discounted package transfers use a lever the divisor does
+// not have — which is itself worth asserting: packaging must *help* on a
+// correlated workload, not hurt.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "core/flow.hpp"
+#include "solver/baselines.hpp"
+#include "solver/online.hpp"
+#include "solver/online_dp_greedy.hpp"
+#include "test_support.hpp"
+#include "trace/generators.hpp"
+
+namespace dpg {
+namespace {
+
+const CostModel kModel{/*mu=*/1.0, /*lambda=*/1.0, /*alpha=*/0.8};
+
+double online_dp_greedy_ratio(const RequestSequence& trace) {
+  OnlineDpGreedyOptions options;
+  options.theta = 0.4;
+  options.window = 50;
+  options.repack_interval = 10;
+  const Cost online = solve_online_dp_greedy(trace, kModel, options).total_cost;
+  const Cost offline = solve_optimal_baseline(trace, kModel).total_cost;
+  EXPECT_GT(offline, 0.0);
+  return online / offline;
+}
+
+double break_even_ratio(const RequestSequence& trace) {
+  Cost online = 0.0;
+  for (ItemId item = 0; item < trace.item_count(); ++item) {
+    online += solve_online_break_even(make_item_flow(trace, item), kModel,
+                                      trace.server_count())
+                  .raw_cost;
+  }
+  const Cost offline = solve_optimal_baseline(trace, kModel).total_cost;
+  EXPECT_GT(offline, 0.0);
+  return online / offline;
+}
+
+RequestSequence zipf_trace() {
+  Rng rng(77);
+  ZipfTraceConfig config;
+  config.server_count = 12;
+  config.item_count = 20;
+  config.request_count = 3000;
+  return generate_zipf_trace(config, rng);
+}
+
+RequestSequence diurnal_trace() {
+  Rng rng(123);
+  BurstyTraceConfig config;
+  config.server_count = 10;
+  config.item_count = 12;
+  config.burst_count = 40;
+  config.requests_per_burst = 30;
+  return generate_bursty_trace(config, rng);
+}
+
+TEST(CompetitiveRatio, OnlineDpGreedyOnZipf) {
+  const double ratio = online_dp_greedy_ratio(zipf_trace());
+  RecordProperty("ratio", std::to_string(ratio));
+  // Measured 0.689: the package discount beats the per-item offline optimum
+  // on this heavily correlated workload.  Both sides of the bracket are
+  // regressions — losing the discount (ratio -> 1.1+) or a costing bug that
+  // undercounts (ratio -> 0.3).
+  EXPECT_GT(ratio, 0.5);
+  EXPECT_LT(ratio, 0.85);
+}
+
+TEST(CompetitiveRatio, OnlineDpGreedyOnDiurnalBursts) {
+  const double ratio = online_dp_greedy_ratio(diurnal_trace());
+  RecordProperty("ratio", std::to_string(ratio));
+  // Measured 1.0025 — non-stationary gaps give packaging little to exploit,
+  // so online should track the offline optimum closely.
+  EXPECT_GT(ratio, 0.9);
+  EXPECT_LT(ratio, 1.15);
+}
+
+TEST(CompetitiveRatio, BreakEvenOnZipf) {
+  const double ratio = break_even_ratio(zipf_trace());
+  RecordProperty("ratio", std::to_string(ratio));
+  // Measured 1.108: classic rent-or-buy overhead, far under the theoretical
+  // small-constant bound.
+  EXPECT_GE(ratio, 1.0);  // no packaging lever: offline optimum is a floor
+  EXPECT_LT(ratio, 1.30);
+}
+
+TEST(CompetitiveRatio, BreakEvenOnDiurnalBursts) {
+  const double ratio = break_even_ratio(diurnal_trace());
+  RecordProperty("ratio", std::to_string(ratio));
+  // Measured 1.025.
+  EXPECT_GE(ratio, 1.0);
+  EXPECT_LT(ratio, 1.20);
+}
+
+TEST(CompetitiveRatio, PackagingNeverLosesToPerItemOnlineOnZipf) {
+  // The two-phase online policy (pairing + break-even) must not cost more
+  // than running plain per-item break-even on the same stream: Phase 1 only
+  // packs pairs whose windowed correlation clears θ.
+  const RequestSequence trace = zipf_trace();
+  OnlineDpGreedyOptions options;
+  options.theta = 0.4;
+  options.window = 50;
+  options.repack_interval = 10;
+  const Cost paired = solve_online_dp_greedy(trace, kModel, options).total_cost;
+  Cost per_item = 0.0;
+  for (ItemId item = 0; item < trace.item_count(); ++item) {
+    per_item += solve_online_break_even(make_item_flow(trace, item), kModel,
+                                        trace.server_count())
+                    .raw_cost;
+  }
+  EXPECT_LT(paired, per_item);
+}
+
+}  // namespace
+}  // namespace dpg

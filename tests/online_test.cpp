@@ -117,16 +117,37 @@ TEST(OnlineBreakEven, ZeroMuNeverDropsAndNeverRetransfersToSameServer) {
   EXPECT_NEAR(r.raw_cost, 2.0, kTol);
 }
 
-TEST(OnlineBreakEven, HoldFactorZeroDegeneratesTowardChaining) {
+TEST(OnlineBreakEven, SmallHoldFactorDegeneratesTowardChaining) {
   Rng rng(55);
   const CostModel model{1.0, 1.0, 0.8};
   OnlineOptions eager_drop;
-  eager_drop.hold_factor = 0.0;
+  eager_drop.hold_factor = 1e-9;  // horizon ≈ 0: drop the instant a copy
+                                  // stops being newest (the chain strategy)
   for (int trial = 0; trial < 20; ++trial) {
     const Flow flow = testing::random_flow(rng, 20, 3);
     const OnlineResult r = solve_online_break_even(flow, model, 3, eager_drop);
     const ValidationResult v = r.schedule.validate(flow);
     ASSERT_TRUE(v.ok) << v.message;
+  }
+}
+
+TEST(OnlineBreakEven, RejectsNonPositiveHoldFactorEagerly) {
+  Rng rng(7);
+  const Flow flow = testing::random_flow(rng, 5, 3);
+  const CostModel model{1.0, 1.0, 0.8};
+  OnlineOptions bad;
+  bad.hold_factor = 0.0;
+  EXPECT_THROW((void)solve_online_break_even(flow, model, 3, bad),
+               InvalidArgument);
+  bad.hold_factor = -1.0;
+  EXPECT_THROW((void)solve_online_break_even(flow, model, 3, bad),
+               InvalidArgument);
+  try {
+    (void)solve_online_break_even(flow, model, 3, bad);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("hold_factor"), std::string::npos)
+        << e.what();
   }
 }
 

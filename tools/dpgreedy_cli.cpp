@@ -9,17 +9,24 @@
 //                     [--format F] [--export-dir DIR]
 //   dpgreedy compare  --trace trace.csv [--solvers a,b,c] [--format F]
 //   dpgreedy online   --trace trace.csv ...  (online vs offline DP_Greedy)
+//   dpgreedy serve    --trace - [--snapshot-every N] [--probe-chunk N]
+//                     (long-lived streaming engine over a request feed)
 //
 // Every solver runs through the SolverRegistry (engine/registry.hpp), so
 // `--solver`/`--solvers` accept exactly the names `dpgreedy list` prints.
 // Traces are either the CSV format of trace/io.hpp (interchange) or the
 // binary columnar `.dpt` format of trace/dpt.hpp (mmap zero-copy load);
 // every subcommand picks the reader/writer from the file extension, and
-// `convert` translates between the two losslessly.
+// `convert` translates between the two losslessly.  A trace path of `-`
+// reads CSV from stdin (stats/solve/compare/online materialize it; serve
+// streams it line by line in bounded memory).
 #include <algorithm>
 #include <cctype>
 #include <cstdint>
 #include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -52,7 +59,8 @@ struct RunFlags {
 
 RunFlags add_run_flags(ArgParser& args) {
   RunFlags flags;
-  flags.trace = args.add_string("trace", "trace path (.csv or .dpt)", "trace.csv");
+  flags.trace = args.add_string(
+      "trace", "trace path (.csv or .dpt; '-' = CSV on stdin)", "trace.csv");
   flags.theta = args.add_double("theta", "correlation threshold", 0.3);
   flags.mu = args.add_double("mu", "cache cost rate", 1.0);
   flags.lambda = args.add_double("lambda", "transfer cost", 1.0);
@@ -316,8 +324,8 @@ int cmd_convert(int argc, const char* const* argv) {
 
 int cmd_stats(int argc, const char* const* argv) {
   ArgParser args("dpgreedy stats", "describe a trace");
-  const std::string* path =
-      args.add_string("trace", "trace path (.csv or .dpt)", "trace.csv");
+  const std::string* path = args.add_string(
+      "trace", "trace path (.csv or .dpt; '-' = CSV on stdin)", "trace.csv");
   args.parse(argc, argv);
   const RequestSequence trace = read_trace_auto(*path);
   const TraceStats stats = compute_trace_stats(trace);
@@ -464,10 +472,92 @@ int cmd_online(int argc, const char* const* argv) {
   return 0;
 }
 
+int cmd_serve(int argc, const char* const* argv) {
+  ArgParser args("dpgreedy serve",
+                 "run the streaming engine over a request feed");
+  const RunFlags flags = add_run_flags(args);
+  const std::size_t* snapshot_every = args.add_size(
+      "snapshot-every", "emit a snapshot line every N requests (0 = final only)",
+      1000);
+  const std::size_t* probe_chunk = args.add_size(
+      "probe-chunk",
+      "run the offline cost-ratio probe every N requests (0 = off)", 0);
+  const std::size_t* max_requests =
+      args.add_size("max-requests", "stop after N requests (0 = all input)", 0);
+  args.parse(argc, argv);
+  begin_telemetry(flags);
+
+  const CostModel model = model_of(flags);
+  StreamingOptions options;
+  options.online.theta = *flags.theta;
+  options.online.window = *flags.window;
+  options.online.repack_interval = *flags.repack;
+  options.online.hold_factor = *flags.hold;
+  options.probe_chunk = *probe_chunk;
+  StreamingEngine engine(model, options);
+
+  const auto emit_snapshot = [&engine] {
+    const StreamingSnapshot s = engine.snapshot();
+    std::printf(
+        "snapshot requests=%zu epoch=%zu packages=%zu items=%zu total=%s "
+        "ave=%s delta=%s ratio=%s allocs=%llu\n",
+        s.requests, s.epoch, s.live_packages, s.item_count,
+        format_fixed(s.report.total_cost, 2).c_str(),
+        format_fixed(s.report.ave_cost, 4).c_str(),
+        format_fixed(s.delta.total_cost, 2).c_str(),
+        format_fixed(s.cost_ratio, 3).c_str(),
+        static_cast<unsigned long long>(s.state_alloc_events));
+    std::fflush(stdout);
+  };
+
+  // Pump the feed into the engine; snapshots on cadence.
+  std::size_t pushed = 0;
+  const auto push_one = [&](ServerId server, Time time,
+                            std::span<const ItemId> items) {
+    engine.push(server, time, items);
+    ++pushed;
+    if (*snapshot_every > 0 && pushed % *snapshot_every == 0) emit_snapshot();
+    return *max_requests == 0 || pushed < *max_requests;
+  };
+
+  if (is_dpt_path(*flags.trace)) {
+    // Binary traces mmap in zero-copy; iterate the mapped columns.
+    const RequestSequence trace = read_trace_auto(*flags.trace);
+    for (const Request& r : trace.requests()) {
+      if (!push_one(r.server, r.time, r.items)) break;
+    }
+  } else {
+    // CSV file or stdin: line-at-a-time, bounded memory.
+    std::ifstream file;
+    const bool from_stdin = *flags.trace == "-";
+    if (!from_stdin) {
+      file.open(*flags.trace, std::ios::binary);
+      if (!file) throw IoError("cannot open trace file: " + *flags.trace);
+    }
+    CsvStreamReader reader(from_stdin ? std::cin : file,
+                           from_stdin ? "<stdin>" : *flags.trace);
+    CsvStreamRow row;
+    while (reader.next(row)) {
+      if (!push_one(row.server, row.time, row.items)) break;
+    }
+  }
+
+  const RunReport report = engine.finish();
+  std::printf(
+      "final requests=%zu total=%s ave=%s transfers=%zu packs=%zu "
+      "unpacks=%zu ratio=%s chunks=%zu\n",
+      pushed, format_fixed(report.total_cost, 2).c_str(),
+      format_fixed(report.ave_cost, 4).c_str(), report.transfer_events,
+      report.package_count, report.unpack_events,
+      format_fixed(engine.cost_ratio(), 3).c_str(), engine.probe_chunks());
+  finish_telemetry(flags);
+  return 0;
+}
+
 void usage() {
   std::fputs(
-      "usage: dpgreedy <list|generate|stats|convert|solve|compare|online> "
-      "[options]\n"
+      "usage: dpgreedy <list|generate|stats|convert|solve|compare|online|"
+      "serve> [options]\n"
       "       dpgreedy <command> --help for per-command options\n",
       stderr);
 }
@@ -491,6 +581,7 @@ int main(int argc, char** argv) {
     if (command == "solve") return cmd_solve(sub_argc, sub_argv);
     if (command == "compare") return cmd_compare(sub_argc, sub_argv);
     if (command == "online") return cmd_online(sub_argc, sub_argv);
+    if (command == "serve") return cmd_serve(sub_argc, sub_argv);
     usage();
     return 2;
   } catch (const Error& error) {
