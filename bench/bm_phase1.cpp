@@ -1,15 +1,17 @@
-// Perf-trajectory baseline harness: dense vs sparse Phase-1 correlation and
-// fresh vs workspace-reuse Phase-2 solves, emitted as machine-readable JSON
-// (BENCH_solvers.json) so every future PR can diff wall time, peak pair
-// counts and steady-state allocation counts against this PR's numbers.
+// Perf-trajectory harness: dense vs sparse Phase-1 correlation, fresh vs
+// workspace-reuse Phase-2 solves, every registered solver end to end, and
+// the telemetry overhead breakdown.
 //
-// Usage: bm_phase1 [output.json]   (default: BENCH_solvers.json in the CWD;
-// run from the repo root to refresh the committed baseline)
+// Usage: bm_phase1 [--fragment FILE]   — writes the sections
+// phase1_dense_vs_sparse, phase2_workspace, registry_solvers and
+// telemetry_overhead as a fragment for dpgreedy_bench to merge into the
+// schema-v2 BENCH_solvers.json (see bench/harness/fragment.hpp).
 //
 // Allocation counts come from a global operator new/delete override local to
 // this binary: every new/new[] bumps one relaxed atomic.  That makes
 // "allocations per solve" an exact count, not a sampling estimate.
 #include <atomic>
+#include <cstdarg>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -19,6 +21,7 @@
 
 #include "harness_solvers.hpp"
 #include "engine/registry.hpp"
+#include "harness/fragment.hpp"
 #include "harness_common.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -282,12 +285,16 @@ std::vector<RegistryRow> run_registry() {
   return rows;
 }
 
-/// Telemetry cost on the end-to-end dp_greedy solve: the same run timed
-/// with recording off and on, plus the counters the enabled run produced.
-/// Runs last so enabling telemetry cannot perturb the alloc counts above.
+/// Telemetry cost on the end-to-end dp_greedy solve, broken down: recording
+/// fully off, counters only (spans disabled), and counters + spans.  The
+/// workload is ~10x the registry rows' (2000 requests/pair) so each solve is
+/// in the milliseconds and best-of-N percentages are stable.  Runs last so
+/// enabling telemetry cannot perturb the alloc counts above.
 struct TelemetryReport {
   double off_ms = 0.0;
-  double on_ms = 0.0;
+  double counters_ms = 0.0;
+  double full_ms = 0.0;
+  bool cost_identical = false;
   std::string counters_json = "{}";
   std::uint64_t trace_events = 0;
 };
@@ -295,7 +302,7 @@ struct TelemetryReport {
 TelemetryReport run_telemetry() {
   PairedTraceConfig config;
   config.server_count = 50;
-  config.requests_per_pair = 200;
+  config.requests_per_pair = 2000;
   Rng rng(7);
   const RequestSequence seq = generate_paired_trace(config, rng);
   const CostModel model{1.0, 2.0, 0.8};
@@ -304,23 +311,42 @@ TelemetryReport run_telemetry() {
   solver_config.keep_schedules = false;
 
   TelemetryReport report;
-  const auto solve = [&] {
-    (void)builtin_registry().run("dp_greedy", seq, model, solver_config);
+  const auto solve_cost = [&] {
+    return builtin_registry().run("dp_greedy", seq, model, solver_config)
+        .total_cost;
   };
-  solve();  // warm-up
+  const auto solve = [&] { (void)solve_cost(); };
+  const Cost off_cost = solve_cost();  // warm-up
   report.off_ms = time_best_ms(solve);
 
   obs::set_enabled(true);
+  obs::set_spans_enabled(false);
   obs::reset_metrics();
   obs::reset_trace();
-  report.on_ms = time_best_ms(solve);
+  report.counters_ms = time_best_ms(solve);
+
+  obs::set_spans_enabled(true);
+  obs::reset_metrics();
+  obs::reset_trace();
+  report.full_ms = time_best_ms(solve);
+  report.cost_identical = solve_cost() == off_cost;
   report.counters_json = harness::metrics_counters_json();
   report.trace_events = obs::snapshot_trace().size();
   obs::set_enabled(false);
   return report;
 }
 
-int run(const std::string& out_path) {
+/// printf into a growing std::string (section bodies for the fragment).
+void appendf(std::string& out, const char* fmt, ...) {
+  char buffer[1024];
+  va_list args;
+  va_start(args, fmt);
+  const int written = std::vsnprintf(buffer, sizeof buffer, fmt, args);
+  va_end(args);
+  if (written > 0) out.append(buffer, static_cast<std::size_t>(written));
+}
+
+int run(const std::string& fragment_path) {
   std::vector<Phase1Row> phase1;
   for (const std::size_t k : {512u, 1024u, 2048u}) {
     std::printf("phase1 k=%zu ...\n", k);
@@ -335,84 +361,81 @@ int run(const std::string& out_path) {
   const std::uint64_t rss_after_registry = harness::peak_rss_bytes();
   std::printf("telemetry overhead ...\n");
   const TelemetryReport telemetry = run_telemetry();
+  const double counters_overhead_pct =
+      telemetry.off_ms > 0.0
+          ? (telemetry.counters_ms / telemetry.off_ms - 1.0) * 100.0
+          : 0.0;
+  const double full_overhead_pct =
+      telemetry.off_ms > 0.0
+          ? (telemetry.full_ms / telemetry.off_ms - 1.0) * 100.0
+          : 0.0;
 
-  std::FILE* out = std::fopen(out_path.c_str(), "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
-    return 1;
-  }
-  std::fprintf(out, "{\n");
-  std::fprintf(out, "  \"schema\": \"dpgreedy-bench-v1\",\n");
-  std::fprintf(out, "  \"binary\": \"bm_phase1\",\n");
-  std::fprintf(out, "  \"repetitions\": %d,\n", kRepetitions);
-  std::fprintf(out, "  \"phase1_dense_vs_sparse\": [\n");
+  std::string phase1_body;
+  appendf(phase1_body, "{\"repetitions\": %d, \"rows\": [", kRepetitions);
   for (std::size_t i = 0; i < phase1.size(); ++i) {
     const Phase1Row& r = phase1[i];
-    std::fprintf(
-        out,
-        "    {\"k\": %zu, \"requests\": %zu, \"dense_pairs\": %zu, "
+    appendf(
+        phase1_body,
+        "%s{\"k\": %zu, \"requests\": %zu, \"dense_pairs\": %zu, "
         "\"observed_pairs\": %zu, \"dense_ms\": %.3f, \"sparse_ms\": %.3f, "
         "\"speedup\": %.2f, \"dense_allocs\": %llu, \"sparse_allocs\": %llu, "
-        "\"packing_identical\": %s}%s\n",
-        r.k, r.requests, r.dense_pairs, r.observed_pairs, r.dense_ms,
-        r.sparse_ms, r.dense_ms / r.sparse_ms,
+        "\"packing_identical\": %s}",
+        i == 0 ? "" : ", ", r.k, r.requests, r.dense_pairs, r.observed_pairs,
+        r.dense_ms, r.sparse_ms, r.dense_ms / r.sparse_ms,
         static_cast<unsigned long long>(r.dense_allocs),
         static_cast<unsigned long long>(r.sparse_allocs),
-        r.packing_identical ? "true" : "false",
-        i + 1 < phase1.size() ? "," : "");
+        r.packing_identical ? "true" : "false");
   }
-  std::fprintf(out, "  ],\n");
-  std::fprintf(out, "  \"phase1_peak_rss_bytes\": %llu,\n",
-               static_cast<unsigned long long>(rss_after_phase1));
-  std::fprintf(out, "  \"phase2_fresh_vs_workspace\": {\n");
-  std::fprintf(out, "    \"solves\": %zu, \"pairs\": %zu, \"singles\": %zu,\n",
-               phase2.solves, phase2.pairs, phase2.singles);
-  std::fprintf(out,
-               "    \"fresh_ms\": %.3f, \"workspace_ms\": %.3f, "
-               "\"speedup\": %.2f,\n",
-               phase2.fresh_ms, phase2.workspace_ms,
-               phase2.fresh_ms / phase2.workspace_ms);
-  std::fprintf(out,
-               "    \"fresh_allocs_per_solve\": %.1f, "
-               "\"workspace_allocs_per_solve\": %.1f,\n",
-               phase2.fresh_allocs_per_solve,
-               phase2.workspace_allocs_per_solve);
-  std::fprintf(out, "    \"costs_identical\": %s,\n",
-               phase2.costs_identical ? "true" : "false");
-  std::fprintf(out, "    \"peak_rss_bytes\": %llu\n",
-               static_cast<unsigned long long>(rss_after_phase2));
-  std::fprintf(out, "  },\n");
-  std::fprintf(out, "  \"registry_solvers\": [\n");
+  appendf(phase1_body, "], \"peak_rss_bytes\": %llu}",
+          static_cast<unsigned long long>(rss_after_phase1));
+
+  std::string phase2_body;
+  appendf(phase2_body,
+          "{\"solves\": %zu, \"pairs\": %zu, \"singles\": %zu, "
+          "\"fresh_ms\": %.3f, \"workspace_ms\": %.3f, \"speedup\": %.2f, "
+          "\"fresh_allocs_per_solve\": %.1f, "
+          "\"workspace_allocs_per_solve\": %.1f, \"costs_identical\": %s, "
+          "\"peak_rss_bytes\": %llu}",
+          phase2.solves, phase2.pairs, phase2.singles, phase2.fresh_ms,
+          phase2.workspace_ms, phase2.fresh_ms / phase2.workspace_ms,
+          phase2.fresh_allocs_per_solve, phase2.workspace_allocs_per_solve,
+          phase2.costs_identical ? "true" : "false",
+          static_cast<unsigned long long>(rss_after_phase2));
+
+  std::string registry_body;
+  appendf(registry_body, "{\"rows\": [");
   for (std::size_t i = 0; i < registry_rows.size(); ++i) {
     const RegistryRow& r = registry_rows[i];
-    std::fprintf(out,
-                 "    {\"solver\": \"%s\", \"total_cost\": %.6f, "
-                 "\"solve_ms\": %.3f, \"allocs\": %llu}%s\n",
-                 r.name.c_str(), r.total_cost, r.solve_ms,
-                 static_cast<unsigned long long>(r.allocs),
-                 i + 1 < registry_rows.size() ? "," : "");
+    appendf(registry_body,
+            "%s{\"solver\": \"%s\", \"total_cost\": %.6f, "
+            "\"solve_ms\": %.3f, \"allocs\": %llu}",
+            i == 0 ? "" : ", ", r.name.c_str(), r.total_cost, r.solve_ms,
+            static_cast<unsigned long long>(r.allocs));
   }
-  std::fprintf(out, "  ],\n");
-  std::fprintf(out, "  \"registry_peak_rss_bytes\": %llu,\n",
-               static_cast<unsigned long long>(rss_after_registry));
-  std::fprintf(out, "  \"telemetry\": {\n");
-  std::fprintf(out,
-               "    \"dp_greedy_off_ms\": %.3f, \"dp_greedy_on_ms\": %.3f, "
-               "\"overhead_pct\": %.1f,\n",
-               telemetry.off_ms, telemetry.on_ms,
-               telemetry.off_ms > 0.0
-                   ? (telemetry.on_ms / telemetry.off_ms - 1.0) * 100.0
-                   : 0.0);
-  std::fprintf(out, "    \"trace_events\": %llu,\n",
-               static_cast<unsigned long long>(telemetry.trace_events));
-  std::fprintf(out, "    \"counters\": %s,\n",
-               telemetry.counters_json.c_str());
-  std::fprintf(out, "    \"peak_rss_bytes\": %llu\n",
-               static_cast<unsigned long long>(harness::peak_rss_bytes()));
-  std::fprintf(out, "  }\n");
-  std::fprintf(out, "}\n");
-  std::fclose(out);
-  std::printf("wrote %s\n", out_path.c_str());
+  appendf(registry_body, "], \"peak_rss_bytes\": %llu}",
+          static_cast<unsigned long long>(rss_after_registry));
+
+  std::string telemetry_body;
+  appendf(telemetry_body,
+          "{\"dp_greedy_off_ms\": %.3f, \"counters_only_ms\": %.3f, "
+          "\"full_ms\": %.3f, \"counters_overhead_pct\": %.1f, "
+          "\"full_overhead_pct\": %.1f, \"cost_identical\": %s, "
+          "\"trace_events\": %llu, \"counters\": %s, "
+          "\"peak_rss_bytes\": %llu}",
+          telemetry.off_ms, telemetry.counters_ms, telemetry.full_ms,
+          counters_overhead_pct, full_overhead_pct,
+          telemetry.cost_identical ? "true" : "false",
+          static_cast<unsigned long long>(telemetry.trace_events),
+          telemetry.counters_json.c_str(),
+          static_cast<unsigned long long>(harness::peak_rss_bytes()));
+
+  const int status = dpg::bench::write_fragment(
+      fragment_path, {{"phase1_dense_vs_sparse", phase1_body},
+                      {"phase2_workspace", phase2_body},
+                      {"registry_solvers", registry_body},
+                      {"telemetry_overhead", telemetry_body}});
+  if (status != 0) return status;
+  std::printf("wrote %s\n", fragment_path.c_str());
 
   for (const Phase1Row& r : phase1) {
     std::printf(
@@ -435,13 +458,13 @@ int run(const std::string& out_path) {
                 static_cast<unsigned long long>(r.allocs));
   }
   std::printf(
-      "telemetry dp_greedy: off %.3f ms, on %.3f ms (%+.1f%%), "
-      "%llu trace events, peak rss %.1f MiB\n",
-      telemetry.off_ms, telemetry.on_ms,
-      telemetry.off_ms > 0.0
-          ? (telemetry.on_ms / telemetry.off_ms - 1.0) * 100.0
-          : 0.0,
+      "telemetry dp_greedy: off %.3f ms, counters %.3f ms (%+.1f%%), "
+      "full %.3f ms (%+.1f%%), %llu trace events, costs %s, "
+      "peak rss %.1f MiB\n",
+      telemetry.off_ms, telemetry.counters_ms, counters_overhead_pct,
+      telemetry.full_ms, full_overhead_pct,
       static_cast<unsigned long long>(telemetry.trace_events),
+      telemetry.cost_identical ? "identical" : "DIFFER",
       static_cast<double>(harness::peak_rss_bytes()) / (1024.0 * 1024.0));
   return 0;
 }
@@ -450,6 +473,15 @@ int run(const std::string& out_path) {
 }  // namespace dpg
 
 int main(int argc, char** argv) {
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_solvers.json";
-  return dpg::run(out_path);
+  std::string fragment_path = "bm_phase1.fragment.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--fragment" && i + 1 < argc) {
+      fragment_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bm_phase1 [--fragment FILE]\n");
+      return 2;
+    }
+  }
+  return dpg::run(fragment_path);
 }

@@ -3,11 +3,11 @@
 // build, correlation analysis, the full DP_Greedy pipeline, and every
 // registry solver end to end (one benchmark per registered name).
 //
-// `bm_solvers --json BENCH_solvers.json` skips the google-benchmark suite
-// and instead measures the branch-light DP kernels (solver/kernels.hpp)
-// against their scalar reference loops, splicing the result as the
-// "dp_kernel" section of the baseline with a >=2x single-thread speedup
-// gate armed (the gate only applies where a SIMD variant compiled).
+// `bm_solvers --fragment FILE` skips the google-benchmark suite and instead
+// measures the branch-light DP kernels (solver/kernels.hpp) against their
+// scalar reference loops, emitting the "dp_kernel" section as a fragment
+// for dpgreedy_bench to merge, with a >=2x single-thread speedup gate armed
+// (the gate only applies where a SIMD variant compiled).
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/request_index.hpp"
+#include "harness/fragment.hpp"
 #include "harness_common.hpp"
 #include "harness_solvers.hpp"
 #include "engine/registry.hpp"
@@ -371,7 +372,7 @@ DPG_BENCH_NOINLINE void sweep_w_kernel(const Cost* link, double lambda,
   kernels::w_and_prefix(link, lambda, n, w, w_prefix);
 }
 
-int run_dp_kernel(const std::string& baseline_path) {
+int run_dp_kernel(const std::string& fragment_path) {
   // Columns gathered exactly as the kernel path of solve_optimal_offline
   // gathers them: a 65536-request single-item flow over 16 servers, so the
   // same-server windows average n/m = 4096 nodes (the sweep below clamps to
@@ -467,7 +468,7 @@ int run_dp_kernel(const std::string& baseline_path) {
   std::ostringstream section;
   section.setf(std::ios::fixed);
   section.precision(3);
-  section << "  \"dp_kernel\": {\"binary\": \"bm_solvers\", \"isa\": \""
+  section << "{\"isa\": \""
           << kernels::active_isa() << "\", \"repetitions\": "
           << kKernelRepetitions << ", \"nodes\": " << nodes
           << ", \"link_costs_ms\": " << link_ms
@@ -488,11 +489,11 @@ int run_dp_kernel(const std::string& baseline_path) {
           << ", \"kernel_ms\": " << pipeline_kernel_ms
           << ", \"speedup\": " << pipeline_speedup
           << "}, \"bit_identical\": " << (bit_identical ? "true" : "false")
-          << ", \"peak_rss_bytes\": " << harness::peak_rss_bytes() << "},";
+          << ", \"peak_rss_bytes\": " << harness::peak_rss_bytes() << "}";
 
   const int status =
-      harness::splice_section(baseline_path, "dp_kernel", section.str());
-  if (status == 0) std::printf("updated %s\n", baseline_path.c_str());
+      bench::write_fragment(fragment_path, {{"dp_kernel", section.str()}});
+  if (status == 0) std::printf("wrote %s\n", fragment_path.c_str());
 
   std::printf("dp_kernel isa=%s nodes=%zu\n", kernels::active_isa(), nodes);
   std::printf("w_and_prefix: scalar %.3f ms  kernel %.3f ms  %.2fx\n",
@@ -523,15 +524,15 @@ int run_dp_kernel(const std::string& baseline_path) {
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--json") {
+    if (arg == "--fragment") {
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "--json needs a baseline path\n");
+        std::fprintf(stderr, "--fragment needs an output path\n");
         return 1;
       }
       return dpg::run_dp_kernel(argv[i + 1]);
     }
-    if (arg.rfind("--json=", 0) == 0) {
-      return dpg::run_dp_kernel(arg.substr(7));
+    if (arg.rfind("--fragment=", 0) == 0) {
+      return dpg::run_dp_kernel(arg.substr(11));
     }
   }
   benchmark::Initialize(&argc, argv);

@@ -1,19 +1,18 @@
 // Streaming-engine perf harness: sustained push ingest rate, the O(window)
 // steady-state memory ceiling, snapshot latency under load, and the running
-// online-vs-offline cost-ratio probe — spliced as the "streaming" section of
-// BENCH_solvers.json (written by bm_phase1) so the committed baseline stays
-// one file.
+// online-vs-offline cost-ratio probe — emitted as the "streaming" section of
+// a fragment for dpgreedy_bench to merge (see bench/harness/fragment.hpp).
 //
-// The load-bearing number is the memory ceiling: a 10M-request stream must
-// hold the engine's allocation count *exactly flat* after warm-up — the
-// window ring, scratch vectors and package-slot free list are O(window + m
-// + items), never O(n).  The harness asserts it (exact engine counters, not
-// RSS sampling) and additionally records peak RSS before/after so a
-// baseline diff localizes any regression.
+// The load-bearing number is the memory ceiling: the stream must hold the
+// engine's allocation count *exactly flat* after warm-up — the window ring,
+// scratch vectors and package-slot free list are O(window + m + items),
+// never O(n).  The harness asserts it (exact engine counters, not RSS
+// sampling) and additionally records peak RSS before/after so a baseline
+// diff localizes any regression.
 //
-// Usage: bm_stream [BENCH_solvers.json] [--requests N]
-// (default: BENCH_solvers.json in the CWD, 10M requests; run from the repo
-// root, after bm_phase1, to refresh the baseline.)
+// Usage: bm_stream [--fragment FILE] [--requests N]
+// (default: bm_stream.fragment.json in the CWD, 10M requests; the quick CI
+// tier runs 1M — every gate on this section is size-independent.)
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -23,6 +22,7 @@
 #include <vector>
 
 #include "engine/streaming_engine.hpp"
+#include "harness/fragment.hpp"
 #include "harness_common.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
@@ -179,7 +179,7 @@ ProbeReport run_probe(std::size_t requests) {
   return report;
 }
 
-int run(const std::string& baseline_path, std::size_t requests) {
+int run(const std::string& fragment_path, std::size_t requests) {
   std::printf("streaming ingest (%zu requests) ...\n", requests);
   const IngestReport ingest = run_ingest(requests);
   std::printf("ratio probe ...\n");
@@ -188,8 +188,8 @@ int run(const std::string& baseline_path, std::size_t requests) {
   std::ostringstream section;
   section.setf(std::ios::fixed);
   section.precision(3);
-  section << "  \"streaming\": {\"binary\": \"bm_stream\", \"requests\": "
-          << ingest.requests << ", \"window\": " << ingest.window
+  section << "{\"requests\": " << ingest.requests
+          << ", \"window\": " << ingest.window
           << ", \"ingest_s\": " << ingest.ingest_s
           << ", \"requests_per_s\": " << ingest.requests_per_s
           << ", \"epochs\": " << ingest.epochs
@@ -209,11 +209,11 @@ int run(const std::string& baseline_path, std::size_t requests) {
           << ", \"epochs\": " << probe.epochs
           << ", \"cost_ratio\": " << probe.cost_ratio
           << ", \"ingest_s\": " << probe.ingest_s
-          << "}, \"peak_rss_bytes\": " << harness::peak_rss_bytes() << "},";
+          << "}, \"peak_rss_bytes\": " << harness::peak_rss_bytes() << "}";
 
   const int status =
-      harness::splice_section(baseline_path, "streaming", section.str());
-  if (status == 0) std::printf("updated %s\n", baseline_path.c_str());
+      bench::write_fragment(fragment_path, {{"streaming", section.str()}});
+  if (status == 0) std::printf("wrote %s\n", fragment_path.c_str());
 
   std::printf(
       "ingest: %zu requests in %.2fs (%.2fM req/s)  %zu epochs  "
@@ -250,15 +250,18 @@ int run(const std::string& baseline_path, std::size_t requests) {
 }  // namespace dpg
 
 int main(int argc, char** argv) {
-  std::string baseline = "BENCH_solvers.json";
+  std::string fragment = "bm_stream.fragment.json";
   std::size_t requests = 10000000;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--requests" && i + 1 < argc) {
       requests = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--fragment" && i + 1 < argc) {
+      fragment = argv[++i];
     } else {
-      baseline = arg;
+      std::fprintf(stderr, "usage: bm_stream [--fragment FILE] [--requests N]\n");
+      return 2;
     }
   }
-  return dpg::run(baseline, requests);
+  return dpg::run(fragment, requests);
 }

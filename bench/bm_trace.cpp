@@ -2,16 +2,16 @@
 // allocation counts for CSR sequence builds, buffered file write/read
 // throughput, a million-request end-to-end dp_greedy run, and the `.dpt`
 // binary format (mmap open latency, mmap-vs-read, convert throughput).
-// Splices its results as the "trace_io" and "binary_io" sections of
-// BENCH_solvers.json (written by bm_phase1) so the committed baseline stays
-// one file; with --hundred-million it additionally runs the 100M-request
-// end-to-end pipeline (generate -> CSV write -> convert -> mmap open ->
-// dp_greedy solve) and records it as "hundred_million_e2e".
+// Emits the "trace_io" and "binary_io" sections as a fragment for
+// dpgreedy_bench to merge (see bench/harness/fragment.hpp); with
+// --hundred-million it additionally runs the 100M-request end-to-end
+// pipeline (generate -> CSV write -> convert -> mmap open -> dp_greedy
+// solve) and records it as "hundred_million_e2e".
 //
-// Usage: bm_trace [BENCH_solvers.json] [--hundred-million]
-// (default: BENCH_solvers.json in the CWD; run from the repo root, after
-// bm_phase1, to refresh the baseline.  The 100M run needs ~10 GB of RAM,
-// ~8 GB of /tmp and several minutes, so it is opt-in.)
+// Usage: bm_trace [--fragment FILE] [--hundred-million]
+// (default: bm_trace.fragment.json in the CWD.  The 100M run needs ~10 GB
+// of RAM, ~8 GB of /tmp and several minutes, so it is opt-in and its
+// section is informational — not part of the scenario registry.)
 //
 // Allocation counts come from a global operator new/delete override local to
 // this binary (same scheme as bm_phase1): exact counts, not estimates.
@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "engine/registry.hpp"
+#include "harness/fragment.hpp"
 #include "harness_common.hpp"
 #include "trace/dpt.hpp"
 #include "trace/generators.hpp"
@@ -456,7 +457,7 @@ HundredMillionReport run_hundred_million() {
   return report;
 }
 
-int run(const std::string& baseline_path, bool with_hundred_million) {
+int run(const std::string& fragment_path, bool with_hundred_million) {
   std::printf("csv parse (legacy vs streaming) ...\n");
   const ParseReport parse = run_parse(200000);
   std::printf("csr build allocations ...\n");
@@ -472,7 +473,7 @@ int run(const std::string& baseline_path, bool with_hundred_million) {
   std::ostringstream section;
   section.setf(std::ios::fixed);
   section.precision(3);
-  section << "  \"trace_io\": {\"binary\": \"bm_trace\", \"repetitions\": "
+  section << "{\"repetitions\": "
           << kRepetitions << ", \"csv_parse\": {\"requests\": "
           << parse.requests << ", \"bytes\": " << parse.bytes
           << ", \"legacy_ms\": " << parse.legacy_ms
@@ -510,13 +511,13 @@ int run(const std::string& baseline_path, bool with_hundred_million) {
           << ", \"total_cost\": " << million.total_cost
           << ", \"roundtrip_identical\": "
           << (million.roundtrip_identical ? "true" : "false")
-          << "}, \"peak_rss_bytes\": " << harness::peak_rss_bytes() << "},";
+          << "}, \"peak_rss_bytes\": " << harness::peak_rss_bytes() << "}";
 
   std::ostringstream binary_section;
   binary_section.setf(std::ios::fixed);
   binary_section.precision(3);
   binary_section
-      << "  \"binary_io\": {\"binary\": \"bm_trace\", \"repetitions\": "
+      << "{\"repetitions\": "
       << kRepetitions << ", \"requests\": " << binary.requests
       << ", \"csv_bytes\": " << binary.csv_bytes
       << ", \"dpt_bytes\": " << binary.dpt_bytes
@@ -540,23 +541,18 @@ int run(const std::string& baseline_path, bool with_hundred_million) {
              (binary.convert_dpt_to_csv_ms / 1e3)
       << ", \"map_borrows\": " << (binary.map_borrows ? "true" : "false")
       << ", \"roundtrip_identical\": "
-      << (binary.roundtrip_identical ? "true" : "false") << "},";
+      << (binary.roundtrip_identical ? "true" : "false") << "}";
 
-  int status = harness::splice_section(baseline_path, "trace_io",
-                                       section.str());
-  if (status == 0) {
-    status = harness::splice_section(baseline_path, "binary_io",
-                                     binary_section.str());
-  }
-  if (status == 0 && with_hundred_million) {
+  bench::FragmentSections sections = {{"trace_io", section.str()},
+                                      {"binary_io", binary_section.str()}};
+  if (with_hundred_million) {
     std::printf("100M-request end to end (this takes minutes) ...\n");
     const HundredMillionReport hundred = run_hundred_million();
     std::ostringstream hundred_section;
     hundred_section.setf(std::ios::fixed);
     hundred_section.precision(3);
     hundred_section
-        << "  \"hundred_million_e2e\": {\"binary\": \"bm_trace\", "
-        << "\"requests\": " << hundred.requests
+        << "{\"requests\": " << hundred.requests
         << ", \"items\": " << hundred.items
         << ", \"csv_bytes\": " << hundred.csv_bytes
         << ", \"dpt_bytes\": " << hundred.dpt_bytes
@@ -568,9 +564,8 @@ int run(const std::string& baseline_path, bool with_hundred_million) {
         << ", \"dp_greedy_solve_s\": " << hundred.solve_s
         << ", \"total_cost\": " << hundred.total_cost
         << ", \"map_borrows\": " << (hundred.map_borrows ? "true" : "false")
-        << ", \"peak_rss_bytes\": " << harness::peak_rss_bytes() << "},";
-    status = harness::splice_section(baseline_path, "hundred_million_e2e",
-                                     hundred_section.str());
+        << ", \"peak_rss_bytes\": " << harness::peak_rss_bytes() << "}";
+    sections.emplace_back("hundred_million_e2e", hundred_section.str());
     std::printf(
         "100M e2e: generate %.1fs  csv write %.1fs (%.1f GiB)  convert %.1fs "
         "(%.1f GiB .dpt)  mmap open %.2f ms (nocheck %.2f ms)  dp_greedy "
@@ -582,7 +577,8 @@ int run(const std::string& baseline_path, bool with_hundred_million) {
         hundred.open_ms, hundred.open_nocheck_ms, hundred.solve_s,
         hundred.total_cost, hundred.map_borrows ? "borrowed" : "OWNED?");
   }
-  if (status == 0) std::printf("updated %s\n", baseline_path.c_str());
+  const int status = bench::write_fragment(fragment_path, sections);
+  if (status == 0) std::printf("wrote %s\n", fragment_path.c_str());
 
   std::printf(
       "parse %zu rows (%.1f MiB): legacy %.2f ms (%.0f MiB/s, %llu allocs)  "
@@ -665,15 +661,19 @@ int run(const std::string& baseline_path, bool with_hundred_million) {
 }  // namespace dpg
 
 int main(int argc, char** argv) {
-  std::string baseline = "BENCH_solvers.json";
+  std::string fragment = "bm_trace.fragment.json";
   bool hundred_million = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--hundred-million") {
       hundred_million = true;
+    } else if (arg == "--fragment" && i + 1 < argc) {
+      fragment = argv[++i];
     } else {
-      baseline = arg;
+      std::fprintf(stderr,
+                   "usage: bm_trace [--fragment FILE] [--hundred-million]\n");
+      return 2;
     }
   }
-  return dpg::run(baseline, hundred_million);
+  return dpg::run(fragment, hundred_million);
 }

@@ -1,0 +1,167 @@
+// dpgreedy_bench: the one bench runner.
+//
+//   dpgreedy_bench list
+//       prints the scenario registry (name, tier, binary, sections, gates).
+//
+//   dpgreedy_bench run [--nightly] [--only a,b] [--bench-dir DIR]
+//                      [--out FILE] [--render-md FILE] [--keep-fragments]
+//       runs the tier's scenarios (quick by default), merges the fragments
+//       into a schema-v2 bench document, writes it to --out (default
+//       BENCH_solvers.json next to nothing — stdout when --out is absent),
+//       and optionally re-renders the docs/performance.md trajectory block.
+//
+//   dpgreedy_bench render --in FILE --md FILE
+//       re-renders the trajectory block of an existing markdown file from an
+//       existing schema-v2 document, without running anything.
+//
+// Gate *checking* lives in tools/bench_gate, which needs only the JSON
+// files; this binary is the producer side.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness/gate.hpp"
+#include "harness/runner.hpp"
+#include "harness/scenario.hpp"
+
+namespace {
+
+using dpg::bench::Json;
+using dpg::bench::JsonError;
+using dpg::bench::RunOptions;
+using dpg::bench::ScenarioSpec;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: dpgreedy_bench list\n"
+               "       dpgreedy_bench run [--nightly] [--only a,b]\n"
+               "                          [--bench-dir DIR] [--out FILE]\n"
+               "                          [--render-md FILE] "
+               "[--keep-fragments]\n"
+               "       dpgreedy_bench render --in FILE --md FILE\n");
+  return 2;
+}
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::size_t end = comma == std::string::npos ? csv.size() : comma;
+    if (end > start) out.push_back(csv.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+std::string directory_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  return path.substr(0, slash);
+}
+
+int cmd_list() {
+  for (const ScenarioSpec& scenario : dpg::bench::scenario_registry()) {
+    std::printf("%-14s %-10s tier=%-13s %s\n", scenario.name.c_str(),
+                scenario.binary.c_str(),
+                scenario.quick ? "quick+nightly" : "nightly",
+                scenario.description.c_str());
+    for (const auto& section : scenario.sections) {
+      std::printf("    section %-24s %zu gate(s)\n", section.key.c_str(),
+                  section.thresholds.size());
+    }
+  }
+  return 0;
+}
+
+int cmd_run(int argc, char** argv, const std::string& self_dir) {
+  RunOptions options;
+  options.bench_dir = self_dir;
+  std::string out_path;
+  std::string render_md;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    if (arg == "--nightly") {
+      options.nightly = true;
+    } else if (arg == "--only") {
+      const char* value = next();
+      if (value == nullptr) return usage();
+      options.only = split_csv(value);
+    } else if (arg == "--bench-dir") {
+      const char* value = next();
+      if (value == nullptr) return usage();
+      options.bench_dir = value;
+    } else if (arg == "--out") {
+      const char* value = next();
+      if (value == nullptr) return usage();
+      out_path = value;
+    } else if (arg == "--render-md") {
+      const char* value = next();
+      if (value == nullptr) return usage();
+      render_md = value;
+    } else if (arg == "--keep-fragments") {
+      options.keep_fragments = true;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return usage();
+    }
+  }
+
+  const Json doc = dpg::bench::run_scenarios(options);
+  const std::string text = dpg::bench::serialize_json(doc, 2) + "\n";
+  if (out_path.empty()) {
+    std::fputs(text.c_str(), stdout);
+  } else {
+    dpg::bench::write_text_file(out_path, text);
+    std::fprintf(stderr, "[dpgreedy_bench] wrote %s\n", out_path.c_str());
+  }
+  if (!render_md.empty()) {
+    dpg::bench::update_performance_doc(doc, render_md);
+    std::fprintf(stderr, "[dpgreedy_bench] rendered %s\n", render_md.c_str());
+  }
+  return 0;
+}
+
+int cmd_render(int argc, char** argv) {
+  std::string in_path;
+  std::string md_path;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--in" && i + 1 < argc) {
+      in_path = argv[++i];
+    } else if (arg == "--md" && i + 1 < argc) {
+      md_path = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+  if (in_path.empty() || md_path.empty()) return usage();
+  const Json doc =
+      dpg::bench::parse_json(dpg::bench::read_text_file(in_path));
+  dpg::bench::update_performance_doc(doc, md_path);
+  std::fprintf(stderr, "[dpgreedy_bench] rendered %s from %s\n",
+               md_path.c_str(), in_path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "list") return cmd_list();
+    if (command == "run") return cmd_run(argc, argv, directory_of(argv[0]));
+    if (command == "render") return cmd_render(argc, argv);
+  } catch (const JsonError& error) {
+    std::fprintf(stderr, "dpgreedy_bench: %s\n", error.what());
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,46 @@
+// Fragment contract between the bench binaries and the runner.
+//
+// Each measuring binary, invoked with `--fragment FILE`, writes a standalone
+// JSON object mapping its section keys to section data:
+//
+//   {"trace_io": {...}, "binary_io": {...}}
+//
+// The runner (dpgreedy_bench) parses the fragment, attaches the thresholds
+// the scenario registry declares for each key, and merges everything into
+// the schema-v2 BENCH_solvers.json.  Binaries build their section bodies as
+// plain JSON text (snprintf-style, as before) — this header only assembles
+// and writes the envelope, so it stays dependency-free and usable whether or
+// not the binary links the harness library.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dpg::bench {
+
+/// Pairs of (section key, section body as valid JSON text).
+using FragmentSections = std::vector<std::pair<std::string, std::string>>;
+
+/// Writes `{"key1": body1, "key2": body2}` to `path`.  Returns 0 on success.
+inline int write_fragment(const std::string& path,
+                          const FragmentSections& sections) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write fragment %s\n", path.c_str());
+    return 1;
+  }
+  std::fputs("{", out);
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    if (i != 0) std::fputs(",", out);
+    std::fprintf(out, "\n\"%s\": %s", sections[i].first.c_str(),
+                 sections[i].second.c_str());
+  }
+  std::fputs("\n}\n", out);
+  const int status = std::ferror(out) != 0 ? 1 : 0;
+  std::fclose(out);
+  return status;
+}
+
+}  // namespace dpg::bench

@@ -1,0 +1,383 @@
+#include "harness/gate.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dpg::bench {
+
+namespace {
+
+/// Renders a gate value for the table: numbers keep their lexeme, bools
+/// their keyword.
+std::string render_value(const Json& value) {
+  switch (value.kind()) {
+    case Json::Kind::kBool:
+      return value.as_bool() ? "true" : "false";
+    case Json::Kind::kNumber:
+      return value.lexeme();
+    case Json::Kind::kString:
+      return value.as_string();
+    default:
+      return serialize_json(value);
+  }
+}
+
+/// Splits "a.b[*].c" into tokens {key, index kind}.
+struct PathToken {
+  std::string key;
+  bool has_index = false;
+  bool wildcard = false;
+  std::size_t index = 0;
+};
+
+std::vector<PathToken> tokenize_path(const std::string& path) {
+  std::vector<PathToken> tokens;
+  std::size_t at = 0;
+  while (at < path.size()) {
+    std::size_t dot = path.find('.', at);
+    if (dot == std::string::npos) dot = path.size();
+    std::string part = path.substr(at, dot - at);
+    PathToken token;
+    const std::size_t bracket = part.find('[');
+    if (bracket != std::string::npos && part.back() == ']') {
+      token.key = part.substr(0, bracket);
+      const std::string inner =
+          part.substr(bracket + 1, part.size() - bracket - 2);
+      token.has_index = true;
+      if (inner == "*") {
+        token.wildcard = true;
+      } else {
+        token.index = static_cast<std::size_t>(std::stoul(inner));
+      }
+    } else {
+      token.key = part;
+    }
+    tokens.push_back(std::move(token));
+    at = dot + 1;
+  }
+  return tokens;
+}
+
+void resolve_step(const Json& node, const std::vector<PathToken>& tokens,
+                  std::size_t depth, const std::string& prefix,
+                  std::vector<ResolvedValue>& out) {
+  if (depth == tokens.size()) {
+    out.push_back({prefix, &node});
+    return;
+  }
+  const PathToken& token = tokens[depth];
+  if (!node.is_object()) return;
+  const Json* child = node.find(token.key);
+  if (child == nullptr) return;
+  const std::string base = prefix.empty() ? token.key : prefix + "." + token.key;
+  if (!token.has_index) {
+    resolve_step(*child, tokens, depth + 1, base, out);
+    return;
+  }
+  if (!child->is_array()) return;
+  if (token.wildcard) {
+    for (std::size_t i = 0; i < child->size(); ++i) {
+      resolve_step(child->at(i), tokens, depth + 1,
+                   base + "[" + std::to_string(i) + "]", out);
+    }
+    return;
+  }
+  if (token.index < child->size()) {
+    resolve_step(child->at(token.index), tokens, depth + 1,
+                 base + "[" + std::to_string(token.index) + "]", out);
+  }
+}
+
+/// The baseline value at a *concrete* (wildcard-free) path; nullptr when the
+/// baseline lacks it.
+const Json* lookup_concrete(const Json& data, const std::string& path) {
+  const std::vector<ResolvedValue> hits = resolve_path(data, path);
+  return hits.size() == 1 ? hits.front().value : nullptr;
+}
+
+struct ParsedGate {
+  std::string path;
+  std::string op;             // ">=", "<=", "=="
+  const Json* value = nullptr;  // absolute bound (null for baseline gates)
+  bool vs_baseline = false;
+  double slack_pct = 0.0;
+  const Json* skip_if = nullptr;  // {"path": ..., "equals": ...}
+};
+
+ParsedGate parse_gate(const Json& gate) {
+  ParsedGate parsed;
+  const Json* path = gate.find("path");
+  const Json* op = gate.find("op");
+  if (path == nullptr || op == nullptr) {
+    throw JsonError("gate missing \"path\" or \"op\": " +
+                    serialize_json(gate));
+  }
+  parsed.path = path->as_string();
+  parsed.op = op->as_string();
+  if (parsed.op != ">=" && parsed.op != "<=" && parsed.op != "==") {
+    throw JsonError("gate op must be >=, <= or ==, got '" + parsed.op + "'");
+  }
+  if (const Json* baseline = gate.find("baseline");
+      baseline != nullptr && baseline->as_bool()) {
+    parsed.vs_baseline = true;
+    if (const Json* slack = gate.find("slack_pct"); slack != nullptr) {
+      parsed.slack_pct = slack->as_double();
+    }
+  } else {
+    parsed.value = gate.find("value");
+    if (parsed.value == nullptr) {
+      throw JsonError("gate needs \"value\" or \"baseline\": true — " +
+                      serialize_json(gate));
+    }
+  }
+  parsed.skip_if = gate.find("skip_if");
+  return parsed;
+}
+
+std::string gate_label(const ParsedGate& gate) {
+  std::string label = gate.path + " " + gate.op + " ";
+  if (gate.vs_baseline) {
+    label += "baseline";
+    if (gate.slack_pct > 0.0) {
+      char buffer[32];
+      std::snprintf(buffer, sizeof(buffer), "+%g%%", gate.slack_pct);
+      label += buffer;
+    }
+  } else {
+    label += render_value(*gate.value);
+  }
+  return label;
+}
+
+bool compare(const std::string& op, double current, double bound) {
+  if (op == ">=") return current >= bound;
+  if (op == "<=") return current <= bound;
+  return current == bound;
+}
+
+void add_row(GateReport& report, GateRow row) {
+  switch (row.verdict) {
+    case Verdict::kPass: ++report.passed; break;
+    case Verdict::kFail: ++report.failed; break;
+    case Verdict::kSkip: ++report.skipped; break;
+  }
+  report.rows.push_back(std::move(row));
+}
+
+/// Evaluates one declared gate over one section's current/baseline data.
+void evaluate_gate(const std::string& section, const Json& gate_json,
+                   const Json& current_data, const Json& baseline_data,
+                   GateReport& report) {
+  const ParsedGate gate = parse_gate(gate_json);
+  GateRow row;
+  row.section = section;
+  row.gate = gate_label(gate);
+
+  if (gate.skip_if != nullptr) {
+    const Json* skip_path = gate.skip_if->find("path");
+    const Json* skip_equals = gate.skip_if->find("equals");
+    if (skip_path == nullptr || skip_equals == nullptr) {
+      throw JsonError("skip_if needs \"path\" and \"equals\"");
+    }
+    const Json* probe = lookup_concrete(current_data, skip_path->as_string());
+    if (probe != nullptr && probe->equals(*skip_equals)) {
+      row.verdict = Verdict::kSkip;
+      row.current = "-";
+      row.bound = "-";
+      row.note = skip_path->as_string() + " == " + render_value(*skip_equals);
+      add_row(report, std::move(row));
+      return;
+    }
+  }
+
+  const std::vector<ResolvedValue> hits =
+      resolve_path(current_data, gate.path);
+  if (hits.empty()) {
+    row.verdict = Verdict::kFail;
+    row.current = "-";
+    row.bound = gate.vs_baseline ? "baseline" : render_value(*gate.value);
+    row.note = "metric missing from current data";
+    add_row(report, std::move(row));
+    return;
+  }
+
+  for (const ResolvedValue& hit : hits) {
+    GateRow fan = row;
+    if (hits.size() > 1) fan.gate = hit.path + " " + gate.op + " ...";
+    fan.current = render_value(*hit.value);
+
+    if (gate.vs_baseline) {
+      const Json* base = lookup_concrete(baseline_data, hit.path);
+      if (base == nullptr) {
+        fan.verdict = Verdict::kFail;
+        fan.bound = "baseline";
+        fan.note = "metric missing from baseline data";
+        add_row(report, std::move(fan));
+        continue;
+      }
+      if (gate.op == "==") {
+        fan.bound = render_value(*base);
+        fan.verdict =
+            hit.value->equals(*base) ? Verdict::kPass : Verdict::kFail;
+        if (fan.verdict == Verdict::kFail) fan.note = "differs from baseline";
+      } else {
+        const double base_value = base->as_double();
+        const double bound = gate.op == "<="
+                                 ? base_value * (1.0 + gate.slack_pct / 100.0)
+                                 : base_value * (1.0 - gate.slack_pct / 100.0);
+        char rendered[48];
+        std::snprintf(rendered, sizeof(rendered), "%g", bound);
+        fan.bound = rendered;
+        fan.verdict = compare(gate.op, hit.value->as_double(), bound)
+                          ? Verdict::kPass
+                          : Verdict::kFail;
+        if (fan.verdict == Verdict::kFail) {
+          fan.note = "regressed vs baseline " + render_value(*base);
+        }
+      }
+      add_row(report, std::move(fan));
+      continue;
+    }
+
+    // Absolute bound.
+    fan.bound = render_value(*gate.value);
+    if (gate.value->is_bool() || hit.value->is_bool()) {
+      fan.verdict = (gate.op == "==" && hit.value->equals(*gate.value))
+                        ? Verdict::kPass
+                        : Verdict::kFail;
+      if (fan.verdict == Verdict::kFail) fan.note = "flag mismatch";
+    } else {
+      fan.verdict =
+          compare(gate.op, hit.value->as_double(), gate.value->as_double())
+              ? Verdict::kPass
+              : Verdict::kFail;
+      if (fan.verdict == Verdict::kFail) fan.note = "threshold tripped";
+    }
+    add_row(report, std::move(fan));
+  }
+}
+
+}  // namespace
+
+std::vector<ResolvedValue> resolve_path(const Json& data,
+                                        const std::string& path) {
+  std::vector<ResolvedValue> out;
+  resolve_step(data, tokenize_path(path), 0, "", out);
+  return out;
+}
+
+void require_bench_schema_v2(const Json& doc, const std::string& label) {
+  if (!doc.is_object()) {
+    throw JsonError(label + ": not a JSON object");
+  }
+  const Json* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string()) {
+    throw JsonError(label + ": no \"schema\" field — refusing to guess " +
+                    "(expected \"" + kBenchSchemaV2 + "\")");
+  }
+  if (schema->as_string() != kBenchSchemaV2) {
+    throw JsonError(label + ": schema \"" + schema->as_string() +
+                    "\" is not \"" + kBenchSchemaV2 +
+                    "\" — regenerate with dpgreedy_bench run");
+  }
+  const Json* sections = doc.find("sections");
+  if (sections == nullptr || !sections->is_object()) {
+    throw JsonError(label + ": schema v2 requires a \"sections\" object");
+  }
+}
+
+GateReport evaluate_gates(const Json& baseline, const Json& current) {
+  require_bench_schema_v2(baseline, "baseline");
+  require_bench_schema_v2(current, "current");
+
+  GateReport report;
+  const Json& baseline_sections = *baseline.find("sections");
+  const Json& current_sections = *current.find("sections");
+
+  for (const auto& [name, baseline_section] : baseline_sections.members()) {
+    const Json* current_section = current_sections.find(name);
+    if (current_section == nullptr) {
+      // A section the runner was expected to regenerate but did not: loud
+      // failure, not a skip.
+      add_row(report, {name, "section present", "-", "present",
+                       Verdict::kFail, "section missing from current file"});
+      continue;
+    }
+    const Json* baseline_data = baseline_section.find("data");
+    const Json* current_data = current_section->find("data");
+    if (baseline_data == nullptr || current_data == nullptr) {
+      add_row(report, {name, "section shape", "-", "data object",
+                       Verdict::kFail, "section lacks a \"data\" object"});
+      continue;
+    }
+    const Json* thresholds = baseline_section.find("thresholds");
+    if (thresholds == nullptr || !thresholds->is_array() ||
+        thresholds->size() == 0) {
+      // An ungated section is legal (informational benchmarks) but recorded
+      // so the table shows it was seen.
+      add_row(report, {name, "(no gates declared)", "-", "-", Verdict::kSkip,
+                       "informational section"});
+      continue;
+    }
+    for (std::size_t i = 0; i < thresholds->size(); ++i) {
+      evaluate_gate(name, thresholds->at(i), *current_data, *baseline_data,
+                    report);
+    }
+  }
+
+  // New sections in the current file are fine (a PR adding a benchmark
+  // regenerates the baseline in the same diff) — note them.
+  for (const auto& [name, section] : current_sections.members()) {
+    (void)section;
+    if (baseline_sections.find(name) == nullptr) {
+      add_row(report, {name, "new section", "present", "-", Verdict::kSkip,
+                       "no baseline yet"});
+    }
+  }
+  return report;
+}
+
+std::string render_gate_report(const GateReport& report) {
+  std::size_t section_width = 7;
+  std::size_t gate_width = 4;
+  std::size_t current_width = 7;
+  std::size_t bound_width = 5;
+  for (const GateRow& row : report.rows) {
+    section_width = std::max(section_width, row.section.size());
+    gate_width = std::max(gate_width, row.gate.size());
+    current_width = std::max(current_width, row.current.size());
+    bound_width = std::max(bound_width, row.bound.size());
+  }
+  std::string out;
+  char line[512];
+  std::snprintf(line, sizeof(line), "%-*s  %-*s  %*s  %*s  %-7s %s\n",
+                static_cast<int>(section_width), "section",
+                static_cast<int>(gate_width), "gate",
+                static_cast<int>(current_width), "current",
+                static_cast<int>(bound_width), "bound", "verdict", "note");
+  out += line;
+  out += std::string(section_width + gate_width + current_width + bound_width +
+                         20,
+                     '-') +
+         "\n";
+  for (const GateRow& row : report.rows) {
+    const char* verdict = row.verdict == Verdict::kPass   ? "PASS"
+                          : row.verdict == Verdict::kFail ? "FAIL"
+                                                          : "SKIP";
+    std::snprintf(line, sizeof(line), "%-*s  %-*s  %*s  %*s  %-7s %s\n",
+                  static_cast<int>(section_width), row.section.c_str(),
+                  static_cast<int>(gate_width), row.gate.c_str(),
+                  static_cast<int>(current_width), row.current.c_str(),
+                  static_cast<int>(bound_width), row.bound.c_str(), verdict,
+                  row.note.c_str());
+    out += line;
+  }
+  std::snprintf(line, sizeof(line),
+                "%zu gates: %zu passed, %zu failed, %zu skipped -> %s\n",
+                report.rows.size(), report.passed, report.failed,
+                report.skipped, report.ok() ? "PASS" : "FAIL");
+  out += line;
+  return out;
+}
+
+}  // namespace dpg::bench

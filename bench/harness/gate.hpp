@@ -1,0 +1,88 @@
+// Regression-gate evaluation over schema-v2 bench baselines.
+//
+// A v2 BENCH_solvers.json is self-describing: every section carries the
+// thresholds it must satisfy, declared by the scenario registry when the
+// runner wrote the file.  The checker therefore needs no compiled-in gate
+// table — it loads the committed baseline and a freshly-generated current
+// file, takes the *baseline's* declared thresholds as the contract (so a PR
+// cannot silently weaken a gate without a visible baseline diff), and
+// evaluates each against the current data.
+//
+// Gate forms (the "thresholds" array of a section):
+//
+//   {"path": "csv_parse.speedup", "op": ">=", "value": 3.0}
+//       absolute floor/ceiling/equality on the current data; `value` may be
+//       a number or a bool (bit_identical flags).
+//
+//   {"path": "allocs", "op": "<=", "baseline": true, "slack_pct": 10}
+//       relative: current must be <= the baseline's own value at the same
+//       path, scaled by (1 + slack_pct/100).  With "op": "==" the values
+//       must match exactly (bit-identical costs).
+//
+//   {"path": "rows[*].speedup", ...}
+//       [*] fans the gate out over every element of an array.
+//
+//   {..., "skip_if": {"path": "isa", "equals": "scalar"}}
+//       the gate is skipped (recorded, not silently dropped) when the
+//       current section data matches — e.g. SIMD speedup floors on a
+//       scalar-only host.
+//
+// Structural failures — a section present in the baseline but missing from
+// the current file, an unresolvable gate path, a schema-version mismatch —
+// are loud FAILs, never skips: a checker that cannot find what it is meant
+// to check must not report green.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/json.hpp"
+
+namespace dpg::bench {
+
+inline constexpr const char* kBenchSchemaV2 = "dpgreedy-bench-v2";
+
+enum class Verdict { kPass, kFail, kSkip };
+
+/// One evaluated gate (or structural check), one row of the PASS/FAIL table.
+struct GateRow {
+  std::string section;
+  std::string gate;     // "csv_parse.speedup >= 3" / "allocs <= baseline"
+  std::string current;  // rendered current value ("-" when missing)
+  std::string bound;    // rendered bound the value was checked against
+  Verdict verdict = Verdict::kFail;
+  std::string note;     // skip reason / failure detail
+};
+
+struct GateReport {
+  std::vector<GateRow> rows;
+  std::size_t passed = 0;
+  std::size_t failed = 0;
+  std::size_t skipped = 0;
+  [[nodiscard]] bool ok() const { return failed == 0; }
+};
+
+/// Validates the document shape: schema == dpgreedy-bench-v2 with a
+/// "sections" object.  Throws JsonError naming `label` otherwise — the
+/// checker must fail loudly on a v1 or hand-spliced file, not skip it.
+void require_bench_schema_v2(const Json& doc, const std::string& label);
+
+/// Evaluates every gate declared in `baseline` against `current`.
+/// Both documents must already satisfy require_bench_schema_v2.
+[[nodiscard]] GateReport evaluate_gates(const Json& baseline,
+                                        const Json& current);
+
+/// The PASS/FAIL table plus a one-line summary.
+[[nodiscard]] std::string render_gate_report(const GateReport& report);
+
+/// Resolves a dot path ("csv_parse.speedup", "rows[*].speedup", "rows[2].x")
+/// inside `data`; returns {concrete path, value} pairs — empty when the path
+/// does not resolve.
+struct ResolvedValue {
+  std::string path;
+  const Json* value = nullptr;
+};
+[[nodiscard]] std::vector<ResolvedValue> resolve_path(const Json& data,
+                                                      const std::string& path);
+
+}  // namespace dpg::bench

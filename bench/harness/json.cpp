@@ -1,0 +1,464 @@
+#include "harness/json.hpp"
+
+#include <array>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace dpg::bench {
+
+namespace {
+
+[[noreturn]] void kind_error(const char* want, Json::Kind got) {
+  static constexpr std::array<const char*, 6> kNames = {
+      "null", "bool", "number", "string", "array", "object"};
+  throw JsonError(std::string("expected ") + want + ", got " +
+                  kNames[static_cast<std::size_t>(got)]);
+}
+
+}  // namespace
+
+Json Json::boolean(bool value) {
+  Json j;
+  j.kind_ = Kind::kBool;
+  j.bool_ = value;
+  return j;
+}
+
+Json Json::number(std::string lexeme) {
+  Json j;
+  j.kind_ = Kind::kNumber;
+  j.scalar_ = std::move(lexeme);
+  return j;
+}
+
+Json Json::number(double value) {
+  char buffer[64];
+  // Shortest round-trip, the same contract the benches print with.
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  double parsed = 0.0;
+  std::sscanf(buffer, "%lf", &parsed);
+  if (parsed == value) {
+    // Try successively shorter forms for readability.
+    for (int precision = 1; precision <= 17; ++precision) {
+      std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
+      std::sscanf(buffer, "%lf", &parsed);
+      if (parsed == value) break;
+    }
+  }
+  return number(std::string(buffer));
+}
+
+Json Json::number(std::uint64_t value) {
+  return number(std::to_string(value));
+}
+
+Json Json::string(std::string value) {
+  Json j;
+  j.kind_ = Kind::kString;
+  j.scalar_ = std::move(value);
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+
+bool Json::as_bool() const {
+  if (kind_ != Kind::kBool) kind_error("bool", kind_);
+  return bool_;
+}
+
+double Json::as_double() const {
+  if (kind_ != Kind::kNumber) kind_error("number", kind_);
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(
+      scalar_.data(), scalar_.data() + scalar_.size(), value);
+  if (ec != std::errc() || ptr != scalar_.data() + scalar_.size()) {
+    throw JsonError("bad number lexeme '" + scalar_ + "'");
+  }
+  return value;
+}
+
+const std::string& Json::as_string() const {
+  if (kind_ != Kind::kString) kind_error("string", kind_);
+  return scalar_;
+}
+
+const std::string& Json::lexeme() const {
+  if (kind_ != Kind::kNumber) kind_error("number", kind_);
+  return scalar_;
+}
+
+std::size_t Json::size() const {
+  if (kind_ == Kind::kArray) return items_.size();
+  if (kind_ == Kind::kObject) return members_.size();
+  kind_error("array or object", kind_);
+}
+
+const Json& Json::at(std::size_t index) const {
+  if (kind_ != Kind::kArray) kind_error("array", kind_);
+  if (index >= items_.size()) {
+    throw JsonError("array index " + std::to_string(index) +
+                    " out of range (size " + std::to_string(items_.size()) +
+                    ")");
+  }
+  return items_[index];
+}
+
+void Json::push_back(Json value) {
+  if (kind_ != Kind::kArray) kind_error("array", kind_);
+  items_.push_back(std::move(value));
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::members() const {
+  if (kind_ != Kind::kObject) kind_error("object", kind_);
+  return members_;
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) kind_error("object", kind_);
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+void Json::set(std::string key, Json value) {
+  if (kind_ != Kind::kObject) kind_error("object", kind_);
+  for (auto& [name, existing] : members_) {
+    if (name == key) {
+      existing = std::move(value);
+      return;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(value));
+}
+
+bool Json::equals(const Json& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case Kind::kNull:
+      return true;
+    case Kind::kBool:
+      return bool_ == other.bool_;
+    case Kind::kNumber:
+      return as_double() == other.as_double();
+    case Kind::kString:
+      return scalar_ == other.scalar_;
+    case Kind::kArray: {
+      if (items_.size() != other.items_.size()) return false;
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (!items_[i].equals(other.items_[i])) return false;
+      }
+      return true;
+    }
+    case Kind::kObject: {
+      if (members_.size() != other.members_.size()) return false;
+      for (const auto& [name, value] : members_) {
+        const Json* theirs = other.find(name);
+        if (theirs == nullptr || !value.equals(*theirs)) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Parser.
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    Json value = parse_value();
+    skip_whitespace();
+    if (at_ != text_.size()) fail("trailing content after JSON value");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    std::size_t line = 1;
+    std::size_t column = 1;
+    for (std::size_t i = 0; i < at_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    throw JsonError(message + " at line " + std::to_string(line) + ":" +
+                    std::to_string(column));
+  }
+
+  void skip_whitespace() {
+    while (at_ < text_.size() &&
+           (text_[at_] == ' ' || text_[at_] == '\t' || text_[at_] == '\n' ||
+            text_[at_] == '\r')) {
+      ++at_;
+    }
+  }
+
+  char peek() {
+    skip_whitespace();
+    if (at_ >= text_.size()) fail("unexpected end of input");
+    return text_[at_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++at_;
+  }
+
+  bool consume_keyword(std::string_view word) {
+    if (text_.substr(at_, word.size()) != word) return false;
+    at_ += word.size();
+    return true;
+  }
+
+  Json parse_value() {
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return Json::string(parse_string());
+      case 't':
+        if (!consume_keyword("true")) fail("bad keyword");
+        return Json::boolean(true);
+      case 'f':
+        if (!consume_keyword("false")) fail("bad keyword");
+        return Json::boolean(false);
+      case 'n':
+        if (!consume_keyword("null")) fail("bad keyword");
+        return Json::null();
+      default:
+        return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json object = Json::object();
+    if (peek() == '}') {
+      ++at_;
+      return object;
+    }
+    for (;;) {
+      if (peek() != '"') fail("expected object key");
+      std::string key = parse_string();
+      expect(':');
+      object.set(std::move(key), parse_value());
+      const char next = peek();
+      if (next == ',') {
+        ++at_;
+        continue;
+      }
+      if (next == '}') {
+        ++at_;
+        return object;
+      }
+      fail("expected ',' or '}' in object");
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json array = Json::array();
+    if (peek() == ']') {
+      ++at_;
+      return array;
+    }
+    for (;;) {
+      array.push_back(parse_value());
+      const char next = peek();
+      if (next == ',') {
+        ++at_;
+        continue;
+      }
+      if (next == ']') {
+        ++at_;
+        return array;
+      }
+      fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (at_ < text_.size()) {
+      const char c = text_[at_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (at_ >= text_.size()) fail("unterminated escape");
+      const char escape = text_[at_++];
+      switch (escape) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (at_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[at_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // Bench names are ASCII; encode BMP code points as UTF-8.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail("bad escape");
+      }
+    }
+    fail("unterminated string");
+  }
+
+  Json parse_number() {
+    const std::size_t start = at_;
+    if (at_ < text_.size() && text_[at_] == '-') ++at_;
+    while (at_ < text_.size() &&
+           ((text_[at_] >= '0' && text_[at_] <= '9') || text_[at_] == '.' ||
+            text_[at_] == 'e' || text_[at_] == 'E' || text_[at_] == '+' ||
+            text_[at_] == '-')) {
+      ++at_;
+    }
+    if (at_ == start) fail("expected a value");
+    std::string lexeme(text_.substr(start, at_ - start));
+    // Validate eagerly so bad lexemes fail at parse time, with position.
+    double probe = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(lexeme.data(), lexeme.data() + lexeme.size(), probe);
+    if (ec != std::errc() || ptr != lexeme.data() + lexeme.size()) {
+      fail("bad number '" + lexeme + "'");
+    }
+    return Json::number(std::move(lexeme));
+  }
+
+  std::string_view text_;
+  std::size_t at_ = 0;
+};
+
+void serialize_to(const Json& value, std::string& out, int pretty_levels,
+                  int depth) {
+  switch (value.kind()) {
+    case Json::Kind::kNull:
+      out += "null";
+      return;
+    case Json::Kind::kBool:
+      out += value.as_bool() ? "true" : "false";
+      return;
+    case Json::Kind::kNumber:
+      out += value.lexeme();
+      return;
+    case Json::Kind::kString:
+      out += '"';
+      out += json_escape_string(value.as_string());
+      out += '"';
+      return;
+    case Json::Kind::kArray: {
+      out += '[';
+      for (std::size_t i = 0; i < value.size(); ++i) {
+        if (i != 0) out += ", ";
+        serialize_to(value.at(i), out, 0, depth + 1);
+      }
+      out += ']';
+      return;
+    }
+    case Json::Kind::kObject: {
+      const bool pretty = pretty_levels > 0;
+      const std::string indent(static_cast<std::size_t>(depth + 1) * 2, ' ');
+      out += '{';
+      bool first = true;
+      for (const auto& [name, member] : value.members()) {
+        if (!first) out += pretty ? "," : ", ";
+        if (pretty) {
+          out += '\n';
+          out += indent;
+        }
+        first = false;
+        out += '"';
+        out += json_escape_string(name);
+        out += "\": ";
+        serialize_to(member, out, pretty_levels - 1, depth + 1);
+      }
+      if (pretty && !first) {
+        out += '\n';
+        out += indent.substr(2);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+Json parse_json(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+std::string serialize_json(const Json& value, int pretty_depth) {
+  std::string out;
+  serialize_to(value, out, pretty_depth, 0);
+  return out;
+}
+
+std::string json_escape_string(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out += buffer;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace dpg::bench

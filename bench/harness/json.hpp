@@ -1,0 +1,103 @@
+// Minimal JSON DOM for the bench harness and gate checker.
+//
+// Two properties matter here and drove writing this instead of leaning on an
+// external library (the container has none baked in):
+//
+//  * Numbers keep their raw source lexeme.  The harness merges fragments
+//    written by different binaries into one committed baseline; re-emitting
+//    "0.607" as "0.60699999999999998" would make every regeneration a noisy
+//    diff.  as_double() parses on demand for gate arithmetic.
+//  * Objects preserve insertion order, so the committed BENCH_solvers.json
+//    stays in the order the scenario registry declares.
+//
+// The parser accepts strict JSON (no comments, no trailing commas) and
+// reports 1-based line/column on error.  It is not a streaming parser; bench
+// documents are a few KiB.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dpg::bench {
+
+/// Thrown by parse_json on malformed input and by the typed accessors on a
+/// kind mismatch; the message carries the position or the offending path.
+class JsonError : public std::runtime_error {
+ public:
+  explicit JsonError(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;
+
+  static Json null() { return Json(); }
+  static Json boolean(bool value);
+  /// A number from its raw lexeme ("3.97", "12", "1e-3"); the lexeme is
+  /// emitted verbatim by serialize().
+  static Json number(std::string lexeme);
+  static Json number(double value);
+  static Json number(std::uint64_t value);
+  static Json string(std::string value);
+  static Json array();
+  static Json object();
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] const std::string& as_string() const;  // string value
+  [[nodiscard]] const std::string& lexeme() const;     // raw number lexeme
+
+  // Arrays.
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] const Json& at(std::size_t index) const;
+  void push_back(Json value);
+
+  // Objects (insertion-ordered).
+  [[nodiscard]] const std::vector<std::pair<std::string, Json>>& members()
+      const;
+  /// nullptr when absent.
+  [[nodiscard]] const Json* find(std::string_view key) const;
+  /// Inserts or replaces `key`.
+  void set(std::string key, Json value);
+
+  /// Value equality: numbers compare by parsed double, objects by unordered
+  /// member sets.  What the gate checker means by "== baseline".
+  [[nodiscard]] bool equals(const Json& other) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::string scalar_;  // number lexeme or string value
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+/// Parses one JSON document (throws JsonError with line:column context).
+[[nodiscard]] Json parse_json(std::string_view text);
+
+/// Serializes with the bench-baseline layout: objects within the top
+/// `pretty_depth` levels are pretty-printed one member per line, everything
+/// deeper is compact.  With pretty_depth = 2 the committed baseline diffs
+/// line-per-section.  0 = fully compact.
+[[nodiscard]] std::string serialize_json(const Json& value,
+                                         int pretty_depth = 0);
+
+/// JSON string escaping (shared with the table renderers).
+[[nodiscard]] std::string json_escape_string(std::string_view text);
+
+}  // namespace dpg::bench

@@ -1,0 +1,224 @@
+#include "harness/runner.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "harness/gate.hpp"
+
+namespace dpg::bench {
+namespace {
+
+std::string shell_quote(const std::string& arg) {
+  std::string out = "'";
+  for (const char c : arg) {
+    if (c == '\'') {
+      out += "'\\''";
+    } else {
+      out += c;
+    }
+  }
+  out += "'";
+  return out;
+}
+
+/// A scalar rendered for the markdown table (numbers keep their lexeme).
+std::string render_scalar(const Json& value) {
+  switch (value.kind()) {
+    case Json::Kind::kNumber:
+      return value.lexeme();
+    case Json::Kind::kBool:
+      return value.as_bool() ? "true" : "false";
+    case Json::Kind::kString:
+      return value.as_string();
+    case Json::Kind::kNull:
+      return "null";
+    default:
+      return "(composite)";
+  }
+}
+
+}  // namespace
+
+std::string read_text_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw JsonError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) throw JsonError("error reading " + path);
+  return buffer.str();
+}
+
+void write_text_file(const std::string& path, const std::string& text) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw JsonError("cannot write " + tmp);
+    out << text;
+    if (!out) throw JsonError("error writing " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw JsonError("cannot rename " + tmp + " -> " + path);
+  }
+}
+
+std::vector<const ScenarioSpec*> select_scenarios(const RunOptions& options) {
+  std::vector<const ScenarioSpec*> selected;
+  for (const ScenarioSpec& scenario : scenario_registry()) {
+    if (!options.nightly && !scenario.quick) continue;
+    selected.push_back(&scenario);
+  }
+  if (options.only.empty()) return selected;
+  std::vector<const ScenarioSpec*> filtered;
+  for (const std::string& name : options.only) {
+    bool found = false;
+    for (const ScenarioSpec* scenario : selected) {
+      if (scenario->name == name) {
+        filtered.push_back(scenario);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      throw JsonError("scenario '" + name + "' is not in the " +
+                      (options.nightly ? std::string("nightly")
+                                       : std::string("quick")) +
+                      " tier (see `dpgreedy_bench list`)");
+    }
+  }
+  return filtered;
+}
+
+Json build_bench_document(
+    const std::vector<std::pair<const ScenarioSpec*, Json>>& results,
+    const std::string& tier) {
+  Json doc = Json::object();
+  doc.set("schema", Json::string(kBenchSchemaV2));
+  Json run = Json::object();
+  run.set("generated_by", Json::string("dpgreedy_bench run"));
+  run.set("tier", Json::string(tier));
+  doc.set("run", std::move(run));
+
+  Json sections = Json::object();
+  for (const auto& [scenario, fragment] : results) {
+    for (const SectionSpec& spec : scenario->sections) {
+      const Json* data = fragment.find(spec.key);
+      if (data == nullptr) {
+        throw JsonError("scenario '" + scenario->name +
+                        "' fragment is missing declared section '" + spec.key +
+                        "'");
+      }
+      Json section = Json::object();
+      section.set("scenario", Json::string(scenario->name));
+      section.set("binary", Json::string(scenario->binary));
+      Json thresholds = Json::array();
+      for (const Json& gate : spec.thresholds) thresholds.push_back(gate);
+      section.set("thresholds", std::move(thresholds));
+      Json headlines = Json::array();
+      for (const std::string& path : spec.headlines) {
+        headlines.push_back(Json::string(path));
+      }
+      section.set("headlines", std::move(headlines));
+      section.set("data", *data);
+      sections.set(spec.key, std::move(section));
+    }
+  }
+  doc.set("sections", std::move(sections));
+  return doc;
+}
+
+Json run_scenarios(const RunOptions& options) {
+  const std::vector<const ScenarioSpec*> selected = select_scenarios(options);
+  const std::string bench_dir =
+      options.bench_dir.empty() ? std::string(".") : options.bench_dir;
+  const std::string fragment_dir =
+      options.fragment_dir.empty() ? bench_dir : options.fragment_dir;
+
+  std::vector<std::pair<const ScenarioSpec*, Json>> results;
+  for (const ScenarioSpec* scenario : selected) {
+    const std::string fragment_path =
+        fragment_dir + "/" + scenario->name + ".fragment.json";
+    std::string command = shell_quote(bench_dir + "/" + scenario->binary) +
+                          " --fragment " + shell_quote(fragment_path);
+    const std::string& extra =
+        options.nightly ? scenario->nightly_args : scenario->quick_args;
+    if (!extra.empty()) command += " " + extra;
+
+    if (options.verbose) {
+      std::fprintf(stderr, "[dpgreedy_bench] %s: %s\n",
+                   scenario->name.c_str(), command.c_str());
+    }
+    const int status = std::system(command.c_str());
+    if (status != 0) {
+      throw JsonError("scenario '" + scenario->name + "' failed (command: " +
+                      command + ", status " + std::to_string(status) + ")");
+    }
+
+    Json fragment;
+    try {
+      fragment = parse_json(read_text_file(fragment_path));
+    } catch (const JsonError& error) {
+      throw JsonError("scenario '" + scenario->name + "' wrote a malformed " +
+                      "fragment: " + error.what());
+    }
+    if (!options.keep_fragments) std::remove(fragment_path.c_str());
+    results.emplace_back(scenario, std::move(fragment));
+  }
+  return build_bench_document(results,
+                              options.nightly ? "nightly" : "quick");
+}
+
+std::string render_trajectory_markdown(const Json& doc) {
+  require_bench_schema_v2(doc, "bench document");
+  const Json& sections = *doc.find("sections");
+
+  std::string out;
+  const Json* run = doc.find("run");
+  const Json* tier = run != nullptr ? run->find("tier") : nullptr;
+  out += "_Generated by `dpgreedy_bench render` from `BENCH_solvers.json`";
+  if (tier != nullptr && tier->is_string()) {
+    out += " (" + tier->as_string() + " tier)";
+  }
+  out += "; do not edit by hand._\n\n";
+
+  out += "### Headline metrics\n\n";
+  out += "| Section | Metric | Value |\n";
+  out += "| --- | --- | --- |\n";
+  for (const auto& [key, section] : sections.members()) {
+    const Json* headlines = section.find("headlines");
+    const Json* data = section.find("data");
+    if (headlines == nullptr || data == nullptr) continue;
+    for (std::size_t i = 0; i < headlines->size(); ++i) {
+      const std::string& path = headlines->at(i).as_string();
+      for (const ResolvedValue& resolved : resolve_path(*data, path)) {
+        out += "| `" + key + "` | `" + resolved.path + "` | " +
+               render_scalar(*resolved.value) + " |\n";
+      }
+    }
+  }
+
+  out += "\n### Declared gates (baseline self-check)\n\n";
+  const GateReport report = evaluate_gates(doc, doc);
+  out += "```\n" + render_gate_report(report) + "```\n";
+  return out;
+}
+
+void update_performance_doc(const Json& doc, const std::string& md_path) {
+  static const char* kBegin = "<!-- BEGIN BENCH TRAJECTORY -->";
+  static const char* kEnd = "<!-- END BENCH TRAJECTORY -->";
+  const std::string text = read_text_file(md_path);
+  const std::size_t begin = text.find(kBegin);
+  const std::size_t end = text.find(kEnd);
+  if (begin == std::string::npos || end == std::string::npos || end < begin) {
+    throw JsonError(md_path + " is missing the BENCH TRAJECTORY markers");
+  }
+  std::string updated = text.substr(0, begin);
+  updated += kBegin;
+  updated += "\n";
+  updated += render_trajectory_markdown(doc);
+  updated += text.substr(end);
+  write_text_file(md_path, updated);
+}
+
+}  // namespace dpg::bench

@@ -1,0 +1,61 @@
+// The scenario runner: walks the registry, invokes each bench binary with
+// `--fragment FILE`, merges the emitted sections with the declared
+// thresholds into one schema-v2 document, and renders the perf-trajectory
+// block of docs/performance.md from it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/json.hpp"
+#include "harness/scenario.hpp"
+
+namespace dpg::bench {
+
+struct RunOptions {
+  /// nightly tier runs every scenario with nightly_args; the quick tier
+  /// runs only scenarios marked quick, with quick_args.
+  bool nightly = false;
+  /// When non-empty, restricts the tier's list to these scenario names.
+  std::vector<std::string> only;
+  /// Directory holding the sibling bench binaries (default: the directory
+  /// of the running dpgreedy_bench executable).
+  std::string bench_dir;
+  /// Directory for the intermediate fragment files (default: bench_dir).
+  std::string fragment_dir;
+  bool keep_fragments = false;
+  bool verbose = true;
+};
+
+/// Scenarios the tier selects, in registry order.  Throws JsonError when a
+/// name in `only` matches nothing (a typo must not silently pass CI).
+[[nodiscard]] std::vector<const ScenarioSpec*> select_scenarios(
+    const RunOptions& options);
+
+/// Runs the selected scenarios and merges their fragments into a schema-v2
+/// document.  Throws JsonError when a binary fails, a fragment is
+/// malformed, or a declared section key is missing from its fragment.
+[[nodiscard]] Json run_scenarios(const RunOptions& options);
+
+/// Assembles the v2 envelope from already-parsed (scenario, fragment)
+/// pairs — the merge step of run_scenarios, separated for testing.
+[[nodiscard]] Json build_bench_document(
+    const std::vector<std::pair<const ScenarioSpec*, Json>>& results,
+    const std::string& tier);
+
+/// The generated perf-trajectory markdown: per-section headline metrics plus
+/// the self-evaluated gate table (doc checked against its own thresholds).
+[[nodiscard]] std::string render_trajectory_markdown(const Json& doc);
+
+/// Replaces the block between `<!-- BEGIN BENCH TRAJECTORY -->` and
+/// `<!-- END BENCH TRAJECTORY -->` in `md_path` with the rendered
+/// trajectory.  Throws JsonError when the markers are missing.
+void update_performance_doc(const Json& doc, const std::string& md_path);
+
+/// Reads a whole file (throws JsonError on IO failure, naming the path).
+[[nodiscard]] std::string read_text_file(const std::string& path);
+
+/// Atomically writes `text` to `path` via path.tmp + rename.
+void write_text_file(const std::string& path, const std::string& text);
+
+}  // namespace dpg::bench

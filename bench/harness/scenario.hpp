@@ -1,0 +1,52 @@
+// The declared bench-scenario registry.
+//
+// One scenario = one invocation of one bench binary that emits one or more
+// named JSON sections (written as a fragment file, see fragment.hpp).  The
+// registry declares, per scenario: the binary, the extra arguments for the
+// quick (per-PR) and nightly tiers, the emitted section keys, the regression
+// thresholds each section must satisfy, and the headline metrics the
+// performance-doc renderer surfaces.
+//
+// The runner (runner.hpp / dpgreedy_bench) walks this table; the thresholds
+// are serialized into each section of the schema-v2 BENCH_solvers.json so
+// tools/bench_gate needs only the JSON files, never this table.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/json.hpp"
+
+namespace dpg::bench {
+
+struct SectionSpec {
+  std::string key;  // top-level key the binary emits in its fragment
+  /// Gate objects per gate.hpp ({"path", "op", "value"/"baseline", ...}).
+  std::vector<Json> thresholds;
+  /// Paths into the section data shown in the generated perf-trajectory
+  /// table (docs/performance.md).
+  std::vector<std::string> headlines;
+};
+
+struct ScenarioSpec {
+  std::string name;
+  std::string binary;  // sibling executable in the build's bench/ directory
+  std::string description;
+  bool quick = false;        // part of the per-PR tier
+  std::string quick_args;    // extra argv when run in the quick tier
+  std::string nightly_args;  // extra argv in the nightly tier
+  std::vector<SectionSpec> sections;
+};
+
+/// Every declared scenario, in baseline-file order.
+[[nodiscard]] const std::vector<ScenarioSpec>& scenario_registry();
+
+/// Helpers for building gate objects in the registry table.
+[[nodiscard]] Json gate_abs(std::string path, std::string op, double value);
+[[nodiscard]] Json gate_flag(std::string path, bool value);
+[[nodiscard]] Json gate_vs_baseline(std::string path, std::string op,
+                                    double slack_pct);
+/// Adds {"skip_if": {"path": ..., "equals": ...}} to a gate.
+[[nodiscard]] Json with_skip_if(Json gate, std::string path, Json equals);
+
+}  // namespace dpg::bench

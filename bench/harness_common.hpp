@@ -5,9 +5,7 @@
 
 #include <cstdint>
 #include <cstdio>
-#include <fstream>
 #include <string>
-#include <vector>
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
@@ -55,37 +53,6 @@ inline std::uint64_t peak_rss_bytes() {
 #else
   return 0;
 #endif
-}
-
-/// Replaces (or inserts) the one-line `"<key>": ...` section right after the
-/// opening brace of the bm_phase1-written baseline, preserving every other
-/// line.  Each satellite harness owns one or more keys this way, so the
-/// committed baseline stays a single file (`section` must be a single line
-/// starting with `  "<key>":` and ending with a trailing comma).
-inline int splice_section(const std::string& path, const std::string& key,
-                          const std::string& section) {
-  std::ifstream in(path);
-  if (!in) {
-    std::fprintf(stderr, "cannot open %s (run bm_phase1 first)\n",
-                 path.c_str());
-    return 1;
-  }
-  const std::string prefix = "  \"" + key + "\":";
-  std::vector<std::string> lines;
-  for (std::string line; std::getline(in, line);) {
-    if (line.rfind(prefix, 0) == 0) continue;  // replace old
-    lines.push_back(line);
-  }
-  in.close();
-  if (lines.empty() || lines.front() != "{") {
-    std::fprintf(stderr, "%s does not look like the bench baseline\n",
-                 path.c_str());
-    return 1;
-  }
-  std::ofstream out(path, std::ios::trunc);
-  out << lines.front() << "\n" << section << "\n";
-  for (std::size_t i = 1; i < lines.size(); ++i) out << lines[i] << "\n";
-  return out ? 0 : 1;
 }
 
 /// The current merged counters as one flat JSON object fragment

@@ -40,6 +40,7 @@
 #include "engine/solver.hpp"         // IWYU pragma: export
 #include "engine/streaming_engine.hpp"  // IWYU pragma: export
 #include "mobility/simulator.hpp"    // IWYU pragma: export
+#include "obs/exposition.hpp"        // IWYU pragma: export
 #include "obs/metrics.hpp"           // IWYU pragma: export
 #include "obs/trace.hpp"             // IWYU pragma: export
 #include "sim/replay.hpp"            // IWYU pragma: export

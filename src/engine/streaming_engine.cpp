@@ -16,6 +16,7 @@ const obs::Counter g_stream_pushes = obs::counter("stream.pushes");
 const obs::Counter g_stream_items = obs::counter("stream.items");
 const obs::Counter g_stream_snapshots = obs::counter("stream.snapshots");
 const obs::Counter g_stream_probe_chunks = obs::counter("stream.probe_chunks");
+const obs::Histogram g_stream_push_ns = obs::histogram("stream.push_ns");
 
 }  // namespace
 
@@ -41,6 +42,11 @@ StreamingDecision StreamingEngine::push(ServerId server, Time time,
   const std::lock_guard<std::mutex> lock(mutex_);
   require(!finished_, "StreamingEngine::push: engine already finished");
 
+  // Per-push latency histogram; the clock reads only happen with telemetry
+  // on, so the disabled hot path stays one relaxed load per counter.
+  const std::uint64_t push_start_ns =
+      obs::enabled() ? obs::trace_now_ns() : 0;
+
   // Canonicalize the row (RequestSequence rows arrive sorted and unique, so
   // this is a no-op pass on the batch path).
   row_.assign(items.begin(), items.end());
@@ -56,6 +62,12 @@ StreamingDecision StreamingEngine::push(ServerId server, Time time,
     probe_max_server_ = std::max(probe_max_server_, server);
     probe_buffer_.push_back(RequestDraft{server, time, row_});
     maybe_run_probe();
+  }
+
+  // Probe solves included: the histogram's tail is exactly the pushes a
+  // caller would see stall.
+  if (obs::enabled()) {
+    g_stream_push_ns.record(obs::trace_now_ns() - push_start_ns);
   }
 
   StreamingDecision decision;

@@ -1,0 +1,92 @@
+#include "obs/exposition.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+namespace dpg::obs {
+namespace {
+
+bool valid_name_char(char c) noexcept {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+/// Inclusive upper bound of bucket b as a decimal string; bucket
+/// kHistogramBuckets-1 is open-ended (it absorbs every wider value) and has
+/// no finite bound — callers fold it into `+Inf`.
+std::string bucket_upper_bound(std::size_t b) {
+  if (b == 0) return "0";
+  return std::to_string((std::uint64_t{1} << b) - 1);
+}
+
+}  // namespace
+
+std::string prometheus_metric_name(std::string_view name,
+                                   std::string_view suffix) {
+  std::string out = "dpgreedy_";
+  for (const char c : name) out += valid_name_char(c) ? c : '_';
+  out += suffix;
+  return out;
+}
+
+std::string prometheus_text(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string exposed = prometheus_metric_name(name, "_total");
+    out += "# TYPE " + exposed + " counter\n";
+    out += exposed + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, data] : snapshot.histograms) {
+    const std::string exposed = prometheus_metric_name(name);
+    out += "# TYPE " + exposed + " histogram\n";
+    // Finite-bound buckets up to the last nonzero one; the final ring
+    // bucket is open-ended, so it only ever shows up inside +Inf.
+    std::size_t last = 0;
+    for (std::size_t b = 0; b + 1 < kHistogramBuckets; ++b) {
+      if (data.buckets[b] != 0) last = b;
+    }
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b <= last; ++b) {
+      cumulative += data.buckets[b];
+      out += exposed + "_bucket{le=\"" + bucket_upper_bound(b) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += exposed + "_bucket{le=\"+Inf\"} " + std::to_string(data.count) +
+           "\n";
+    out += exposed + "_sum " + std::to_string(data.sum) + "\n";
+    out += exposed + "_count " + std::to_string(data.count) + "\n";
+  }
+  return out;
+}
+
+bool write_prometheus_file(const std::string& path,
+                           const MetricsSnapshot& snapshot) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out << prometheus_text(snapshot);
+    if (!out) return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+std::uint64_t histogram_quantile_upper(const HistogramData& data,
+                                       double q) noexcept {
+  if (data.count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(data.count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    cumulative += data.buckets[b];
+    if (static_cast<double>(cumulative) >= target && cumulative > 0) {
+      if (b == 0) return 0;
+      // The last ring bucket is open-ended; its reported bound saturates.
+      return (std::uint64_t{1} << b) - 1;
+    }
+  }
+  return (std::uint64_t{1} << (kHistogramBuckets - 1)) - 1;
+}
+
+}  // namespace dpg::obs

@@ -1,0 +1,49 @@
+// Prometheus text-format exposition of a MetricsSnapshot.
+//
+// The exporter is a pure function over the snapshot — it performs no
+// registry access of its own, so the exact merge semantics of
+// snapshot_metrics() (per-thread shards summed under the registry mutex)
+// carry over untouched, and exposition can never perturb a concurrent run.
+//
+// Name mapping (text format version 0.0.4):
+//   * every metric gets the `dpgreedy_` namespace prefix;
+//   * dots and other non-[a-zA-Z0-9_:] characters become underscores
+//     (`stream.push_ns` -> `dpgreedy_stream_push_ns`);
+//   * counters get the conventional `_total` suffix.
+//
+// Histograms expose the fixed power-of-two buckets cumulatively: bucket 0
+// holds exactly the value 0 (`le="0"`), bucket b >= 1 holds [2^(b-1), 2^b)
+// — an integer-valued histogram, so the inclusive upper bound `le` is
+// 2^b - 1.  Trailing empty buckets are elided (the `+Inf` bucket always
+// closes the series, equal to `_count`).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace dpg::obs {
+
+/// A metric name as exposed: prefixed, sanitized, optional suffix.
+[[nodiscard]] std::string prometheus_metric_name(std::string_view name,
+                                                 std::string_view suffix = "");
+
+/// The whole snapshot in Prometheus text format (ends with a newline; empty
+/// snapshot renders to an empty string).
+[[nodiscard]] std::string prometheus_text(const MetricsSnapshot& snapshot);
+
+/// Writes prometheus_text(snapshot) to `path` atomically (path.tmp +
+/// rename), so a scraper reading the file never observes a torn write.
+/// Returns false on IO failure.
+[[nodiscard]] bool write_prometheus_file(const std::string& path,
+                                         const MetricsSnapshot& snapshot);
+
+/// Upper-bound estimate of the q-quantile (q in [0, 1]) from the
+/// power-of-two buckets: the inclusive upper bound of the first bucket
+/// whose cumulative count reaches q * count.  0 when the histogram is
+/// empty.  Good to a factor of 2 — what a `stats` line needs.
+[[nodiscard]] std::uint64_t histogram_quantile_upper(const HistogramData& data,
+                                                     double q) noexcept;
+
+}  // namespace dpg::obs

@@ -37,6 +37,7 @@ inline constexpr std::size_t kHistogramBuckets = 40;
 
 namespace detail {
 extern std::atomic<bool> g_enabled;
+extern std::atomic<bool> g_spans_enabled;
 void counter_add(std::uint32_t id, std::uint64_t delta) noexcept;
 void histogram_record(std::uint32_t id, std::uint64_t value) noexcept;
 }  // namespace detail
@@ -48,6 +49,16 @@ void histogram_record(std::uint32_t id, std::uint64_t value) noexcept;
 
 /// Flips recording on or off process-wide (off by default).
 void set_enabled(bool on) noexcept;
+
+/// True when trace spans record (in addition to enabled()).  Separately
+/// toggleable so long-running servers and the overhead bench can keep the
+/// cheap counters while dropping the two clock reads per span.
+[[nodiscard]] inline bool spans_enabled() noexcept {
+  return detail::g_spans_enabled.load(std::memory_order_relaxed);
+}
+
+/// Flips span recording (on by default; only observable while enabled()).
+void set_spans_enabled(bool on) noexcept;
 
 /// Handle to one named monotonic counter (trivially copyable id).
 class Counter {

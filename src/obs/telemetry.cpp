@@ -22,6 +22,7 @@ namespace dpg::obs {
 
 namespace detail {
 std::atomic<bool> g_enabled{false};
+std::atomic<bool> g_spans_enabled{true};
 }  // namespace detail
 
 namespace {
@@ -169,6 +170,10 @@ void set_enabled(bool on) noexcept {
   detail::g_enabled.store(on, std::memory_order_relaxed);
 }
 
+void set_spans_enabled(bool on) noexcept {
+  detail::g_spans_enabled.store(on, std::memory_order_relaxed);
+}
+
 Counter counter(std::string_view name) {
   return Counter(register_name(registry().counter_names, name, kMaxCounters));
 }
@@ -299,14 +304,14 @@ std::string metrics_json(const MetricsSnapshot& snapshot) {
 // Tracing.
 
 TraceSpan::TraceSpan(const char* name) noexcept {
-  if (!enabled()) return;
+  if (!enabled() || !spans_enabled()) return;
   copy_name(name_, name, {});
   start_ns_ = trace_now_ns();
   active_ = true;
 }
 
 TraceSpan::TraceSpan(const char* prefix, std::string_view suffix) noexcept {
-  if (!enabled()) return;
+  if (!enabled() || !spans_enabled()) return;
   copy_name(name_, prefix, suffix);
   start_ns_ = trace_now_ns();
   active_ = true;

@@ -1,0 +1,288 @@
+// The bench regression gate (bench/harness): schema-v2 validation, gate
+// evaluation over golden current/baseline pairs — clean pass, threshold
+// trip, relative-to-baseline trip, missing section, missing metric, schema
+// mismatch — plus path resolution and the JSON DOM's lexeme preservation.
+// The load-bearing property: structural problems are loud FAILs (or
+// throws), never silent skips.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "harness/gate.hpp"
+#include "harness/json.hpp"
+#include "harness/runner.hpp"
+#include "harness/scenario.hpp"
+
+namespace dpg::bench {
+namespace {
+
+/// A minimal v2 document with one "kernel" section: a speedup floor, a
+/// bit-identity flag, and an alloc ceiling relative to baseline.
+Json make_doc(double speedup, bool identical, int allocs) {
+  const std::string text = std::string(R"({
+    "schema": "dpgreedy-bench-v2",
+    "run": {"tier": "quick"},
+    "sections": {
+      "kernel": {
+        "scenario": "dp_kernel",
+        "binary": "bm_solvers",
+        "thresholds": [
+          {"path": "speedup", "op": ">=", "value": 2.0},
+          {"path": "bit_identical", "op": "==", "value": true},
+          {"path": "allocs", "op": "<=", "baseline": true, "slack_pct": 10}
+        ],
+        "data": {"speedup": )") +
+                           std::to_string(speedup) +
+                           ", \"bit_identical\": " +
+                           (identical ? "true" : "false") +
+                           ", \"allocs\": " + std::to_string(allocs) +
+                           "}}}}";
+  return parse_json(text);
+}
+
+TEST(BenchGate, IdenticalDocumentsPass) {
+  const Json doc = make_doc(3.0, true, 100);
+  const GateReport report = evaluate_gates(doc, doc);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.failed, 0u);
+  EXPECT_EQ(report.passed, 3u);
+}
+
+TEST(BenchGate, AbsoluteFloorTrips) {
+  const Json baseline = make_doc(3.0, true, 100);
+  const Json current = make_doc(1.5, true, 100);  // below the 2.0 floor
+  const GateReport report = evaluate_gates(baseline, current);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.failed, 1u);
+  EXPECT_EQ(report.passed, 2u);
+}
+
+TEST(BenchGate, BooleanFlagTrips) {
+  const Json baseline = make_doc(3.0, true, 100);
+  const Json current = make_doc(3.0, false, 100);
+  const GateReport report = evaluate_gates(baseline, current);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(BenchGate, RelativeCeilingHonorsSlack) {
+  const Json baseline = make_doc(3.0, true, 100);
+  // 109 allocs = +9% over the baseline's 100: inside the 10% slack.
+  EXPECT_TRUE(evaluate_gates(baseline, make_doc(3.0, true, 109)).ok());
+  // 111 allocs = +11%: outside.
+  EXPECT_FALSE(evaluate_gates(baseline, make_doc(3.0, true, 111)).ok());
+}
+
+TEST(BenchGate, MissingSectionIsLoudFailure) {
+  const Json baseline = make_doc(3.0, true, 100);
+  const Json current = parse_json(
+      R"({"schema": "dpgreedy-bench-v2", "sections": {}})");
+  const GateReport report = evaluate_gates(baseline, current);
+  EXPECT_FALSE(report.ok());
+  ASSERT_FALSE(report.rows.empty());
+  EXPECT_NE(report.rows[0].note.find("missing"), std::string::npos);
+}
+
+TEST(BenchGate, MissingMetricIsLoudFailure) {
+  const Json baseline = make_doc(3.0, true, 100);
+  // Section present but the gated paths are gone entirely.
+  const Json current = parse_json(
+      R"({"schema": "dpgreedy-bench-v2", "sections": {
+           "kernel": {"data": {"unrelated": 1}}}})");
+  const GateReport report = evaluate_gates(baseline, current);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.passed, 0u);
+  EXPECT_EQ(report.skipped, 0u);
+}
+
+TEST(BenchGate, SchemaV1IsRejected) {
+  const Json v1 = parse_json(R"({"schema": "dpgreedy-bench-v1"})");
+  EXPECT_THROW(require_bench_schema_v2(v1, "baseline"), JsonError);
+  const Json no_schema = parse_json(R"({"sections": {}})");
+  EXPECT_THROW(require_bench_schema_v2(no_schema, "baseline"), JsonError);
+  const Json doc = make_doc(3.0, true, 100);
+  EXPECT_NO_THROW(require_bench_schema_v2(doc, "baseline"));
+  // evaluate_gates re-checks both sides.
+  EXPECT_THROW((void)evaluate_gates(v1, doc), JsonError);
+  EXPECT_THROW((void)evaluate_gates(doc, v1), JsonError);
+}
+
+TEST(BenchGate, SkipIfRecordsSkipNotPass) {
+  const Json baseline = parse_json(R"({
+    "schema": "dpgreedy-bench-v2",
+    "sections": {"kernel": {
+      "thresholds": [
+        {"path": "speedup", "op": ">=", "value": 2.0,
+         "skip_if": {"path": "isa", "equals": "scalar"}}
+      ],
+      "data": {"isa": "scalar", "speedup": 1.0}}}})");
+  const GateReport report = evaluate_gates(baseline, baseline);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.skipped, 1u);
+  EXPECT_EQ(report.passed, 0u);
+}
+
+TEST(BenchGate, WildcardFansOutOverRows) {
+  const Json baseline = parse_json(R"({
+    "schema": "dpgreedy-bench-v2",
+    "sections": {"phase1": {
+      "thresholds": [{"path": "rows[*].speedup", "op": ">=", "value": 3.0}],
+      "data": {"rows": [{"speedup": 10.0}, {"speedup": 2.0},
+                        {"speedup": 5.0}]}}}})");
+  const GateReport report = evaluate_gates(baseline, baseline);
+  EXPECT_EQ(report.rows.size(), 3u);  // one row per array element
+  EXPECT_EQ(report.passed, 2u);
+  EXPECT_EQ(report.failed, 1u);
+}
+
+TEST(BenchGate, RelativeWildcardComparesElementwise) {
+  const auto doc = [](double cost0, double cost1) {
+    return parse_json(std::string(R"({
+      "schema": "dpgreedy-bench-v2",
+      "sections": {"solvers": {
+        "thresholds": [
+          {"path": "rows[*].total_cost", "op": "==", "baseline": true}
+        ],
+        "data": {"rows": [{"total_cost": )") +
+                      std::to_string(cost0) + "}, {\"total_cost\": " +
+                      std::to_string(cost1) + "}]}}}}");
+  };
+  EXPECT_TRUE(evaluate_gates(doc(10.5, 20.25), doc(10.5, 20.25)).ok());
+  const GateReport report = evaluate_gates(doc(10.5, 20.25), doc(10.5, 20.5));
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.failed, 1u);
+  EXPECT_EQ(report.passed, 1u);
+}
+
+TEST(BenchGate, SectionWithoutThresholdsIsInformational) {
+  const Json baseline = parse_json(R"({
+    "schema": "dpgreedy-bench-v2",
+    "sections": {"e2e": {"thresholds": [], "data": {"solve_s": 60.0}}}})");
+  const GateReport report = evaluate_gates(baseline, baseline);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.skipped, 1u);
+}
+
+TEST(BenchGate, CurrentOnlySectionIsRecordedAsSkip) {
+  const Json baseline = parse_json(
+      R"({"schema": "dpgreedy-bench-v2", "sections": {}})");
+  const Json current = make_doc(3.0, true, 100);
+  const GateReport report = evaluate_gates(baseline, current);
+  EXPECT_TRUE(report.ok());  // a new section cannot fail an old baseline
+  EXPECT_EQ(report.skipped, 1u);
+}
+
+TEST(BenchGate, ReportRendersVerdictsAndSummary) {
+  const Json baseline = make_doc(3.0, true, 100);
+  const std::string ok_table =
+      render_gate_report(evaluate_gates(baseline, baseline));
+  EXPECT_NE(ok_table.find("PASS"), std::string::npos);
+  EXPECT_EQ(ok_table.find("FAIL"), std::string::npos);
+  const std::string bad_table =
+      render_gate_report(evaluate_gates(baseline, make_doc(1.0, true, 100)));
+  EXPECT_NE(bad_table.find("FAIL"), std::string::npos);
+}
+
+TEST(BenchGateJson, NumberLexemesSurviveRoundTrip) {
+  const Json doc =
+      parse_json(R"({"x": 0.607, "y": 142.38, "n": 12345678901})");
+  const std::string out = serialize_json(doc);
+  EXPECT_NE(out.find("0.607"), std::string::npos);
+  EXPECT_NE(out.find("142.38"), std::string::npos);
+  EXPECT_NE(out.find("12345678901"), std::string::npos);
+}
+
+TEST(BenchGateJson, ParseErrorsCarryPosition) {
+  try {
+    (void)parse_json("{\"a\": 1,\n  \"b\": }");
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& error) {
+    EXPECT_NE(std::string(error.what()).find("2:"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(BenchGateJson, PrettyDepthKeepsSectionsOnOneLine) {
+  const Json doc = make_doc(3.0, true, 100);
+  const std::string text = serialize_json(doc, 2);
+  // Depth 2 pretty-printing: the "kernel" section key starts a line and its
+  // whole body (data, thresholds) stays on that line.
+  const std::size_t at = text.find("\"kernel\":");
+  ASSERT_NE(at, std::string::npos);
+  const std::size_t eol = text.find('\n', at);
+  EXPECT_NE(text.substr(at, eol - at).find("\"speedup\""), std::string::npos);
+  // And it parses back to an equal document.
+  EXPECT_TRUE(parse_json(text).equals(doc));
+}
+
+TEST(BenchGateResolve, PathsResolveDotsAndIndices) {
+  const Json data = parse_json(
+      R"({"a": {"b": 7}, "rows": [{"v": 1}, {"v": 2}]})");
+  const auto one = resolve_path(data, "a.b");
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].value->as_double(), 7.0);
+  const auto indexed = resolve_path(data, "rows[1].v");
+  ASSERT_EQ(indexed.size(), 1u);
+  EXPECT_EQ(indexed[0].value->as_double(), 2.0);
+  const auto fan = resolve_path(data, "rows[*].v");
+  ASSERT_EQ(fan.size(), 2u);
+  EXPECT_EQ(fan[0].path, "rows[0].v");
+  EXPECT_TRUE(resolve_path(data, "a.missing").empty());
+}
+
+TEST(BenchGateRegistry, DeclaredScenariosAreWellFormed) {
+  const auto& registry = scenario_registry();
+  ASSERT_FALSE(registry.empty());
+  bool any_quick = false;
+  for (const ScenarioSpec& scenario : registry) {
+    EXPECT_FALSE(scenario.name.empty());
+    EXPECT_FALSE(scenario.binary.empty());
+    EXPECT_FALSE(scenario.sections.empty()) << scenario.name;
+    any_quick = any_quick || scenario.quick;
+    for (const SectionSpec& section : scenario.sections) {
+      EXPECT_FALSE(section.key.empty()) << scenario.name;
+      // Every declared gate must be a parseable gate object — evaluate a
+      // tiny document against itself so parse_gate sees each one.
+      Json sections = Json::object();
+      Json sec = Json::object();
+      Json thresholds = Json::array();
+      for (const Json& gate : section.thresholds) thresholds.push_back(gate);
+      sec.set("thresholds", std::move(thresholds));
+      sec.set("data", Json::object());
+      sections.set(section.key, std::move(sec));
+      Json doc = Json::object();
+      doc.set("schema", Json::string(kBenchSchemaV2));
+      doc.set("sections", std::move(sections));
+      // Empty data: gates must FAIL (missing metric), never throw or skip.
+      const GateReport report = evaluate_gates(doc, doc);
+      if (!section.thresholds.empty()) {
+        EXPECT_GT(report.failed, 0u) << scenario.name << "/" << section.key;
+      }
+    }
+  }
+  EXPECT_TRUE(any_quick);
+}
+
+TEST(BenchGateDocument, BuildAttachesThresholdsAndRendersTrajectory) {
+  // Assemble a document the way the runner does, from a parsed fragment.
+  const ScenarioSpec& scenario = scenario_registry().front();
+  Json fragment = Json::object();
+  for (const SectionSpec& section : scenario.sections) {
+    fragment.set(section.key, Json::object());
+  }
+  const Json doc = build_bench_document({{&scenario, fragment}}, "quick");
+  require_bench_schema_v2(doc, "built");
+  const Json* sections = doc.find("sections");
+  ASSERT_NE(sections, nullptr);
+  EXPECT_EQ(sections->members().size(), scenario.sections.size());
+  const std::string markdown = render_trajectory_markdown(doc);
+  EXPECT_NE(markdown.find("Headline metrics"), std::string::npos);
+
+  // A fragment missing a declared section key must throw, not silently
+  // produce a baseline without the gated section.
+  EXPECT_THROW(
+      (void)build_bench_document({{&scenario, Json::object()}}, "quick"),
+      JsonError);
+}
+
+}  // namespace
+}  // namespace dpg::bench

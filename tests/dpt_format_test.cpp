@@ -8,6 +8,8 @@
 
 #include "test_support.hpp"
 
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -28,7 +30,22 @@ namespace {
 using testing::same_sequence;
 
 std::string temp_path(const std::string& name) {
-  return ::testing::TempDir() + name;
+  // gtest_discover_tests registers every TEST as its own ctest entry, so
+  // under `ctest -j` several processes share TempDir() concurrently; a fixed
+  // filename collides across them (and the DptCorruption fixture reuses its
+  // path in every test).  Qualify with the running test's name and the pid
+  // so each test in each process owns a distinct file.
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  std::string unique;
+  if (info != nullptr) {
+    unique = std::string(info->test_suite_name()) + "_" + info->name() + "_";
+    for (char& c : unique) {
+      if (c == '/') c = '_';
+    }
+  }
+  unique += std::to_string(::getpid()) + "_";
+  return ::testing::TempDir() + unique + name;
 }
 
 std::string read_bytes(const std::string& path) {

@@ -1,0 +1,178 @@
+// Prometheus text-format exposition (obs/exposition.hpp): exact rendered
+// text for counters and histograms, cumulative-bucket monotonicity, the
+// +Inf/_count invariant, name sanitization, quantile estimation, and the
+// atomic snapshot file.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/exposition.hpp"
+#include "obs/metrics.hpp"
+
+namespace dpg::obs {
+namespace {
+
+std::string test_temp_path(const std::string& name) {
+  return ::testing::TempDir() + std::to_string(::getpid()) + "_" + name;
+}
+
+HistogramData histogram_of(std::initializer_list<std::uint64_t> values) {
+  HistogramData data;
+  for (const std::uint64_t v : values) {
+    data.count += 1;
+    data.sum += v;
+    std::size_t b = 0;
+    for (std::uint64_t x = v; x != 0; x >>= 1) ++b;  // bit_width
+    if (b > kHistogramBuckets - 1) b = kHistogramBuckets - 1;
+    data.buckets[b] += 1;
+  }
+  return data;
+}
+
+TEST(Exposition, CounterRendersExactText) {
+  MetricsSnapshot snapshot;
+  snapshot.counters.emplace_back("stream.pushes", 600);
+  EXPECT_EQ(prometheus_text(snapshot),
+            "# TYPE dpgreedy_stream_pushes_total counter\n"
+            "dpgreedy_stream_pushes_total 600\n");
+}
+
+TEST(Exposition, NameSanitizationMapsInvalidCharsToUnderscore) {
+  EXPECT_EQ(prometheus_metric_name("stream.push_ns"),
+            "dpgreedy_stream_push_ns");
+  EXPECT_EQ(prometheus_metric_name("phase2.solves", "_total"),
+            "dpgreedy_phase2_solves_total");
+  EXPECT_EQ(prometheus_metric_name("weird-name with spaces"),
+            "dpgreedy_weird_name_with_spaces");
+}
+
+TEST(Exposition, HistogramRendersExactText) {
+  MetricsSnapshot snapshot;
+  // Values 0, 1, 3, 6: bucket 0 -> {0}, bucket 1 (le="1") -> {1},
+  // bucket 2 (le="3") -> {3}, bucket 3 (le="7") -> {6}.
+  snapshot.histograms.emplace_back("stream.push_ns",
+                                   histogram_of({0, 1, 3, 6}));
+  EXPECT_EQ(prometheus_text(snapshot),
+            "# TYPE dpgreedy_stream_push_ns histogram\n"
+            "dpgreedy_stream_push_ns_bucket{le=\"0\"} 1\n"
+            "dpgreedy_stream_push_ns_bucket{le=\"1\"} 2\n"
+            "dpgreedy_stream_push_ns_bucket{le=\"3\"} 3\n"
+            "dpgreedy_stream_push_ns_bucket{le=\"7\"} 4\n"
+            "dpgreedy_stream_push_ns_bucket{le=\"+Inf\"} 4\n"
+            "dpgreedy_stream_push_ns_sum 10\n"
+            "dpgreedy_stream_push_ns_count 4\n");
+}
+
+TEST(Exposition, BucketsAreCumulativeAndMonotone) {
+  MetricsSnapshot snapshot;
+  snapshot.histograms.emplace_back(
+      "lat", histogram_of({1, 1, 5, 9, 100, 1000, 100000}));
+  const std::string text = prometheus_text(snapshot);
+
+  std::istringstream lines(text);
+  std::uint64_t previous = 0;
+  std::uint64_t inf_value = 0;
+  std::size_t bucket_lines = 0;
+  for (std::string line; std::getline(lines, line);) {
+    const std::size_t brace = line.find("_bucket{le=\"");
+    if (brace == std::string::npos) continue;
+    ++bucket_lines;
+    const std::uint64_t value =
+        std::stoull(line.substr(line.rfind(' ') + 1));
+    EXPECT_GE(value, previous) << line;
+    previous = value;
+    if (line.find("+Inf") != std::string::npos) inf_value = value;
+  }
+  EXPECT_GE(bucket_lines, 3u);
+  EXPECT_EQ(inf_value, 7u);  // +Inf == _count
+  EXPECT_NE(text.find("dpgreedy_lat_count 7\n"), std::string::npos);
+}
+
+TEST(Exposition, LastRingBucketOnlyAppearsAsInf) {
+  // A value with bit_width > 39 lands in the open-ended final bucket; no
+  // finite le line may claim it.
+  MetricsSnapshot snapshot;
+  snapshot.histograms.emplace_back(
+      "big", histogram_of({3, 0xFFFFFFFFFFFFFFFFull}));
+  const std::string text = prometheus_text(snapshot);
+  // Finite-bound lines stop at the last nonzero finite bucket (le="3"),
+  // whose cumulative count excludes the huge value.
+  EXPECT_NE(text.find("dpgreedy_big_bucket{le=\"3\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("dpgreedy_big_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_EQ(text.find("le=\"549755813887\"} 2"), std::string::npos);
+}
+
+TEST(Exposition, EmptySnapshotRendersEmpty) {
+  EXPECT_EQ(prometheus_text(MetricsSnapshot{}), "");
+}
+
+TEST(Exposition, QuantileUpperBoundsFromBuckets) {
+  const HistogramData data = histogram_of({0, 0, 0, 0, 1, 1, 5, 5, 9, 1000});
+  // p50 target = 5 of 10; buckets: le0=4, le1=6 -> p50 upper bound 1.
+  EXPECT_EQ(histogram_quantile_upper(data, 0.50), 1u);
+  // p90 target = 9 of 10 -> bucket holding 9 (le="15").
+  EXPECT_EQ(histogram_quantile_upper(data, 0.90), 15u);
+  // p100 -> bucket of 1000 (le = 2^10 - 1).
+  EXPECT_EQ(histogram_quantile_upper(data, 1.0), 1023u);
+  EXPECT_EQ(histogram_quantile_upper(HistogramData{}, 0.5), 0u);
+}
+
+TEST(Exposition, WriteFileIsAtomicAndWellFormed) {
+  MetricsSnapshot snapshot;
+  snapshot.counters.emplace_back("stream.pushes", 42);
+  snapshot.histograms.emplace_back("stream.push_ns", histogram_of({1, 2}));
+
+  const std::string path = test_temp_path("exposition.prom");
+  ASSERT_TRUE(write_prometheus_file(path, snapshot));
+  // The temp file must be gone (renamed over), the target complete.
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), prometheus_text(snapshot));
+
+  // Overwrite with a later snapshot: the reader sees either the old or the
+  // new complete file, never a torn one; after the call, the new one.
+  snapshot.counters[0].second = 43;
+  ASSERT_TRUE(write_prometheus_file(path, snapshot));
+  std::ifstream again(path);
+  std::ostringstream content2;
+  content2 << again.rdbuf();
+  EXPECT_NE(content2.str().find("dpgreedy_stream_pushes_total 43"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Exposition, LiveRegistryRoundTrip) {
+  // End to end through the real registry: record, snapshot, render.
+  set_enabled(true);
+  reset_metrics();
+  static const Counter c = counter("exposition_test.hits");
+  static const Histogram h = histogram("exposition_test.lat_ns");
+  c.add(5);
+  h.record(0);
+  h.record(900);
+  const MetricsSnapshot snapshot = snapshot_metrics();
+  set_enabled(false);
+
+  const std::string text = prometheus_text(snapshot);
+  EXPECT_NE(text.find("dpgreedy_exposition_test_hits_total 5"),
+            std::string::npos);
+  EXPECT_NE(text.find("dpgreedy_exposition_test_lat_ns_count 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("dpgreedy_exposition_test_lat_ns_sum 900"),
+            std::string::npos);
+  EXPECT_NE(text.find("dpgreedy_exposition_test_lat_ns_bucket{le=\"0\"} 1"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace dpg::obs

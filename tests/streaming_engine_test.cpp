@@ -281,6 +281,48 @@ TEST(StreamingEngine, OptionsValidateEagerlyAndNameTheField) {
   EXPECT_NE(message_of(options).find("theta"), std::string::npos);
 }
 
+TEST(StreamingEngine, TelemetryExpositionDoesNotPerturbResults) {
+  // The per-push latency histogram and counters must be pure observers:
+  // the same stream with telemetry on and off yields bit-identical reports.
+  const RequestSequence trace = golden_trace();
+  StreamingOptions options;
+  options.online = grid_options(50, 10);
+  options.probe_chunk = 500;
+
+  const auto run_once = [&]() {
+    StreamingEngine engine(kModel, options);
+    for (const Request& r : trace.requests()) {
+      engine.push(r.server, r.time, r.items);
+    }
+    return engine.finish();
+  };
+
+  obs::set_enabled(false);
+  const RunReport off = run_once();
+
+  obs::set_enabled(true);
+  obs::reset_metrics();
+  const RunReport on = run_once();
+  const obs::MetricsSnapshot metrics = obs::snapshot_metrics();
+  obs::set_enabled(false);
+
+  EXPECT_EQ(on.total_cost, off.total_cost);
+  EXPECT_EQ(on.transfer_cost, off.transfer_cost);
+  EXPECT_EQ(on.package_count, off.package_count);
+  EXPECT_EQ(on.unpack_events, off.unpack_events);
+  EXPECT_EQ(on.transfer_events, off.transfer_events);
+
+  // And the histogram actually observed every push.
+  bool found = false;
+  for (const auto& [name, data] : metrics.histograms) {
+    if (name == "stream.push_ns") {
+      found = true;
+      EXPECT_EQ(data.count, trace.size());
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
 TEST(StreamingEngine, DecisionEpochTracksRepackRounds) {
   StreamingOptions options;
   options.online = grid_options(8, 5);

@@ -1,0 +1,110 @@
+// bench_gate: the CI regression gate.
+//
+//   bench_gate --baseline BENCH_solvers.json --current /tmp/bench-now.json
+//             [--sections a,b,c]
+//
+// Loads both schema-v2 bench documents, evaluates every threshold the
+// *baseline* declares against the current data (the committed baseline is
+// the contract — weakening a gate requires a visible baseline diff), prints
+// the PASS/FAIL table, and exits nonzero when any gate fails.  Structural
+// problems — v1/unknown schema, a section or metric missing from the current
+// file — are loud failures, never skips.
+//
+// --sections restricts the contract to the named baseline sections: the
+// per-PR job gates only the quick-tier sections against the committed
+// nightly baseline (which also carries nightly-only sections).  Naming a
+// section the baseline does not declare is an error, not a skip.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/gate.hpp"
+#include "harness/runner.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_gate --baseline FILE --current FILE"
+               " [--sections a,b,c]\n");
+  return 2;
+}
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::size_t end = comma == std::string::npos ? csv.size() : comma;
+    if (end > start) out.push_back(csv.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+/// The baseline with its "sections" object filtered to `names`, preserving
+/// declaration order.  Throws when a requested name is not declared.
+dpg::bench::Json filter_sections(const dpg::bench::Json& baseline,
+                                 const std::vector<std::string>& names) {
+  const dpg::bench::Json& sections = *baseline.find("sections");
+  dpg::bench::Json kept = dpg::bench::Json::object();
+  for (const auto& [key, body] : sections.members()) {
+    for (const std::string& name : names) {
+      if (key == name) kept.set(key, body);
+    }
+  }
+  for (const std::string& name : names) {
+    if (kept.find(name) == nullptr) {
+      throw dpg::bench::JsonError("--sections names \"" + name +
+                                  "\" but the baseline declares no such "
+                                  "section");
+    }
+  }
+  dpg::bench::Json filtered = dpg::bench::Json::object();
+  for (const auto& [key, value] : baseline.members()) {
+    filtered.set(key, key == "sections" ? kept : value);
+  }
+  return filtered;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  std::string current_path;
+  std::string sections_csv;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--current" && i + 1 < argc) {
+      current_path = argv[++i];
+    } else if (arg == "--sections" && i + 1 < argc) {
+      sections_csv = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+  if (baseline_path.empty() || current_path.empty()) return usage();
+
+  try {
+    dpg::bench::Json baseline =
+        dpg::bench::parse_json(dpg::bench::read_text_file(baseline_path));
+    const dpg::bench::Json current =
+        dpg::bench::parse_json(dpg::bench::read_text_file(current_path));
+    dpg::bench::require_bench_schema_v2(baseline, baseline_path);
+    dpg::bench::require_bench_schema_v2(current, current_path);
+    if (!sections_csv.empty()) {
+      baseline = filter_sections(baseline, split_csv(sections_csv));
+    }
+
+    const dpg::bench::GateReport report =
+        dpg::bench::evaluate_gates(baseline, current);
+    std::fputs(dpg::bench::render_gate_report(report).c_str(), stdout);
+    return report.ok() ? 0 : 1;
+  } catch (const dpg::bench::JsonError& error) {
+    std::fprintf(stderr, "bench_gate: FAIL: %s\n", error.what());
+    return 1;
+  }
+}

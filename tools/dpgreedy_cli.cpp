@@ -10,7 +10,11 @@
 //   dpgreedy compare  --trace trace.csv [--solvers a,b,c] [--format F]
 //   dpgreedy online   --trace trace.csv ...  (online vs offline DP_Greedy)
 //   dpgreedy serve    --trace - [--snapshot-every N] [--probe-chunk N]
-//                     (long-lived streaming engine over a request feed)
+//                     [--stats-every N] [--prom-out FILE]
+//                     (long-lived streaming engine over a request feed;
+//                     --stats-every prints live rate/latency lines and
+//                     --prom-out keeps an atomically-replaced Prometheus
+//                     text-format snapshot file fresh)
 //
 // Every solver runs through the SolverRegistry (engine/registry.hpp), so
 // `--solver`/`--solvers` accept exactly the names `dpgreedy list` prints.
@@ -31,6 +35,7 @@
 #include <vector>
 
 #include "dpgreedy.hpp"
+#include "util/stopwatch.hpp"
 
 using namespace dpg;
 
@@ -484,8 +489,21 @@ int cmd_serve(int argc, const char* const* argv) {
       "run the offline cost-ratio probe every N requests (0 = off)", 0);
   const std::size_t* max_requests =
       args.add_size("max-requests", "stop after N requests (0 = all input)", 0);
+  const std::size_t* stats_every = args.add_size(
+      "stats-every",
+      "emit a live stats line (rate, push p50/p99) every N requests "
+      "(0 = off; enables telemetry)",
+      0);
+  const std::string* prom_out = args.add_string(
+      "prom-out",
+      "write a Prometheus text-format snapshot here on every stats/snapshot "
+      "cadence and at exit (atomic rename; enables telemetry)",
+      "");
   args.parse(argc, argv);
   begin_telemetry(flags);
+  // Live exposition needs the counters recording even without
+  // --metrics-out/--trace-out.
+  if (*stats_every > 0 || !prom_out->empty()) obs::set_enabled(true);
 
   const CostModel model = model_of(flags);
   StreamingOptions options;
@@ -496,7 +514,16 @@ int cmd_serve(int argc, const char* const* argv) {
   options.probe_chunk = *probe_chunk;
   StreamingEngine engine(model, options);
 
-  const auto emit_snapshot = [&engine] {
+  // Prometheus snapshot files are written atomically (FILE.tmp + rename),
+  // so a concurrent scraper never reads a torn exposition.
+  const auto write_prom = [&prom_out] {
+    if (prom_out->empty()) return;
+    if (!obs::write_prometheus_file(*prom_out, obs::snapshot_metrics())) {
+      std::fprintf(stderr, "warning: cannot write %s\n", prom_out->c_str());
+    }
+  };
+
+  const auto emit_snapshot = [&engine, &write_prom] {
     const StreamingSnapshot s = engine.snapshot();
     std::printf(
         "snapshot requests=%zu epoch=%zu packages=%zu items=%zu total=%s "
@@ -508,15 +535,44 @@ int cmd_serve(int argc, const char* const* argv) {
         format_fixed(s.cost_ratio, 3).c_str(),
         static_cast<unsigned long long>(s.state_alloc_events));
     std::fflush(stdout);
+    write_prom();
   };
 
-  // Pump the feed into the engine; snapshots on cadence.
+  // The live stats line: ingest rate since start plus the push-latency
+  // distribution from the stream.push_ns histogram.  A distinct `stats `
+  // prefix, so consumers of `snapshot `/`final ` lines are unaffected.
+  const Stopwatch serve_watch;
   std::size_t pushed = 0;
+  const auto emit_stats = [&] {
+    const obs::MetricsSnapshot m = obs::snapshot_metrics();
+    const obs::HistogramData* push_ns = nullptr;
+    for (const auto& [name, data] : m.histograms) {
+      if (name == "stream.push_ns") push_ns = &data;
+    }
+    const obs::HistogramData empty;
+    if (push_ns == nullptr) push_ns = &empty;
+    const double elapsed = serve_watch.elapsed_seconds();
+    std::printf(
+        "stats requests=%zu elapsed_s=%s rate_rps=%.0f epoch=%zu "
+        "push_p50_ns=%llu push_p99_ns=%llu\n",
+        pushed, format_fixed(elapsed, 3).c_str(),
+        elapsed > 0.0 ? static_cast<double>(pushed) / elapsed : 0.0,
+        engine.epoch(),
+        static_cast<unsigned long long>(
+            obs::histogram_quantile_upper(*push_ns, 0.50)),
+        static_cast<unsigned long long>(
+            obs::histogram_quantile_upper(*push_ns, 0.99)));
+    std::fflush(stdout);
+    write_prom();
+  };
+
+  // Pump the feed into the engine; snapshots and stats on their cadences.
   const auto push_one = [&](ServerId server, Time time,
                             std::span<const ItemId> items) {
     engine.push(server, time, items);
     ++pushed;
     if (*snapshot_every > 0 && pushed % *snapshot_every == 0) emit_snapshot();
+    if (*stats_every > 0 && pushed % *stats_every == 0) emit_stats();
     return *max_requests == 0 || pushed < *max_requests;
   };
 
@@ -550,6 +606,7 @@ int cmd_serve(int argc, const char* const* argv) {
       format_fixed(report.ave_cost, 4).c_str(), report.transfer_events,
       report.package_count, report.unpack_events,
       format_fixed(engine.cost_ratio(), 3).c_str(), engine.probe_chunks());
+  write_prom();  // final exposition covers the whole run
   finish_telemetry(flags);
   return 0;
 }
