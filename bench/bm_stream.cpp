@@ -1,7 +1,9 @@
 // Streaming-engine perf harness: sustained push ingest rate, the O(window)
-// steady-state memory ceiling, snapshot latency under load, and the running
-// online-vs-offline cost-ratio probe — emitted as the "streaming" section of
-// a fragment for dpgreedy_bench to merge (see bench/harness/fragment.hpp).
+// steady-state memory ceiling, snapshot latency under load, the running
+// online-vs-offline cost-ratio probe, and the decode→push pipeline vs the
+// per-push serial serve loop — emitted as the "streaming" and
+// "streaming_pipeline" sections of a fragment for dpgreedy_bench to merge
+// (see bench/harness/fragment.hpp).
 //
 // The load-bearing number is the memory ceiling: the stream must hold the
 // engine's allocation count *exactly flat* after warm-up — the window ring,
@@ -17,13 +19,19 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "engine/serve_pipeline.hpp"
 #include "engine/streaming_engine.hpp"
 #include "harness/fragment.hpp"
 #include "harness_common.hpp"
+#include "trace/block_reader.hpp"
+#include "trace/io.hpp"
+#include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 
@@ -179,11 +187,145 @@ ProbeReport run_probe(std::size_t requests) {
   return report;
 }
 
+/// The decode→push pipeline vs the per-push serial serve path, both reading
+/// the same on-disk CSV so the comparison includes the decode work the
+/// pipeline overlaps with ingest.  The trace is streamed to disk row by row
+/// (never materialized) so the harness stays O(window + batch) in memory.
+struct PipelineReport {
+  std::size_t requests = 0;
+  std::size_t batch_rows = 0;
+  std::size_t ring_capacity = 0;
+  std::uint64_t trace_bytes = 0;
+  double serial_s = 0.0;
+  double serial_requests_per_s = 0.0;
+  double pipeline_s = 0.0;
+  double pipeline_requests_per_s = 0.0;
+  double speedup = 0.0;
+  bool multicore = false;      // >= 2 hardware threads: the 2x gate arms
+  bool bit_identical = false;  // pipeline final report == serial final report
+  Cost total_cost = 0.0;
+  std::uint64_t allocs_warm = 0;
+  std::uint64_t allocs_final = 0;
+  bool allocs_flat = false;
+  std::uint64_t enqueue_blocked = 0;
+  std::uint64_t dequeue_blocked = 0;
+};
+
+std::uint64_t write_trace_csv(const std::string& path, std::size_t requests) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  require(file != nullptr, "bm_stream: cannot write " + path);
+  std::fputs("server,time,items\n", file);
+  StreamSource source;
+  for (std::size_t i = 0; i < requests; ++i) {
+    source.next();
+    const ServerId server = source.server();
+    // t advances in exact 0.125 steps, so %.3f round-trips bit-exactly.
+    if (source.items.size() == 2) {
+      std::fprintf(file, "%u,%.3f,%u;%u\n", server, source.t, source.items[0],
+                   source.items[1]);
+    } else {
+      std::fprintf(file, "%u,%.3f,%u\n", server, source.t, source.items[0]);
+    }
+  }
+  const long bytes = std::ftell(file);
+  std::fclose(file);
+  return bytes > 0 ? static_cast<std::uint64_t>(bytes) : 0;
+}
+
+StreamingEngine make_pipeline_engine() {
+  StreamingOptions options = stream_options();
+  StreamSource shape;  // only for the universe hints
+  options.item_count_hint = shape.item_count;
+  options.server_count_hint = shape.server_count;
+  return StreamingEngine(CostModel{1.0, 1.0, 0.8}, options);
+}
+
+bool reports_identical(const RunReport& a, const RunReport& b) {
+  return a.total_cost == b.total_cost && a.raw_cost == b.raw_cost &&
+         a.cache_cost == b.cache_cost && a.transfer_cost == b.transfer_cost &&
+         a.total_item_accesses == b.total_item_accesses &&
+         a.package_count == b.package_count &&
+         a.unpack_events == b.unpack_events &&
+         a.transfer_events == b.transfer_events &&
+         a.cache_segments == b.cache_segments;
+}
+
+PipelineReport run_pipeline_compare(const std::string& trace_path,
+                                    std::size_t requests) {
+  PipelineReport report;
+  report.requests = requests;
+  report.multicore = std::thread::hardware_concurrency() >= 2;
+  report.trace_bytes = write_trace_csv(trace_path, requests);
+
+  // Serial baseline: the pre-pipeline serve loop — line-at-a-time CSV
+  // decode and one engine.push() per row, all on one thread.
+  RunReport serial_report;
+  {
+    std::ifstream file(trace_path, std::ios::binary);
+    require(file.is_open(), "bm_stream: cannot reopen " + trace_path);
+    CsvStreamReader reader(file, trace_path);
+    StreamingEngine engine = make_pipeline_engine();
+    CsvStreamRow row;
+    Stopwatch watch;
+    while (reader.next(row)) engine.push(row.server, row.time, row.items);
+    report.serial_s = watch.elapsed_seconds();
+    serial_report = engine.finish();
+  }
+
+  // Pipelined: chunked CSV decode on a producer thread, block hand-off over
+  // the SPSC ring, push_batch on this thread — the `serve --pipeline` path.
+  RunReport pipeline_report;
+  {
+    std::ifstream file(trace_path, std::ios::binary);
+    require(file.is_open(), "bm_stream: cannot reopen " + trace_path);
+    ServePipelineOptions options;  // serve defaults: batch 1024, ring 8
+    report.batch_rows = options.batch_rows;
+    report.ring_capacity = options.ring_capacity;
+    CsvBlockReader source(file, trace_path, options.batch_rows);
+    StreamingEngine engine = make_pipeline_engine();
+    const std::size_t warm_mark =
+        std::min(requests / 2, 100 * stream_options().online.window);
+    bool warm_done = false;
+    Stopwatch watch;
+    const ServePipelineStats stats = run_serve_pipeline(
+        source, engine, options,
+        [&](const RequestBlock&, const StreamingDecision&, std::size_t rows) {
+          if (!warm_done && rows >= warm_mark) {
+            report.allocs_warm = engine.snapshot().state_alloc_events;
+            warm_done = true;
+          }
+        });
+    report.pipeline_s = watch.elapsed_seconds();
+    report.allocs_final = engine.snapshot().state_alloc_events;
+    report.enqueue_blocked = stats.enqueue_blocked;
+    report.dequeue_blocked = stats.dequeue_blocked;
+    pipeline_report = engine.finish();
+  }
+
+  report.serial_requests_per_s =
+      static_cast<double>(requests) / std::max(report.serial_s, 1e-12);
+  report.pipeline_requests_per_s =
+      static_cast<double>(requests) / std::max(report.pipeline_s, 1e-12);
+  report.speedup = report.serial_s / std::max(report.pipeline_s, 1e-12);
+  report.bit_identical = reports_identical(serial_report, pipeline_report);
+  report.total_cost = pipeline_report.total_cost;
+  report.allocs_flat = report.allocs_final == report.allocs_warm;
+  std::remove(trace_path.c_str());
+  return report;
+}
+
 int run(const std::string& fragment_path, std::size_t requests) {
   std::printf("streaming ingest (%zu requests) ...\n", requests);
   const IngestReport ingest = run_ingest(requests);
   std::printf("ratio probe ...\n");
   const ProbeReport probe = run_probe(std::min<std::size_t>(requests, 200000));
+  // Sampled before the pipeline comparison so the streaming section's RSS
+  // gate keeps measuring the engine alone, not the CSV decode buffers.
+  const std::uint64_t streaming_peak_rss = harness::peak_rss_bytes();
+  std::printf("pipeline vs per-push (%zu requests via on-disk CSV) ...\n",
+              requests);
+  const PipelineReport pipeline =
+      run_pipeline_compare(fragment_path + ".trace.csv", requests);
 
   std::ostringstream section;
   section.setf(std::ios::fixed);
@@ -209,10 +351,37 @@ int run(const std::string& fragment_path, std::size_t requests) {
           << ", \"epochs\": " << probe.epochs
           << ", \"cost_ratio\": " << probe.cost_ratio
           << ", \"ingest_s\": " << probe.ingest_s
-          << "}, \"peak_rss_bytes\": " << harness::peak_rss_bytes() << "}";
+          << "}, \"peak_rss_bytes\": " << streaming_peak_rss << "}";
 
-  const int status =
-      bench::write_fragment(fragment_path, {{"streaming", section.str()}});
+  std::ostringstream pipe_section;
+  pipe_section.setf(std::ios::fixed);
+  pipe_section.precision(3);
+  pipe_section << "{\"requests\": " << pipeline.requests
+               << ", \"batch_rows\": " << pipeline.batch_rows
+               << ", \"ring_capacity\": " << pipeline.ring_capacity
+               << ", \"trace_bytes\": " << pipeline.trace_bytes
+               << ", \"serial_s\": " << pipeline.serial_s
+               << ", \"serial_requests_per_s\": "
+               << pipeline.serial_requests_per_s
+               << ", \"pipeline_s\": " << pipeline.pipeline_s
+               << ", \"pipeline_requests_per_s\": "
+               << pipeline.pipeline_requests_per_s
+               << ", \"speedup\": " << pipeline.speedup << ", \"multicore\": "
+               << (pipeline.multicore ? "true" : "false")
+               << ", \"bit_identical\": "
+               << (pipeline.bit_identical ? "true" : "false")
+               << ", \"total_cost\": " << pipeline.total_cost
+               << ", \"allocs_warm\": " << pipeline.allocs_warm
+               << ", \"allocs_final\": " << pipeline.allocs_final
+               << ", \"allocs_flat\": "
+               << (pipeline.allocs_flat ? "true" : "false")
+               << ", \"enqueue_blocked\": " << pipeline.enqueue_blocked
+               << ", \"dequeue_blocked\": " << pipeline.dequeue_blocked
+               << ", \"peak_rss_bytes\": " << harness::peak_rss_bytes() << "}";
+
+  const int status = bench::write_fragment(
+      fragment_path, {{"streaming", section.str()},
+                      {"streaming_pipeline", pipe_section.str()}});
   if (status == 0) std::printf("wrote %s\n", fragment_path.c_str());
 
   std::printf(
@@ -237,11 +406,28 @@ int run(const std::string& fragment_path, std::size_t requests) {
       probe.requests, probe.probe_chunks, probe.probe_chunk, probe.cost_ratio,
       probe.epochs, probe.ingest_s);
 
+  std::printf(
+      "pipeline: serial %.2fs (%.2fM req/s) -> pipelined %.2fs (%.2fM req/s) "
+      " speedup %.2fx (%s)  reports %s  allocs %llu -> %llu (%s)  blocked "
+      "enq %llu deq %llu\n",
+      pipeline.serial_s, pipeline.serial_requests_per_s / 1e6,
+      pipeline.pipeline_s, pipeline.pipeline_requests_per_s / 1e6,
+      pipeline.speedup, pipeline.multicore ? "multicore" : "single core",
+      pipeline.bit_identical ? "IDENTICAL" : "DIVERGED",
+      static_cast<unsigned long long>(pipeline.allocs_warm),
+      static_cast<unsigned long long>(pipeline.allocs_final),
+      pipeline.allocs_flat ? "FLAT" : "GREW",
+      static_cast<unsigned long long>(pipeline.enqueue_blocked),
+      static_cast<unsigned long long>(pipeline.dequeue_blocked));
+
   // The acceptance gate: O(window) steady state — the engine's allocation
-  // count is bit-flat from warm-up to the end of a 10M-request stream — and
-  // the probe produced a live ratio.
+  // count is bit-flat from warm-up to the end of a 10M-request stream — the
+  // probe produced a live ratio, and the decode→push pipeline reproduced
+  // the serial report bit-exactly (the 2x throughput floor is enforced by
+  // the registry gate, armed only on multicore hosts).
   const bool pass = ingest.allocs_flat && probe.probe_chunks > 0 &&
-                    probe.cost_ratio > 0.0;
+                    probe.cost_ratio > 0.0 && pipeline.bit_identical &&
+                    pipeline.allocs_flat;
   std::printf("streaming acceptance: %s\n", pass ? "PASS" : "FAIL");
   return status != 0 ? status : (pass ? 0 : 2);
 }

@@ -162,6 +162,27 @@ const std::vector<ScenarioSpec>& scenario_registry() {
                              "ratio_probe.cost_ratio"};
       s.sections.push_back(std::move(streaming));
 
+      SectionSpec pipeline;
+      pipeline.key = "streaming_pipeline";
+      pipeline.thresholds = {
+          // The decode→push pipeline must reproduce the per-push serial
+          // final report bit-exactly at every batch size — the contract
+          // push_batch is built on.
+          gate_flag("bit_identical", true),
+          // Same O(window) ceiling through the batch path: engine
+          // allocation events bit-flat from warm-up to end of stream.
+          gate_flag("allocs_flat", true),
+          // The tentpole: overlapping CSV decode with ingest must at least
+          // double throughput over the serial per-push loop.  On single-core
+          // hosts the overlap cannot pay for itself, so the gate is skipped
+          // (bit-identity and the honest serial row above still bind).
+          with_skip_if(gate_abs("speedup", ">=", 2.0), "multicore",
+                       Json::boolean(false)),
+      };
+      pipeline.headlines = {"speedup", "pipeline_requests_per_s",
+                            "enqueue_blocked", "dequeue_blocked"};
+      s.sections.push_back(std::move(pipeline));
+
       scenarios->push_back(std::move(s));
     }
 

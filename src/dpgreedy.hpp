@@ -31,19 +31,24 @@
 #include "core/cost_model.hpp"       // IWYU pragma: export
 #include "core/flow.hpp"             // IWYU pragma: export
 #include "core/request.hpp"          // IWYU pragma: export
+#include "core/request_block.hpp"    // IWYU pragma: export
 #include "core/schedule.hpp"         // IWYU pragma: export
 #include "core/schedule_export.hpp"  // IWYU pragma: export
 #include "core/types.hpp"            // IWYU pragma: export
 #include "engine/registry.hpp"       // IWYU pragma: export
 #include "engine/render.hpp"         // IWYU pragma: export
 #include "engine/run_report.hpp"     // IWYU pragma: export
+#include "engine/serve_pipeline.hpp"  // IWYU pragma: export
 #include "engine/solver.hpp"         // IWYU pragma: export
 #include "engine/streaming_engine.hpp"  // IWYU pragma: export
 #include "mobility/simulator.hpp"    // IWYU pragma: export
 #include "obs/exposition.hpp"        // IWYU pragma: export
 #include "obs/metrics.hpp"           // IWYU pragma: export
+#include "obs/scrape.hpp"            // IWYU pragma: export
 #include "obs/trace.hpp"             // IWYU pragma: export
+#include "parallel/spsc_ring.hpp"    // IWYU pragma: export
 #include "sim/replay.hpp"            // IWYU pragma: export
+#include "trace/block_reader.hpp"    // IWYU pragma: export
 #include "trace/dpt.hpp"             // IWYU pragma: export
 #include "trace/generators.hpp"      // IWYU pragma: export
 #include "trace/io.hpp"              // IWYU pragma: export

@@ -1,0 +1,94 @@
+#include "engine/serve_pipeline.hpp"
+
+#include <exception>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "parallel/spsc_ring.hpp"
+#include "util/error.hpp"
+
+namespace dpg {
+
+namespace {
+
+const obs::Counter g_ring_enqueue_blocked =
+    obs::counter("ring.enqueue_blocked");
+const obs::Counter g_ring_dequeue_blocked =
+    obs::counter("ring.dequeue_blocked");
+const obs::Histogram g_ring_depth = obs::histogram("ring.depth");
+
+}  // namespace
+
+void ServePipelineOptions::validate() const {
+  require(batch_rows > 0, "ServePipelineOptions.batch_rows: must be >= 1");
+  require(ring_capacity > 0,
+          "ServePipelineOptions.ring_capacity: must be >= 1");
+}
+
+ServePipelineStats run_serve_pipeline(BlockSource& source,
+                                      StreamingEngine& engine,
+                                      const ServePipelineOptions& options,
+                                      const ServeBatchCallback& on_batch) {
+  options.validate();
+
+  // Filled blocks travel decode → engine on the work ring; drained blocks
+  // travel back on the free ring.  ring_capacity + 2 blocks cover every
+  // possible position (in-ring + one in each stage's hands), so neither
+  // stage ever waits for an empty block unless the other stage holds it.
+  SpscRing<RequestBlock> work(options.ring_capacity);
+  SpscRing<RequestBlock> free_blocks(options.ring_capacity + 2);
+  for (std::size_t i = 0; i < options.ring_capacity + 2; ++i) {
+    RequestBlock block;
+    const bool ok = free_blocks.try_push(block);
+    require(ok, "serve_pipeline: free ring under-sized");
+  }
+
+  std::exception_ptr decode_error;
+  std::thread decoder([&] {
+    try {
+      RequestBlock block;
+      for (;;) {
+        if (!free_blocks.pop(block)) break;  // engine stage shut down
+        if (!source.next(block)) break;      // end of stream
+        if (!work.push(block)) break;        // engine stage shut down
+      }
+    } catch (...) {
+      // Every complete block decoded before the error is already in the
+      // ring; the engine stage drains them before observing the close.
+      decode_error = std::current_exception();
+    }
+    work.close();
+  });
+
+  ServePipelineStats stats;
+  try {
+    RequestBlock block;
+    while (work.pop(block)) {
+      if (obs::enabled()) g_ring_depth.record(work.size());
+      const StreamingDecision decision = engine.push_batch(block);
+      stats.requests += block.size();
+      ++stats.batches;
+      if (on_batch) on_batch(block, decision, stats.requests);
+      if (!free_blocks.try_push(block)) block.clear();  // ring full: drop it
+    }
+  } catch (...) {
+    // Unblock a decoder stuck pushing into a full work ring or popping an
+    // empty free ring, then re-raise on the caller's thread.
+    work.close();
+    free_blocks.close();
+    decoder.join();
+    throw;
+  }
+  free_blocks.close();
+  decoder.join();
+
+  g_ring_enqueue_blocked.add(work.push_blocked());
+  g_ring_dequeue_blocked.add(work.pop_blocked());
+  stats.enqueue_blocked = work.push_blocked();
+  stats.dequeue_blocked = work.pop_blocked();
+
+  if (decode_error) std::rethrow_exception(decode_error);
+  return stats;
+}
+
+}  // namespace dpg

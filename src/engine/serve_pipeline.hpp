@@ -1,0 +1,120 @@
+// The pipelined serve path: decode thread → SPSC ring → engine thread.
+//
+// run_serve_pipeline splits ingest into the two stages that dominate a
+// serve run and overlaps them:
+//
+//   [producer thread]  BlockSource::next() decodes the trace into reusable
+//                      CSR RequestBlocks (CsvBlockReader) or zero-copy
+//                      column slices (SequenceBlockReader over a `.dpt`
+//                      mmap), and hands each block to
+//   [caller's thread]  StreamingEngine::push_batch over a bounded SpscRing
+//                      (parallel/spsc_ring.hpp) — one mutex acquisition,
+//                      one telemetry clock pair, one counter update per
+//                      block instead of per request.
+//
+// Blocks recycle through a second ring travelling the other way, so steady
+// state allocates nothing: capacity ring_capacity + 2 covers every block in
+// flight (ring + one in each stage's hands).
+//
+// Backpressure is explicit and observable: a full work ring blocks the
+// decoder, an empty one blocks the engine, and both waits land in the
+// `ring.enqueue_blocked` / `ring.dequeue_blocked` counters (plus a
+// per-batch `ring.depth` occupancy sample) so the metrics say which stage
+// is the bottleneck.
+//
+// Error contract: if the source throws mid-stream (malformed CSV row, IO
+// error), every complete block decoded before the bad row is still pushed
+// — the engine ends up having ingested exactly the requests before the
+// failure, same as the per-push path — and the error is rethrown on the
+// caller's thread after the producer joins.  The caller can then snapshot
+// or finish() the engine to flush what was ingested.
+//
+// Snapshots stay off this hot path via ReportBoard: the consumer publishes
+// a StreamingSnapshot at batch granularity (double-buffered swap under a
+// briefly-held mutex), and observers — the stats printer, --prom-out, the
+// /metrics listener — copy the published buffer without ever touching the
+// engine mutex.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <utility>
+
+#include "core/request_block.hpp"
+#include "engine/streaming_engine.hpp"
+
+namespace dpg {
+
+struct ServePipelineOptions {
+  /// Rows per block (the decode chunk and the push_batch amortization unit).
+  std::size_t batch_rows = 1024;
+  /// Work-ring capacity in blocks (rounded up to a power of two).
+  std::size_t ring_capacity = 8;
+
+  /// Throws InvalidArgument naming the offending field.
+  void validate() const;
+};
+
+/// What the pipeline did, plus its backpressure counters (also mirrored
+/// into the ring.* metrics).
+struct ServePipelineStats {
+  std::size_t requests = 0;         // rows pushed into the engine
+  std::size_t batches = 0;          // blocks pushed
+  std::uint64_t enqueue_blocked = 0;  // decoder waits on a full ring
+  std::uint64_t dequeue_blocked = 0;  // engine waits on an empty ring
+};
+
+/// Double-buffered snapshot publication: the pipeline thread writes the
+/// back buffer privately and swaps it in under a briefly-held mutex;
+/// readers (stats printer, prom writer, HTTP scrapes) copy the front
+/// buffer under the same brief mutex.  Neither side ever holds the engine
+/// mutex, so observers never block pushes.
+class ReportBoard {
+ public:
+  /// Publishes a snapshot (writer side; one writer at a time).
+  void publish(StreamingSnapshot snapshot) {
+    back_ = std::move(snapshot);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::swap(front_, back_);
+    ++version_;
+  }
+
+  /// Copies the latest published snapshot.  `version` (optional) receives
+  /// the publication count — 0 means nothing has been published yet.
+  [[nodiscard]] StreamingSnapshot read(std::uint64_t* version = nullptr) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (version != nullptr) *version = version_;
+    return front_;
+  }
+
+  [[nodiscard]] std::uint64_t version() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return version_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  StreamingSnapshot front_;
+  StreamingSnapshot back_;  // writer-private between publishes
+  std::uint64_t version_ = 0;
+};
+
+/// Called on the engine thread after each block is pushed: (block, aggregate
+/// decision, rows pushed so far).  This is where the caller drives snapshot
+/// cadence, ReportBoard publication, and stats lines.
+using ServeBatchCallback = std::function<void(
+    const RequestBlock&, const StreamingDecision&, std::size_t)>;
+
+/// Drains `source` through the two-stage pipeline into `engine`.  The
+/// calling thread becomes the engine stage; one internal thread runs the
+/// decode stage.  Does NOT finish() the engine — the caller decides when to
+/// close the books.  Rethrows a mid-stream source error after every
+/// complete block before it has been pushed (see the error contract above).
+ServePipelineStats run_serve_pipeline(BlockSource& source,
+                                      StreamingEngine& engine,
+                                      const ServePipelineOptions& options,
+                                      const ServeBatchCallback& on_batch = {});
+
+}  // namespace dpg

@@ -14,9 +14,11 @@ namespace {
 
 const obs::Counter g_stream_pushes = obs::counter("stream.pushes");
 const obs::Counter g_stream_items = obs::counter("stream.items");
+const obs::Counter g_stream_batches = obs::counter("stream.batches");
 const obs::Counter g_stream_snapshots = obs::counter("stream.snapshots");
 const obs::Counter g_stream_probe_chunks = obs::counter("stream.probe_chunks");
 const obs::Histogram g_stream_push_ns = obs::histogram("stream.push_ns");
+const obs::Histogram g_stream_batch_ns = obs::histogram("stream.batch_ns");
 
 }  // namespace
 
@@ -77,6 +79,61 @@ StreamingDecision StreamingEngine::push(ServerId server, Time time,
   decision.pack_events = d.pack_events;
   decision.unpack_events = d.unpack_events;
   decision.repacked = d.repacked;
+  decision.epoch = state_.repack_rounds();
+  return decision;
+}
+
+StreamingDecision StreamingEngine::push_batch(const RequestBlock& block) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  require(!finished_, "StreamingEngine::push_batch: engine already finished");
+
+  // One clock pair per block, not per request.
+  const std::uint64_t batch_start_ns =
+      obs::enabled() ? obs::trace_now_ns() : 0;
+
+  OnlineDpGreedyState::Decision total;
+  if (options_.probe_chunk == 0) {
+    // Fast path: the whole block goes straight through the solver.  Rows
+    // are already sorted/unique (the RequestBlock invariant), so the
+    // per-push canonicalization copy is skipped.
+    total = state_.push_batch(block);
+  } else {
+    // Probe path: buffering must interleave per row so the offline solve
+    // fires at the exact same request boundary as per-row pushes.
+    const std::size_t rows = block.size();
+    for (std::size_t i = 0; i < rows; ++i) {
+      const ServerId server = block.server_of(i);
+      const Time time = block.time_of(i);
+      const std::span<const ItemId> items = block.items_of(i);
+      const OnlineDpGreedyState::Decision d = state_.push(server, time, items);
+      total.cost_delta += d.cost_delta;
+      total.transfers += d.transfers;
+      total.package_fetches += d.package_fetches;
+      total.pack_events += d.pack_events;
+      total.unpack_events += d.unpack_events;
+      total.repacked = total.repacked || d.repacked;
+      probe_max_server_ = std::max(probe_max_server_, server);
+      probe_buffer_.push_back(
+          RequestDraft{server, time,
+                       std::vector<ItemId>(items.begin(), items.end())});
+      maybe_run_probe();
+    }
+  }
+
+  g_stream_pushes.add(block.size());
+  g_stream_items.add(block.total_items());
+  g_stream_batches.add();
+  if (obs::enabled()) {
+    g_stream_batch_ns.record(obs::trace_now_ns() - batch_start_ns);
+  }
+
+  StreamingDecision decision;
+  decision.cost_delta = total.cost_delta;
+  decision.transfers = total.transfers;
+  decision.package_fetches = total.package_fetches;
+  decision.pack_events = total.pack_events;
+  decision.unpack_events = total.unpack_events;
+  decision.repacked = total.repacked;
   decision.epoch = state_.repack_rounds();
   return decision;
 }

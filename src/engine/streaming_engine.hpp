@@ -55,6 +55,7 @@
 
 #include "core/cost_model.hpp"
 #include "core/request.hpp"
+#include "core/request_block.hpp"
 #include "core/types.hpp"
 #include "engine/run_report.hpp"
 #include "solver/online_state.hpp"
@@ -125,6 +126,17 @@ class StreamingEngine {
   /// previous push and > 0.
   StreamingDecision push(ServerId server, Time time,
                          std::span<const ItemId> items);
+
+  /// Serves every row of a block in trace order and returns the aggregate
+  /// decision (counts summed, `repacked` if any row repacked, `epoch` after
+  /// the last row).  This is the pipelined ingest entry: one mutex
+  /// acquisition, one telemetry clock pair, and one counter update per
+  /// block instead of per request — and block rows arrive
+  /// pre-canonicalized (both block readers guarantee sorted unique items),
+  /// so the per-push sort/dedup copy is skipped entirely.  The engine state
+  /// after push_batch is bit-identical to per-row push() at every batch
+  /// size, including the ratio probe (probe buffering interleaves per row).
+  StreamingDecision push_batch(const RequestBlock& block);
 
   /// Values the stream as if it ended now (non-destructive) and returns the
   /// canonical cumulative report, the delta since the previous snapshot and

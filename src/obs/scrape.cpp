@@ -1,0 +1,172 @@
+#include "obs/scrape.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string_view>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace dpg::obs {
+
+namespace {
+
+// Accept-loop poll granularity: the upper bound on stop() latency.
+constexpr int kPollMs = 200;
+// A scrape request is one short header block; anything bigger is bogus.
+constexpr std::size_t kMaxRequestBytes = 8192;
+
+void send_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t sent =
+        ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (sent <= 0) {
+      if (sent < 0 && errno == EINTR) continue;
+      return;  // peer went away; a scraper will simply retry
+    }
+    data.remove_prefix(static_cast<std::size_t>(sent));
+  }
+}
+
+void send_response(int fd, std::string_view status,
+                   std::string_view content_type, std::string_view body) {
+  std::string head;
+  head.reserve(128);
+  head += "HTTP/1.1 ";
+  head += status;
+  head += "\r\nContent-Type: ";
+  head += content_type;
+  head += "\r\nContent-Length: ";
+  head += std::to_string(body.size());
+  head += "\r\nConnection: close\r\n\r\n";
+  send_all(fd, head);
+  send_all(fd, body);
+}
+
+}  // namespace
+
+void parse_listen_address(const std::string& value, std::string* host,
+                          std::uint16_t* port) {
+  const std::size_t colon = value.rfind(':');
+  require(colon != std::string::npos && colon + 1 < value.size(),
+          "--listen: expected HOST:PORT, got '" + value + "'");
+  const std::size_t parsed = parse_size(value.substr(colon + 1));
+  require(parsed <= 65535,
+          "--listen: port out of range in '" + value + "'");
+  *host = value.substr(0, colon);
+  *port = static_cast<std::uint16_t>(parsed);
+}
+
+ScrapeListener::ScrapeListener(const std::string& host, std::uint16_t port,
+                               MetricsFn metrics)
+    : metrics_(std::move(metrics)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw IoError("scrape listener: socket() failed: " +
+                  std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw IoError("scrape listener: not an IPv4 address: '" + host + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    const std::string what = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw IoError("scrape listener: cannot listen on " + host + ":" +
+                  std::to_string(port) + ": " + what);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = port;
+  }
+  thread_ = std::thread([this] { run(); });
+}
+
+ScrapeListener::~ScrapeListener() { stop(); }
+
+void ScrapeListener::stop() {
+  if (stop_.exchange(true)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void ScrapeListener::run() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollMs);
+    if (ready <= 0) continue;  // timeout (stop re-check) or EINTR
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    handle_connection(fd);
+    ::close(fd);
+  }
+}
+
+void ScrapeListener::handle_connection(int fd) {
+  // Read until the header terminator; scrape requests have no body.
+  std::string request;
+  while (request.size() < kMaxRequestBytes &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, kPollMs * 5) <= 0) break;
+    char buffer[1024];
+    const ssize_t got = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (got <= 0) break;
+    request.append(buffer, static_cast<std::size_t>(got));
+  }
+
+  const std::size_t line_end = request.find("\r\n");
+  const std::string_view line =
+      std::string_view(request).substr(0, line_end);
+  const std::size_t method_end = line.find(' ');
+  if (method_end == std::string_view::npos) {
+    send_response(fd, "400 Bad Request", "text/plain", "bad request\n");
+    return;
+  }
+  const std::string_view method = line.substr(0, method_end);
+  std::string_view target = line.substr(method_end + 1);
+  target = target.substr(0, target.find(' '));
+  // Ignore any query string; scrapers sometimes append one.
+  target = target.substr(0, target.find('?'));
+
+  if (method != "GET") {
+    send_response(fd, "405 Method Not Allowed", "text/plain",
+                  "method not allowed\n");
+  } else if (target == "/metrics") {
+    send_response(fd, "200 OK", "text/plain; version=0.0.4",
+                  metrics_ ? metrics_() : std::string());
+  } else if (target == "/healthz") {
+    send_response(fd, "200 OK", "text/plain", "ok\n");
+  } else {
+    send_response(fd, "404 Not Found", "text/plain", "not found\n");
+  }
+}
+
+}  // namespace dpg::obs

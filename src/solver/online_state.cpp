@@ -197,6 +197,10 @@ void OnlineBreakEvenState::advance(const ServicePoint& point) {
   ++served_;
 }
 
+void OnlineBreakEvenState::advance_batch(std::span<const ServicePoint> points) {
+  for (const ServicePoint& point : points) advance(point);
+}
+
 OnlineResult OnlineBreakEvenState::finish() {
   // 3) Close the books: every surviving copy is charged up to its last use
   //    (an online run ends when the request stream ends).
@@ -318,6 +322,29 @@ OnlineDpGreedyState::Decision OnlineDpGreedyState::push(
   decision.transfers = result_.transfers - transfers_before;
   decision.package_fetches = result_.package_fetches - fetches_before;
   return decision;
+}
+
+OnlineDpGreedyState::Decision OnlineDpGreedyState::push_batch(
+    const RequestBlock& block) {
+  // Every row takes the exact push() path — bit-identity at any batch size
+  // falls out by construction (same FP accumulation order, same scratch and
+  // window allocation accounting).  The batch win lives a layer up: the
+  // engine amortizes its mutex, telemetry clock reads, and counter updates
+  // across the block, and the decode stage hands rows over pre-canonicalized
+  // so push() never re-sorts.
+  Decision total;
+  const std::size_t rows = block.size();
+  for (std::size_t i = 0; i < rows; ++i) {
+    const Decision d =
+        push(block.server_of(i), block.time_of(i), block.items_of(i));
+    total.cost_delta += d.cost_delta;
+    total.transfers += d.transfers;
+    total.package_fetches += d.package_fetches;
+    total.pack_events += d.pack_events;
+    total.unpack_events += d.unpack_events;
+    total.repacked = total.repacked || d.repacked;
+  }
+  return total;
 }
 
 void OnlineDpGreedyState::repack(Time now, Decision& decision) {

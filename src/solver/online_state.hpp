@@ -27,6 +27,7 @@
 
 #include "core/cost_model.hpp"
 #include "core/flow.hpp"
+#include "core/request_block.hpp"
 #include "core/types.hpp"
 #include "solver/online.hpp"
 #include "solver/online_dp_greedy.hpp"
@@ -99,6 +100,11 @@ class OnlineBreakEvenState {
   /// Serves one point (strictly after every previous one).
   void advance(const ServicePoint& point);
 
+  /// Serves a run of points in order — the batch entry the pipelined serve
+  /// path uses.  Same per-point arithmetic as advance(), so the result is
+  /// bit-identical at every batch size.
+  void advance_batch(std::span<const ServicePoint> points);
+
   /// Closes the books (charges every surviving copy to its last use) and
   /// returns the result.  The state is spent afterwards.
   [[nodiscard]] OnlineResult finish();
@@ -145,6 +151,15 @@ class OnlineDpGreedyState {
   /// RequestSequence row); `time` strictly greater than every previous push.
   /// Item ids beyond the current universe grow it (ensure_item_count).
   Decision push(ServerId server, Time time, std::span<const ItemId> items);
+
+  /// Serves every row of a block in trace order and returns the aggregate
+  /// decision (event counts summed, `repacked` if any row repacked).  Rows
+  /// go through the exact push() arithmetic — same floating-point
+  /// accumulation order, same scratch/window allocation accounting — so the
+  /// state after push_batch is bit-identical to per-row pushes at every
+  /// batch size.  Block rows must honor the push() contract (sorted unique
+  /// items, strictly increasing times), which both block readers guarantee.
+  Decision push_batch(const RequestBlock& block);
 
   /// Grows the item universe (new items start at the origin at time 0,
   /// exactly as a batch solve initializes them).  Never shrinks.

@@ -1,0 +1,163 @@
+#include "trace/block_reader.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+
+namespace dpg {
+
+namespace {
+
+// The same parse counters the other CSV readers bump, so `trace.*` metrics
+// cover every ingest path uniformly.
+const obs::Counter g_rows_parsed = obs::counter("trace.rows_parsed");
+const obs::Counter g_bytes_parsed = obs::counter("trace.bytes_parsed");
+
+// One IO chunk: big enough to amortize istream::read, small enough that a
+// pipelined serve keeps cache-resident buffers.
+constexpr std::size_t kReadChunkBytes = 1u << 20;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SequenceBlockReader
+
+SequenceBlockReader::SequenceBlockReader(const RequestSequence& sequence,
+                                         std::size_t batch_rows,
+                                         std::size_t limit)
+    : sequence_(sequence),
+      batch_rows_(batch_rows),
+      end_(limit == 0 ? sequence.size() : std::min(limit, sequence.size())) {
+  require(batch_rows_ > 0, "SequenceBlockReader: batch_rows must be >= 1");
+}
+
+bool SequenceBlockReader::next(RequestBlock& block) {
+  if (pos_ >= end_) {
+    block.clear();
+    return false;
+  }
+  const std::size_t n = std::min(batch_rows_, end_ - pos_);
+  const SequenceColumns columns = sequence_.columns();
+  // Offsets stay absolute into the full items pool; the block indexes the
+  // pool base directly, so the slice is pure pointer arithmetic.
+  block.adopt(columns.servers.subspan(pos_, n), columns.times.subspan(pos_, n),
+              columns.item_offsets.subspan(pos_, n + 1), columns.items_pool);
+  pos_ += n;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// CsvBlockReader
+
+CsvBlockReader::CsvBlockReader(std::istream& in, std::string source,
+                               std::size_t batch_rows, std::size_t limit)
+    : in_(in), source_(std::move(source)), batch_rows_(batch_rows),
+      limit_(limit) {
+  require(batch_rows_ > 0, "CsvBlockReader: batch_rows must be >= 1");
+  buffer_.reserve(kReadChunkBytes + 4096);
+}
+
+bool CsvBlockReader::next_line(std::string_view& line, std::size_t* offset) {
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n', pos_);
+    if (newline != std::string::npos) {
+      *offset = base_offset_ + pos_;
+      line = std::string_view(buffer_).substr(pos_, newline - pos_);
+      pos_ = newline + 1;
+      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+      return true;
+    }
+    if (eof_) {
+      if (pos_ >= buffer_.size()) return false;
+      // Final line without a trailing newline.
+      *offset = base_offset_ + pos_;
+      line = std::string_view(buffer_).substr(pos_);
+      pos_ = buffer_.size();
+      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+      return true;
+    }
+    // Compact the consumed prefix, then pull the next chunk.
+    if (pos_ > 0) {
+      buffer_.erase(0, pos_);
+      base_offset_ += pos_;
+      pos_ = 0;
+    }
+    const std::size_t old_size = buffer_.size();
+    buffer_.resize(old_size + kReadChunkBytes);
+    in_.read(buffer_.data() + old_size,
+             static_cast<std::streamsize>(kReadChunkBytes));
+    const std::size_t got = static_cast<std::size_t>(in_.gcount());
+    buffer_.resize(old_size + got);
+    if (got == 0) {
+      if (in_.bad()) {
+        throw IoError(source_ + ": read error at byte offset " +
+                      std::to_string(base_offset_ + buffer_.size()));
+      }
+      eof_ = true;
+    }
+  }
+}
+
+void CsvBlockReader::parse_header_line() {
+  header_parsed_ = true;
+  std::string_view header;
+  std::size_t offset = 0;
+  if (!next_line(header, &offset)) {
+    throw IoError(source_ + ": empty input (no CSV header)");
+  }
+  layout_ = csvdec::parse_header(header);
+  canonical_ = layout_.canonical();
+}
+
+bool CsvBlockReader::next(RequestBlock& block) {
+  block.clear();
+  if (!pending_error_.empty()) {
+    // A malformed row was found while filling the previous (delivered)
+    // block; now that its valid prefix has been consumed, surface it.
+    throw IoError(std::exchange(pending_error_, {}));
+  }
+  if (!header_parsed_) parse_header_line();
+
+  std::size_t bytes = 0;
+  while (block.size() < batch_rows_ &&
+         (limit_ == 0 || rows_ + block.size() < limit_)) {
+    std::string_view line;
+    std::size_t offset = 0;
+    if (!next_line(line, &offset)) break;
+    if (line.empty()) continue;
+    const std::size_t rows_before = block.size();
+    try {
+      const csvdec::RowFields fields =
+          csvdec::split_row(line, layout_, canonical_);
+      block.begin_row(
+          static_cast<ServerId>(
+              csvdec::fast_parse_size(csvdec::strip_quotes(fields.server))),
+          csvdec::fast_parse_double(csvdec::strip_quotes(fields.time)));
+      csvdec::parse_item_list(fields.items,
+                              [&](ItemId item) { block.push_item(item); });
+      block.end_row();  // sorts + deduplicates — push_batch relies on it
+    } catch (const Error& e) {
+      // Keep every valid row decoded so far: deliver the partial block now
+      // and re-throw on the next call, so the engine ingests exactly the
+      // requests before the malformed row — same as the per-push path.
+      pending_error_ = source_ + ": row " +
+                       std::to_string(rows_ + rows_before + 1) +
+                       " (byte offset " + std::to_string(offset) +
+                       "): " + e.what();
+      if (rows_before == 0) {
+        throw IoError(std::exchange(pending_error_, {}));
+      }
+      break;
+    }
+    bytes += line.size() + 1;
+  }
+
+  rows_ += block.size();
+  g_rows_parsed.add(block.size());
+  g_bytes_parsed.add(bytes);
+  return !block.empty();
+}
+
+}  // namespace dpg

@@ -1,0 +1,87 @@
+// Chunked trace readers producing RequestBlocks — the decode stage of the
+// serve pipeline (engine/serve_pipeline.hpp).
+//
+//   * SequenceBlockReader — replays a materialized RequestSequence in
+//     zero-copy slices: each block adopts spans of the sequence's CSR
+//     columns (for a `.dpt` mmap open, that is the mapped file itself — no
+//     column byte is copied anywhere on the way to push_batch).
+//   * CsvBlockReader — chunked CSV decode in bounded memory: bulk reads
+//     from an istream, single-pass from_chars row parsing (the same
+//     dialect/fast path as trace_from_csv, via trace/csv_decode.hpp)
+//     straight into a reusable owned block.  Throws IoError with full
+//     provenance (source, row, byte offset) on malformed rows.
+//
+// Both readers cap the stream with `limit` (0 = everything), which is how
+// serve --max-requests truncates without the pipeline second-guessing block
+// boundaries.
+#pragma once
+
+#include <cstddef>
+#include <istream>
+#include <string>
+#include <string_view>
+
+#include "core/request.hpp"
+#include "core/request_block.hpp"
+#include "trace/csv_decode.hpp"
+
+namespace dpg {
+
+/// Zero-copy block replay over a RequestSequence (the `.dpt` serve path).
+/// The sequence must outlive every block handed out (blocks only view it).
+class SequenceBlockReader final : public BlockSource {
+ public:
+  SequenceBlockReader(const RequestSequence& sequence, std::size_t batch_rows,
+                      std::size_t limit = 0);
+
+  bool next(RequestBlock& block) override;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return pos_; }
+
+ private:
+  const RequestSequence& sequence_;
+  std::size_t batch_rows_;
+  std::size_t end_;
+  std::size_t pos_ = 0;
+};
+
+/// Chunked CSV decode into owned blocks, bounded memory (one IO buffer plus
+/// the block being filled, regardless of stream length).
+class CsvBlockReader final : public BlockSource {
+ public:
+  /// `source` labels errors (file path or "<stdin>").
+  CsvBlockReader(std::istream& in, std::string source, std::size_t batch_rows,
+                 std::size_t limit = 0);
+
+  bool next(RequestBlock& block) override;
+
+  /// Data rows decoded so far.
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+
+ private:
+  /// Extracts the next line (without '\n'/"\r\n") from the buffered stream,
+  /// refilling as needed.  False at end of input.  `offset` receives the
+  /// byte offset of the line start in the whole stream.
+  bool next_line(std::string_view& line, std::size_t* offset);
+  void parse_header_line();
+
+  std::istream& in_;
+  std::string source_;
+  std::size_t batch_rows_;
+  std::size_t limit_;
+
+  std::string buffer_;
+  std::size_t pos_ = 0;          // consumed prefix of buffer_
+  std::size_t base_offset_ = 0;  // stream offset of buffer_[0]
+  bool eof_ = false;
+
+  bool header_parsed_ = false;
+  csvdec::ColumnLayout layout_;
+  bool canonical_ = false;
+  std::size_t rows_ = 0;
+  // Deferred malformed-row error: the valid prefix of the block is delivered
+  // first, then the next call throws this.
+  std::string pending_error_;
+};
+
+}  // namespace dpg

@@ -9,6 +9,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "trace/csv_decode.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -44,86 +45,6 @@ void append_request_row(std::string& out, const Request& r) {
   out.push_back('\n');
 }
 
-/// Splits the next line off `rest` (without the trailing '\n' / "\r\n").
-std::string_view next_line(std::string_view& rest) {
-  const std::size_t newline = rest.find('\n');
-  std::string_view line;
-  if (newline == std::string_view::npos) {
-    line = rest;
-    rest = {};
-  } else {
-    line = rest.substr(0, newline);
-    rest.remove_prefix(newline + 1);
-  }
-  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
-  return line;
-}
-
-/// Strips one layer of plain surrounding double quotes.
-std::string_view strip_quotes(std::string_view field) noexcept {
-  if (field.size() >= 2 && field.front() == '"' && field.back() == '"') {
-    return field.substr(1, field.size() - 2);
-  }
-  return field;
-}
-
-/// Positions of the server/time/items columns in the header row.
-struct ColumnLayout {
-  std::size_t server = 0;
-  std::size_t time = 0;
-  std::size_t items = 0;
-  std::size_t column_count = 0;
-};
-
-/// Hot-path numeric parsing: straight from_chars, falling back to the
-/// shared parse_size/parse_double (which trim, then throw IoError with the
-/// offending text) only when the fast path does not consume the field.
-std::size_t fast_parse_size(std::string_view field) {
-  std::size_t value = 0;
-  const auto [ptr, ec] =
-      std::from_chars(field.data(), field.data() + field.size(), value);
-  if (ec == std::errc{} && ptr == field.data() + field.size()) return value;
-  return parse_size(field);
-}
-
-double fast_parse_double(std::string_view field) {
-  double value = 0.0;
-  const auto [ptr, ec] =
-      std::from_chars(field.data(), field.data() + field.size(), value);
-  if (ec == std::errc{} && ptr == field.data() + field.size()) return value;
-  return parse_double(field);
-}
-
-ColumnLayout parse_header(std::string_view header_line) {
-  ColumnLayout layout;
-  bool have_server = false, have_time = false, have_items = false;
-  std::size_t column = 0;
-  std::string_view rest = header_line;
-  while (true) {
-    const std::size_t comma = rest.find(',');
-    const std::string_view name = strip_quotes(
-        comma == std::string_view::npos ? rest : rest.substr(0, comma));
-    if (name == "server") {
-      layout.server = column;
-      have_server = true;
-    } else if (name == "time") {
-      layout.time = column;
-      have_time = true;
-    } else if (name == "items") {
-      layout.items = column;
-      have_items = true;
-    }
-    ++column;
-    if (comma == std::string_view::npos) break;
-    rest.remove_prefix(comma + 1);
-  }
-  layout.column_count = column;
-  if (!have_server) throw IoError("CSV: no column named 'server'");
-  if (!have_time) throw IoError("CSV: no column named 'time'");
-  if (!have_items) throw IoError("CSV: no column named 'items'");
-  return layout;
-}
-
 }  // namespace
 
 std::string trace_to_csv(const RequestSequence& sequence) {
@@ -150,7 +71,8 @@ RequestSequence trace_from_csv(std::string_view text,
     return source.empty() ? std::string("CSV") : std::string(source);
   };
   std::string_view rest = text;
-  const ColumnLayout layout = parse_header(next_line(rest));
+  const csvdec::ColumnLayout layout =
+      csvdec::parse_header(csvdec::next_line(rest));
 
   // Size the flat arrays from the caller's hints when given, else from two
   // vectorized pre-count sweeps: rows from newlines, item ids from ';'
@@ -176,70 +98,25 @@ RequestSequence trace_from_csv(std::string_view text,
   std::size_t rows = 0;
 
   // The canonical layout (what trace_to_csv writes) gets a two-find fast
-  // path; any other column order takes the generic field walk below.
-  const bool canonical = layout.server == 0 && layout.time == 1 &&
-                         layout.items == 2 && layout.column_count == 3;
+  // path inside split_row; any other column order takes its generic walk.
+  const bool canonical = layout.canonical();
 
   while (!rest.empty()) {
-    const std::string_view line = next_line(rest);
+    const std::string_view line = csvdec::next_line(rest);
     if (line.empty()) continue;
     try {
-      std::string_view server_field, time_field, items_field;
-      if (canonical) {
-        const std::size_t c1 = line.find(',');
-        const std::size_t c2 =
-            c1 == std::string_view::npos ? c1 : line.find(',', c1 + 1);
-        if (c2 == std::string_view::npos ||
-            line.find(',', c2 + 1) != std::string_view::npos) {
-          throw IoError("row does not have 3 fields");
-        }
-        server_field = line.substr(0, c1);
-        time_field = line.substr(c1 + 1, c2 - c1 - 1);
-        items_field = line.substr(c2 + 1);
-      } else {
-        // Walk the row's fields once, capturing the three interesting slices.
-        std::size_t column = 0;
-        std::string_view row_rest = line;
-        while (true) {
-          const std::size_t comma = row_rest.find(',');
-          const std::string_view field = comma == std::string_view::npos
-                                             ? row_rest
-                                             : row_rest.substr(0, comma);
-          if (column == layout.server) {
-            server_field = field;
-          } else if (column == layout.time) {
-            time_field = field;
-          } else if (column == layout.items) {
-            items_field = field;
-          }
-          ++column;
-          if (comma == std::string_view::npos) break;
-          row_rest.remove_prefix(comma + 1);
-        }
-        if (column != layout.column_count) {
-          throw IoError("row has " + std::to_string(column) +
-                        " fields, header has " +
-                        std::to_string(layout.column_count));
-        }
-      }
-
-      const auto server =
-          static_cast<ServerId>(fast_parse_size(strip_quotes(server_field)));
-      const Time time = fast_parse_double(strip_quotes(time_field));
+      const csvdec::RowFields fields =
+          csvdec::split_row(line, layout, canonical);
+      const auto server = static_cast<ServerId>(
+          csvdec::fast_parse_size(csvdec::strip_quotes(fields.server)));
+      const Time time =
+          csvdec::fast_parse_double(csvdec::strip_quotes(fields.time));
       server_count = std::max<std::size_t>(server_count, server + 1);
       builder.begin_request(server, time);
-      std::string_view items_rest = strip_quotes(items_field);
-      while (!items_rest.empty()) {
-        const std::size_t semicolon = items_rest.find(';');
-        const std::string_view field = semicolon == std::string_view::npos
-                                           ? items_rest
-                                           : items_rest.substr(0, semicolon);
-        const auto item = static_cast<ItemId>(fast_parse_size(field));
+      csvdec::parse_item_list(fields.items, [&](ItemId item) {
         item_count = std::max<std::size_t>(item_count, item + 1);
         builder.push_item(item);
-        if (semicolon == std::string_view::npos) break;
-        items_rest.remove_prefix(semicolon + 1);
-      }
+      });
       builder.end_request();  // sorts + deduplicates the row's item ids
     } catch (const Error& e) {
       // Re-throw with full provenance: which file, which data row, and the
@@ -359,13 +236,12 @@ void CsvStreamReader::parse_header_line() {
   }
   std::string_view header = line_;
   if (!header.empty() && header.back() == '\r') header.remove_suffix(1);
-  const ColumnLayout layout = parse_header(header);
+  const csvdec::ColumnLayout layout = csvdec::parse_header(header);
   server_col_ = layout.server;
   time_col_ = layout.time;
   items_col_ = layout.items;
   column_count_ = layout.column_count;
-  canonical_ = layout.server == 0 && layout.time == 1 && layout.items == 2 &&
-               layout.column_count == 3;
+  canonical_ = layout.canonical();
 }
 
 bool CsvStreamReader::next(CsvStreamRow& row) {
@@ -375,58 +251,19 @@ bool CsvStreamReader::next(CsvStreamRow& row) {
     if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
     if (line.empty()) continue;
     try {
-      std::string_view server_field, time_field, items_field;
-      if (canonical_) {
-        const std::size_t c1 = line.find(',');
-        const std::size_t c2 =
-            c1 == std::string_view::npos ? c1 : line.find(',', c1 + 1);
-        if (c2 == std::string_view::npos ||
-            line.find(',', c2 + 1) != std::string_view::npos) {
-          throw IoError("row does not have 3 fields");
-        }
-        server_field = line.substr(0, c1);
-        time_field = line.substr(c1 + 1, c2 - c1 - 1);
-        items_field = line.substr(c2 + 1);
-      } else {
-        std::size_t column = 0;
-        std::string_view row_rest = line;
-        while (true) {
-          const std::size_t comma = row_rest.find(',');
-          const std::string_view field = comma == std::string_view::npos
-                                             ? row_rest
-                                             : row_rest.substr(0, comma);
-          if (column == server_col_) {
-            server_field = field;
-          } else if (column == time_col_) {
-            time_field = field;
-          } else if (column == items_col_) {
-            items_field = field;
-          }
-          ++column;
-          if (comma == std::string_view::npos) break;
-          row_rest.remove_prefix(comma + 1);
-        }
-        if (column != column_count_) {
-          throw IoError("row has " + std::to_string(column) +
-                        " fields, header has " +
-                        std::to_string(column_count_));
-        }
-      }
-
-      row.server =
-          static_cast<ServerId>(fast_parse_size(strip_quotes(server_field)));
-      row.time = fast_parse_double(strip_quotes(time_field));
+      csvdec::ColumnLayout layout;
+      layout.server = server_col_;
+      layout.time = time_col_;
+      layout.items = items_col_;
+      layout.column_count = column_count_;
+      const csvdec::RowFields fields =
+          csvdec::split_row(line, layout, canonical_);
+      row.server = static_cast<ServerId>(
+          csvdec::fast_parse_size(csvdec::strip_quotes(fields.server)));
+      row.time = csvdec::fast_parse_double(csvdec::strip_quotes(fields.time));
       row.items.clear();
-      std::string_view items_rest = strip_quotes(items_field);
-      while (!items_rest.empty()) {
-        const std::size_t semicolon = items_rest.find(';');
-        const std::string_view field = semicolon == std::string_view::npos
-                                           ? items_rest
-                                           : items_rest.substr(0, semicolon);
-        row.items.push_back(static_cast<ItemId>(fast_parse_size(field)));
-        if (semicolon == std::string_view::npos) break;
-        items_rest.remove_prefix(semicolon + 1);
-      }
+      csvdec::parse_item_list(
+          fields.items, [&](ItemId item) { row.items.push_back(item); });
       std::sort(row.items.begin(), row.items.end());
       row.items.erase(std::unique(row.items.begin(), row.items.end()),
                       row.items.end());

@@ -1,0 +1,547 @@
+// The pipelined ingest path: SpscRing, RequestBlock, the block readers,
+// push_batch, and run_serve_pipeline.
+//
+// The load-bearing guarantee is bit-identity: at every batch size, the
+// engine state after push_batch — final report AND every intermediate
+// snapshot, down to the steady-state allocation counter — equals the
+// per-push engine exactly.  The pipeline buys throughput by amortizing
+// overhead, never by changing arithmetic.
+//
+// The concurrency suites (SpscRing.*, StreamingPipeline.*) run under TSan
+// in CI alongside StreamingEngine.*.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dpgreedy.hpp"
+#include "test_support.hpp"
+
+namespace dpg {
+namespace {
+
+// Same fixture as streaming_engine_test.cpp: skewed Zipf popularity with
+// correlated partner pulls, so epoch re-pairing actually fires.
+RequestSequence golden_trace() {
+  Rng rng(77);
+  ZipfTraceConfig config;
+  config.server_count = 12;
+  config.item_count = 20;
+  config.request_count = 3000;
+  return generate_zipf_trace(config, rng);
+}
+
+const CostModel kModel{/*mu=*/1.0, /*lambda=*/1.0, /*alpha=*/0.8};
+
+OnlineDpGreedyOptions grid_options(std::size_t window, std::size_t repack) {
+  OnlineDpGreedyOptions options;
+  options.theta = 0.4;
+  options.window = window;
+  options.repack_interval = repack;
+  return options;
+}
+
+// The same full-precision goldens streaming_engine_test.cpp locks the
+// per-push path against.
+struct GoldenPoint {
+  std::size_t window;
+  std::size_t repack;
+  double total_cost;
+};
+const GoldenPoint kGoldens[] = {
+    {8, 1, 14958.483180793215},   {8, 10, 27063.124579415682},
+    {8, 50, 31447.265805422317},  {50, 1, 20069.8921332885},
+    {50, 10, 23070.892026151188}, {50, 50, 24267.762421796473},
+    {200, 1, 24953.503597318482}, {200, 10, 25077.374114509668},
+    {200, 50, 25376.592943394997},
+};
+
+const std::size_t kBatchSizes[] = {1, 7, 64, 4096};
+
+void expect_snapshots_equal(const StreamingSnapshot& a,
+                            const StreamingSnapshot& b,
+                            const std::string& label) {
+  EXPECT_EQ(a.report.total_cost, b.report.total_cost) << label;
+  EXPECT_EQ(a.report.transfer_cost, b.report.transfer_cost) << label;
+  EXPECT_EQ(a.report.ave_cost, b.report.ave_cost) << label;
+  EXPECT_EQ(a.report.package_count, b.report.package_count) << label;
+  EXPECT_EQ(a.report.unpack_events, b.report.unpack_events) << label;
+  EXPECT_EQ(a.report.transfer_events, b.report.transfer_events) << label;
+  EXPECT_EQ(a.delta.total_cost, b.delta.total_cost) << label;
+  EXPECT_EQ(a.requests, b.requests) << label;
+  EXPECT_EQ(a.epoch, b.epoch) << label;
+  EXPECT_EQ(a.live_packages, b.live_packages) << label;
+  EXPECT_EQ(a.item_count, b.item_count) << label;
+  EXPECT_EQ(a.online_probe_cost, b.online_probe_cost) << label;
+  EXPECT_EQ(a.offline_probe_cost, b.offline_probe_cost) << label;
+  EXPECT_EQ(a.cost_ratio, b.cost_ratio) << label;
+  EXPECT_EQ(a.probe_chunks, b.probe_chunks) << label;
+  EXPECT_EQ(a.state_alloc_events, b.state_alloc_events) << label;
+}
+
+// ---------------------------------------------------------------------------
+// RequestBlock
+
+TEST(RequestBlock, OwnedRowsCanonicalizeLikeSequenceBuilder) {
+  RequestBlock block;
+  block.append_row(3, 1.0, std::vector<ItemId>{5, 1, 5, 3, 1});
+  block.append_row(0, 2.0, std::vector<ItemId>{9, 2});
+  block.append_row(1, 3.0, std::vector<ItemId>{4, 4});
+  block.append_row(2, 4.0, std::vector<ItemId>{});
+  ASSERT_EQ(block.size(), 4u);
+  EXPECT_EQ(block.total_items(), 6u);
+  const std::vector<ItemId> row0(block.items_of(0).begin(),
+                                 block.items_of(0).end());
+  EXPECT_EQ(row0, (std::vector<ItemId>{1, 3, 5}));
+  const std::vector<ItemId> row1(block.items_of(1).begin(),
+                                 block.items_of(1).end());
+  EXPECT_EQ(row1, (std::vector<ItemId>{2, 9}));
+  EXPECT_EQ(block.items_of(2).size(), 1u);  // {4,4} dedups
+  EXPECT_TRUE(block.items_of(3).empty());
+  EXPECT_EQ(block.server_of(0), 3u);
+  EXPECT_EQ(block.time_of(1), 2.0);
+
+  block.clear();
+  EXPECT_TRUE(block.empty());
+  block.append_row(7, 9.0, std::vector<ItemId>{0});
+  EXPECT_EQ(block.size(), 1u);
+  EXPECT_EQ(block.server_of(0), 7u);
+}
+
+TEST(RequestBlock, AdoptViewsSequenceColumnsWithAbsoluteOffsets) {
+  const RequestSequence trace = golden_trace();
+  const SequenceColumns columns = trace.columns();
+  const std::size_t pos = 100, n = 50;
+  RequestBlock block;
+  block.adopt(columns.servers.subspan(pos, n), columns.times.subspan(pos, n),
+              columns.item_offsets.subspan(pos, n + 1), columns.items_pool);
+  ASSERT_EQ(block.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Request r = trace[pos + i];
+    EXPECT_EQ(block.server_of(i), r.server);
+    EXPECT_EQ(block.time_of(i), r.time);
+    ASSERT_EQ(block.items_of(i).size(), r.items.size());
+    for (std::size_t j = 0; j < r.items.size(); ++j) {
+      EXPECT_EQ(block.items_of(i)[j], r.items[j]);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Block readers
+
+void expect_blocks_replay_trace(BlockSource& source,
+                                const RequestSequence& trace,
+                                std::size_t expected_rows) {
+  RequestBlock block;
+  std::size_t row = 0;
+  while (source.next(block)) {
+    for (std::size_t i = 0; i < block.size(); ++i, ++row) {
+      ASSERT_LT(row, expected_rows);
+      const Request r = trace[row];
+      ASSERT_EQ(block.server_of(i), r.server) << "row " << row;
+      ASSERT_EQ(block.time_of(i), r.time) << "row " << row;
+      ASSERT_TRUE(std::equal(block.items_of(i).begin(),
+                             block.items_of(i).end(), r.items.begin(),
+                             r.items.end()))
+          << "row " << row;
+    }
+  }
+  EXPECT_EQ(row, expected_rows);
+  EXPECT_TRUE(block.empty());  // next() leaves the block empty at EOF
+}
+
+TEST(BlockReader, SequenceReaderReplaysEveryRowAtEveryBatchSize) {
+  const RequestSequence trace = golden_trace();
+  for (const std::size_t batch : kBatchSizes) {
+    SequenceBlockReader reader(trace, batch);
+    expect_blocks_replay_trace(reader, trace, trace.size());
+  }
+}
+
+TEST(BlockReader, CsvReaderReplaysEveryRowAtEveryBatchSize) {
+  const RequestSequence trace = golden_trace();
+  const std::string csv = trace_to_csv(trace);
+  for (const std::size_t batch : kBatchSizes) {
+    std::istringstream in(csv);
+    CsvBlockReader reader(in, "golden.csv", batch);
+    expect_blocks_replay_trace(reader, trace, trace.size());
+    EXPECT_EQ(reader.rows(), trace.size());
+  }
+}
+
+TEST(BlockReader, LimitTruncatesTheStream) {
+  const RequestSequence trace = golden_trace();
+  SequenceBlockReader seq_reader(trace, 64, /*limit=*/100);
+  expect_blocks_replay_trace(seq_reader, trace, 100);
+
+  const std::string csv = trace_to_csv(trace);
+  std::istringstream in(csv);
+  CsvBlockReader csv_reader(in, "golden.csv", 64, /*limit=*/100);
+  expect_blocks_replay_trace(csv_reader, trace, 100);
+}
+
+TEST(BlockReader, MalformedRowDeliversValidPrefixThenThrowsWithProvenance) {
+  // 10 good rows, then garbage: the reader must hand over the 10 decoded
+  // rows first, then raise IoError with path + row + byte offset.
+  std::string csv = "server,time,items\n";
+  for (int i = 0; i < 10; ++i) {
+    csv += std::to_string(i % 3) + "," + std::to_string(i + 1) + ".0,0;1\n";
+  }
+  const std::size_t bad_offset = csv.size();
+  csv += "this is not a row\n";
+  csv += "0,99.0,2\n";
+
+  std::istringstream in(csv);
+  CsvBlockReader reader(in, "bad.csv", /*batch_rows=*/64);
+  RequestBlock block;
+  ASSERT_TRUE(reader.next(block));
+  EXPECT_EQ(block.size(), 10u);
+  try {
+    reader.next(block);
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bad.csv"), std::string::npos) << what;
+    EXPECT_NE(what.find("row 11"), std::string::npos) << what;
+    EXPECT_NE(what.find("byte offset " + std::to_string(bad_offset)),
+              std::string::npos)
+        << what;
+  }
+}
+
+TEST(BlockReader, MalformedFirstRowThrowsImmediately) {
+  std::istringstream in("server,time,items\nnot,a\n");
+  CsvBlockReader reader(in, "bad.csv", 64);
+  RequestBlock block;
+  EXPECT_THROW((void)reader.next(block), IoError);
+}
+
+// ---------------------------------------------------------------------------
+// SpscRing
+
+TEST(SpscRing, RoundsCapacityUpToAPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(5).capacity(), 8u);
+  EXPECT_EQ(SpscRing<int>(8).capacity(), 8u);
+}
+
+TEST(SpscRing, TryVariantsReportFullAndEmpty) {
+  SpscRing<int> ring(2);
+  int v = 1;
+  EXPECT_TRUE(ring.try_push(v));
+  v = 2;
+  EXPECT_TRUE(ring.try_push(v));
+  v = 3;
+  EXPECT_FALSE(ring.try_push(v));  // full
+  EXPECT_EQ(v, 3);                 // left intact
+  int out = 0;
+  EXPECT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 2);
+  EXPECT_FALSE(ring.try_pop(out));  // empty
+}
+
+TEST(SpscRing, CloseDrainsPendingElementsThenEndsTheStream) {
+  SpscRing<int> ring(4);
+  for (int i = 0; i < 3; ++i) {
+    int v = i;
+    ASSERT_TRUE(ring.try_push(v));
+  }
+  ring.close();
+  int v = 99;
+  EXPECT_FALSE(ring.try_push(v));  // no pushes after close
+  int out = -1;
+  EXPECT_TRUE(ring.pop(out));
+  EXPECT_EQ(out, 0);
+  EXPECT_TRUE(ring.pop(out));
+  EXPECT_TRUE(ring.pop(out));
+  EXPECT_EQ(out, 2);
+  EXPECT_FALSE(ring.pop(out));  // closed and drained
+}
+
+TEST(SpscRing, TransfersInOrderAcrossThreadsUnderBackpressure) {
+  // Tiny ring + fast producer: both sides hit their blocking paths.  Run
+  // under TSan in CI.
+  constexpr int kCount = 20000;
+  SpscRing<int> ring(4);
+  std::thread producer([&] {
+    for (int i = 0; i < kCount; ++i) {
+      int v = i;
+      ASSERT_TRUE(ring.push(v));
+    }
+    ring.close();
+  });
+  int expected = 0;
+  int out = 0;
+  while (ring.pop(out)) {
+    ASSERT_EQ(out, expected);
+    ++expected;
+  }
+  producer.join();
+  EXPECT_EQ(expected, kCount);
+  // With a 4-slot ring and 20k elements, somebody must have waited.
+  EXPECT_GT(ring.push_blocked() + ring.pop_blocked(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// push_batch bit-identity
+
+TEST(StreamingPipeline, PushBatchBitIdenticalAcrossGridAndBatchSizes) {
+  const RequestSequence trace = golden_trace();
+  for (const GoldenPoint& point : kGoldens) {
+    for (const std::size_t batch : kBatchSizes) {
+      StreamingOptions options;
+      options.online = grid_options(point.window, point.repack);
+      options.item_count_hint = trace.item_count();
+      StreamingEngine batched(kModel, options);
+      StreamingEngine reference(kModel, options);
+      const std::string label = "window=" + std::to_string(point.window) +
+                                " repack=" + std::to_string(point.repack) +
+                                " batch=" + std::to_string(batch);
+
+      SequenceBlockReader reader(trace, batch);
+      RequestBlock block;
+      std::size_t row = 0;
+      while (reader.next(block)) {
+        batched.push_batch(block);
+        for (std::size_t i = 0; i < block.size(); ++i, ++row) {
+          const Request r = trace[row];
+          reference.push(r.server, r.time, r.items);
+        }
+        // Every intermediate snapshot must agree, not just the final books.
+        expect_snapshots_equal(batched.snapshot(), reference.snapshot(),
+                               label + " @" + std::to_string(row));
+      }
+      const RunReport batched_final = batched.finish();
+      const RunReport reference_final = reference.finish();
+      EXPECT_EQ(batched_final.total_cost, point.total_cost) << label;
+      EXPECT_EQ(batched_final.total_cost, reference_final.total_cost) << label;
+      EXPECT_EQ(batched_final.transfer_cost, reference_final.transfer_cost)
+          << label;
+      EXPECT_EQ(batched_final.package_count, reference_final.package_count)
+          << label;
+      EXPECT_EQ(batched_final.unpack_events, reference_final.unpack_events)
+          << label;
+      EXPECT_EQ(batched_final.transfer_events, reference_final.transfer_events)
+          << label;
+    }
+  }
+}
+
+TEST(StreamingPipeline, PushBatchInterleavesTheRatioProbeIdentically) {
+  // With the probe armed, push_batch must buffer per row so offline solves
+  // fire at the exact same request boundaries as per-push.
+  const RequestSequence trace = golden_trace();
+  for (const std::size_t batch : kBatchSizes) {
+    StreamingOptions options;
+    options.online = grid_options(50, 10);
+    options.item_count_hint = trace.item_count();
+    options.probe_chunk = 700;  // deliberately not a batch multiple
+    StreamingEngine batched(kModel, options);
+    StreamingEngine reference(kModel, options);
+
+    SequenceBlockReader reader(trace, batch);
+    RequestBlock block;
+    while (reader.next(block)) batched.push_batch(block);
+    for (const Request& r : trace.requests()) {
+      reference.push(r.server, r.time, r.items);
+    }
+    expect_snapshots_equal(batched.snapshot(), reference.snapshot(),
+                           "probe batch=" + std::to_string(batch));
+    EXPECT_EQ(batched.finish().total_cost, reference.finish().total_cost);
+    EXPECT_EQ(batched.probe_chunks(), reference.probe_chunks());
+    EXPECT_EQ(batched.cost_ratio(), reference.cost_ratio());
+  }
+}
+
+TEST(StreamingPipeline, AdvanceBatchMatchesPerPointAdvance) {
+  Rng rng(9);
+  std::vector<ServicePoint> points;
+  Time t = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    points.push_back(
+        ServicePoint{static_cast<ServerId>(rng.next_int(0, 7)),
+                     t += 0.25 * static_cast<double>(rng.next_int(1, 5))});
+  }
+  OnlineOptions options;
+  OnlineBreakEvenState batched(kModel, 8, 1, options);
+  OnlineBreakEvenState reference(kModel, 8, 1, options);
+  batched.advance_batch(points);
+  for (const ServicePoint& p : points) reference.advance(p);
+  EXPECT_EQ(batched.points_served(), reference.points_served());
+  const OnlineResult a = batched.finish();
+  const OnlineResult b = reference.finish();
+  EXPECT_EQ(a.cost, b.cost);
+  EXPECT_EQ(a.transfer_count, b.transfer_count);
+  EXPECT_EQ(a.cache_time, b.cache_time);
+}
+
+// ---------------------------------------------------------------------------
+// The threaded pipeline
+
+TEST(StreamingPipeline, RunServePipelineMatchesPerPushOverSequence) {
+  const RequestSequence trace = golden_trace();
+  StreamingOptions options;
+  options.online = grid_options(50, 10);
+  options.item_count_hint = trace.item_count();
+
+  StreamingEngine piped(kModel, options);
+  SequenceBlockReader source(trace, 64);
+  ServePipelineOptions popts;
+  popts.batch_rows = 64;
+  popts.ring_capacity = 4;
+  const ServePipelineStats stats =
+      run_serve_pipeline(source, piped, popts);
+  EXPECT_EQ(stats.requests, trace.size());
+  EXPECT_EQ(stats.batches, (trace.size() + 63) / 64);
+  EXPECT_EQ(piped.finish().total_cost, 23070.892026151188);
+}
+
+TEST(StreamingPipeline, RunServePipelineMatchesPerPushOverCsv) {
+  const RequestSequence trace = golden_trace();
+  const std::string csv = trace_to_csv(trace);
+  StreamingOptions options;
+  options.online = grid_options(50, 10);
+
+  StreamingEngine piped(kModel, options);
+  std::istringstream in(csv);
+  CsvBlockReader source(in, "golden.csv", 128);
+  ServePipelineOptions popts;
+  popts.batch_rows = 128;
+  std::size_t callback_rows = 0;
+  const ServePipelineStats stats = run_serve_pipeline(
+      source, piped, popts,
+      [&](const RequestBlock& block, const StreamingDecision&,
+          std::size_t total) {
+        callback_rows += block.size();
+        EXPECT_EQ(callback_rows, total);
+      });
+  EXPECT_EQ(stats.requests, trace.size());
+  EXPECT_EQ(callback_rows, trace.size());
+  EXPECT_EQ(piped.finish().total_cost, 23070.892026151188);
+}
+
+TEST(StreamingPipeline, DecodeErrorSurfacesAfterTheValidPrefix) {
+  // A malformed row mid-stream: every request before it is ingested, then
+  // the IoError reaches the caller, who can still snapshot/finish.
+  std::string csv = "server,time,items\n";
+  for (int i = 0; i < 100; ++i) {
+    csv += std::to_string(i % 3) + "," + std::to_string(i + 1) + ".0,0;1\n";
+  }
+  csv += "garbage row\n";
+  csv += "0,999.0,2\n";
+
+  StreamingOptions options;
+  options.online = grid_options(8, 4);
+  StreamingEngine engine(kModel, options);
+  std::istringstream in(csv);
+  CsvBlockReader source(in, "bad.csv", 32);
+  ServePipelineOptions popts;
+  popts.batch_rows = 32;
+  try {
+    run_serve_pipeline(source, engine, popts);
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("bad.csv: row 101"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_EQ(engine.requests_seen(), 100u);
+  EXPECT_GT(engine.finish().total_cost, 0.0);
+}
+
+TEST(StreamingPipeline, ConcurrentBoardReadersAndScrapesUnderLoad) {
+  // The full observer stack under load: the pipeline publishes snapshots to
+  // a ReportBoard at batch granularity while (a) a reader thread copies the
+  // board and (b) HTTP scrapes hit a live ScrapeListener whose /metrics
+  // body reads the same board.  Run under TSan in CI.
+  const RequestSequence trace = golden_trace();
+  StreamingOptions options;
+  options.online = grid_options(50, 10);
+  options.item_count_hint = trace.item_count();
+  StreamingEngine engine(kModel, options);
+
+  ReportBoard board;
+  obs::ScrapeListener listener("127.0.0.1", 0, [&board] {
+    std::uint64_t version = 0;
+    const StreamingSnapshot s = board.read(&version);
+    return "requests " + std::to_string(s.requests) + "\n";
+  });
+
+  const auto scrape = [&listener](const std::string& target) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return std::string();
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(listener.port());
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    std::string response;
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      const std::string request =
+          "GET " + target + " HTTP/1.1\r\nHost: x\r\n\r\n";
+      (void)!::send(fd, request.data(), request.size(), 0);
+      char buffer[4096];
+      for (;;) {
+        const ssize_t got = ::recv(fd, buffer, sizeof(buffer), 0);
+        if (got <= 0) break;
+        response.append(buffer, static_cast<std::size_t>(got));
+      }
+    }
+    ::close(fd);
+    return response;
+  };
+
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      std::uint64_t version = 0;
+      const StreamingSnapshot s = board.read(&version);
+      if (version > 0) {
+        EXPECT_GE(s.report.total_cost, 0.0);
+      }
+      std::this_thread::yield();
+    }
+  });
+  std::thread scraper([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const std::string healthz = scrape("/healthz");
+      if (!healthz.empty()) {
+        EXPECT_NE(healthz.find("200 OK"), std::string::npos);
+      }
+      const std::string metrics = scrape("/metrics");
+      if (!metrics.empty()) {
+        EXPECT_NE(metrics.find("requests "), std::string::npos);
+      }
+    }
+  });
+
+  SequenceBlockReader source(trace, 32);
+  ServePipelineOptions popts;
+  popts.batch_rows = 32;
+  popts.ring_capacity = 4;
+  run_serve_pipeline(source, engine, popts,
+                     [&](const RequestBlock&, const StreamingDecision&,
+                         std::size_t) { board.publish(engine.snapshot()); });
+  done.store(true, std::memory_order_release);
+  reader.join();
+  scraper.join();
+  listener.stop();
+
+  EXPECT_EQ(board.read().requests, trace.size());
+  EXPECT_EQ(engine.finish().total_cost, 23070.892026151188);
+}
+
+}  // namespace
+}  // namespace dpg

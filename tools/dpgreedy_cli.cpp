@@ -10,11 +10,15 @@
 //   dpgreedy compare  --trace trace.csv [--solvers a,b,c] [--format F]
 //   dpgreedy online   --trace trace.csv ...  (online vs offline DP_Greedy)
 //   dpgreedy serve    --trace - [--snapshot-every N] [--probe-chunk N]
-//                     [--stats-every N] [--prom-out FILE]
+//                     [--stats-every N] [--prom-out FILE] [--pipeline]
+//                     [--batch N] [--ring N] [--listen HOST:PORT]
 //                     (long-lived streaming engine over a request feed;
-//                     --stats-every prints live rate/latency lines and
+//                     --stats-every prints live rate/latency lines,
 //                     --prom-out keeps an atomically-replaced Prometheus
-//                     text-format snapshot file fresh)
+//                     text-format snapshot file fresh, --pipeline decodes
+//                     on a second thread feeding push_batch over an SPSC
+//                     ring, and --listen serves GET /metrics + /healthz
+//                     from the double-buffered snapshot board)
 //
 // Every solver runs through the SolverRegistry (engine/registry.hpp), so
 // `--solver`/`--solvers` accept exactly the names `dpgreedy list` prints.
@@ -30,8 +34,10 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "dpgreedy.hpp"
@@ -499,11 +505,26 @@ int cmd_serve(int argc, const char* const* argv) {
       "write a Prometheus text-format snapshot here on every stats/snapshot "
       "cadence and at exit (atomic rename; enables telemetry)",
       "");
+  const bool* pipeline = args.add_flag(
+      "pipeline",
+      "decode on a second thread feeding push_batch over a bounded SPSC "
+      "ring (bit-identical results; see docs/streaming.md)");
+  const std::size_t* batch = args.add_size(
+      "batch", "pipeline: requests per block (the push_batch unit)", 1024);
+  const std::size_t* ring = args.add_size(
+      "ring", "pipeline: work-ring capacity in blocks", 8);
+  const std::string* listen = args.add_string(
+      "listen",
+      "serve GET /metrics and /healthz on HOST:PORT (IPv4; port 0 = "
+      "ephemeral; enables telemetry)",
+      "");
   args.parse(argc, argv);
   begin_telemetry(flags);
   // Live exposition needs the counters recording even without
   // --metrics-out/--trace-out.
-  if (*stats_every > 0 || !prom_out->empty()) obs::set_enabled(true);
+  if (*stats_every > 0 || !prom_out->empty() || !listen->empty()) {
+    obs::set_enabled(true);
+  }
 
   const CostModel model = model_of(flags);
   StreamingOptions options;
@@ -514,6 +535,47 @@ int cmd_serve(int argc, const char* const* argv) {
   options.probe_chunk = *probe_chunk;
   StreamingEngine engine(model, options);
 
+  // Published snapshots live on a double-buffered board: the serve thread
+  // publishes at snapshot cadence, and observers (the /metrics listener)
+  // copy the board without ever touching the engine mutex.
+  ReportBoard board;
+  std::unique_ptr<obs::ScrapeListener> listener;
+  if (!listen->empty()) {
+    std::string host;
+    std::uint16_t port = 0;
+    obs::parse_listen_address(*listen, &host, &port);
+    listener = std::make_unique<obs::ScrapeListener>(host, port, [&board] {
+      // The standard counter/histogram exposition, plus serve-level gauges
+      // derived from the last published snapshot (if any).  The liveness
+      // gauge comes first so a scrape is never empty — zero-valued counters
+      // are dropped from snapshots, so before the first ingested batch the
+      // standard exposition alone would be an empty body.
+      std::string body = "# TYPE dpgreedy_serve_up gauge\ndpgreedy_serve_up 1\n";
+      body += obs::prometheus_text(obs::snapshot_metrics());
+      std::uint64_t version = 0;
+      const StreamingSnapshot s = board.read(&version);
+      if (version > 0) {
+        const auto gauge = [&body](const char* name, const std::string& value) {
+          body += "# TYPE ";
+          body += name;
+          body += " gauge\n";
+          body += name;
+          body += ' ';
+          body += value;
+          body += '\n';
+        };
+        gauge("dpgreedy_serve_requests", std::to_string(s.requests));
+        gauge("dpgreedy_serve_epoch", std::to_string(s.epoch));
+        gauge("dpgreedy_serve_live_packages", std::to_string(s.live_packages));
+        gauge("dpgreedy_serve_total_cost", format_fixed(s.report.total_cost, 6));
+        gauge("dpgreedy_serve_cost_ratio", format_fixed(s.cost_ratio, 6));
+      }
+      return body;
+    });
+    std::fprintf(stderr, "serve: listening on %s:%u (/metrics, /healthz)\n",
+                 host.c_str(), static_cast<unsigned>(listener->port()));
+  }
+
   // Prometheus snapshot files are written atomically (FILE.tmp + rename),
   // so a concurrent scraper never reads a torn exposition.
   const auto write_prom = [&prom_out] {
@@ -523,8 +585,8 @@ int cmd_serve(int argc, const char* const* argv) {
     }
   };
 
-  const auto emit_snapshot = [&engine, &write_prom] {
-    const StreamingSnapshot s = engine.snapshot();
+  const auto emit_snapshot = [&engine, &write_prom, &board] {
+    StreamingSnapshot s = engine.snapshot();
     std::printf(
         "snapshot requests=%zu epoch=%zu packages=%zu items=%zu total=%s "
         "ave=%s delta=%s ratio=%s allocs=%llu\n",
@@ -536,6 +598,7 @@ int cmd_serve(int argc, const char* const* argv) {
         static_cast<unsigned long long>(s.state_alloc_events));
     std::fflush(stdout);
     write_prom();
+    board.publish(std::move(s));
   };
 
   // The live stats line: ingest rate since start plus the push-latency
@@ -544,24 +607,29 @@ int cmd_serve(int argc, const char* const* argv) {
   const Stopwatch serve_watch;
   std::size_t pushed = 0;
   const auto emit_stats = [&] {
+    // Per-push latency in plain mode, per-block latency in pipeline mode
+    // (the pipeline amortizes clock reads to one pair per block).
+    const char* hist_name = *pipeline ? "stream.batch_ns" : "stream.push_ns";
+    const char* kind = *pipeline ? "batch" : "push";
     const obs::MetricsSnapshot m = obs::snapshot_metrics();
-    const obs::HistogramData* push_ns = nullptr;
+    const obs::HistogramData* latency = nullptr;
     for (const auto& [name, data] : m.histograms) {
-      if (name == "stream.push_ns") push_ns = &data;
+      if (name == hist_name) latency = &data;
     }
     const obs::HistogramData empty;
-    if (push_ns == nullptr) push_ns = &empty;
+    if (latency == nullptr) latency = &empty;
     const double elapsed = serve_watch.elapsed_seconds();
     std::printf(
         "stats requests=%zu elapsed_s=%s rate_rps=%.0f epoch=%zu "
-        "push_p50_ns=%llu push_p99_ns=%llu\n",
+        "%s_p50_ns=%llu %s_p99_ns=%llu\n",
         pushed, format_fixed(elapsed, 3).c_str(),
         elapsed > 0.0 ? static_cast<double>(pushed) / elapsed : 0.0,
-        engine.epoch(),
+        engine.epoch(), kind,
         static_cast<unsigned long long>(
-            obs::histogram_quantile_upper(*push_ns, 0.50)),
+            obs::histogram_quantile_upper(*latency, 0.50)),
+        kind,
         static_cast<unsigned long long>(
-            obs::histogram_quantile_upper(*push_ns, 0.99)));
+            obs::histogram_quantile_upper(*latency, 0.99)));
     std::fflush(stdout);
     write_prom();
   };
@@ -576,26 +644,76 @@ int cmd_serve(int argc, const char* const* argv) {
     return *max_requests == 0 || pushed < *max_requests;
   };
 
-  if (is_dpt_path(*flags.trace)) {
-    // Binary traces mmap in zero-copy; iterate the mapped columns.
-    const RequestSequence trace = read_trace_auto(*flags.trace);
-    for (const Request& r : trace.requests()) {
-      if (!push_one(r.server, r.time, r.items)) break;
+  // A malformed trace mid-stream must not vaporize what was already
+  // ingested: report the error (path + row/byte offset) on one line, then
+  // fall through to finish() so the final snapshot covers every request
+  // pushed before the bad row, and exit nonzero.
+  bool feed_failed = false;
+  try {
+    if (*pipeline) {
+      // Two-stage pipeline: a decode thread fills blocks and hands them
+      // over an SPSC ring; this thread consumes them via push_batch.
+      // Snapshot/stats cadences fire at the first batch boundary at or
+      // past each cadence point.
+      ServePipelineOptions popts;
+      popts.batch_rows = *batch;
+      popts.ring_capacity = *ring;
+      std::size_t next_snapshot = *snapshot_every;
+      std::size_t next_stats = *stats_every;
+      const ServeBatchCallback on_batch =
+          [&](const RequestBlock&, const StreamingDecision&,
+              std::size_t total) {
+            pushed = total;
+            if (*snapshot_every > 0 && total >= next_snapshot) {
+              emit_snapshot();
+              while (next_snapshot <= total) next_snapshot += *snapshot_every;
+            }
+            if (*stats_every > 0 && total >= next_stats) {
+              emit_stats();
+              while (next_stats <= total) next_stats += *stats_every;
+            }
+          };
+      if (is_dpt_path(*flags.trace)) {
+        // Binary traces mmap in zero-copy; blocks view the mapped columns.
+        const RequestSequence trace = read_trace_auto(*flags.trace);
+        SequenceBlockReader source(trace, *batch, *max_requests);
+        run_serve_pipeline(source, engine, popts, on_batch);
+      } else {
+        std::ifstream file;
+        const bool from_stdin = *flags.trace == "-";
+        if (!from_stdin) {
+          file.open(*flags.trace, std::ios::binary);
+          if (!file) throw IoError("cannot open trace file: " + *flags.trace);
+        }
+        CsvBlockReader source(from_stdin ? std::cin : file,
+                              from_stdin ? "<stdin>" : *flags.trace, *batch,
+                              *max_requests);
+        run_serve_pipeline(source, engine, popts, on_batch);
+      }
+    } else if (is_dpt_path(*flags.trace)) {
+      // Binary traces mmap in zero-copy; iterate the mapped columns.
+      const RequestSequence trace = read_trace_auto(*flags.trace);
+      for (const Request& r : trace.requests()) {
+        if (!push_one(r.server, r.time, r.items)) break;
+      }
+    } else {
+      // CSV file or stdin: line-at-a-time, bounded memory.
+      std::ifstream file;
+      const bool from_stdin = *flags.trace == "-";
+      if (!from_stdin) {
+        file.open(*flags.trace, std::ios::binary);
+        if (!file) throw IoError("cannot open trace file: " + *flags.trace);
+      }
+      CsvStreamReader reader(from_stdin ? std::cin : file,
+                             from_stdin ? "<stdin>" : *flags.trace);
+      CsvStreamRow row;
+      while (reader.next(row)) {
+        if (!push_one(row.server, row.time, row.items)) break;
+      }
     }
-  } else {
-    // CSV file or stdin: line-at-a-time, bounded memory.
-    std::ifstream file;
-    const bool from_stdin = *flags.trace == "-";
-    if (!from_stdin) {
-      file.open(*flags.trace, std::ios::binary);
-      if (!file) throw IoError("cannot open trace file: " + *flags.trace);
-    }
-    CsvStreamReader reader(from_stdin ? std::cin : file,
-                           from_stdin ? "<stdin>" : *flags.trace);
-    CsvStreamRow row;
-    while (reader.next(row)) {
-      if (!push_one(row.server, row.time, row.items)) break;
-    }
+  } catch (const Error& error) {
+    std::fprintf(stderr, "dpgreedy serve: %s\n", error.what());
+    feed_failed = true;
   }
 
   const RunReport report = engine.finish();
@@ -607,8 +725,9 @@ int cmd_serve(int argc, const char* const* argv) {
       report.package_count, report.unpack_events,
       format_fixed(engine.cost_ratio(), 3).c_str(), engine.probe_chunks());
   write_prom();  // final exposition covers the whole run
+  if (listener) listener->stop();
   finish_telemetry(flags);
-  return 0;
+  return feed_failed ? 1 : 0;
 }
 
 void usage() {
