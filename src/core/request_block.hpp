@@ -120,6 +120,18 @@ class RequestBlock {
     item_offsets_.push_back(items_pool_.size());
   }
 
+  /// Discards a half-open row (begin_row without end_row), restoring the
+  /// block to its state before begin_row.  No-op when no row is open.  This
+  /// is how the decode stage drops a row whose server/time parsed but whose
+  /// item list turned out malformed, without poisoning the valid prefix.
+  void abort_row() noexcept {
+    if (!row_open_) return;
+    row_open_ = false;
+    servers_.pop_back();
+    times_.pop_back();
+    items_pool_.resize(item_offsets_.back());  // non-empty since begin_row
+  }
+
   /// Convenience for tests and small fixtures (canonicalizes via end_row).
   void append_row(ServerId server, Time time, std::span<const ItemId> items) {
     begin_row(server, time);
@@ -172,6 +184,13 @@ class BlockSource {
   /// Fills `block` (clearing/overwriting previous contents) with the next
   /// chunk.  Returns true if at least one row was produced.  Throws
   /// IoError/FormatError with source provenance on malformed input.
+  ///
+  /// Must not block indefinitely: run_serve_pipeline's error path joins the
+  /// decode thread, which waits for the in-flight next() to return — a
+  /// source that parks forever on stream IO (e.g. a FIFO that never
+  /// produces data or EOF) turns any engine-side exception into a hang.
+  /// Sources over potentially-idle streams should poll with a timeout or
+  /// bound their reads.
   virtual bool next(RequestBlock& block) = 0;
 };
 

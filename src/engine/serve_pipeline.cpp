@@ -73,7 +73,9 @@ ServePipelineStats run_serve_pipeline(BlockSource& source,
     }
   } catch (...) {
     // Unblock a decoder stuck pushing into a full work ring or popping an
-    // empty free ring, then re-raise on the caller's thread.
+    // empty free ring, then re-raise on the caller's thread.  (A decoder
+    // parked inside source.next() on stream IO is not interruptible — see
+    // the BlockSource::next contract in core/request_block.hpp.)
     work.close();
     free_blocks.close();
     decoder.join();

@@ -29,6 +29,12 @@
 // caller's thread after the producer joins.  The caller can then snapshot
 // or finish() the engine to flush what was ingested.
 //
+// The reverse direction — an exception thrown by push_batch or on_batch on
+// the engine thread — closes both rings (unblocking any ring wait) and
+// joins the decoder before rethrowing.  Closing a ring cannot interrupt a
+// source parked inside next() on stream IO, which is why BlockSource::next
+// (core/request_block.hpp) must not block indefinitely.
+//
 // Snapshots stay off this hot path via ReportBoard: the consumer publishes
 // a StreamingSnapshot at batch granularity (double-buffered swap under a
 // briefly-held mutex), and observers — the stats printer, --prom-out, the

@@ -6,7 +6,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <string_view>
 #include <utility>
@@ -18,10 +20,16 @@ namespace dpg::obs {
 
 namespace {
 
-// Accept-loop poll granularity: the upper bound on stop() latency.
+// Accept-loop poll granularity: the upper bound on stop() latency while
+// idle.
 constexpr int kPollMs = 200;
 // A scrape request is one short header block; anything bigger is bogus.
 constexpr std::size_t kMaxRequestBytes = 8192;
+// Total wall-clock budget for reading one request's headers.  Connections
+// are served serially on the accept thread, so without this a client
+// trickling one byte per poll round would starve other scrapers (and delay
+// stop()) for up to kMaxRequestBytes rounds.
+constexpr int kRequestDeadlineMs = 2000;
 
 void send_all(int fd, std::string_view data) {
   while (!data.empty()) {
@@ -130,12 +138,23 @@ void ScrapeListener::run() {
 }
 
 void ScrapeListener::handle_connection(int fd) {
-  // Read until the header terminator; scrape requests have no body.
+  // Read until the header terminator; scrape requests have no body.  The
+  // whole read shares one deadline (kRequestDeadlineMs), not just each poll.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(kRequestDeadlineMs);
   std::string request;
   while (request.size() < kMaxRequestBytes &&
          request.find("\r\n\r\n") == std::string::npos) {
+    const auto remaining_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - std::chrono::steady_clock::now())
+            .count();
+    if (remaining_ms <= 0) break;
     pollfd pfd{fd, POLLIN, 0};
-    if (::poll(&pfd, 1, kPollMs * 5) <= 0) break;
+    if (::poll(&pfd, 1, static_cast<int>(std::min<long long>(
+                            remaining_ms, kPollMs * 5))) <= 0) {
+      break;
+    }
     char buffer[1024];
     const ssize_t got = ::recv(fd, buffer, sizeof(buffer), 0);
     if (got <= 0) break;

@@ -139,6 +139,9 @@ bool CsvBlockReader::next(RequestBlock& block) {
                               [&](ItemId item) { block.push_item(item); });
       block.end_row();  // sorts + deduplicates — push_batch relies on it
     } catch (const Error& e) {
+      // An item-list error lands after begin_row: drop the half-open row so
+      // the delivered block holds only complete rows.
+      block.abort_row();
       // Keep every valid row decoded so far: deliver the partial block now
       // and re-throw on the next call, so the engine ingests exactly the
       // requests before the malformed row — same as the per-push path.

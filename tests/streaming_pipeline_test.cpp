@@ -117,6 +117,34 @@ TEST(RequestBlock, OwnedRowsCanonicalizeLikeSequenceBuilder) {
   EXPECT_EQ(block.server_of(0), 7u);
 }
 
+TEST(RequestBlock, AbortRowDiscardsTheHalfOpenRowOnly) {
+  RequestBlock block;
+  block.append_row(3, 1.0, std::vector<ItemId>{5, 1});
+  block.begin_row(7, 2.0);
+  block.push_item(9);
+  block.abort_row();  // as if the rest of the item list failed to parse
+  ASSERT_EQ(block.size(), 1u);
+  EXPECT_EQ(block.total_items(), 2u);
+  EXPECT_EQ(block.server_of(0), 3u);
+  const std::vector<ItemId> row0(block.items_of(0).begin(),
+                                 block.items_of(0).end());
+  EXPECT_EQ(row0, (std::vector<ItemId>{1, 5}));
+  // The block stays appendable after the rollback.
+  block.append_row(2, 3.0, std::vector<ItemId>{8});
+  ASSERT_EQ(block.size(), 2u);
+  EXPECT_EQ(block.items_of(1)[0], 8u);
+
+  // Aborting the very first row of a fresh block is also clean.
+  RequestBlock fresh;
+  fresh.begin_row(0, 1.0);
+  fresh.push_item(4);
+  fresh.abort_row();
+  EXPECT_TRUE(fresh.empty());
+  EXPECT_EQ(fresh.total_items(), 0u);
+  fresh.abort_row();  // no row open: no-op
+  EXPECT_TRUE(fresh.empty());
+}
+
 TEST(RequestBlock, AdoptViewsSequenceColumnsWithAbsoluteOffsets) {
   const RequestSequence trace = golden_trace();
   const SequenceColumns columns = trace.columns();
@@ -224,6 +252,52 @@ TEST(BlockReader, MalformedFirstRowThrowsImmediately) {
   CsvBlockReader reader(in, "bad.csv", 64);
   RequestBlock block;
   EXPECT_THROW((void)reader.next(block), IoError);
+}
+
+TEST(BlockReader, MalformedItemListRollsBackTheHalfOpenRow) {
+  // Row 11's server/time parse fine, so the decoder has already opened the
+  // row (begin_row) when the item list fails.  The delivered block must
+  // contain only the 10 complete rows — no trailing server/time without a
+  // closing item offset — or items_of() on the last row reads out of
+  // bounds downstream.
+  std::string csv = "server,time,items\n";
+  for (int i = 0; i < 10; ++i) {
+    csv += std::to_string(i % 3) + "," + std::to_string(i + 1) + ".0,0;1\n";
+  }
+  csv += "2,11.0,3;zzz\n";  // begin_row succeeds, parse_item_list throws
+  csv += "0,99.0,2\n";
+
+  std::istringstream in(csv);
+  CsvBlockReader reader(in, "bad.csv", /*batch_rows=*/64);
+  RequestBlock block;
+  ASSERT_TRUE(reader.next(block));
+  ASSERT_EQ(block.size(), 10u);
+  EXPECT_EQ(block.total_items(), 20u);  // the bad row's items are gone too
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    EXPECT_EQ(block.server_of(i), static_cast<ServerId>(i % 3));
+    ASSERT_EQ(block.items_of(i).size(), 2u) << "row " << i;
+    EXPECT_EQ(block.items_of(i)[0], 0u);
+    EXPECT_EQ(block.items_of(i)[1], 1u);
+  }
+  try {
+    reader.next(block);
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bad.csv"), std::string::npos) << what;
+    EXPECT_NE(what.find("row 11"), std::string::npos) << what;
+  }
+}
+
+TEST(BlockReader, MalformedItemListOnTheFirstRowOfABlockThrowsCleanly) {
+  // Same failure shape, but as the block's first row: the reader throws
+  // immediately, and the block it hands back is empty, not half-open.
+  std::istringstream in("server,time,items\n1,1.0,0;zzz\n");
+  CsvBlockReader reader(in, "bad.csv", 64);
+  RequestBlock block;
+  EXPECT_THROW((void)reader.next(block), IoError);
+  EXPECT_TRUE(block.empty());
+  EXPECT_EQ(block.total_items(), 0u);
 }
 
 // ---------------------------------------------------------------------------
