@@ -1,8 +1,9 @@
 // Streaming-engine perf harness: sustained push ingest rate, the O(window)
 // steady-state memory ceiling, snapshot latency under load, the running
-// online-vs-offline cost-ratio probe, and the decode→push pipeline vs the
-// per-push serial serve loop — emitted as the "streaming" and
-// "streaming_pipeline" sections of a fragment for dpgreedy_bench to merge
+// online-vs-offline cost-ratio probe, the decode→push pipeline vs the
+// per-push serial serve loop, and the sharded N×M topology vs its serial
+// anchors — emitted as the "streaming", "streaming_pipeline" and
+// "streaming_sharded" sections of a fragment for dpgreedy_bench to merge
 // (see bench/harness/fragment.hpp).
 //
 // The load-bearing number is the memory ceiling: the stream must hold the
@@ -20,13 +21,17 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "engine/serve_config.hpp"
 #include "engine/serve_pipeline.hpp"
+#include "engine/sharded_serve.hpp"
 #include "engine/streaming_engine.hpp"
+#include "trace/shard_source.hpp"
 #include "harness/fragment.hpp"
 #include "harness_common.hpp"
 #include "trace/block_reader.hpp"
@@ -278,7 +283,7 @@ PipelineReport run_pipeline_compare(const std::string& trace_path,
   {
     std::ifstream file(trace_path, std::ios::binary);
     require(file.is_open(), "bm_stream: cannot reopen " + trace_path);
-    ServePipelineOptions options;  // serve defaults: batch 1024, ring 8
+    ServeConfig options;  // serve defaults: batch 1024, ring 8
     report.batch_rows = options.batch_rows;
     report.ring_capacity = options.ring_capacity;
     CsvBlockReader source(file, trace_path, options.batch_rows);
@@ -314,6 +319,155 @@ PipelineReport run_pipeline_compare(const std::string& trace_path,
   return report;
 }
 
+/// The sharded N×M topology against its two determinism anchors, plus the
+/// throughput floor: a 2×1 run must reproduce the 1×1 pipeline report
+/// bit-for-bit (M = 1 ingests the exact global stream), and a 2×2 run by
+/// item set must reproduce a serial routed two-engine reference (the
+/// canonical partitioned answer).  Timing compares the 2×2 run to the
+/// serial per-push loop over the same on-disk CSV.
+struct ShardedReport {
+  std::size_t requests = 0;
+  std::size_t shards = 2;
+  std::size_t partitions = 2;
+  std::size_t batch_rows = 0;
+  std::size_t ring_capacity = 0;
+  double serial_s = 0.0;
+  double serial_requests_per_s = 0.0;
+  double sharded_s = 0.0;
+  double sharded_requests_per_s = 0.0;
+  double speedup = 0.0;
+  bool multicore = false;  // >= 4 hardware threads: the 2x gate arms
+  bool bit_identical = false;         // 2x1 == 1x1 pipeline (and serial)
+  bool partitioned_identical = false;  // 2x2 == routed serial reference
+  Cost total_cost = 0.0;
+  std::uint64_t allocs_warm = 0;
+  std::uint64_t allocs_final = 0;
+  bool allocs_flat = false;
+  std::uint64_t enqueue_blocked = 0;
+  std::uint64_t dequeue_blocked = 0;
+};
+
+ShardedReport run_sharded_compare(const std::string& trace_path,
+                                  std::size_t requests) {
+  ShardedReport report;
+  report.requests = requests;
+  report.multicore = std::thread::hardware_concurrency() >= 4;
+  write_trace_csv(trace_path, requests);
+  const CostModel model{1.0, 1.0, 0.8};
+  StreamingOptions eopts = stream_options();
+  StreamSource shape;  // only for the universe hints
+  eopts.item_count_hint = shape.item_count;
+  eopts.server_count_hint = shape.server_count;
+
+  const auto open_trace = [&trace_path] {
+    std::ifstream file(trace_path, std::ios::binary);
+    require(file.is_open(), "bm_stream: cannot reopen " + trace_path);
+    return file;
+  };
+
+  // Anchor 1: the 1×1 pipeline report (PR 9's own anchor is the per-push
+  // loop, so matching this transitively matches both).
+  RunReport pipeline_report;
+  {
+    std::ifstream file = open_trace();
+    const ServeConfig config;
+    CsvBlockReader source(file, trace_path, config.batch_rows);
+    StreamingEngine engine(model, eopts);
+    run_serve_pipeline(source, engine, config, {});
+    pipeline_report = engine.finish();
+  }
+
+  // Timing baseline: the serial per-push loop (decode + push, one thread).
+  {
+    std::ifstream file = open_trace();
+    CsvStreamReader reader(file, trace_path);
+    StreamingEngine engine(model, eopts);
+    CsvStreamRow row;
+    Stopwatch watch;
+    while (reader.next(row)) engine.push(row.server, row.time, row.items);
+    report.serial_s = watch.elapsed_seconds();
+    (void)engine.finish();
+  }
+
+  // 2×1: two decode shards, one engine partition — bit-identity required.
+  {
+    std::ifstream file = open_trace();
+    ServeConfig config;
+    config.shards(2).partitions(1);
+    CsvClaimSource source(file, trace_path, config.batch_rows, 0);
+    const ShardedServeResult result =
+        run_sharded_serve(source, model, config, eopts);
+    report.bit_identical =
+        result.feed_error.empty() &&
+        reports_identical(result.report, pipeline_report);
+  }
+
+  // Anchor 2: the serial routed reference for M = 2 by item set — decode on
+  // one thread, route every row with the same hash, merge in partition
+  // order.  This is the canonical partitioned answer the 2×2 run must hit.
+  RunReport reference_report;
+  {
+    std::ifstream file = open_trace();
+    CsvStreamReader reader(file, trace_path);
+    std::vector<std::unique_ptr<StreamingEngine>> engines;
+    for (std::size_t j = 0; j < 2; ++j) {
+      engines.push_back(std::make_unique<StreamingEngine>(model, eopts));
+    }
+    CsvStreamRow row;
+    while (reader.next(row)) {
+      const std::size_t j = serve_partition_of(
+          row.server, row.items, ServeRoute::kByItemSet, engines.size());
+      engines[j]->push(row.server, row.time, row.items);
+    }
+    std::vector<RunReport> parts;
+    parts.reserve(engines.size());
+    for (auto& engine : engines) parts.push_back(engine->finish());
+    reference_report = merge_partition_reports(parts);
+  }
+
+  // The timed 2×2 run, snapshotting on the ingest cadence for the
+  // allocation ceiling (merged state_alloc_events sums the partitions).
+  {
+    std::ifstream file = open_trace();
+    ServeConfig config;
+    config.shards(2).partitions(2).route(ServeRoute::kByItemSet).snapshot_every(
+        std::max<std::size_t>(requests / 10, 1));
+    report.batch_rows = config.batch_rows;
+    report.ring_capacity = config.ring_capacity;
+    CsvClaimSource source(file, trace_path, config.batch_rows, 0);
+    const std::size_t warm_mark =
+        std::min(requests / 2, 100 * eopts.online.window);
+    bool warm_done = false;
+    Stopwatch watch;
+    const ShardedServeResult result = run_sharded_serve(
+        source, model, config, eopts,
+        [&](const StreamingSnapshot& s, std::size_t rows) {
+          if (!warm_done && rows >= warm_mark) {
+            report.allocs_warm = s.state_alloc_events;
+            warm_done = true;
+          }
+          report.allocs_final = s.state_alloc_events;
+        });
+    report.sharded_s = watch.elapsed_seconds();
+    report.partitioned_identical =
+        result.feed_error.empty() &&
+        reports_identical(result.report, reference_report);
+    report.total_cost = result.report.total_cost;
+    report.enqueue_blocked = result.stats.enqueue_blocked;
+    report.dequeue_blocked = result.stats.dequeue_blocked;
+    report.allocs_flat = warm_done &&
+                         report.allocs_final == report.allocs_warm;
+  }
+
+  report.serial_requests_per_s =
+      static_cast<double>(requests) / std::max(report.serial_s, 1e-12);
+  report.sharded_requests_per_s =
+      static_cast<double>(requests) / std::max(report.sharded_s, 1e-12);
+  report.speedup = report.serial_s / std::max(report.sharded_s, 1e-12);
+  std::remove(trace_path.c_str());
+  return report;
+}
+
 int run(const std::string& fragment_path, std::size_t requests) {
   std::printf("streaming ingest (%zu requests) ...\n", requests);
   const IngestReport ingest = run_ingest(requests);
@@ -326,6 +480,10 @@ int run(const std::string& fragment_path, std::size_t requests) {
               requests);
   const PipelineReport pipeline =
       run_pipeline_compare(fragment_path + ".trace.csv", requests);
+  std::printf("sharded 2x1/2x2 vs serial (%zu requests via on-disk CSV) ...\n",
+              requests);
+  const ShardedReport sharded =
+      run_sharded_compare(fragment_path + ".sharded.csv", requests);
 
   std::ostringstream section;
   section.setf(std::ios::fixed);
@@ -379,9 +537,40 @@ int run(const std::string& fragment_path, std::size_t requests) {
                << ", \"dequeue_blocked\": " << pipeline.dequeue_blocked
                << ", \"peak_rss_bytes\": " << harness::peak_rss_bytes() << "}";
 
+  std::ostringstream shard_section;
+  shard_section.setf(std::ios::fixed);
+  shard_section.precision(3);
+  shard_section << "{\"requests\": " << sharded.requests
+                << ", \"shards\": " << sharded.shards
+                << ", \"partitions\": " << sharded.partitions
+                << ", \"batch_rows\": " << sharded.batch_rows
+                << ", \"ring_capacity\": " << sharded.ring_capacity
+                << ", \"serial_s\": " << sharded.serial_s
+                << ", \"serial_requests_per_s\": "
+                << sharded.serial_requests_per_s
+                << ", \"sharded_s\": " << sharded.sharded_s
+                << ", \"sharded_requests_per_s\": "
+                << sharded.sharded_requests_per_s
+                << ", \"speedup\": " << sharded.speedup << ", \"multicore\": "
+                << (sharded.multicore ? "true" : "false")
+                << ", \"bit_identical\": "
+                << (sharded.bit_identical ? "true" : "false")
+                << ", \"partitioned_identical\": "
+                << (sharded.partitioned_identical ? "true" : "false")
+                << ", \"total_cost\": " << sharded.total_cost
+                << ", \"allocs_warm\": " << sharded.allocs_warm
+                << ", \"allocs_final\": " << sharded.allocs_final
+                << ", \"allocs_flat\": "
+                << (sharded.allocs_flat ? "true" : "false")
+                << ", \"enqueue_blocked\": " << sharded.enqueue_blocked
+                << ", \"dequeue_blocked\": " << sharded.dequeue_blocked
+                << ", \"peak_rss_bytes\": " << harness::peak_rss_bytes()
+                << "}";
+
   const int status = bench::write_fragment(
       fragment_path, {{"streaming", section.str()},
-                      {"streaming_pipeline", pipe_section.str()}});
+                      {"streaming_pipeline", pipe_section.str()},
+                      {"streaming_sharded", shard_section.str()}});
   if (status == 0) std::printf("wrote %s\n", fragment_path.c_str());
 
   std::printf(
@@ -420,14 +609,31 @@ int run(const std::string& fragment_path, std::size_t requests) {
       static_cast<unsigned long long>(pipeline.enqueue_blocked),
       static_cast<unsigned long long>(pipeline.dequeue_blocked));
 
+  std::printf(
+      "sharded: serial %.2fs (%.2fM req/s) -> 2x2 %.2fs (%.2fM req/s)  "
+      "speedup %.2fx (%s)  2x1 vs 1x1 %s  2x2 vs reference %s  allocs "
+      "%llu -> %llu (%s)  blocked enq %llu deq %llu\n",
+      sharded.serial_s, sharded.serial_requests_per_s / 1e6, sharded.sharded_s,
+      sharded.sharded_requests_per_s / 1e6, sharded.speedup,
+      sharded.multicore ? "multicore" : "single core",
+      sharded.bit_identical ? "IDENTICAL" : "DIVERGED",
+      sharded.partitioned_identical ? "IDENTICAL" : "DIVERGED",
+      static_cast<unsigned long long>(sharded.allocs_warm),
+      static_cast<unsigned long long>(sharded.allocs_final),
+      sharded.allocs_flat ? "FLAT" : "GREW",
+      static_cast<unsigned long long>(sharded.enqueue_blocked),
+      static_cast<unsigned long long>(sharded.dequeue_blocked));
+
   // The acceptance gate: O(window) steady state — the engine's allocation
   // count is bit-flat from warm-up to the end of a 10M-request stream — the
-  // probe produced a live ratio, and the decode→push pipeline reproduced
-  // the serial report bit-exactly (the 2x throughput floor is enforced by
-  // the registry gate, armed only on multicore hosts).
+  // probe produced a live ratio, the decode→push pipeline reproduced the
+  // serial report bit-exactly, and the sharded topology reproduced both of
+  // its anchors (the 2x throughput floors are enforced by the registry
+  // gates, armed only on multicore hosts).
   const bool pass = ingest.allocs_flat && probe.probe_chunks > 0 &&
                     probe.cost_ratio > 0.0 && pipeline.bit_identical &&
-                    pipeline.allocs_flat;
+                    pipeline.allocs_flat && sharded.bit_identical &&
+                    sharded.partitioned_identical && sharded.allocs_flat;
   std::printf("streaming acceptance: %s\n", pass ? "PASS" : "FAIL");
   return status != 0 ? status : (pass ? 0 : 2);
 }

@@ -183,6 +183,31 @@ const std::vector<ScenarioSpec>& scenario_registry() {
                             "enqueue_blocked", "dequeue_blocked"};
       s.sections.push_back(std::move(pipeline));
 
+      SectionSpec sharded;
+      sharded.key = "streaming_sharded";
+      sharded.thresholds = {
+          // M = 1 determinism anchor: a 2-shard, 1-partition run must
+          // reproduce the 1×1 pipeline final report bit-exactly.
+          gate_flag("bit_identical", true),
+          // M = 2 anchor: the 2×2 by-item-set run must reproduce the
+          // serial routed two-engine reference (the canonical partitioned
+          // answer) bit-exactly, independent of thread schedule.
+          gate_flag("partitioned_identical", true),
+          // O(window) ceiling per partition: the merged allocation count
+          // is bit-flat from warm-up to end of stream.
+          gate_flag("allocs_flat", true),
+          // The throughput floor: two decode shards + two engine
+          // partitions must at least double the serial per-push loop.
+          // Below four hardware threads the topology cannot pay for its
+          // own threads, so the gate is skipped (both identity rows above
+          // still bind).
+          with_skip_if(gate_abs("speedup", ">=", 2.0), "multicore",
+                       Json::boolean(false)),
+      };
+      sharded.headlines = {"speedup", "sharded_requests_per_s",
+                           "enqueue_blocked", "dequeue_blocked"};
+      s.sections.push_back(std::move(sharded));
+
       scenarios->push_back(std::move(s));
     }
 

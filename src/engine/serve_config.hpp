@@ -1,0 +1,162 @@
+// ServeConfig: the one config object for the serve surface — per-push,
+// pipelined (1×1) and sharded (N×M) ingest all parse into it, the CLI's
+// `serve` flags map onto it one-for-one, and it carries the observational
+// sinks (stats cadence, Prometheus file, /metrics listener, `.dpt` archive)
+// that used to live in ad-hoc locals inside cmd_serve.
+//
+// Same contract as SolverConfig (engine/solver.hpp): a plain aggregate with
+// defaulted members, fluent setters for the fields whose member names differ
+// from the builder verb, a string-keyed `.with(field, value)` for flag
+// parsing, and an eager `validate()` that throws InvalidArgument naming the
+// offending field — so a bad flag fails at the parse site, not mid-stream.
+//
+//   ServeConfig{}.batch(1024).ring(8).shards(4).partitions(2)
+//               .listen("0.0.0.0:9100").stats_every(100000)
+//
+// ServePipelineOptions (PR 9) folded into this type: batch_rows and
+// ring_capacity kept their names, run_serve_pipeline now takes a
+// ServeConfig directly (it reads only those two fields).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dpg {
+
+/// How a request row is assigned to an engine partition (sharded serve).
+enum class ServeRoute {
+  /// Hash the server id.  Each server's whole request stream lands on one
+  /// partition, so per-server flows are never split.
+  kByServer,
+  /// Hash the lowest item id of the row (rows with no items fall back to
+  /// the server hash).  Keeps each item's accesses on one partition.
+  kByItemSet,
+};
+
+/// How decoded blocks travel from the N shards to the M partitions.
+enum class ServeTopology {
+  /// One SPSC ring per (shard, partition) pair — N×M rings, zero CAS on
+  /// the hot path; each consumer sweeps its N inbound rings.
+  kCrossbar,
+  /// One MPMC ring per partition (parallel/mpmc_ring.hpp) — M rings, N
+  /// producers each; fewer rings, CAS-claimed slots.
+  kMpmc,
+};
+
+struct ServeConfig {
+  /// Rows per block (the decode chunk and the push_batch amortization unit).
+  std::size_t batch_rows = 1024;
+  /// Per-ring capacity in blocks (rounded up to a power of two).
+  std::size_t ring_capacity = 8;
+  /// Decode shards N (1 = single decoder).
+  std::size_t shard_count = 1;
+  /// Engine partitions M (1 = single engine).
+  std::size_t partition_count = 1;
+  /// Flow-routing rule for partition_count > 1.
+  ServeRoute flow_route = ServeRoute::kByServer;
+  /// Shard → partition transport for the sharded runtime.
+  ServeTopology ring_topology = ServeTopology::kCrossbar;
+  /// Snapshot cadence in rows (0 = no periodic snapshots).
+  std::size_t snapshot_interval = 1000;
+  /// Stats-line cadence in rows (0 = off).
+  std::size_t stats_interval = 0;
+  /// Cost-ratio probe chunk in rows (0 = probe off).  Under partitioning
+  /// each partition probes its own sub-stream (see docs/streaming.md).
+  std::size_t probe_chunk_rows = 0;
+  /// Stop after this many rows (0 = serve the whole stream).
+  std::size_t max_request_rows = 0;
+  /// host:port for the /metrics scrape listener ("" = no listener).
+  std::string listen_address;
+  /// Prometheus exposition file rewritten at snapshot cadence ("" = off).
+  std::string prom_path;
+  /// Archive the serve feed to this `.dpt` file while serving ("" = off).
+  /// Requires shards == partitions == 1 (the archive preserves arrival
+  /// order, which a sharded run does not reassemble).
+  std::string archive_path;
+  /// Use the two-stage decode→engine pipeline for the 1×1 topology.
+  bool pipelined = false;
+
+  // Fluent builder surface (member names differ where the verb reads
+  // better at the call site, matching SolverConfig's convention).
+  ServeConfig& batch(std::size_t rows) noexcept {
+    batch_rows = rows;
+    return *this;
+  }
+  ServeConfig& ring(std::size_t blocks) noexcept {
+    ring_capacity = blocks;
+    return *this;
+  }
+  ServeConfig& shards(std::size_t n) noexcept {
+    shard_count = n;
+    return *this;
+  }
+  ServeConfig& partitions(std::size_t n) noexcept {
+    partition_count = n;
+    return *this;
+  }
+  ServeConfig& route(ServeRoute r) noexcept {
+    flow_route = r;
+    return *this;
+  }
+  ServeConfig& topology(ServeTopology t) noexcept {
+    ring_topology = t;
+    return *this;
+  }
+  ServeConfig& snapshot_every(std::size_t rows) noexcept {
+    snapshot_interval = rows;
+    return *this;
+  }
+  ServeConfig& stats_every(std::size_t rows) noexcept {
+    stats_interval = rows;
+    return *this;
+  }
+  ServeConfig& probe_chunk(std::size_t rows) noexcept {
+    probe_chunk_rows = rows;
+    return *this;
+  }
+  ServeConfig& max_requests(std::size_t rows) noexcept {
+    max_request_rows = rows;
+    return *this;
+  }
+  ServeConfig& listen(std::string_view address) {
+    listen_address = address;
+    return *this;
+  }
+  ServeConfig& prom_out(std::string_view path) {
+    prom_path = path;
+    return *this;
+  }
+  ServeConfig& archive(std::string_view path) {
+    archive_path = path;
+    return *this;
+  }
+  ServeConfig& pipeline(bool on) noexcept {
+    pipelined = on;
+    return *this;
+  }
+
+  /// Sets one field by name from a string value ("batch", "ring", "shards",
+  /// "partitions", "route", "topology", "snapshot_every", "stats_every",
+  /// "probe_chunk", "max_requests", "listen", "prom_out", "archive",
+  /// "pipeline").  Routes are "server"/"itemset"; topologies are
+  /// "crossbar"/"mpmc".  Throws InvalidArgument immediately on an unknown
+  /// field (the message lists the valid ones), an unparsable value, or a
+  /// value outside the field's range.
+  ServeConfig& with(std::string_view field, std::string_view value);
+
+  /// Range-checks every field (batch ≥ 1, ring ≥ 1, shards ∈ [1, 64],
+  /// partitions ∈ [1, 64], archive only at 1×1); throws InvalidArgument
+  /// naming the offending field.  Every serve entry point calls this first.
+  void validate() const;
+};
+
+/// Parse helpers shared by `.with` and the CLI (throw InvalidArgument on
+/// anything but the documented spellings).
+ServeRoute parse_serve_route(std::string_view value);
+ServeTopology parse_serve_topology(std::string_view value);
+const char* serve_route_name(ServeRoute route) noexcept;
+const char* serve_topology_name(ServeTopology topology) noexcept;
+
+}  // namespace dpg

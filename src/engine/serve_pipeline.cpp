@@ -19,25 +19,19 @@ const obs::Histogram g_ring_depth = obs::histogram("ring.depth");
 
 }  // namespace
 
-void ServePipelineOptions::validate() const {
-  require(batch_rows > 0, "ServePipelineOptions.batch_rows: must be >= 1");
-  require(ring_capacity > 0,
-          "ServePipelineOptions.ring_capacity: must be >= 1");
-}
-
 ServePipelineStats run_serve_pipeline(BlockSource& source,
                                       StreamingEngine& engine,
-                                      const ServePipelineOptions& options,
+                                      const ServeConfig& config,
                                       const ServeBatchCallback& on_batch) {
-  options.validate();
+  config.validate();
 
   // Filled blocks travel decode → engine on the work ring; drained blocks
   // travel back on the free ring.  ring_capacity + 2 blocks cover every
   // possible position (in-ring + one in each stage's hands), so neither
   // stage ever waits for an empty block unless the other stage holds it.
-  SpscRing<RequestBlock> work(options.ring_capacity);
-  SpscRing<RequestBlock> free_blocks(options.ring_capacity + 2);
-  for (std::size_t i = 0; i < options.ring_capacity + 2; ++i) {
+  SpscRing<RequestBlock> work(config.ring_capacity);
+  SpscRing<RequestBlock> free_blocks(config.ring_capacity + 2);
+  for (std::size_t i = 0; i < config.ring_capacity + 2; ++i) {
     RequestBlock block;
     const bool ok = free_blocks.try_push(block);
     require(ok, "serve_pipeline: free ring under-sized");

@@ -49,19 +49,10 @@
 #include <utility>
 
 #include "core/request_block.hpp"
+#include "engine/serve_config.hpp"
 #include "engine/streaming_engine.hpp"
 
 namespace dpg {
-
-struct ServePipelineOptions {
-  /// Rows per block (the decode chunk and the push_batch amortization unit).
-  std::size_t batch_rows = 1024;
-  /// Work-ring capacity in blocks (rounded up to a power of two).
-  std::size_t ring_capacity = 8;
-
-  /// Throws InvalidArgument naming the offending field.
-  void validate() const;
-};
 
 /// What the pipeline did, plus its backpressure counters (also mirrored
 /// into the ring.* metrics).
@@ -115,12 +106,15 @@ using ServeBatchCallback = std::function<void(
 
 /// Drains `source` through the two-stage pipeline into `engine`.  The
 /// calling thread becomes the engine stage; one internal thread runs the
-/// decode stage.  Does NOT finish() the engine — the caller decides when to
-/// close the books.  Rethrows a mid-stream source error after every
-/// complete block before it has been pushed (see the error contract above).
+/// decode stage.  Of the config only `ring_capacity` matters here — the
+/// source already decodes at the caller's chosen `batch_rows`.  Does NOT
+/// finish() the engine — the
+/// caller decides when to close the books.  Rethrows a mid-stream source
+/// error after every complete block before it has been pushed (see the
+/// error contract above).
 ServePipelineStats run_serve_pipeline(BlockSource& source,
                                       StreamingEngine& engine,
-                                      const ServePipelineOptions& options,
+                                      const ServeConfig& config,
                                       const ServeBatchCallback& on_batch = {});
 
 }  // namespace dpg

@@ -1,0 +1,144 @@
+// The sharded serve topology: N decode shards × M engine partitions.
+//
+//   shard 0 ─┐                 ┌─ partition 0 (StreamingEngine)
+//   shard 1 ─┼─► rings ────────┼─ partition 1 (StreamingEngine)
+//     ...    │  (crossbar or   │    ...
+//   shard N ─┘   MPMC per      └─ partition M
+//                partition)         │
+//                                   ▼
+//                     deterministic merge → one RunReport
+//
+// Shards claim blocks from a ShardClaimSource (trace/shard_source.hpp) —
+// each claim returns the block plus its global sequence number — decode
+// them (CSV) or slice them (sequence/`.dpt`), and route every row to the
+// partition that owns its flow:
+//
+//   routing key   kByServer:  the row's server id (a server's whole stream
+//                             lands on one partition — per-server flows are
+//                             never split)
+//                 kByItemSet: the row's lowest item id (rows are sorted, so
+//                             this is items[0]); itemless rows fall back to
+//                             the server key
+//   partition     splitmix64(key [^ tag]) mod M  — a fixed avalanche hash,
+//                             so the assignment is stable across runs,
+//                             platforms and (N, M) block layouts
+//
+// Transport is chosen by ServeConfig::ring_topology: a ring-per-(shard,
+// partition) SPSC crossbar (N×M rings, zero CAS on the hot path) or one
+// MPMC ring per partition (parallel/mpmc_ring.hpp; M rings, N producers).
+// Envelopes recycle on matching free rings, so steady state allocates
+// nothing per block.  Every claimed block ships exactly one envelope to
+// every partition — empty sub-blocks included (push_batch on an empty
+// block is a documented no-op) — so each partition receives the dense
+// sequence 0, 1, 2, … and restores canonical trace order with a simple
+// expected-seq counter plus a holdback map, regardless of which shard
+// decoded what or how the rings interleaved.
+//
+// Determinism contract (see docs/streaming.md for the full argument):
+//   * For a fixed partition count M, the merged report and every barrier
+//     snapshot are bit-identical across every shard count N, batch size,
+//     ring topology, ring capacity and thread schedule — each partition
+//     consumes its routed sub-stream in canonical order, and the merge
+//     reduces per-partition results in fixed partition-index order.
+//   * At M = 1 the single partition ingests the exact global stream, so
+//     the merged report is bit-identical to the 1×1 pipeline on every
+//     trace.  For M > 1 it is bit-identical to the 1×1 report exactly on
+//     flow-partitionable traces (streams whose cost decomposes over the
+//     routed flow universes); on general traces the interleaving of
+//     floating-point accumulation across partitions differs from the
+//     global order, and the merged result is the canonical *partitioned*
+//     answer, reproducible bit-for-bit at that M.
+//
+// Snapshots: barrier envelopes (claimed blocks whose cumulative row count
+// crosses a multiple of ServeConfig::snapshot_interval) make every
+// partition snapshot at the same global stream position; the last
+// partition to reach a barrier merges the M snapshots in partition-index
+// order and fires the callback (serialized, in barrier order).  The
+// cost-ratio probe runs per partition over its own sub-stream; the merged
+// ratio is Σ online / Σ offline over the per-partition probes.
+//
+// Error contract: a malformed row at global seq S (recorded by the source
+// via atomic-min) suppresses every block after S — partitions process
+// seq ≤ S in canonical order, then skip — so the engines ingest exactly
+// the requests before the failure, same as the 1×1 paths; the provenance
+// message lands in ShardedServeResult::feed_error rather than an
+// exception, because the partition engines (and their final reports) live
+// inside this call.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "engine/run_report.hpp"
+#include "engine/serve_config.hpp"
+#include "engine/streaming_engine.hpp"
+#include "trace/shard_source.hpp"
+
+namespace dpg {
+
+/// Stable row → partition assignment (exposed for tests and docs).
+[[nodiscard]] std::size_t serve_partition_of(ServerId server,
+                                             std::span<const ItemId> items,
+                                             ServeRoute route,
+                                             std::size_t partition_count);
+
+/// Serial-order reduction of per-partition reports into one canonical
+/// report: totals and event counts summed in partition-index order (the
+/// fixed FP reduction order that makes the merge deterministic), timing
+/// fields take the max (partitions ran concurrently), then finalize_report
+/// restores the ave/cache identities.  Merging one report is the identity.
+[[nodiscard]] RunReport merge_partition_reports(
+    std::span<const RunReport> parts);
+
+/// Same reduction for snapshots: report and delta merged as above; request
+/// / package / allocation counts summed; epoch takes the max (partitions
+/// repack independently); item_count is summed — an upper bound, since
+/// kByServer routing can discover one item on several partitions; the
+/// aggregate ratio is Σ online / Σ offline.  Merging one is the identity.
+[[nodiscard]] StreamingSnapshot merge_partition_snapshots(
+    std::span<const StreamingSnapshot> parts);
+
+struct ShardedServeStats {
+  std::size_t requests = 0;  // rows ingested across all partitions
+  std::size_t batches = 0;   // blocks claimed from the source
+  std::uint64_t enqueue_blocked = 0;  // shard waits on full work rings
+  std::uint64_t dequeue_blocked = 0;  // partition idle-waits for work
+};
+
+struct ShardedServeResult {
+  /// The canonical merged report (merge_partition_reports of the below).
+  RunReport report;
+  /// Per-partition final reports, index == partition.
+  std::vector<RunReport> partition_reports;
+  ShardedServeStats stats;
+  /// Aggregate probe ratio Σ online / Σ offline after finish() flushed
+  /// every partition's partial tail chunk (0 when the probe is off).
+  double cost_ratio = 0.0;
+  std::size_t probe_chunks = 0;  // offline solves across all partitions
+  std::size_t epoch = 0;         // max partition epoch
+  /// Decode-failure provenance ("" = the stream ended cleanly).  When set,
+  /// the reports cover exactly the requests before the failure.
+  std::string feed_error;
+};
+
+/// Merged barrier snapshot + the global row count it corresponds to.
+using ShardedSnapshotCallback =
+    std::function<void(const StreamingSnapshot&, std::size_t)>;
+
+/// Runs the N×M topology to end of stream: spawns config.shard_count
+/// decode threads and config.partition_count engine threads, joins them,
+/// finishes every partition engine and returns the deterministic merge.
+/// `engine_options` configures each partition engine (probe included).
+/// Throws only on engine/system faults; decode errors surface through
+/// ShardedServeResult::feed_error (see the error contract above).
+ShardedServeResult run_sharded_serve(
+    ShardClaimSource& source, const CostModel& model,
+    const ServeConfig& config, const StreamingOptions& engine_options,
+    const ShardedSnapshotCallback& on_snapshot = {});
+
+}  // namespace dpg

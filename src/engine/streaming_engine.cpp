@@ -84,6 +84,15 @@ StreamingDecision StreamingEngine::push(ServerId server, Time time,
 }
 
 StreamingDecision StreamingEngine::push_batch(const RequestBlock& block) {
+  // Empty blocks are a documented no-op: sharded sources legitimately hand
+  // out zero-row tails (a shard whose claimed range ends on a block
+  // boundary, a partition that owns no flow in a block), and charging them
+  // a mutex acquisition, a telemetry clock pair and a `stream.batches` bump
+  // would both serialize idle shards and drag `stream.batch_ns` toward
+  // zero.  The returned value-initialized decision (zero deltas, epoch 0)
+  // is exactly what a zero-row loop would have produced.
+  if (block.empty()) return StreamingDecision{};
+
   const std::lock_guard<std::mutex> lock(mutex_);
   require(!finished_, "StreamingEngine::push_batch: engine already finished");
 
@@ -252,6 +261,16 @@ double StreamingEngine::cost_ratio() const {
 std::size_t StreamingEngine::probe_chunks() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return probe_chunks_;
+}
+
+Cost StreamingEngine::online_probe_cost() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return online_probe_cost_;
+}
+
+Cost StreamingEngine::offline_probe_cost() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return offline_probe_cost_;
 }
 
 }  // namespace dpg

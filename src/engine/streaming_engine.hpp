@@ -136,6 +136,11 @@ class StreamingEngine {
   /// so the per-push sort/dedup copy is skipped entirely.  The engine state
   /// after push_batch is bit-identical to per-row push() at every batch
   /// size, including the ratio probe (probe buffering interleaves per row).
+  ///
+  /// An empty block is a no-op: no mutex, no clock pair, no counter bumps
+  /// (so sharded sources delivering empty tail blocks don't skew
+  /// `stream.batch_ns`), and the returned decision is value-initialized —
+  /// zero deltas, epoch 0.
   StreamingDecision push_batch(const RequestBlock& block);
 
   /// Values the stream as if it ended now (non-destructive) and returns the
@@ -155,6 +160,13 @@ class StreamingEngine {
   /// tail chunk first, so the final ratio covers the whole stream.
   [[nodiscard]] double cost_ratio() const;
   [[nodiscard]] std::size_t probe_chunks() const;
+
+  /// The ratio's numerator / denominator over the probed prefix (0 until
+  /// the first chunk; valid after finish() too).  Exposed so a sharded
+  /// merge can aggregate Σ online / Σ offline across partition engines
+  /// instead of averaging per-partition ratios.
+  [[nodiscard]] Cost online_probe_cost() const;
+  [[nodiscard]] Cost offline_probe_cost() const;
 
  private:
   [[nodiscard]] RunReport make_report(const OnlineDpGreedyResult& result) const;

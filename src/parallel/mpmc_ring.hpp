@@ -1,0 +1,208 @@
+// Bounded multi-producer / multi-consumer ring — the shared-queue topology
+// option for the sharded serve path (engine/sharded_serve.hpp), where N
+// decode shards feed M engine partitions through one queue per partition.
+//
+// This generalizes spsc_ring.hpp's monotonic-counter design to many peers
+// with the classic bounded-MPMC scheme: every slot carries its own sequence
+// atomic, and the global enqueue/dequeue positions advance by CAS.  A
+// producer claims slot `pos` when the slot's sequence equals `pos` (slot
+// empty, this generation); it writes the value and publishes by storing
+// sequence `pos + 1`.  A consumer claims slot `pos` when the sequence equals
+// `pos + 1` (value present); it moves the value out and releases the slot to
+// the *next* generation by storing `pos + capacity`.  The per-slot sequence
+// is both the full/empty test and the publication fence, so producers never
+// wait on each other's stores — a slow producer delays only its own slot.
+//
+// Layout mirrors the SPSC ring: the enqueue and dequeue positions live on
+// separate cache lines (as does the closed flag), capacity is rounded to a
+// power of two, and the blocking push/pop variants reuse the same
+// spin → yield → sleep backoff with the same backpressure counters, so
+// `ring.enqueue_blocked` / `ring.dequeue_blocked` mean the same thing for
+// both topologies.
+//
+// Thread contract: any number of threads may call try_push/push, any number
+// may call try_pop/pop, and close() may race with all of them.  Per-slot FIFO
+// holds (a pop claims the oldest published slot), but cross-thread ordering
+// between concurrent producers is whatever the CAS race decides — the
+// sharded consumer reorders by block sequence number anyway.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "parallel/spsc_ring.hpp"  // kCacheLineBytes
+#include "util/error.hpp"
+
+namespace dpg {
+
+template <typename T>
+class MpmcRing {
+ public:
+  /// Capacity is rounded up to a power of two (>= 2).
+  explicit MpmcRing(std::size_t capacity) {
+    require(capacity > 0, "MpmcRing: capacity must be >= 1");
+    std::size_t rounded = 2;
+    while (rounded < capacity) rounded *= 2;
+    mask_ = rounded - 1;
+    slots_ = std::vector<Slot>(rounded);
+    for (std::size_t i = 0; i < rounded; ++i) {
+      slots_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpmcRing(const MpmcRing&) = delete;
+  MpmcRing& operator=(const MpmcRing&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Occupied slots right now (approximate under concurrency; exact when
+  /// all peers are quiescent).
+  [[nodiscard]] std::size_t size() const noexcept {
+    const std::uint64_t head = enqueue_.pos.load(std::memory_order_acquire);
+    const std::uint64_t tail = dequeue_.pos.load(std::memory_order_acquire);
+    return head >= tail ? static_cast<std::size_t>(head - tail) : 0;
+  }
+
+  /// Producer: attempts to move `value` into the ring.  False when full
+  /// (value left intact) or when the ring is closed.
+  [[nodiscard]] bool try_push(T& value) {
+    if (closed_.load(std::memory_order_relaxed)) return false;
+    std::uint64_t pos = enqueue_.pos.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& slot = slots_[static_cast<std::size_t>(pos) & mask_];
+      const std::uint64_t seq = slot.sequence.load(std::memory_order_acquire);
+      const std::int64_t diff =
+          static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
+      if (diff == 0) {
+        // Slot free for this generation; race other producers for it.
+        if (enqueue_.pos.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          slot.value = std::move(value);
+          slot.sequence.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+        // CAS refreshed `pos`; retry against the new slot.
+      } else if (diff < 0) {
+        // Slot still holds the previous generation's value: ring is full.
+        return false;
+      } else {
+        // Another producer already claimed this position; catch up.
+        pos = enqueue_.pos.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Producer: blocking push.  Spins, yields, then sleeps until a slot frees
+  /// up; each wait round counts once as backpressure.  Returns false only if
+  /// the ring was closed while waiting (value left intact).
+  bool push(T& value) {
+    if (try_push(value)) return true;
+    blocked_push_.fetch_add(1, std::memory_order_relaxed);
+    Backoff backoff;
+    while (!try_push(value)) {
+      if (closed_.load(std::memory_order_acquire)) return false;
+      backoff.wait();
+    }
+    return true;
+  }
+
+  /// Consumer: attempts to move the oldest published element out.  False
+  /// when empty.
+  [[nodiscard]] bool try_pop(T& out) {
+    std::uint64_t pos = dequeue_.pos.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& slot = slots_[static_cast<std::size_t>(pos) & mask_];
+      const std::uint64_t seq = slot.sequence.load(std::memory_order_acquire);
+      const std::int64_t diff =
+          static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos + 1);
+      if (diff == 0) {
+        // Value published; race other consumers for it.
+        if (dequeue_.pos.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          out = std::move(slot.value);
+          // Release the slot to the next generation of producers.
+          slot.sequence.store(pos + capacity(), std::memory_order_release);
+          return true;
+        }
+      } else if (diff < 0) {
+        // Slot not yet published for this generation: ring is empty.
+        return false;
+      } else {
+        pos = dequeue_.pos.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Consumer: blocking pop.  Waits until an element arrives; returns false
+  /// when the ring is closed *and* drained (the end-of-stream signal).
+  bool pop(T& out) {
+    if (try_pop(out)) return true;
+    blocked_pop_.fetch_add(1, std::memory_order_relaxed);
+    Backoff backoff;
+    for (;;) {
+      if (try_pop(out)) return true;
+      // Order matters: re-check contents after observing the closed flag,
+      // or elements pushed just before close() could be dropped.
+      if (closed_.load(std::memory_order_acquire)) return try_pop(out);
+      backoff.wait();
+    }
+  }
+
+  /// Any thread: signals end of stream.  Pending elements stay poppable;
+  /// blocked consumers wake up and drain them, then pop() returns false.
+  void close() noexcept { closed_.store(true, std::memory_order_release); }
+
+  [[nodiscard]] bool closed() const noexcept {
+    return closed_.load(std::memory_order_acquire);
+  }
+
+  /// Backpressure counters: how many pushes/pops entered a blocking wait.
+  [[nodiscard]] std::uint64_t push_blocked() const noexcept {
+    return blocked_push_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t pop_blocked() const noexcept {
+    return blocked_pop_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Same spin → yield → sleep ladder as SpscRing::Backoff.
+  struct Backoff {
+    unsigned round = 0;
+    void wait() {
+      if (round < 64) {
+        // Busy spin: the peer is typically one batch away.
+      } else if (round < 256) {
+        std::this_thread::yield();
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+      ++round;
+    }
+  };
+
+  /// Value plus its generation sequence, padded so concurrent claims of
+  /// adjacent slots do not share a cache line through the sequence atomics.
+  struct alignas(kCacheLineBytes) Slot {
+    std::atomic<std::uint64_t> sequence{0};
+    T value{};
+  };
+
+  struct alignas(kCacheLineBytes) PaddedPos {
+    std::atomic<std::uint64_t> pos{0};
+  };
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  PaddedPos enqueue_;
+  PaddedPos dequeue_;
+  alignas(kCacheLineBytes) std::atomic<bool> closed_{false};
+  std::atomic<std::uint64_t> blocked_push_{0};
+  std::atomic<std::uint64_t> blocked_pop_{0};
+};
+
+}  // namespace dpg

@@ -116,6 +116,87 @@ std::uint64_t dpt_checksum(const void* data, std::size_t size,
   return hash;
 }
 
+DptChecksumStream::DptChecksumStream(std::uint64_t seed) noexcept
+    : seed_(seed) {
+  acc_[0] = seed + kPrime1 + kPrime2;
+  acc_[1] = seed + kPrime2;
+  acc_[2] = seed;
+  acc_[3] = seed - kPrime1;
+}
+
+void DptChecksumStream::update(const void* data, std::size_t size) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  total_ += size;
+  // Top up a carried partial stripe first.  Consuming eagerly at exactly 32
+  // buffered bytes matches the one-shot loop, which also folds a stripe
+  // when exactly 32 bytes remain (its tail is total % 32 bytes).
+  if (buffered_ > 0) {
+    const std::size_t take = std::min(size, sizeof buffer_ - buffered_);
+    std::memcpy(buffer_ + buffered_, p, take);
+    buffered_ += take;
+    p += take;
+    size -= take;
+    if (buffered_ < sizeof buffer_) return;
+    acc_[0] = xxh64_round(acc_[0], read_u64(buffer_));
+    acc_[1] = xxh64_round(acc_[1], read_u64(buffer_ + 8));
+    acc_[2] = xxh64_round(acc_[2], read_u64(buffer_ + 16));
+    acc_[3] = xxh64_round(acc_[3], read_u64(buffer_ + 24));
+    buffered_ = 0;
+  }
+  // Whole stripes straight from the caller's buffer, no copy.
+  while (size >= 32) {
+    acc_[0] = xxh64_round(acc_[0], read_u64(p));
+    acc_[1] = xxh64_round(acc_[1], read_u64(p + 8));
+    acc_[2] = xxh64_round(acc_[2], read_u64(p + 16));
+    acc_[3] = xxh64_round(acc_[3], read_u64(p + 24));
+    p += 32;
+    size -= 32;
+  }
+  if (size > 0) {
+    std::memcpy(buffer_, p, size);
+    buffered_ = size;
+  }
+}
+
+std::uint64_t DptChecksumStream::digest() const noexcept {
+  // Finalize from a copy: the accumulators already hold every full stripe
+  // (floor(total / 32) of them), the carry buffer holds the total % 32
+  // tail — exactly the split the one-shot function reaches before its own
+  // finalization.
+  std::uint64_t hash;
+  if (total_ >= 32) {
+    hash = rotl64(acc_[0], 1) + rotl64(acc_[1], 7) + rotl64(acc_[2], 12) +
+           rotl64(acc_[3], 18);
+    hash = xxh64_merge(hash, acc_[0]);
+    hash = xxh64_merge(hash, acc_[1]);
+    hash = xxh64_merge(hash, acc_[2]);
+    hash = xxh64_merge(hash, acc_[3]);
+  } else {
+    hash = seed_ + kPrime5;
+  }
+  hash += total_;
+  const unsigned char* p = buffer_;
+  const unsigned char* const end = buffer_ + buffered_;
+  while (p + 8 <= end) {
+    hash = rotl64(hash ^ xxh64_round(0, read_u64(p)), 27) * kPrime1 + kPrime4;
+    p += 8;
+  }
+  if (p + 4 <= end) {
+    hash = rotl64(hash ^ (read_u32_wide(p) * kPrime1), 23) * kPrime2 + kPrime3;
+    p += 4;
+  }
+  while (p < end) {
+    hash = rotl64(hash ^ (*p * kPrime5), 11) * kPrime1;
+    ++p;
+  }
+  hash ^= hash >> 33;
+  hash *= kPrime2;
+  hash ^= hash >> 29;
+  hash *= kPrime3;
+  hash ^= hash >> 32;
+  return hash;
+}
+
 namespace {
 
 // ---------------------------------------------------------------------------

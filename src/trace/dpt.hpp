@@ -35,6 +35,33 @@ inline constexpr std::uint32_t kDptVersion = 1;
 [[nodiscard]] std::uint64_t dpt_checksum(const void* data, std::size_t size,
                                          std::uint64_t seed = 0);
 
+/// Incremental XXH64 with one-shot semantics: however the bytes are chunked
+/// across update() calls, digest() equals dpt_checksum(all_bytes, total,
+/// seed) exactly.  digest() finalizes from a copy of the running state, so
+/// it can be read mid-stream (a checkpoint) and updating may continue.
+/// This is what lets DptStreamWriter checksum columns as rows arrive
+/// instead of re-scanning megabytes of buffered column data at finish().
+class DptChecksumStream {
+ public:
+  explicit DptChecksumStream(std::uint64_t seed = 0) noexcept;
+
+  /// Feeds `size` more bytes.
+  void update(const void* data, std::size_t size) noexcept;
+
+  /// The checksum of everything fed so far (non-destructive).
+  [[nodiscard]] std::uint64_t digest() const noexcept;
+
+  /// Bytes fed so far.
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept { return total_; }
+
+ private:
+  std::uint64_t acc_[4];          // the 4-lane stripe accumulators
+  unsigned char buffer_[32] = {}; // carry for a partial 32-byte stripe
+  std::size_t buffered_ = 0;
+  std::uint64_t total_ = 0;
+  std::uint64_t seed_ = 0;
+};
+
 enum class DptOpenMode {
   kMap,   // mmap the file, borrow the columns zero-copy (default)
   kRead,  // read + rebuild through SequenceBuilder (untrusting, owning)

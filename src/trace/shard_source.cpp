@@ -1,0 +1,206 @@
+#include "trace/shard_source.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+
+namespace dpg {
+
+namespace {
+
+// Same parse counters as the other CSV readers, so `trace.*` metrics cover
+// the sharded ingest path too.
+const obs::Counter g_rows_parsed = obs::counter("trace.rows_parsed");
+const obs::Counter g_bytes_parsed = obs::counter("trace.bytes_parsed");
+
+// One IO chunk (same sizing rationale as block_reader.cpp).
+constexpr std::size_t kReadChunkBytes = 1u << 20;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ShardClaimSource
+
+void ShardClaimSource::report_error(std::uint64_t seq, std::string message) {
+  // Atomic-min on the failing seq; the winning (smallest) seq keeps its
+  // message, because only requests before *it* were served.
+  std::uint64_t current = error_seq_.load(std::memory_order_relaxed);
+  while (seq < current && !error_seq_.compare_exchange_weak(
+                              current, seq, std::memory_order_acq_rel)) {
+  }
+  if (seq <= error_seq_.load(std::memory_order_acquire)) {
+    const std::lock_guard<std::mutex> lock(error_mutex_);
+    // Re-check under the lock: a smaller seq may have won the race between
+    // our CAS and here.
+    if (seq <= error_seq_.load(std::memory_order_acquire)) {
+      error_message_ = std::move(message);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SequenceClaimSource
+
+SequenceClaimSource::SequenceClaimSource(const RequestSequence& sequence,
+                                         std::size_t batch_rows,
+                                         std::size_t limit)
+    : sequence_(sequence),
+      batch_rows_(batch_rows),
+      end_(limit == 0 ? sequence.size() : std::min(limit, sequence.size())) {
+  require(batch_rows_ > 0, "SequenceClaimSource: batch_rows must be >= 1");
+}
+
+bool SequenceClaimSource::claim(RequestBlock& block, std::uint64_t& seq,
+                                std::size_t& rows_through) {
+  const std::uint64_t i =
+      next_block_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t start = static_cast<std::size_t>(i) * batch_rows_;
+  if (start >= end_) {
+    block.clear();
+    return false;
+  }
+  const std::size_t n = std::min(batch_rows_, end_ - start);
+  const SequenceColumns columns = sequence_.columns();
+  block.adopt(columns.servers.subspan(start, n),
+              columns.times.subspan(start, n),
+              columns.item_offsets.subspan(start, n + 1), columns.items_pool);
+  seq = i;
+  rows_through = start + n;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// CsvClaimSource
+
+CsvClaimSource::CsvClaimSource(std::istream& in, std::string source,
+                               std::size_t batch_rows, std::size_t limit)
+    : in_(in), source_(std::move(source)), batch_rows_(batch_rows),
+      limit_(limit) {
+  require(batch_rows_ > 0, "CsvClaimSource: batch_rows must be >= 1");
+  buffer_.reserve(kReadChunkBytes + 4096);
+}
+
+bool CsvClaimSource::next_line(std::string_view& line, std::size_t* offset) {
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n', pos_);
+    if (newline != std::string::npos) {
+      *offset = base_offset_ + pos_;
+      line = std::string_view(buffer_).substr(pos_, newline - pos_);
+      pos_ = newline + 1;
+      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+      return true;
+    }
+    if (eof_) {
+      if (pos_ >= buffer_.size()) return false;
+      // Final line without a trailing newline.
+      *offset = base_offset_ + pos_;
+      line = std::string_view(buffer_).substr(pos_);
+      pos_ = buffer_.size();
+      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+      return true;
+    }
+    // Compact the consumed prefix, then pull the next chunk.
+    if (pos_ > 0) {
+      buffer_.erase(0, pos_);
+      base_offset_ += pos_;
+      pos_ = 0;
+    }
+    const std::size_t old_size = buffer_.size();
+    buffer_.resize(old_size + kReadChunkBytes);
+    in_.read(buffer_.data() + old_size,
+             static_cast<std::streamsize>(kReadChunkBytes));
+    const std::size_t got = static_cast<std::size_t>(in_.gcount());
+    buffer_.resize(old_size + got);
+    if (got == 0) {
+      if (in_.bad()) {
+        throw IoError(source_ + ": read error at byte offset " +
+                      std::to_string(base_offset_ + buffer_.size()));
+      }
+      eof_ = true;
+    }
+  }
+}
+
+void CsvClaimSource::parse_header_line() {
+  header_parsed_ = true;
+  std::string_view header;
+  std::size_t offset = 0;
+  if (!next_line(header, &offset)) {
+    throw IoError(source_ + ": empty input (no CSV header)");
+  }
+  layout_ = csvdec::parse_header(header);
+  canonical_ = layout_.canonical();
+}
+
+bool CsvClaimSource::claim(RequestBlock& block, std::uint64_t& seq,
+                           std::size_t& rows_through) {
+  block.clear();
+
+  // Per-thread claim scratch: the raw bytes of this claim's lines plus
+  // their locations.  thread_local (not per-call) so a shard's repeated
+  // claims reuse warm capacity; cleared on entry, never used re-entrantly.
+  thread_local std::string text;
+  thread_local std::vector<LineRef> lines;
+  text.clear();
+  lines.clear();
+
+  std::size_t start_row = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (error_seq() != kNoError) return false;
+    if (!header_parsed_) parse_header_line();
+
+    start_row = rows_grabbed_.load(std::memory_order_relaxed);
+    while (lines.size() < batch_rows_ &&
+           (limit_ == 0 || start_row + lines.size() < limit_)) {
+      std::string_view line;
+      std::size_t offset = 0;
+      if (!next_line(line, &offset)) break;
+      if (line.empty()) continue;
+      lines.push_back(LineRef{text.size(), line.size(), offset});
+      text.append(line);
+    }
+    if (lines.empty()) return false;  // end of stream / limit reached
+    seq = next_seq_++;
+    rows_grabbed_.store(start_row + lines.size(), std::memory_order_relaxed);
+  }
+  rows_through = start_row + lines.size();
+
+  // Decode outside the lock — this is the part that runs N shards wide.
+  std::size_t bytes = 0;
+  for (std::size_t r = 0; r < lines.size(); ++r) {
+    const LineRef& ref = lines[r];
+    const std::string_view line =
+        std::string_view(text).substr(ref.begin, ref.length);
+    try {
+      const csvdec::RowFields fields =
+          csvdec::split_row(line, layout_, canonical_);
+      block.begin_row(
+          static_cast<ServerId>(
+              csvdec::fast_parse_size(csvdec::strip_quotes(fields.server))),
+          csvdec::fast_parse_double(csvdec::strip_quotes(fields.time)));
+      csvdec::parse_item_list(fields.items,
+                              [&](ItemId item) { block.push_item(item); });
+      block.end_row();  // sorts + deduplicates — push_batch relies on it
+    } catch (const Error& e) {
+      // Keep the valid prefix; the block still ships (possibly empty) so
+      // the seq numbering has no gap.  The runtime suppresses seqs after
+      // this one on the partition side.
+      block.abort_row();
+      report_error(seq, source_ + ": row " + std::to_string(start_row + r + 1) +
+                            " (byte offset " + std::to_string(ref.offset) +
+                            "): " + e.what());
+      break;
+    }
+    bytes += ref.length + 1;
+  }
+
+  g_rows_parsed.add(block.size());
+  g_bytes_parsed.add(bytes);
+  return true;
+}
+
+}  // namespace dpg

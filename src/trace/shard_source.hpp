@@ -1,0 +1,153 @@
+// Claim-based trace sources for the sharded serve path: N decode shards
+// pull blocks concurrently from one stream, each claim returning the block
+// plus its global sequence number, so the partition side can restore
+// canonical trace order no matter which shard decoded what.
+//
+//   * SequenceClaimSource — contiguous-range claims over a materialized
+//     RequestSequence (the `.dpt` mmap path): shard claims are one atomic
+//     fetch-add, block `i` is rows [i·batch, (i+1)·batch), and every block
+//     adopts zero-copy column views exactly like SequenceBlockReader.
+//   * CsvClaimSource — round-robin raw-chunk claims on a CSV stream
+//     (including stdin): a shard takes the source mutex just long enough to
+//     slice off the next `batch_rows` raw lines (byte copying only — no
+//     parsing under the lock), then decodes them outside the lock with the
+//     same csvdec fast path as CsvBlockReader.  Decode runs N-wide; the
+//     stream read stays serial because the bytes are.
+//
+// Sequence numbers are consecutive from 0 in claim order, which for both
+// sources equals trace order: block seq s covers exactly the rows
+// [rows_through(s) − |block|, rows_through(s)) of the stream.
+//
+// Error contract (CSV): a malformed row poisons its block's *suffix* only.
+// The claiming shard keeps the valid prefix (delivered as a normal block so
+// the sequence numbering has no gap), records the smallest failing seq and
+// its full-provenance message (source, row, byte offset) via an atomic-min,
+// and every later claim returns end-of-stream.  The sharded runtime
+// (engine/sharded_serve.hpp) then suppresses blocks *after* the failing seq
+// on the partition side — in-flight claims from other shards may have
+// already decoded them — so the engines ingest exactly the requests before
+// the malformed row, same as the 1×1 paths.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <istream>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "core/request.hpp"
+#include "core/request_block.hpp"
+#include "trace/csv_decode.hpp"
+
+namespace dpg {
+
+/// Thread-safe block claiming: any number of shard threads call claim()
+/// concurrently; each successful claim owns one block of the stream.
+class ShardClaimSource {
+ public:
+  /// error_seq() value when no decode error has been recorded.
+  static constexpr std::uint64_t kNoError =
+      std::numeric_limits<std::uint64_t>::max();
+
+  virtual ~ShardClaimSource() = default;
+
+  /// Claims the next block of the stream.  On success fills `block`, sets
+  /// `seq` (consecutive from 0, claim order == trace order) and
+  /// `rows_through` (cumulative data rows over blocks 0..seq) and returns
+  /// true.  Returns false at end of stream, after the row limit, or once a
+  /// decode error has been recorded.  A block delivered with a recorded
+  /// error at its own seq holds the valid prefix before the bad row (and
+  /// may be empty).
+  virtual bool claim(RequestBlock& block, std::uint64_t& seq,
+                     std::size_t& rows_through) = 0;
+
+  /// Smallest seq whose decode failed (kNoError if none).  Monotone: once
+  /// set it only decreases, and claims stop issuing new blocks.
+  [[nodiscard]] std::uint64_t error_seq() const noexcept {
+    return error_seq_.load(std::memory_order_acquire);
+  }
+
+  /// Full-provenance message for the error_seq() failure ("" if none).
+  [[nodiscard]] std::string error_message() const {
+    const std::lock_guard<std::mutex> lock(error_mutex_);
+    return error_message_;
+  }
+
+ protected:
+  /// Records a decode failure at `seq`; the smallest seq wins (and keeps
+  /// its message) under concurrent reports.
+  void report_error(std::uint64_t seq, std::string message);
+
+ private:
+  std::atomic<std::uint64_t> error_seq_{kNoError};
+  mutable std::mutex error_mutex_;
+  std::string error_message_;
+};
+
+/// Contiguous-range claims over a materialized sequence.  The sequence must
+/// outlive every block handed out (blocks only view its columns).
+class SequenceClaimSource final : public ShardClaimSource {
+ public:
+  SequenceClaimSource(const RequestSequence& sequence, std::size_t batch_rows,
+                      std::size_t limit = 0);
+
+  bool claim(RequestBlock& block, std::uint64_t& seq,
+             std::size_t& rows_through) override;
+
+ private:
+  const RequestSequence& sequence_;
+  std::size_t batch_rows_;
+  std::size_t end_;
+  std::atomic<std::uint64_t> next_block_{0};
+};
+
+/// Round-robin raw-chunk claims on a CSV stream; decode outside the lock.
+class CsvClaimSource final : public ShardClaimSource {
+ public:
+  /// `source` labels errors (file path or "<stdin>").
+  CsvClaimSource(std::istream& in, std::string source, std::size_t batch_rows,
+                 std::size_t limit = 0);
+
+  bool claim(RequestBlock& block, std::uint64_t& seq,
+             std::size_t& rows_through) override;
+
+  /// Data rows grabbed so far (parsed or poisoned; exact once claims stop).
+  [[nodiscard]] std::size_t rows() const noexcept {
+    return rows_grabbed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// One raw data line staged by a claim: [begin, begin+length) into the
+  /// claim scratch text, plus its byte offset in the whole stream.
+  struct LineRef {
+    std::size_t begin = 0;
+    std::size_t length = 0;
+    std::size_t offset = 0;
+  };
+
+  /// Extracts the next line (without '\n'/"\r\n") from the buffered stream,
+  /// refilling as needed.  Caller must hold mutex_.  False at end of input.
+  bool next_line(std::string_view& line, std::size_t* offset);
+  void parse_header_line();
+
+  std::istream& in_;
+  std::string source_;
+  std::size_t batch_rows_;
+  std::size_t limit_;
+
+  std::mutex mutex_;  // guards everything below (the raw byte stream)
+  std::string buffer_;
+  std::size_t pos_ = 0;          // consumed prefix of buffer_
+  std::size_t base_offset_ = 0;  // stream offset of buffer_[0]
+  bool eof_ = false;
+  bool header_parsed_ = false;
+  csvdec::ColumnLayout layout_;
+  bool canonical_ = false;
+  std::uint64_t next_seq_ = 0;
+  std::atomic<std::size_t> rows_grabbed_{0};
+};
+
+}  // namespace dpg

@@ -1,0 +1,241 @@
+// DptStreamWriter (trace/dpt_stream_writer.hpp) and DptChecksumStream
+// (trace/dpt.hpp): the archive-while-serving path must produce files
+// byte-for-byte identical to write_trace_dpt on the same logical sequence,
+// and the incremental checksum must equal the one-shot function at every
+// chunking — those two identities are what let `serve --archive` emit
+// `.dpt` files indistinguishable from offline conversion.
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/request_block.hpp"
+#include "trace/dpt.hpp"
+#include "trace/dpt_stream_writer.hpp"
+#include "trace/generators.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace dpg {
+namespace {
+
+using testing::same_sequence;
+
+std::string temp_path(const std::string& name) {
+  // Distinct per test and per process: `ctest -j` runs every TEST in its
+  // own process but all of them share TempDir().
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  std::string unique;
+  if (info != nullptr) {
+    unique = std::string(info->test_suite_name()) + "_" + info->name() + "_";
+    for (char& c : unique) {
+      if (c == '/') c = '_';
+    }
+  }
+  unique += std::to_string(::getpid()) + "_";
+  return ::testing::TempDir() + unique + name;
+}
+
+std::string read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+RequestSequence fixture_trace() {
+  Rng rng(404);
+  ZipfTraceConfig config;
+  config.server_count = 9;
+  config.item_count = 17;
+  config.request_count = 500;
+  return generate_zipf_trace(config, rng);
+}
+
+// ---------------------------------------------------------------------------
+// DptChecksumStream
+
+TEST(DptChecksumStream, MatchesOneShotAtEveryChunking) {
+  // Sizes straddling every finalization regime: empty, sub-stripe tails of
+  // 1/4/8-byte granularity, exactly one stripe, stripe ± 1, multiples.
+  const std::size_t sizes[] = {0, 1, 3, 4, 7, 8, 12, 31, 32,
+                               33, 40, 63, 64, 65, 96, 1000};
+  const std::size_t chunks[] = {1, 3, 7, 13, 32, 64, 1u << 20};
+  std::vector<unsigned char> data(1000);
+  std::uint64_t x = 0x9E3779B97F4A7C15ULL;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    data[i] = static_cast<unsigned char>(x);
+  }
+  for (const std::size_t size : sizes) {
+    const std::uint64_t want = dpt_checksum(data.data(), size);
+    for (const std::size_t chunk : chunks) {
+      DptChecksumStream stream;
+      for (std::size_t at = 0; at < size; at += chunk) {
+        stream.update(data.data() + at, std::min(chunk, size - at));
+      }
+      EXPECT_EQ(stream.digest(), want)
+          << "size " << size << " chunk " << chunk;
+      EXPECT_EQ(stream.total_bytes(), size);
+    }
+  }
+}
+
+TEST(DptChecksumStream, DigestIsNonDestructiveMidStream) {
+  const std::string text = "the quick brown fox jumps over the lazy dog, "
+                           "twice around the block and back again";
+  DptChecksumStream stream(/*seed=*/7);
+  stream.update(text.data(), 10);
+  const std::uint64_t at10 = stream.digest();
+  EXPECT_EQ(at10, dpt_checksum(text.data(), 10, 7));
+  EXPECT_EQ(stream.digest(), at10);  // reading twice changes nothing
+  stream.update(text.data() + 10, text.size() - 10);
+  EXPECT_EQ(stream.digest(), dpt_checksum(text.data(), text.size(), 7));
+}
+
+// ---------------------------------------------------------------------------
+// DptStreamWriter byte identity
+
+TEST(DptStreamWriter, PerRowAppendMatchesWriteTraceDptByteForByte) {
+  const RequestSequence sequence = fixture_trace();
+  const std::string batch_path = temp_path("batch.dpt");
+  const std::string stream_path = temp_path("stream.dpt");
+  write_trace_dpt(batch_path, sequence);
+
+  DptStreamWriter writer(stream_path, sequence.server_count(),
+                         sequence.item_count());
+  for (std::size_t i = 0; i < sequence.size(); ++i) {
+    writer.append(sequence.server_of(i), sequence.time_of(i),
+                  sequence.items_of(i));
+  }
+  EXPECT_EQ(writer.rows(), sequence.size());
+  writer.finish();
+
+  EXPECT_EQ(read_bytes(stream_path), read_bytes(batch_path));
+  std::remove(batch_path.c_str());
+  std::remove(stream_path.c_str());
+}
+
+TEST(DptStreamWriter, BlockAppendMatchesWriteTraceDptByteForByte) {
+  const RequestSequence sequence = fixture_trace();
+  const std::string batch_path = temp_path("batch.dpt");
+  const std::string stream_path = temp_path("stream.dpt");
+  write_trace_dpt(batch_path, sequence);
+
+  // Feed through RequestBlocks of a ragged size, the archive-a-serve-feed
+  // shape (the last block is partial).
+  DptStreamWriter writer(stream_path, sequence.server_count(),
+                         sequence.item_count());
+  RequestBlock block;
+  for (std::size_t at = 0; at < sequence.size();) {
+    block.clear();
+    const std::size_t n = std::min<std::size_t>(37, sequence.size() - at);
+    for (std::size_t i = 0; i < n; ++i, ++at) {
+      block.append_row(sequence.server_of(at), sequence.time_of(at),
+                       sequence.items_of(at));
+    }
+    writer.append_block(block);
+  }
+  writer.finish();
+
+  EXPECT_EQ(read_bytes(stream_path), read_bytes(batch_path));
+  std::remove(batch_path.c_str());
+  std::remove(stream_path.c_str());
+}
+
+TEST(DptStreamWriter, RoundTripsThroughBothOpenModes) {
+  const RequestSequence sequence = fixture_trace();
+  const std::string path = temp_path("roundtrip.dpt");
+  DptStreamWriter writer(path);  // counts derived from the feed itself
+  for (std::size_t i = 0; i < sequence.size(); ++i) {
+    writer.append(sequence.server_of(i), sequence.time_of(i),
+                  sequence.items_of(i));
+  }
+  writer.finish();
+
+  DptReadOptions map_options;
+  map_options.mode = DptOpenMode::kMap;
+  map_options.verify_checksums = true;
+  map_options.verify_columns = true;
+  EXPECT_TRUE(same_sequence(read_trace_dpt(path, map_options), sequence));
+  DptReadOptions read_options;
+  read_options.mode = DptOpenMode::kRead;
+  EXPECT_TRUE(same_sequence(read_trace_dpt(path, read_options), sequence));
+  std::remove(path.c_str());
+}
+
+TEST(DptStreamWriter, AppendCanonicalizesUnsortedDuplicateItems) {
+  const std::string stream_path = temp_path("canon_stream.dpt");
+  const std::string batch_path = temp_path("canon_batch.dpt");
+
+  DptStreamWriter writer(stream_path);
+  writer.append(2, 1.0, std::vector<ItemId>{5, 1, 5, 3, 1});
+  writer.append(0, 1.5, std::vector<ItemId>{4, 4});
+  writer.finish();
+
+  SequenceBuilder builder(/*server_count=*/3, /*item_count=*/6);
+  builder.add(2, 1.0, std::vector<ItemId>{1, 3, 5});
+  builder.add(0, 1.5, std::vector<ItemId>{4});
+  write_trace_dpt(batch_path, std::move(builder).build());
+
+  EXPECT_EQ(read_bytes(stream_path), read_bytes(batch_path));
+  std::remove(stream_path.c_str());
+  std::remove(batch_path.c_str());
+}
+
+TEST(DptStreamWriter, MinCountsPinALargerUniverse) {
+  const std::string path = temp_path("mins.dpt");
+  DptStreamWriter writer(path, /*min_server_count=*/40,
+                         /*min_item_count=*/99);
+  writer.append(1, 1.0, std::vector<ItemId>{0, 2});
+  writer.finish();
+  const DptInfo info = probe_trace_dpt(path);
+  EXPECT_EQ(info.request_count, 1u);
+  EXPECT_EQ(info.server_count, 40u);
+  EXPECT_EQ(info.item_count, 99u);
+  EXPECT_EQ(info.item_access_count, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(DptStreamWriter, RejectsInvalidRowsAndMisuse) {
+  const std::string path = temp_path("invalid.dpt");
+  DptStreamWriter writer(path);
+  writer.append(0, 1.0, std::vector<ItemId>{3});
+  // Times must be strictly increasing and positive.
+  EXPECT_THROW(writer.append(0, 1.0, std::vector<ItemId>{3}),
+               InvalidArgument);
+  EXPECT_THROW(writer.append(0, 0.5, std::vector<ItemId>{3}),
+               InvalidArgument);
+  // Item sets must be non-empty.
+  EXPECT_THROW(writer.append(0, 2.0, std::vector<ItemId>{}), InvalidArgument);
+  writer.finish();
+  EXPECT_THROW(writer.append(0, 3.0, std::vector<ItemId>{1}),
+               InvalidArgument);
+  EXPECT_THROW(writer.finish(), InvalidArgument);
+  std::remove(path.c_str());
+
+  // An empty feed has no derivable universe; the mins make it legal.
+  DptStreamWriter empty(temp_path("empty.dpt"));
+  EXPECT_THROW(empty.finish(), InvalidArgument);
+  const std::string pinned_path = temp_path("empty_pinned.dpt");
+  DptStreamWriter pinned(pinned_path, /*min_server_count=*/2,
+                         /*min_item_count=*/3);
+  pinned.finish();
+  const DptInfo info = probe_trace_dpt(pinned_path);
+  EXPECT_EQ(info.request_count, 0u);
+  EXPECT_EQ(info.server_count, 2u);
+  EXPECT_EQ(info.item_count, 3u);
+  std::remove(pinned_path.c_str());
+}
+
+}  // namespace
+}  // namespace dpg

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "parallel/mpmc_ring.hpp"
+#include "util/error.hpp"
+
+namespace dpg {
+namespace {
+
+TEST(MpmcRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(MpmcRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(MpmcRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(MpmcRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(MpmcRing<int>(8).capacity(), 8u);
+  EXPECT_EQ(MpmcRing<int>(9).capacity(), 16u);
+  EXPECT_THROW(MpmcRing<int>(0), InvalidArgument);
+}
+
+TEST(MpmcRing, TryPushPopSingleThread) {
+  MpmcRing<int> ring(4);
+  EXPECT_EQ(ring.size(), 0u);
+  for (int i = 0; i < 4; ++i) {
+    int v = i;
+    EXPECT_TRUE(ring.try_push(v));
+  }
+  int v = 99;
+  EXPECT_FALSE(ring.try_push(v));  // full
+  EXPECT_EQ(v, 99);                // value left intact
+  EXPECT_EQ(ring.size(), 4u);
+
+  for (int i = 0; i < 4; ++i) {
+    int out = -1;
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, i);  // FIFO under a single thread
+  }
+  int out = -1;
+  EXPECT_FALSE(ring.try_pop(out));  // empty
+}
+
+TEST(MpmcRing, WrapsAroundManyGenerations) {
+  MpmcRing<std::uint64_t> ring(2);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    std::uint64_t v = i;
+    ASSERT_TRUE(ring.try_push(v));
+    std::uint64_t out = 0;
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+}
+
+TEST(MpmcRing, CloseDrainsPendingThenEndsStream) {
+  MpmcRing<int> ring(8);
+  for (int i = 0; i < 5; ++i) {
+    int v = i;
+    ASSERT_TRUE(ring.try_push(v));
+  }
+  ring.close();
+  EXPECT_TRUE(ring.closed());
+
+  int v = 42;
+  EXPECT_FALSE(ring.try_push(v));  // closed rejects new pushes
+
+  // Pending elements stay poppable after close.
+  for (int i = 0; i < 5; ++i) {
+    int out = -1;
+    ASSERT_TRUE(ring.pop(out));
+    EXPECT_EQ(out, i);
+  }
+  int out = -1;
+  EXPECT_FALSE(ring.pop(out));  // closed + drained: end of stream
+}
+
+TEST(MpmcRing, CloseUnblocksWaitingConsumer) {
+  MpmcRing<int> ring(2);
+  std::atomic<bool> returned{false};
+  std::thread consumer([&] {
+    int out = 0;
+    EXPECT_FALSE(ring.pop(out));
+    returned.store(true);
+  });
+  ring.close();
+  consumer.join();
+  EXPECT_TRUE(returned.load());
+}
+
+TEST(MpmcRing, CloseUnblocksWaitingProducer) {
+  MpmcRing<int> ring(2);
+  for (int i = 0; i < 2; ++i) {
+    int v = i;
+    ASSERT_TRUE(ring.try_push(v));
+  }
+  std::thread producer([&] {
+    int v = 99;
+    EXPECT_FALSE(ring.push(v));  // full, then closed while waiting
+  });
+  // Give the producer time to enter its blocking wait, then close.
+  while (ring.push_blocked() == 0) std::this_thread::yield();
+  ring.close();
+  producer.join();
+  EXPECT_GE(ring.push_blocked(), 1u);
+}
+
+// Many producers, many consumers, tiny ring so every thread hits
+// backpressure: every pushed value must be popped exactly once.
+TEST(MpmcRing, MpmcDeliversEveryValueExactlyOnceUnderBackpressure) {
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kConsumers = 4;
+  constexpr std::uint64_t kPerProducer = 20000;
+  MpmcRing<std::uint64_t> ring(4);  // tiny: forces blocking on both sides
+
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&ring, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        std::uint64_t v = p * kPerProducer + i;
+        ASSERT_TRUE(ring.push(v));
+      }
+    });
+  }
+
+  std::vector<std::vector<std::uint64_t>> got(kConsumers);
+  std::vector<std::thread> consumers;
+  for (std::size_t c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&ring, &got, c] {
+      std::uint64_t out = 0;
+      while (ring.pop(out)) got[c].push_back(out);
+    });
+  }
+
+  for (auto& t : producers) t.join();
+  ring.close();
+  for (auto& t : consumers) t.join();
+
+  std::vector<std::uint64_t> all;
+  for (const auto& g : got) all.insert(all.end(), g.begin(), g.end());
+  ASSERT_EQ(all.size(), kProducers * kPerProducer);
+  std::sort(all.begin(), all.end());
+  for (std::uint64_t i = 0; i < all.size(); ++i) EXPECT_EQ(all[i], i);
+}
+
+// A single consumer must see each producer's values in that producer's
+// push order (per-producer FIFO through the claimed slots).
+TEST(MpmcRing, SingleConsumerSeesPerProducerOrder) {
+  constexpr std::size_t kProducers = 3;
+  constexpr std::uint64_t kPerProducer = 10000;
+  MpmcRing<std::uint64_t> ring(8);
+
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&ring, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        // Tag the producer in the high bits, the sequence in the low.
+        std::uint64_t v = (static_cast<std::uint64_t>(p) << 32) | i;
+        ASSERT_TRUE(ring.push(v));
+      }
+    });
+  }
+
+  std::vector<std::uint64_t> next(kProducers, 0);
+  std::thread consumer([&] {
+    std::uint64_t out = 0;
+    while (ring.pop(out)) {
+      const std::size_t p = static_cast<std::size_t>(out >> 32);
+      const std::uint64_t seq = out & 0xffffffffu;
+      ASSERT_LT(p, kProducers);
+      EXPECT_EQ(seq, next[p]);
+      ++next[p];
+    }
+  });
+
+  for (auto& t : producers) t.join();
+  ring.close();
+  consumer.join();
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    EXPECT_EQ(next[p], kPerProducer);
+  }
+}
+
+TEST(MpmcRing, MoveOnlyPayloadsMoveThrough) {
+  MpmcRing<std::unique_ptr<int>> ring(4);
+  auto v = std::make_unique<int>(7);
+  ASSERT_TRUE(ring.try_push(v));
+  EXPECT_EQ(v, nullptr);  // moved out
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(ring.try_pop(out));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 7);
+}
+
+}  // namespace
+}  // namespace dpg

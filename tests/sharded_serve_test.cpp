@@ -1,0 +1,645 @@
+// The sharded serve surface: ServeConfig (the unified builder every serve
+// entry point parses into), serve_partition_of routing, the deterministic
+// merge, and run_sharded_serve itself.
+//
+// The load-bearing guarantee mirrors the pipeline suite one level up: for a
+// fixed partition count M, the merged report and every barrier snapshot are
+// bit-identical across every shard count, batch size, ring topology and
+// thread schedule — and at M = 1 they are bit-identical to the per-push
+// engine (checked against the same full-precision goldens as
+// streaming_pipeline_test.cpp).  The reference implementation here routes
+// rows serially through M engines with the same hash, so any divergence in
+// the concurrent runtime (ordering, holdback, barriers, merge) is a test
+// failure, not an FP tolerance.
+//
+// ShardedServe.* runs under TSan in CI alongside the ring suites.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dpgreedy.hpp"
+#include "test_support.hpp"
+
+namespace dpg {
+namespace {
+
+// Same fixture family as streaming_pipeline_test.cpp.
+RequestSequence golden_trace() {
+  Rng rng(77);
+  ZipfTraceConfig config;
+  config.server_count = 12;
+  config.item_count = 20;
+  config.request_count = 3000;
+  return generate_zipf_trace(config, rng);
+}
+
+const CostModel kModel{/*mu=*/1.0, /*lambda=*/1.0, /*alpha=*/0.8};
+
+OnlineDpGreedyOptions grid_options(std::size_t window, std::size_t repack) {
+  OnlineDpGreedyOptions options;
+  options.theta = 0.4;
+  options.window = window;
+  options.repack_interval = repack;
+  return options;
+}
+
+// The per-push goldens of streaming_engine_test.cpp: at M = 1 the sharded
+// merge must reproduce these exactly, whatever N does.
+struct GoldenPoint {
+  std::size_t window;
+  std::size_t repack;
+  double total_cost;
+};
+const GoldenPoint kGoldens[] = {
+    {8, 1, 14958.483180793215},   {8, 10, 27063.124579415682},
+    {8, 50, 31447.265805422317},  {50, 1, 20069.8921332885},
+    {50, 10, 23070.892026151188}, {50, 50, 24267.762421796473},
+    {200, 1, 24953.503597318482}, {200, 10, 25077.374114509668},
+    {200, 50, 25376.592943394997},
+};
+
+void expect_reports_equal(const RunReport& a, const RunReport& b,
+                          const std::string& label) {
+  EXPECT_EQ(a.total_cost, b.total_cost) << label;
+  EXPECT_EQ(a.raw_cost, b.raw_cost) << label;
+  EXPECT_EQ(a.ave_cost, b.ave_cost) << label;
+  EXPECT_EQ(a.cache_cost, b.cache_cost) << label;
+  EXPECT_EQ(a.transfer_cost, b.transfer_cost) << label;
+  EXPECT_EQ(a.total_item_accesses, b.total_item_accesses) << label;
+  EXPECT_EQ(a.package_count, b.package_count) << label;
+  EXPECT_EQ(a.unpack_events, b.unpack_events) << label;
+  EXPECT_EQ(a.transfer_events, b.transfer_events) << label;
+}
+
+void expect_snapshots_equal(const StreamingSnapshot& a,
+                            const StreamingSnapshot& b,
+                            const std::string& label) {
+  expect_reports_equal(a.report, b.report, label + " report");
+  expect_reports_equal(a.delta, b.delta, label + " delta");
+  EXPECT_EQ(a.requests, b.requests) << label;
+  EXPECT_EQ(a.epoch, b.epoch) << label;
+  EXPECT_EQ(a.live_packages, b.live_packages) << label;
+  EXPECT_EQ(a.item_count, b.item_count) << label;
+  EXPECT_EQ(a.online_probe_cost, b.online_probe_cost) << label;
+  EXPECT_EQ(a.offline_probe_cost, b.offline_probe_cost) << label;
+  EXPECT_EQ(a.cost_ratio, b.cost_ratio) << label;
+  EXPECT_EQ(a.probe_chunks, b.probe_chunks) << label;
+  EXPECT_EQ(a.state_alloc_events, b.state_alloc_events) << label;
+}
+
+/// The serial reference for the N×M runtime: route every row with the same
+/// hash into M per-push engines in global trace order, snapshot all of them
+/// (partition-index order) at exactly the barrier blocks the sharded
+/// sources emit, then finish + merge.  Matches ShardedServeResult
+/// field-for-field so tests can diff the two directly.
+struct ReferenceRun {
+  ShardedServeResult result;
+  std::vector<StreamingSnapshot> snapshots;
+  std::vector<std::size_t> snapshot_rows;
+};
+
+ReferenceRun reference_partitioned_run(const RequestSequence& trace,
+                                       const ServeConfig& config,
+                                       const StreamingOptions& options) {
+  const std::size_t partitions = config.partition_count;
+  std::vector<std::unique_ptr<StreamingEngine>> engines;
+  for (std::size_t j = 0; j < partitions; ++j) {
+    engines.push_back(std::make_unique<StreamingEngine>(kModel, options));
+  }
+
+  ReferenceRun run;
+  const std::size_t n = trace.size();
+  for (std::size_t start = 0; start < n; start += config.batch_rows) {
+    const std::size_t size = std::min(config.batch_rows, n - start);
+    for (std::size_t r = start; r < start + size; ++r) {
+      const std::size_t j =
+          serve_partition_of(trace.server_of(r), trace.items_of(r),
+                             config.flow_route, partitions);
+      engines[j]->push(trace.server_of(r), trace.time_of(r),
+                       trace.items_of(r));
+    }
+    const std::size_t through = start + size;
+    const std::size_t interval = config.snapshot_interval;
+    if (interval > 0 &&
+        (through / interval) > ((through - size) / interval)) {
+      std::vector<StreamingSnapshot> parts;
+      for (std::size_t j = 0; j < partitions; ++j) {
+        parts.push_back(engines[j]->snapshot());
+      }
+      run.snapshots.push_back(merge_partition_snapshots(parts));
+      run.snapshot_rows.push_back(through);
+    }
+  }
+
+  for (std::size_t j = 0; j < partitions; ++j) {
+    run.result.partition_reports.push_back(engines[j]->finish());
+    run.result.epoch = std::max(run.result.epoch, engines[j]->epoch());
+    run.result.probe_chunks += engines[j]->probe_chunks();
+  }
+  run.result.report = merge_partition_reports(run.result.partition_reports);
+  Cost online = 0.0;
+  Cost offline = 0.0;
+  for (std::size_t j = 0; j < partitions; ++j) {
+    online += engines[j]->online_probe_cost();
+    offline += engines[j]->offline_probe_cost();
+  }
+  run.result.cost_ratio = offline > 0.0 ? online / offline : 0.0;
+  return run;
+}
+
+// ---------------------------------------------------------------------------
+// ServeConfig
+
+TEST(ServeConfig, DefaultsValidateAndFluentSettersChain) {
+  ServeConfig config;
+  EXPECT_NO_THROW(config.validate());
+  config.batch(512)
+      .ring(4)
+      .shards(3)
+      .partitions(2)
+      .route(ServeRoute::kByItemSet)
+      .topology(ServeTopology::kMpmc)
+      .snapshot_every(5000)
+      .stats_every(100)
+      .probe_chunk(256)
+      .max_requests(9999)
+      .listen("127.0.0.1:9100")
+      .prom_out("metrics.prom")
+      .pipeline(true);
+  EXPECT_EQ(config.batch_rows, 512u);
+  EXPECT_EQ(config.ring_capacity, 4u);
+  EXPECT_EQ(config.shard_count, 3u);
+  EXPECT_EQ(config.partition_count, 2u);
+  EXPECT_EQ(config.flow_route, ServeRoute::kByItemSet);
+  EXPECT_EQ(config.ring_topology, ServeTopology::kMpmc);
+  EXPECT_EQ(config.snapshot_interval, 5000u);
+  EXPECT_EQ(config.stats_interval, 100u);
+  EXPECT_EQ(config.probe_chunk_rows, 256u);
+  EXPECT_EQ(config.max_request_rows, 9999u);
+  EXPECT_EQ(config.listen_address, "127.0.0.1:9100");
+  EXPECT_EQ(config.prom_path, "metrics.prom");
+  EXPECT_TRUE(config.pipelined);
+  EXPECT_NO_THROW(config.validate());
+}
+
+TEST(ServeConfig, WithParsesEveryField) {
+  ServeConfig config;
+  config.with("batch", "2048")
+      .with("ring", "16")
+      .with("shards", "4")
+      .with("partitions", "8")
+      .with("route", "itemset")
+      .with("topology", "mpmc")
+      .with("snapshot_every", "12345")
+      .with("stats_every", "77")
+      .with("probe_chunk", "500")
+      .with("max_requests", "1000000")
+      .with("listen", "0.0.0.0:9100")
+      .with("prom_out", "/tmp/serve.prom")
+      .with("pipeline", "on");
+  EXPECT_EQ(config.batch_rows, 2048u);
+  EXPECT_EQ(config.ring_capacity, 16u);
+  EXPECT_EQ(config.shard_count, 4u);
+  EXPECT_EQ(config.partition_count, 8u);
+  EXPECT_EQ(config.flow_route, ServeRoute::kByItemSet);
+  EXPECT_EQ(config.ring_topology, ServeTopology::kMpmc);
+  EXPECT_EQ(config.snapshot_interval, 12345u);
+  EXPECT_EQ(config.stats_interval, 77u);
+  EXPECT_EQ(config.probe_chunk_rows, 500u);
+  EXPECT_EQ(config.max_request_rows, 1000000u);
+  EXPECT_EQ(config.listen_address, "0.0.0.0:9100");
+  EXPECT_EQ(config.prom_path, "/tmp/serve.prom");
+  EXPECT_TRUE(config.pipelined);
+
+  // The archive field composes with the 1×1 restriction.
+  ServeConfig archive;
+  archive.with("archive", "feed.dpt");
+  EXPECT_EQ(archive.archive_path, "feed.dpt");
+}
+
+TEST(ServeConfig, WithThrowsNamingTheOffense) {
+  ServeConfig config;
+  try {
+    config.with("shardz", "2");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("shardz"), std::string::npos) << what;
+    EXPECT_NE(what.find("partitions"), std::string::npos)
+        << "should list valid fields: " << what;
+  }
+  EXPECT_THROW(config.with("route", "round_robin"), InvalidArgument);
+  EXPECT_THROW(config.with("topology", "spsc"), InvalidArgument);
+  EXPECT_THROW(config.with("batch", "not_a_number"), InvalidArgument);
+  EXPECT_THROW(config.with("pipeline", "maybe"), InvalidArgument);
+  // Eager range validation at the .with call site.
+  EXPECT_THROW(config.with("shards", "0"), InvalidArgument);
+  EXPECT_THROW(config.with("partitions", "65"), InvalidArgument);
+  // The failed calls left the config valid.
+  EXPECT_NO_THROW(config.validate());
+}
+
+TEST(ServeConfig, ValidateNamesTheOffendingField) {
+  const auto message_of = [](const ServeConfig& config) {
+    try {
+      config.validate();
+    } catch (const InvalidArgument& e) {
+      return std::string(e.what());
+    }
+    return std::string();
+  };
+  ServeConfig config;
+  config.batch_rows = 0;
+  EXPECT_NE(message_of(config).find("batch"), std::string::npos);
+  config = ServeConfig{};
+  config.ring_capacity = 0;
+  EXPECT_NE(message_of(config).find("ring"), std::string::npos);
+  config = ServeConfig{};
+  config.shard_count = 65;
+  EXPECT_NE(message_of(config).find("shards"), std::string::npos);
+  config = ServeConfig{};
+  config.partition_count = 0;
+  EXPECT_NE(message_of(config).find("partitions"), std::string::npos);
+  config = ServeConfig{};
+  config.archive_path = "feed.dpt";
+  EXPECT_NO_THROW(config.validate());  // archive at 1×1 is fine
+  config.shard_count = 2;
+  EXPECT_NE(message_of(config).find("archive"), std::string::npos);
+}
+
+TEST(ServeConfig, RouteAndTopologyNamesRoundTrip) {
+  EXPECT_EQ(parse_serve_route(serve_route_name(ServeRoute::kByServer)),
+            ServeRoute::kByServer);
+  EXPECT_EQ(parse_serve_route(serve_route_name(ServeRoute::kByItemSet)),
+            ServeRoute::kByItemSet);
+  EXPECT_EQ(
+      parse_serve_topology(serve_topology_name(ServeTopology::kCrossbar)),
+      ServeTopology::kCrossbar);
+  EXPECT_EQ(parse_serve_topology(serve_topology_name(ServeTopology::kMpmc)),
+            ServeTopology::kMpmc);
+}
+
+// ---------------------------------------------------------------------------
+// Routing
+
+TEST(ServePartitionOf, IsStableInRangeAndRespectsTheRoute) {
+  const std::vector<ItemId> items = {3, 9, 14};
+  for (std::size_t m : {1u, 2u, 5u, 64u}) {
+    for (ServerId server = 0; server < 50; ++server) {
+      const std::size_t by_server = serve_partition_of(
+          server, items, ServeRoute::kByServer, m);
+      EXPECT_LT(by_server, m);
+      // Stable: same inputs, same partition.
+      EXPECT_EQ(by_server, serve_partition_of(server, items,
+                                              ServeRoute::kByServer, m));
+      // kByServer ignores the items entirely.
+      EXPECT_EQ(by_server, serve_partition_of(server, std::span<const ItemId>(),
+                                              ServeRoute::kByServer, m));
+      EXPECT_EQ(by_server,
+                serve_partition_of(server, std::vector<ItemId>{7},
+                                   ServeRoute::kByServer, m));
+    }
+    // kByItemSet keys on the lowest item id: same front item, same
+    // partition, whatever the server or the rest of the set.
+    const std::size_t by_items =
+        serve_partition_of(0, items, ServeRoute::kByItemSet, m);
+    EXPECT_LT(by_items, m);
+    EXPECT_EQ(by_items, serve_partition_of(41, std::vector<ItemId>{3, 200},
+                                           ServeRoute::kByItemSet, m));
+  }
+  // M = 1 degenerates to partition 0 for every row and route.
+  EXPECT_EQ(serve_partition_of(9, items, ServeRoute::kByItemSet, 1), 0u);
+}
+
+TEST(ServePartitionOf, ItemlessRowsFallBackToATaggedServerKey) {
+  // Itemless rows under kByItemSet hash the server in a tagged universe:
+  // in range and stable.  (The tag keeps server k and item k from always
+  // colliding; the exact assignment is the hash's business.)
+  for (ServerId server = 0; server < 20; ++server) {
+    const std::size_t p = serve_partition_of(
+        server, std::span<const ItemId>(), ServeRoute::kByItemSet, 8);
+    EXPECT_LT(p, 8u);
+    EXPECT_EQ(p, serve_partition_of(server, std::span<const ItemId>(),
+                                    ServeRoute::kByItemSet, 8));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Merge
+
+TEST(ShardedMerge, MergingOnePartitionIsTheBitwiseIdentity) {
+  const RequestSequence trace = golden_trace();
+  StreamingOptions options;
+  options.online = grid_options(50, 10);
+  StreamingEngine engine(kModel, options);
+  for (std::size_t i = 0; i < 500; ++i) {
+    engine.push(trace.server_of(i), trace.time_of(i), trace.items_of(i));
+  }
+  StreamingSnapshot snapshot = engine.snapshot();
+  const StreamingSnapshot merged_snapshot =
+      merge_partition_snapshots(std::span<const StreamingSnapshot>(
+          &snapshot, 1));
+  expect_snapshots_equal(merged_snapshot, snapshot, "single-snapshot merge");
+
+  const RunReport report = engine.finish();
+  const RunReport merged =
+      merge_partition_reports(std::span<const RunReport>(&report, 1));
+  expect_reports_equal(merged, report, "single-report merge");
+}
+
+TEST(ShardedMerge, SumsInPartitionIndexOrderAndRestoresIdentities) {
+  RunReport a;
+  a.solver = "online_dp_greedy";
+  a.total_cost = 10.0;
+  a.raw_cost = 10.0;
+  a.transfer_cost = 4.0;
+  a.total_item_accesses = 10;
+  a.package_count = 2;
+  a.unpack_events = 1;
+  a.transfer_events = 3;
+  a.phase1_seconds = 0.5;
+  finalize_report(a);
+  RunReport b = a;
+  b.total_cost = 5.0;
+  b.raw_cost = 5.0;
+  b.transfer_cost = 1.0;
+  b.total_item_accesses = 5;
+  b.phase1_seconds = 0.25;
+  finalize_report(b);
+
+  const std::vector<RunReport> parts = {a, b};
+  const RunReport merged = merge_partition_reports(parts);
+  EXPECT_EQ(merged.total_cost, 15.0);
+  EXPECT_EQ(merged.transfer_cost, 5.0);
+  EXPECT_EQ(merged.total_item_accesses, 15u);
+  EXPECT_EQ(merged.package_count, 4u);
+  EXPECT_EQ(merged.transfer_events, 6u);
+  EXPECT_EQ(merged.phase1_seconds, 0.5);  // max, not sum
+  EXPECT_EQ(merged.ave_cost, merged.total_cost / 15.0);
+  // The cache + transfer = total identity holds bit-exactly post-merge.
+  EXPECT_EQ(merged.cache_cost + merged.transfer_cost, merged.total_cost);
+}
+
+// ---------------------------------------------------------------------------
+// The N×M runtime: bit-identity grid
+
+TEST(ShardedServe, GridMatchesSerialReferenceSnapshotBySnapshot) {
+  const RequestSequence trace = golden_trace();
+  StreamingOptions options;
+  options.online = grid_options(50, 10);
+
+  for (const std::size_t batch : {64u, 511u}) {
+    for (const std::size_t partitions : {1u, 2u, 4u}) {
+      ServeConfig base;
+      base.batch(batch).partitions(partitions).snapshot_every(700).ring(4);
+      const ReferenceRun ref =
+          reference_partitioned_run(trace, base, options);
+      for (const std::size_t shards : {1u, 2u, 4u}) {
+        for (const ServeTopology topology :
+             {ServeTopology::kCrossbar, ServeTopology::kMpmc}) {
+          const std::string label =
+              "N=" + std::to_string(shards) + " M=" +
+              std::to_string(partitions) + " batch=" + std::to_string(batch) +
+              " topo=" + serve_topology_name(topology);
+          ServeConfig config = base;
+          config.shards(shards).topology(topology);
+          SequenceClaimSource source(trace, config.batch_rows);
+          std::vector<StreamingSnapshot> snapshots;
+          std::vector<std::size_t> snapshot_rows;
+          const ShardedServeResult result = run_sharded_serve(
+              source, kModel, config, options,
+              [&](const StreamingSnapshot& snap, std::size_t rows) {
+                snapshots.push_back(snap);
+                snapshot_rows.push_back(rows);
+              });
+
+          EXPECT_TRUE(result.feed_error.empty()) << label;
+          EXPECT_EQ(result.stats.requests, trace.size()) << label;
+          expect_reports_equal(result.report, ref.result.report, label);
+          EXPECT_EQ(result.epoch, ref.result.epoch) << label;
+          ASSERT_EQ(result.partition_reports.size(), partitions) << label;
+          for (std::size_t j = 0; j < partitions; ++j) {
+            expect_reports_equal(result.partition_reports[j],
+                                 ref.result.partition_reports[j],
+                                 label + " partition " + std::to_string(j));
+          }
+          ASSERT_EQ(snapshots.size(), ref.snapshots.size()) << label;
+          EXPECT_EQ(snapshot_rows, ref.snapshot_rows) << label;
+          for (std::size_t s = 0; s < snapshots.size(); ++s) {
+            expect_snapshots_equal(snapshots[s], ref.snapshots[s],
+                                   label + " snapshot " + std::to_string(s));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ShardedServe, SinglePartitionReproducesThePerPushGoldens) {
+  // M = 1: whatever N and the transport do, the one engine ingests the
+  // exact global stream — the merged report must hit the per-push goldens
+  // to the last bit.
+  const RequestSequence trace = golden_trace();
+  for (const GoldenPoint& golden : kGoldens) {
+    StreamingOptions options;
+    options.online = grid_options(golden.window, golden.repack);
+    ServeConfig config;
+    config.batch(64).shards(4).partitions(1);
+    SequenceClaimSource source(trace, config.batch_rows);
+    const ShardedServeResult result =
+        run_sharded_serve(source, kModel, config, options);
+    EXPECT_EQ(result.report.total_cost, golden.total_cost)
+        << "w=" << golden.window << " r=" << golden.repack;
+    EXPECT_EQ(result.stats.requests, trace.size());
+  }
+}
+
+TEST(ShardedServe, GoldenGridMatchesReferenceAtMixedShapes) {
+  // Every golden (window, repack) point at the two asymmetric shapes the
+  // issue calls out, both routes.
+  const RequestSequence trace = golden_trace();
+  struct Shape {
+    std::size_t shards;
+    std::size_t partitions;
+    ServeRoute route;
+  };
+  const Shape shapes[] = {
+      {4, 2, ServeRoute::kByServer},
+      {2, 4, ServeRoute::kByItemSet},
+  };
+  for (const Shape& shape : shapes) {
+    for (const GoldenPoint& golden : kGoldens) {
+      StreamingOptions options;
+      options.online = grid_options(golden.window, golden.repack);
+      ServeConfig config;
+      config.batch(128)
+          .shards(shape.shards)
+          .partitions(shape.partitions)
+          .route(shape.route)
+          .snapshot_every(0);
+      const std::string label =
+          "N=" + std::to_string(shape.shards) + " M=" +
+          std::to_string(shape.partitions) + " route=" +
+          serve_route_name(shape.route) + " w=" +
+          std::to_string(golden.window) + " r=" + std::to_string(golden.repack);
+      const ReferenceRun ref =
+          reference_partitioned_run(trace, config, options);
+      SequenceClaimSource source(trace, config.batch_rows);
+      const ShardedServeResult result =
+          run_sharded_serve(source, kModel, config, options);
+      expect_reports_equal(result.report, ref.result.report, label);
+      EXPECT_EQ(result.epoch, ref.result.epoch) << label;
+    }
+  }
+}
+
+TEST(ShardedServe, ProbeAggregatesAcrossPartitions) {
+  const RequestSequence trace = golden_trace();
+  StreamingOptions options;
+  options.online = grid_options(50, 10);
+  options.probe_chunk = 256;
+  ServeConfig config;
+  config.batch(64).shards(2).partitions(2).snapshot_every(1024);
+  const ReferenceRun ref = reference_partitioned_run(trace, config, options);
+  SequenceClaimSource source(trace, config.batch_rows);
+  std::vector<StreamingSnapshot> snapshots;
+  const ShardedServeResult result = run_sharded_serve(
+      source, kModel, config, options,
+      [&](const StreamingSnapshot& snap, std::size_t) {
+        snapshots.push_back(snap);
+      });
+  // The probe degrades gracefully under partitioning: each partition probes
+  // its own sub-stream and the aggregate is Σ online / Σ offline — equal to
+  // the serial partitioned reference bit-for-bit.
+  EXPECT_GT(result.probe_chunks, 0u);
+  EXPECT_GT(result.cost_ratio, 0.0);
+  EXPECT_EQ(result.probe_chunks, ref.result.probe_chunks);
+  EXPECT_EQ(result.cost_ratio, ref.result.cost_ratio);
+  ASSERT_EQ(snapshots.size(), ref.snapshots.size());
+  for (std::size_t s = 0; s < snapshots.size(); ++s) {
+    expect_snapshots_equal(snapshots[s], ref.snapshots[s],
+                           "probe snapshot " + std::to_string(s));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CSV claims and the decode-error contract
+
+TEST(ShardedServe, CsvSourceMatchesSequenceSourceBitForBit) {
+  const RequestSequence trace = golden_trace();
+  StreamingOptions options;
+  options.online = grid_options(50, 10);
+  ServeConfig config;
+  config.batch(127).shards(4).partitions(2).snapshot_every(0);
+
+  SequenceClaimSource seq_source(trace, config.batch_rows);
+  const ShardedServeResult from_seq =
+      run_sharded_serve(seq_source, kModel, config, options);
+
+  const std::string csv = trace_to_csv(trace);
+  std::istringstream in(csv);
+  CsvClaimSource csv_source(in, "golden.csv", config.batch_rows);
+  const ShardedServeResult from_csv =
+      run_sharded_serve(csv_source, kModel, config, options);
+
+  expect_reports_equal(from_csv.report, from_seq.report, "csv vs sequence");
+  EXPECT_EQ(from_csv.stats.requests, trace.size());
+  EXPECT_EQ(csv_source.rows(), trace.size());
+}
+
+TEST(ShardedServe, MalformedCsvRowServesTheValidPrefixAndReportsProvenance) {
+  // 1000 good rows, then garbage mid-stream: every (N, M) must serve
+  // exactly the 1000-row prefix (bit-identical to a clean run over the
+  // prefix) and surface the provenance in feed_error, not an exception.
+  std::string csv = "server,time,items\n";
+  for (int i = 0; i < 1000; ++i) {
+    csv += std::to_string(i % 5) + "," + std::to_string(i + 1) + ".0," +
+           std::to_string(i % 7) + ";" + std::to_string(7 + i % 3) + "\n";
+  }
+  const std::size_t bad_offset = csv.size();
+  csv += "this is not a row\n";
+  for (int i = 0; i < 500; ++i) {
+    csv += "0," + std::to_string(2000 + i) + ".0,1\n";
+  }
+
+  StreamingOptions options;
+  options.online = grid_options(50, 10);
+
+  // Clean-prefix reference per partition count: the canonical answer at a
+  // given M is the M-partition run (M > 1 partitions the flows, which is a
+  // different — but per-M deterministic — report than 1×1).
+  const auto prefix_report_at = [&](std::size_t partitions) {
+    std::istringstream in(std::string(csv, 0, bad_offset));
+    CsvClaimSource source(in, "bad.csv", 64);
+    ServeConfig config;
+    config.batch(64).partitions(partitions);
+    return run_sharded_serve(source, kModel, config, options).report;
+  };
+
+  for (const std::size_t partitions : {1u, 2u}) {
+    const RunReport prefix_report = prefix_report_at(partitions);
+    for (const std::size_t shards : {1u, 4u}) {
+      ServeConfig config;
+      config.batch(64).shards(shards).partitions(partitions);
+      std::istringstream in(csv);
+      CsvClaimSource source(in, "bad.csv", config.batch_rows);
+      const ShardedServeResult result =
+          run_sharded_serve(source, kModel, config, options);
+      const std::string label = "N=" + std::to_string(shards) + " M=" +
+                                std::to_string(partitions);
+      EXPECT_EQ(result.stats.requests, 1000u) << label;
+      expect_reports_equal(result.report, prefix_report, label);
+      EXPECT_NE(result.feed_error.find("bad.csv"), std::string::npos)
+          << label << ": " << result.feed_error;
+      EXPECT_NE(result.feed_error.find("row 1001"), std::string::npos)
+          << label << ": " << result.feed_error;
+      EXPECT_NE(result.feed_error.find(
+                    "byte offset " + std::to_string(bad_offset)),
+                std::string::npos)
+          << label << ": " << result.feed_error;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// push_batch empty-block contract (the no-op the sharded topology relies on)
+
+TEST(ShardedServe, EmptyPushBatchIsAStrictNoOp) {
+  const RequestSequence trace = golden_trace();
+  StreamingOptions options;
+  options.online = grid_options(50, 10);
+  StreamingEngine engine(kModel, options);
+  for (std::size_t i = 0; i < 200; ++i) {
+    engine.push(trace.server_of(i), trace.time_of(i), trace.items_of(i));
+  }
+  const StreamingSnapshot before = engine.snapshot();
+
+  const RequestBlock empty;
+  const StreamingDecision decision = engine.push_batch(empty);
+  EXPECT_EQ(decision.cost_delta, 0.0);
+  EXPECT_EQ(decision.transfers, 0u);
+  EXPECT_EQ(decision.package_fetches, 0u);
+  EXPECT_EQ(decision.pack_events, 0u);
+  EXPECT_EQ(decision.unpack_events, 0u);
+  EXPECT_FALSE(decision.repacked);
+  EXPECT_EQ(decision.epoch, 0u);  // value-initialized, documented
+
+  StreamingSnapshot after = engine.snapshot();
+  EXPECT_EQ(after.requests, before.requests);
+  EXPECT_EQ(after.report.total_cost, before.report.total_cost);
+  EXPECT_EQ(after.epoch, before.epoch);
+  EXPECT_EQ(after.state_alloc_events, before.state_alloc_events);
+  EXPECT_EQ(after.delta.total_cost, 0.0);  // the interval contributed nothing
+
+  // And the engine still works afterwards.
+  engine.push(trace.server_of(200), trace.time_of(200), trace.items_of(200));
+  EXPECT_EQ(engine.requests_seen(), 201u);
+}
+
+}  // namespace
+}  // namespace dpg

@@ -472,9 +472,8 @@ TEST(StreamingPipeline, RunServePipelineMatchesPerPushOverSequence) {
 
   StreamingEngine piped(kModel, options);
   SequenceBlockReader source(trace, 64);
-  ServePipelineOptions popts;
-  popts.batch_rows = 64;
-  popts.ring_capacity = 4;
+  ServeConfig popts;
+  popts.batch(64).ring(4);
   const ServePipelineStats stats =
       run_serve_pipeline(source, piped, popts);
   EXPECT_EQ(stats.requests, trace.size());
@@ -491,8 +490,8 @@ TEST(StreamingPipeline, RunServePipelineMatchesPerPushOverCsv) {
   StreamingEngine piped(kModel, options);
   std::istringstream in(csv);
   CsvBlockReader source(in, "golden.csv", 128);
-  ServePipelineOptions popts;
-  popts.batch_rows = 128;
+  ServeConfig popts;
+  popts.batch(128);
   std::size_t callback_rows = 0;
   const ServePipelineStats stats = run_serve_pipeline(
       source, piped, popts,
@@ -521,8 +520,8 @@ TEST(StreamingPipeline, DecodeErrorSurfacesAfterTheValidPrefix) {
   StreamingEngine engine(kModel, options);
   std::istringstream in(csv);
   CsvBlockReader source(in, "bad.csv", 32);
-  ServePipelineOptions popts;
-  popts.batch_rows = 32;
+  ServeConfig popts;
+  popts.batch(32);
   try {
     run_serve_pipeline(source, engine, popts);
     FAIL() << "expected IoError";
@@ -602,9 +601,8 @@ TEST(StreamingPipeline, ConcurrentBoardReadersAndScrapesUnderLoad) {
   });
 
   SequenceBlockReader source(trace, 32);
-  ServePipelineOptions popts;
-  popts.batch_rows = 32;
-  popts.ring_capacity = 4;
+  ServeConfig popts;
+  popts.batch(32).ring(4);
   run_serve_pipeline(source, engine, popts,
                      [&](const RequestBlock&, const StreamingDecision&,
                          std::size_t) { board.publish(engine.snapshot()); });

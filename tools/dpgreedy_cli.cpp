@@ -12,13 +12,20 @@
 //   dpgreedy serve    --trace - [--snapshot-every N] [--probe-chunk N]
 //                     [--stats-every N] [--prom-out FILE] [--pipeline]
 //                     [--batch N] [--ring N] [--listen HOST:PORT]
+//                     [--shards N] [--partitions M] [--route R]
+//                     [--topology T] [--archive FILE]
 //                     (long-lived streaming engine over a request feed;
 //                     --stats-every prints live rate/latency lines,
 //                     --prom-out keeps an atomically-replaced Prometheus
 //                     text-format snapshot file fresh, --pipeline decodes
 //                     on a second thread feeding push_batch over an SPSC
-//                     ring, and --listen serves GET /metrics + /healthz
-//                     from the double-buffered snapshot board)
+//                     ring, --listen serves GET /metrics + /healthz from
+//                     the double-buffered snapshot board, --shards N /
+//                     --partitions M run the sharded N×M topology with
+//                     flow-hashed routing (--route server|itemset) over
+//                     SPSC-crossbar or MPMC rings (--topology), and
+//                     --archive keeps a byte-exact `.dpt` copy of the feed.
+//                     Every flag parses into the one ServeConfig.)
 //
 // Every solver runs through the SolverRegistry (engine/registry.hpp), so
 // `--solver`/`--solvers` accept exactly the names `dpgreedy list` prints.
@@ -510,19 +517,60 @@ int cmd_serve(int argc, const char* const* argv) {
       "decode on a second thread feeding push_batch over a bounded SPSC "
       "ring (bit-identical results; see docs/streaming.md)");
   const std::size_t* batch = args.add_size(
-      "batch", "pipeline: requests per block (the push_batch unit)", 1024);
+      "batch", "pipeline/sharded: requests per block (the push_batch unit)",
+      1024);
   const std::size_t* ring = args.add_size(
-      "ring", "pipeline: work-ring capacity in blocks", 8);
+      "ring", "pipeline/sharded: work-ring capacity in blocks", 8);
+  const std::size_t* shards = args.add_size(
+      "shards",
+      "decode shards N (with --partitions, >1 runs the sharded N x M "
+      "topology; see docs/streaming.md)",
+      1);
+  const std::size_t* partitions = args.add_size(
+      "partitions", "engine partitions M (rows are flow-hashed; see --route)",
+      1);
+  const std::string* route = args.add_string(
+      "route", "sharded flow routing: server | itemset", "server");
+  const std::string* topology = args.add_string(
+      "topology", "sharded ring topology: crossbar | mpmc", "crossbar");
+  const std::string* archive = args.add_string(
+      "archive",
+      "archive the feed to this .dpt file while serving (1x1 only; the "
+      "file is byte-identical to an offline convert of the same rows)",
+      "");
   const std::string* listen = args.add_string(
       "listen",
       "serve GET /metrics and /healthz on HOST:PORT (IPv4; port 0 = "
       "ephemeral; enables telemetry)",
       "");
   args.parse(argc, argv);
+
+  // Every serve flag lands in the one ServeConfig; validate() rejects bad
+  // combinations (range errors, --archive with sharding) here at the parse
+  // site, naming the offending field.
+  ServeConfig config;
+  config.batch(*batch)
+      .ring(*ring)
+      .shards(*shards)
+      .partitions(*partitions)
+      .route(parse_serve_route(*route))
+      .topology(parse_serve_topology(*topology))
+      .snapshot_every(*snapshot_every)
+      .stats_every(*stats_every)
+      .probe_chunk(*probe_chunk)
+      .max_requests(*max_requests)
+      .listen(*listen)
+      .prom_out(*prom_out)
+      .archive(*archive)
+      .pipeline(*pipeline);
+  config.validate();
+  const bool sharded = config.shard_count > 1 || config.partition_count > 1;
+
   begin_telemetry(flags);
   // Live exposition needs the counters recording even without
   // --metrics-out/--trace-out.
-  if (*stats_every > 0 || !prom_out->empty() || !listen->empty()) {
+  if (config.stats_interval > 0 || !config.prom_path.empty() ||
+      !config.listen_address.empty()) {
     obs::set_enabled(true);
   }
 
@@ -532,18 +580,18 @@ int cmd_serve(int argc, const char* const* argv) {
   options.online.window = *flags.window;
   options.online.repack_interval = *flags.repack;
   options.online.hold_factor = *flags.hold;
-  options.probe_chunk = *probe_chunk;
-  StreamingEngine engine(model, options);
+  options.probe_chunk = config.probe_chunk_rows;
+  StreamingEngine engine(model, options);  // unused when sharded
 
   // Published snapshots live on a double-buffered board: the serve thread
   // publishes at snapshot cadence, and observers (the /metrics listener)
   // copy the board without ever touching the engine mutex.
   ReportBoard board;
   std::unique_ptr<obs::ScrapeListener> listener;
-  if (!listen->empty()) {
+  if (!config.listen_address.empty()) {
     std::string host;
     std::uint16_t port = 0;
-    obs::parse_listen_address(*listen, &host, &port);
+    obs::parse_listen_address(config.listen_address, &host, &port);
     listener = std::make_unique<obs::ScrapeListener>(host, port, [&board] {
       // The standard counter/histogram exposition, plus serve-level gauges
       // derived from the last published snapshot (if any).  The liveness
@@ -578,15 +626,18 @@ int cmd_serve(int argc, const char* const* argv) {
 
   // Prometheus snapshot files are written atomically (FILE.tmp + rename),
   // so a concurrent scraper never reads a torn exposition.
-  const auto write_prom = [&prom_out] {
-    if (prom_out->empty()) return;
-    if (!obs::write_prometheus_file(*prom_out, obs::snapshot_metrics())) {
-      std::fprintf(stderr, "warning: cannot write %s\n", prom_out->c_str());
+  const auto write_prom = [&config] {
+    if (config.prom_path.empty()) return;
+    if (!obs::write_prometheus_file(config.prom_path,
+                                    obs::snapshot_metrics())) {
+      std::fprintf(stderr, "warning: cannot write %s\n",
+                   config.prom_path.c_str());
     }
   };
 
-  const auto emit_snapshot = [&engine, &write_prom, &board] {
-    StreamingSnapshot s = engine.snapshot();
+  // One printer for every topology: the 1×1 paths hand it engine.snapshot(),
+  // the sharded path hands it the merged cross-partition snapshot.
+  const auto print_snapshot = [&write_prom, &board](StreamingSnapshot s) {
     std::printf(
         "snapshot requests=%zu epoch=%zu packages=%zu items=%zu total=%s "
         "ave=%s delta=%s ratio=%s allocs=%llu\n",
@@ -600,17 +651,21 @@ int cmd_serve(int argc, const char* const* argv) {
     write_prom();
     board.publish(std::move(s));
   };
+  const auto emit_snapshot = [&engine, &print_snapshot] {
+    print_snapshot(engine.snapshot());
+  };
 
   // The live stats line: ingest rate since start plus the push-latency
   // distribution from the stream.push_ns histogram.  A distinct `stats `
   // prefix, so consumers of `snapshot `/`final ` lines are unaffected.
   const Stopwatch serve_watch;
   std::size_t pushed = 0;
-  const auto emit_stats = [&] {
-    // Per-push latency in plain mode, per-block latency in pipeline mode
-    // (the pipeline amortizes clock reads to one pair per block).
-    const char* hist_name = *pipeline ? "stream.batch_ns" : "stream.push_ns";
-    const char* kind = *pipeline ? "batch" : "push";
+  // Batched ingest (pipeline or sharded) amortizes clock reads to one pair
+  // per block, so the latency histogram is per-block there.
+  const bool batched = config.pipelined || sharded;
+  const auto emit_stats = [&](std::size_t epoch) {
+    const char* hist_name = batched ? "stream.batch_ns" : "stream.push_ns";
+    const char* kind = batched ? "batch" : "push";
     const obs::MetricsSnapshot m = obs::snapshot_metrics();
     const obs::HistogramData* latency = nullptr;
     for (const auto& [name, data] : m.histograms) {
@@ -623,8 +678,8 @@ int cmd_serve(int argc, const char* const* argv) {
         "stats requests=%zu elapsed_s=%s rate_rps=%.0f epoch=%zu "
         "%s_p50_ns=%llu %s_p99_ns=%llu\n",
         pushed, format_fixed(elapsed, 3).c_str(),
-        elapsed > 0.0 ? static_cast<double>(pushed) / elapsed : 0.0,
-        engine.epoch(), kind,
+        elapsed > 0.0 ? static_cast<double>(pushed) / elapsed : 0.0, epoch,
+        kind,
         static_cast<unsigned long long>(
             obs::histogram_quantile_upper(*latency, 0.50)),
         kind,
@@ -634,14 +689,25 @@ int cmd_serve(int argc, const char* const* argv) {
     write_prom();
   };
 
+  // `serve --archive FILE` keeps a byte-exact `.dpt` copy of the feed
+  // (config.validate() already pinned this to the 1×1 topologies, where
+  // arrival order is the archive order).
+  std::unique_ptr<DptStreamWriter> archive_writer;
+  if (!config.archive_path.empty()) {
+    archive_writer = std::make_unique<DptStreamWriter>(config.archive_path);
+  }
+
   // Pump the feed into the engine; snapshots and stats on their cadences.
   const auto push_one = [&](ServerId server, Time time,
                             std::span<const ItemId> items) {
     engine.push(server, time, items);
+    if (archive_writer) archive_writer->append(server, time, items);
     ++pushed;
-    if (*snapshot_every > 0 && pushed % *snapshot_every == 0) emit_snapshot();
-    if (*stats_every > 0 && pushed % *stats_every == 0) emit_stats();
-    return *max_requests == 0 || pushed < *max_requests;
+    if (config.snapshot_interval > 0 && pushed % config.snapshot_interval == 0)
+      emit_snapshot();
+    if (config.stats_interval > 0 && pushed % config.stats_interval == 0)
+      emit_stats(engine.epoch());
+    return config.max_request_rows == 0 || pushed < config.max_request_rows;
   };
 
   // A malformed trace mid-stream must not vaporize what was already
@@ -649,35 +715,76 @@ int cmd_serve(int argc, const char* const* argv) {
   // fall through to finish() so the final snapshot covers every request
   // pushed before the bad row, and exit nonzero.
   bool feed_failed = false;
+  RunReport report;
+  double final_ratio = 0.0;
+  std::size_t final_chunks = 0;
   try {
-    if (*pipeline) {
+    if (sharded) {
+      // N decode shards × M engine partitions.  Merged barrier snapshots
+      // arrive through the callback already in stream order; decode errors
+      // come back as feed_error with the valid prefix served.
+      const ShardedSnapshotCallback on_merged =
+          [&](const StreamingSnapshot& s, std::size_t rows) {
+            pushed = rows;
+            print_snapshot(s);
+            if (config.stats_interval > 0) emit_stats(s.epoch);
+          };
+      ShardedServeResult result;
+      if (is_dpt_path(*flags.trace)) {
+        // Binary traces mmap in zero-copy; claimed blocks view the columns.
+        const RequestSequence trace = read_trace_auto(*flags.trace);
+        SequenceClaimSource source(trace, config.batch_rows,
+                                   config.max_request_rows);
+        result = run_sharded_serve(source, model, config, options, on_merged);
+      } else {
+        std::ifstream file;
+        const bool from_stdin = *flags.trace == "-";
+        if (!from_stdin) {
+          file.open(*flags.trace, std::ios::binary);
+          if (!file) throw IoError("cannot open trace file: " + *flags.trace);
+        }
+        CsvClaimSource source(from_stdin ? std::cin : file,
+                              from_stdin ? "<stdin>" : *flags.trace,
+                              config.batch_rows, config.max_request_rows);
+        result = run_sharded_serve(source, model, config, options, on_merged);
+      }
+      if (!result.feed_error.empty()) {
+        std::fprintf(stderr, "dpgreedy serve: %s\n",
+                     result.feed_error.c_str());
+        feed_failed = true;
+      }
+      pushed = result.stats.requests;
+      report = result.report;
+      final_ratio = result.cost_ratio;
+      final_chunks = result.probe_chunks;
+    } else if (config.pipelined) {
       // Two-stage pipeline: a decode thread fills blocks and hands them
       // over an SPSC ring; this thread consumes them via push_batch.
       // Snapshot/stats cadences fire at the first batch boundary at or
       // past each cadence point.
-      ServePipelineOptions popts;
-      popts.batch_rows = *batch;
-      popts.ring_capacity = *ring;
-      std::size_t next_snapshot = *snapshot_every;
-      std::size_t next_stats = *stats_every;
+      std::size_t next_snapshot = config.snapshot_interval;
+      std::size_t next_stats = config.stats_interval;
       const ServeBatchCallback on_batch =
-          [&](const RequestBlock&, const StreamingDecision&,
+          [&](const RequestBlock& block, const StreamingDecision&,
               std::size_t total) {
+            if (archive_writer) archive_writer->append_block(block);
             pushed = total;
-            if (*snapshot_every > 0 && total >= next_snapshot) {
+            if (config.snapshot_interval > 0 && total >= next_snapshot) {
               emit_snapshot();
-              while (next_snapshot <= total) next_snapshot += *snapshot_every;
+              while (next_snapshot <= total)
+                next_snapshot += config.snapshot_interval;
             }
-            if (*stats_every > 0 && total >= next_stats) {
-              emit_stats();
-              while (next_stats <= total) next_stats += *stats_every;
+            if (config.stats_interval > 0 && total >= next_stats) {
+              emit_stats(engine.epoch());
+              while (next_stats <= total) next_stats += config.stats_interval;
             }
           };
       if (is_dpt_path(*flags.trace)) {
         // Binary traces mmap in zero-copy; blocks view the mapped columns.
         const RequestSequence trace = read_trace_auto(*flags.trace);
-        SequenceBlockReader source(trace, *batch, *max_requests);
-        run_serve_pipeline(source, engine, popts, on_batch);
+        SequenceBlockReader source(trace, config.batch_rows,
+                                   config.max_request_rows);
+        run_serve_pipeline(source, engine, config, on_batch);
       } else {
         std::ifstream file;
         const bool from_stdin = *flags.trace == "-";
@@ -686,9 +793,9 @@ int cmd_serve(int argc, const char* const* argv) {
           if (!file) throw IoError("cannot open trace file: " + *flags.trace);
         }
         CsvBlockReader source(from_stdin ? std::cin : file,
-                              from_stdin ? "<stdin>" : *flags.trace, *batch,
-                              *max_requests);
-        run_serve_pipeline(source, engine, popts, on_batch);
+                              from_stdin ? "<stdin>" : *flags.trace,
+                              config.batch_rows, config.max_request_rows);
+        run_serve_pipeline(source, engine, config, on_batch);
       }
     } else if (is_dpt_path(*flags.trace)) {
       // Binary traces mmap in zero-copy; iterate the mapped columns.
@@ -716,14 +823,28 @@ int cmd_serve(int argc, const char* const* argv) {
     feed_failed = true;
   }
 
-  const RunReport report = engine.finish();
+  if (!sharded) {
+    report = engine.finish();
+    final_ratio = engine.cost_ratio();
+    final_chunks = engine.probe_chunks();
+  }
+  // The archive covers exactly the served rows — on a feed error that is
+  // the valid prefix, which is still a well-formed `.dpt`.
+  if (archive_writer) {
+    try {
+      archive_writer->finish();
+    } catch (const Error& error) {
+      std::fprintf(stderr, "dpgreedy serve: archive: %s\n", error.what());
+      feed_failed = true;
+    }
+  }
   std::printf(
       "final requests=%zu total=%s ave=%s transfers=%zu packs=%zu "
       "unpacks=%zu ratio=%s chunks=%zu\n",
       pushed, format_fixed(report.total_cost, 2).c_str(),
       format_fixed(report.ave_cost, 4).c_str(), report.transfer_events,
       report.package_count, report.unpack_events,
-      format_fixed(engine.cost_ratio(), 3).c_str(), engine.probe_chunks());
+      format_fixed(final_ratio, 3).c_str(), final_chunks);
   write_prom();  // final exposition covers the whole run
   if (listener) listener->stop();
   finish_telemetry(flags);
